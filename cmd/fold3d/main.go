@@ -1,0 +1,227 @@
+// Command fold3d runs the paper's experiments: every table and figure of
+// "On Enhancing Power Benefits in 3D ICs" (DAC 2014) can be regenerated
+// individually or all at once.
+//
+// Usage:
+//
+//	fold3d -exp table2                 # one experiment
+//	fold3d -exp all -scale 1000        # everything
+//	fold3d -exp fig8 -svgdir ./out     # dump layout SVGs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"fold3d/internal/exp"
+)
+
+func main() {
+	var (
+		which  = flag.String("exp", "all", "experiment: table1|table2|table3|table4|table5|fig2|fig3|fig4|fig5|fig6|fig7|fig8|dualvth|macromode|criteria|thermal|coupling|rsmt|all")
+		scale  = flag.Float64("scale", 1000, "netlist scale factor (cells per modeled cell)")
+		seed   = flag.Uint64("seed", 42, "random seed")
+		svgdir = flag.String("svgdir", "", "directory to write layout SVGs (fig2, fig5, fig6, fig8)")
+	)
+	flag.Parse()
+
+	cfg := exp.Config{Scale: *scale, Seed: *seed}
+	run := func(name string, fn func() error) {
+		if *which != "all" && *which != name {
+			return
+		}
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "fold3d: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s in %s]\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+	writeSVG := func(name, svg string) {
+		if *svgdir == "" || svg == "" {
+			return
+		}
+		if err := os.MkdirAll(*svgdir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "fold3d:", err)
+			return
+		}
+		path := filepath.Join(*svgdir, name+".svg")
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "fold3d:", err)
+			return
+		}
+		fmt.Println("wrote", path)
+	}
+
+	run("table1", func() error {
+		fmt.Println(exp.Table1())
+		return nil
+	})
+	run("table2", func() error {
+		t, err := exp.Table2(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	})
+	run("table3", func() error {
+		_, report, err := exp.Table3(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report)
+		return nil
+	})
+	run("table4", func() error {
+		fc, err := exp.Table4(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Table 4: folding the L2 data bank ==")
+		fmt.Println(fc)
+		fmt.Println("paper: footprint -48.4%, WL -6.4%, buffers -33.5%, power -5.1% (memory-dominated)")
+		fmt.Println()
+		return nil
+	})
+	run("fig2", func() error {
+		r, err := exp.Figure2(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		writeSVG("fig2-ccx-2d", r.SVG2D)
+		writeSVG("fig2-ccx-3d", r.SVG3D)
+		return nil
+	})
+	run("fig3", func() error {
+		r, err := exp.Figure3(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		return nil
+	})
+	run("fig4", func() error {
+		r, err := exp.Figure4(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		if *svgdir != "" {
+			for name, content := range map[string]string{
+				"fig4-merged.v": r.Verilog, "fig4-merged.def": r.DEF,
+				"fig4-merged.lef": r.LEF, "fig4-nets3d.txt": r.Nets3D,
+			} {
+				path := filepath.Join(*svgdir, name)
+				if err := os.MkdirAll(*svgdir, 0o755); err != nil {
+					return err
+				}
+				if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+					return err
+				}
+				fmt.Println("wrote", path)
+			}
+		}
+		return nil
+	})
+	run("fig5", func() error {
+		r, err := exp.Figure5(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		writeSVG("fig5-l2t-f2f", r.SVG)
+		return nil
+	})
+	run("fig6", func() error {
+		r, err := exp.Figure6(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		for _, row := range r.Rows {
+			writeSVG("fig6-"+row.Block+"-f2b", row.SVGF2B)
+			writeSVG("fig6-"+row.Block+"-f2f", row.SVGF2F)
+		}
+		return nil
+	})
+	run("fig7", func() error {
+		r, err := exp.Figure7(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		return nil
+	})
+	run("fig8", func() error {
+		r, err := exp.Figure8(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		for name, svg := range r.SVGs {
+			writeSVG("fig8-"+name, svg)
+		}
+		return nil
+	})
+	run("table5", func() error {
+		t, err := exp.Table5(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	})
+	run("dualvth", func() error {
+		r, err := exp.AblationDualVth(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		return nil
+	})
+	run("macromode", func() error {
+		r, err := exp.AblationMacroMode(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		return nil
+	})
+	run("thermal", func() error {
+		r, err := exp.ThermalStudy(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		return nil
+	})
+	run("coupling", func() error {
+		r, err := exp.AblationTSVCoupling(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		return nil
+	})
+	run("rsmt", func() error {
+		r, err := exp.AblationRSMT(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		return nil
+	})
+	run("criteria", func() error {
+		r, err := exp.AblationFoldingCriteria(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		return nil
+	})
+}

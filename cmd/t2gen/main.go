@@ -1,0 +1,143 @@
+// Command t2gen generates the synthetic OpenSPARC T2 design database and
+// writes it (or one block of it) as JSON, for inspection or for consumption
+// by external tools.
+//
+// Usage:
+//
+//	t2gen -scale 1000 -seed 42                 # whole-design summary
+//	t2gen -block CCX -full                     # full CCX netlist as JSON
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"fold3d/internal/netlist"
+	"fold3d/internal/t2"
+)
+
+type blockSummary struct {
+	Name    string  `json:"name"`
+	Clock   string  `json:"clock"`
+	Cells   int     `json:"cells"`
+	Macros  int     `json:"macros"`
+	Nets    int     `json:"nets"`
+	Groups  int     `json:"groups"`
+	AreaUm2 float64 `json:"cell_area_um2"`
+}
+
+type netJSON struct {
+	Name     string   `json:"name"`
+	Driver   string   `json:"driver"`
+	Sinks    []string `json:"sinks"`
+	Activity float64  `json:"activity"`
+}
+
+type cellJSON struct {
+	Name   string `json:"name"`
+	Master string `json:"master"`
+	Group  string `json:"group,omitempty"`
+}
+
+type blockJSON struct {
+	blockSummary
+	CellList []cellJSON `json:"cell_list"`
+	NetList  []netJSON  `json:"net_list"`
+}
+
+func refName(b *netlist.Block, r netlist.PinRef) string {
+	switch r.Kind {
+	case netlist.KindCell:
+		return fmt.Sprintf("%s/%d", b.Cells[r.Idx].Name, r.Pin)
+	case netlist.KindMacro:
+		return fmt.Sprintf("%s/%d", b.Macros[r.Idx].Name, r.Pin)
+	default:
+		return b.Ports[r.Idx].Name
+	}
+}
+
+func main() {
+	var (
+		scale = flag.Float64("scale", 1000, "netlist scale factor")
+		seed  = flag.Uint64("seed", 42, "random seed")
+		block = flag.String("block", "", "emit one block (default: design summary)")
+		full  = flag.Bool("full", false, "with -block: emit the full netlist")
+	)
+	flag.Parse()
+
+	cfg := t2.Config{Scale: *scale, Seed: *seed}
+	if *block != "" {
+		cfg.Only = []string{*block}
+	}
+	d, err := t2.Generate(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "t2gen:", err)
+		os.Exit(1)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+
+	summarize := func(b *netlist.Block) blockSummary {
+		return blockSummary{
+			Name:    b.Name,
+			Clock:   b.Clock.String(),
+			Cells:   len(b.Cells),
+			Macros:  len(b.Macros),
+			Nets:    len(b.Nets),
+			Groups:  len(netlist.GroupNames(b)),
+			AreaUm2: b.CellArea(-1),
+		}
+	}
+
+	if *block != "" {
+		b, ok := d.Blocks[*block]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "t2gen: unknown block %q\n", *block)
+			os.Exit(1)
+		}
+		if !*full {
+			if err := enc.Encode(summarize(b)); err != nil {
+				fmt.Fprintln(os.Stderr, "t2gen:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		out := blockJSON{blockSummary: summarize(b)}
+		for i := range b.Cells {
+			out.CellList = append(out.CellList, cellJSON{
+				Name: b.Cells[i].Name, Master: b.Cells[i].Master.Name, Group: b.Cells[i].Group,
+			})
+		}
+		for i := range b.Nets {
+			n := &b.Nets[i]
+			nj := netJSON{Name: n.Name, Driver: refName(b, n.Driver), Activity: n.Activity}
+			for _, s := range n.Sinks {
+				nj.Sinks = append(nj.Sinks, refName(b, s))
+			}
+			out.NetList = append(out.NetList, nj)
+		}
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "t2gen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	names := make([]string, 0, len(d.Blocks))
+	for n := range d.Blocks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out []blockSummary
+	for _, n := range names {
+		out = append(out, summarize(d.Blocks[n]))
+	}
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "t2gen:", err)
+		os.Exit(1)
+	}
+}

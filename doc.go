@@ -1,0 +1,12 @@
+// Package fold3drepo is the root of the fold3d repository, a from-scratch Go
+// reproduction of "On Enhancing Power Benefits in 3D ICs: Block Folding and
+// Bonding Styles Perspective" (Jung, Song, Wan, Peng, Lim — DAC 2014).
+//
+// The public API lives in pkg/fold3d; the substrate packages (technology
+// library, netlist database, FM partitioner, mixed-size 3D placer, router
+// and F2F via placer, CTS, STA, optimization, power analysis, floorplanning,
+// the synthetic OpenSPARC T2 generator, and the experiment harness) live
+// under internal/. The benchmark harness in bench_test.go regenerates every
+// table and figure of the paper's evaluation; EXPERIMENTS.md records
+// paper-versus-measured for each.
+package fold3drepo

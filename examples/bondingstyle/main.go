@@ -1,0 +1,63 @@
+// Bonding styles (the paper's §5 / Figures 6-7): fold the L2 tag block with
+// increasing numbers of die-crossing connections, implementing each partition
+// under face-to-back bonding (TSVs, which consume silicon and avoid macros)
+// and face-to-face bonding (F2F vias, which float above the top metal). F2F
+// wins everywhere, and wins most when the partition needs many 3D
+// connections.
+//
+//	go run ./examples/bondingstyle
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fold3d/pkg/fold3d"
+)
+
+func main() {
+	design, err := fold3d.Generate(fold3d.Options{Only: []string{"L2T0"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	l2t := design.Blocks["L2T0"]
+
+	// 2D reference for normalization (the paper plots power normalized to
+	// the 2D design).
+	fl2d := fold3d.NewFlow(design, fold3d.FlowConfig{})
+	flat := l2t.Clone()
+	r2d, err := fl2d.ImplementBlock(flat, 0.63)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := r2d.Power.TotalMW
+	fmt.Printf("2D L2T power: %.1f mW (normalization base)\n\n", base)
+	fmt.Println("partition  #vias   F2B power(norm)   F2F power(norm)")
+
+	for i, target := range []int{0, 40, 70, 110, 160} {
+		var norm [2]float64
+		var vias int
+		for j, bond := range []fold3d.Bonding{fold3d.F2B, fold3d.F2F} {
+			cfg := fold3d.DefaultFlowConfig()
+			cfg.Bond = bond
+			fl := fold3d.NewFlow(design, cfg)
+			b := l2t.Clone()
+			opts := fold3d.FoldOptions{Mode: fold3d.FoldMinCut, Seed: 23, InflateCutTo: target}
+			r, _, err := fl.FoldAndImplement(b, opts, 0.63)
+			if err != nil {
+				log.Fatal(err)
+			}
+			norm[j] = r.Power.TotalMW / base
+			if v := b.NumTSV + b.NumF2F; v > vias {
+				vias = v
+			}
+		}
+		marker := ""
+		if norm[1] < norm[0] {
+			marker = "   <- F2F wins"
+		}
+		fmt.Printf("   #%d      %4d      %6.3f            %6.3f%s\n",
+			i+1, vias, norm[0], norm[1], marker)
+	}
+	fmt.Println("\npaper: F2F wins in every partition; the densest gains -16.2% over F2B")
+}

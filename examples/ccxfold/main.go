@@ -1,0 +1,70 @@
+// CCX folding (the paper's §4.3 / Figure 2): the cache crossbar splits
+// naturally into its processor-to-cache (PCX) and cache-to-processor (CPX)
+// halves, which share nothing but clock and a few test signals — so folding
+// it across two dies needs only a handful of TSVs and removes the
+// fragmentation that the 2D floorplan forces on it. This example reproduces
+// the natural fold and the TSV-count sweep showing how TSV area overhead
+// erodes the benefit.
+//
+//	go run ./examples/ccxfold
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fold3d/pkg/fold3d"
+)
+
+func main() {
+	design, err := fold3d.Generate(fold3d.Options{Only: []string{"CCX"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ccx := design.Blocks["CCX"]
+	fl := fold3d.NewFlow(design, fold3d.FlowConfig{})
+
+	// 2D baseline.
+	flat := ccx.Clone()
+	r2d, err := fl.ImplementBlock(flat, 3.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("2D CCX: %6.0f um2, %6.0f um wire, power %7.1f mW\n",
+		r2d.Stats.Footprint, r2d.Stats.Wirelength, r2d.Power.TotalMW)
+
+	// Natural fold: PCX on the bottom die, CPX on top.
+	natural := fold3d.FoldOptions{
+		Mode:     fold3d.FoldNatural,
+		GroupDie: map[string]int{"pcx": 0, "cpx": 1},
+		Seed:     11,
+	}
+	fold := ccx.Clone()
+	r3d, fr, err := fl.FoldAndImplement(fold, natural, 1.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("3D CCX (natural, %d TSVs): %6.0f um2 (%+.1f%%), wire %+.1f%%, power %+.1f%%\n",
+		fold.NumTSV, r3d.Stats.Footprint,
+		100*(r3d.Stats.Footprint/r2d.Stats.Footprint-1),
+		100*(r3d.Stats.Wirelength/r2d.Stats.Wirelength-1),
+		100*(r3d.Power.TotalMW/r2d.Power.TotalMW-1))
+	_ = fr
+	fmt.Println("paper: -54.6% footprint, -28.8% wire, -32.8% power at 4 TSVs")
+
+	// Force partitions with more 3D connections: TSV pads eat silicon and
+	// the benefit shrinks (paper: down to -23.4% at 6,393 TSVs).
+	fmt.Println("\nTSV-count sweep:")
+	for _, target := range []int{15, 30, 60, 100} {
+		opts := natural
+		opts.InflateCutTo = target
+		b := ccx.Clone()
+		r, _, err := fl.FoldAndImplement(b, opts, 1.5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %4d TSVs: footprint %6.0f um2, power %+.1f%% vs 2D\n",
+			b.NumTSV, r.Stats.Footprint,
+			100*(r.Power.TotalMW/r2d.Power.TotalMW-1))
+	}
+}

@@ -1,0 +1,48 @@
+// Quickstart: generate one block of the synthetic OpenSPARC T2, implement it
+// in 2D, fold it across two dies, and compare the implementations — the
+// smallest end-to-end tour of the fold3d API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fold3d/pkg/fold3d"
+)
+
+func main() {
+	// Generate just the L2 tag block at the default 1:1000 scale.
+	design, err := fold3d.Generate(fold3d.Options{Only: []string{"L2T0"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	block := design.Blocks["L2T0"]
+	fmt.Printf("generated %s: %d cells, %d macros, %d nets\n",
+		block.Name, len(block.Cells), len(block.Macros), len(block.Nets))
+
+	// Implement it flat (2D) through the full flow: placement, CTS,
+	// repeater insertion, sizing, extraction, STA and power analysis.
+	fl := fold3d.NewFlow(design, fold3d.FlowConfig{})
+	flat := block.Clone()
+	r2d, err := fl.ImplementBlock(flat, 0.63)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("2D:  footprint %6.0f um2, %5.0f um wire, %3d buffers, %s\n",
+		r2d.Stats.Footprint, r2d.Stats.Wirelength, r2d.Stats.NumBuffers, r2d.Power)
+
+	// Fold it across two dies (min-cut partition) and implement again with
+	// face-to-back bonding (TSVs).
+	folded := block.Clone()
+	r3d, fold, err := fl.FoldAndImplement(folded, fold3d.FoldOptions{Mode: fold3d.FoldMinCut, Seed: 3}, 0.63)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("3D:  footprint %6.0f um2, %5.0f um wire, %3d buffers, %s\n",
+		r3d.Stats.Footprint, r3d.Stats.Wirelength, r3d.Stats.NumBuffers, r3d.Power)
+	fmt.Printf("fold cut %d nets -> %d TSVs; power %+.1f%% vs 2D\n",
+		fold.CutNets, folded.NumTSV,
+		100*(r3d.Power.TotalMW/r2d.Power.TotalMW-1))
+}

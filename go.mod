@@ -1,0 +1,3 @@
+module fold3d
+
+go 1.22

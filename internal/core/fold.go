@@ -1,0 +1,416 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"fold3d/internal/netlist"
+	"fold3d/internal/partition"
+	"fold3d/internal/rng"
+)
+
+// FoldMode selects how a block is split across the two dies.
+type FoldMode int
+
+const (
+	// FoldNatural assigns whole instance groups to dies per GroupDie (the
+	// paper's CCX fold: PCX on one die, CPX on the other, §4.3).
+	FoldNatural FoldMode = iota
+	// FoldMinCut runs FM over cells, macros and ports to minimize the
+	// number of die-crossing nets under an area balance (§4.4).
+	FoldMinCut
+	// FoldSecondLevel folds the groups marked foldable individually (each
+	// split across both dies by min-cut) while unfoldable groups stay whole
+	// and are packed to balance area — the paper's SPC FUB folding (§4.5).
+	FoldSecondLevel
+)
+
+// FoldOptions configures a fold.
+type FoldOptions struct {
+	Mode FoldMode
+	// GroupDie maps group name -> die for FoldNatural; unlisted groups are
+	// balanced automatically.
+	GroupDie map[string]int
+	// FoldGroups lists the groups to split in FoldSecondLevel mode (nil =
+	// every group whose spec marked it foldable is the caller's business to
+	// list here).
+	FoldGroups []string
+	// BalanceTol is the per-die area balance tolerance.
+	BalanceTol float64
+	// InflateCutTo, when positive, randomly exchanges nodes between dies
+	// after partitioning until at least this many nets cross — the paper's
+	// TSV-count sweeps (Figure 2 text, Figure 7) explore exactly such
+	// partition families.
+	InflateCutTo int
+	Seed         uint64
+}
+
+// DefaultFoldOptions returns a balanced min-cut fold.
+func DefaultFoldOptions() FoldOptions {
+	return FoldOptions{Mode: FoldMinCut, BalanceTol: 0.08, Seed: 3}
+}
+
+// FoldResult reports the partition outcome.
+type FoldResult struct {
+	// CutNets is the number of die-crossing signal nets (before any
+	// repeater insertion), i.e. the number of 3D connections needed.
+	CutNets int
+	// AreaPerDie is the placed-object area per die.
+	AreaPerDie [2]float64
+}
+
+// Fold splits block b across two dies in place: it sets the Die field of
+// every cell, macro and port, and marks the block 3D. Placement, via
+// planning and everything downstream is the flow's job.
+func Fold(b *netlist.Block, opt FoldOptions) (*FoldResult, error) {
+	if opt.BalanceTol <= 0 {
+		opt.BalanceTol = 0.08
+	}
+	switch opt.Mode {
+	case FoldNatural:
+		if err := foldNatural(b, opt); err != nil {
+			return nil, err
+		}
+	case FoldMinCut:
+		if err := foldMinCut(b, opt, nil); err != nil {
+			return nil, err
+		}
+	case FoldSecondLevel:
+		if err := foldSecondLevel(b, opt); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown fold mode %d", opt.Mode)
+	}
+	b.Is3D = true
+	if opt.InflateCutTo > 0 {
+		inflateCut(b, opt.InflateCutTo, rng.New(opt.Seed).Split("inflate"))
+	}
+	res := &FoldResult{}
+	for i := range b.Nets {
+		if b.Nets[i].Kind == netlist.Signal && b.NetIs3D(&b.Nets[i]) {
+			res.CutNets++
+		}
+	}
+	ab := netlist.CellAreaByDie(b)
+	res.AreaPerDie = ab
+	return res, nil
+}
+
+// foldNatural assigns groups per GroupDie; unlisted groups go to the lighter
+// die.
+func foldNatural(b *netlist.Block, opt FoldOptions) error {
+	if len(opt.GroupDie) == 0 {
+		return fmt.Errorf("core: FoldNatural needs GroupDie for block %s", b.Name)
+	}
+	var area [2]float64
+	assign := func(group string) (netlist.Die, bool) {
+		d, ok := opt.GroupDie[group]
+		if !ok {
+			return 0, false
+		}
+		if d != 0 && d != 1 {
+			return 0, false
+		}
+		return netlist.Die(d), true
+	}
+	// Two passes: listed groups first so the balance of the rest is
+	// computed against them.
+	for i := range b.Cells {
+		if d, ok := assign(b.Cells[i].Group); ok {
+			b.Cells[i].Die = d
+			area[d] += b.Cells[i].Master.Area()
+		}
+	}
+	for i := range b.Macros {
+		if d, ok := assign(b.Macros[i].Group); ok {
+			b.Macros[i].Die = d
+			area[d] += b.Macros[i].Model.Area()
+		}
+	}
+	// Unlisted groups: whole-group to the lighter die.
+	rest := make(map[string]float64)
+	for i := range b.Cells {
+		if _, ok := assign(b.Cells[i].Group); !ok {
+			rest[b.Cells[i].Group] += b.Cells[i].Master.Area()
+		}
+	}
+	for i := range b.Macros {
+		if _, ok := assign(b.Macros[i].Group); !ok {
+			rest[b.Macros[i].Group] += b.Macros[i].Model.Area()
+		}
+	}
+	// Deterministic heaviest-first packing of the unlisted groups (map
+	// iteration order must not leak into the result).
+	type ga struct {
+		g string
+		a float64
+	}
+	var restOrder []ga
+	for g, a := range rest {
+		restOrder = append(restOrder, ga{g, a})
+	}
+	sort.Slice(restOrder, func(i, j int) bool {
+		if restOrder[i].a != restOrder[j].a {
+			return restOrder[i].a > restOrder[j].a
+		}
+		return restOrder[i].g < restOrder[j].g
+	})
+	dieOf := make(map[string]netlist.Die)
+	for _, e := range restOrder {
+		d := netlist.DieBottom
+		if area[1] < area[0] {
+			d = netlist.DieTop
+		}
+		dieOf[e.g] = d
+		area[d] += e.a
+	}
+	for i := range b.Cells {
+		if d, ok := dieOf[b.Cells[i].Group]; ok {
+			b.Cells[i].Die = d
+		}
+	}
+	for i := range b.Macros {
+		if d, ok := dieOf[b.Macros[i].Group]; ok {
+			b.Macros[i].Die = d
+		}
+	}
+	MovePortsWithLogic(b)
+	return nil
+}
+
+// foldMinCut partitions with FM. pin, when non-nil, pre-assigns node
+// fixed sides (used by second-level folding for whole-group supernodes).
+func foldMinCut(b *netlist.Block, opt FoldOptions, onlyGroups map[string]bool) error {
+	// Node numbering: cells, then macros, then ports.
+	nc, nm, np := len(b.Cells), len(b.Macros), len(b.Ports)
+	h := partition.NewHypergraph(nc + nm + np)
+	for i := range b.Cells {
+		h.NodeWeight[i] = b.Cells[i].Master.Area()
+	}
+	for i := range b.Macros {
+		h.NodeWeight[nc+i] = b.Macros[i].Model.Area()
+	}
+	for i := range b.Ports {
+		h.NodeWeight[nc+nm+i] = 0.01 // ports follow their logic nearly free
+	}
+	if onlyGroups != nil {
+		// Freeze everything outside the folded groups at its current die.
+		for i := range b.Cells {
+			if !onlyGroups[b.Cells[i].Group] {
+				h.Fixed[i] = int8(b.Cells[i].Die)
+			}
+		}
+		for i := range b.Macros {
+			if !onlyGroups[b.Macros[i].Group] {
+				h.Fixed[nc+i] = int8(b.Macros[i].Die)
+			}
+		}
+	}
+	ref2node := func(r netlist.PinRef) int32 {
+		switch r.Kind {
+		case netlist.KindCell:
+			return r.Idx
+		case netlist.KindMacro:
+			return int32(nc) + r.Idx
+		default:
+			return int32(nc+nm) + r.Idx
+		}
+	}
+	for i := range b.Nets {
+		n := &b.Nets[i]
+		if n.Kind != netlist.Signal {
+			continue
+		}
+		nodes := make([]int32, 0, len(n.Sinks)+1)
+		nodes = append(nodes, ref2node(n.Driver))
+		w := 1
+		if n.Driver.Kind == netlist.KindMacro {
+			w = 4 // keep memory datapaths with their macro
+		}
+		for _, s := range n.Sinks {
+			nodes = append(nodes, ref2node(s))
+			if s.Kind == netlist.KindMacro {
+				w = 4
+			}
+		}
+		h.AddEdge(nodes, w)
+	}
+	// Balance target: with pre-fixed nodes, aim for half of the FREE weight
+	// on each side on top of whatever is already fixed per die.
+	var total, fixed0, freeW float64
+	for i, w := range h.NodeWeight {
+		total += w
+		switch h.Fixed[i] {
+		case 0:
+			fixed0 += w
+		case -1:
+			freeW += w
+		}
+	}
+	popt := partition.DefaultOptions()
+	popt.Seed = opt.Seed + 1
+	if total > 0 && freeW > 0 {
+		popt.Target = (fixed0 + 0.5*freeW) / total
+		popt.BalanceTol = opt.BalanceTol * freeW / total
+		if popt.BalanceTol < 0.005 {
+			popt.BalanceTol = 0.005
+		}
+	} else {
+		popt.BalanceTol = opt.BalanceTol
+	}
+	res, err := partition.Bipartition(h, popt)
+	if err != nil {
+		return fmt.Errorf("core: folding %s: %v", b.Name, err)
+	}
+	for i := range b.Cells {
+		b.Cells[i].Die = netlist.Die(res.Side[i])
+	}
+	for i := range b.Macros {
+		b.Macros[i].Die = netlist.Die(res.Side[nc+i])
+	}
+	for i := range b.Ports {
+		b.Ports[i].Die = netlist.Die(res.Side[nc+nm+i])
+	}
+	return nil
+}
+
+// foldSecondLevel folds the listed groups by min-cut while the others stay
+// whole, greedily packed onto dies to balance area.
+func foldSecondLevel(b *netlist.Block, opt FoldOptions) error {
+	if len(opt.FoldGroups) == 0 {
+		return fmt.Errorf("core: FoldSecondLevel needs FoldGroups for block %s", b.Name)
+	}
+	folded := make(map[string]bool, len(opt.FoldGroups))
+	for _, g := range opt.FoldGroups {
+		folded[g] = true
+	}
+	// Pack unfolded groups whole, heaviest first, onto the lighter die.
+	groupArea := make(map[string]float64)
+	for i := range b.Cells {
+		if !folded[b.Cells[i].Group] {
+			groupArea[b.Cells[i].Group] += b.Cells[i].Master.Area()
+		}
+	}
+	for i := range b.Macros {
+		if !folded[b.Macros[i].Group] {
+			groupArea[b.Macros[i].Group] += b.Macros[i].Model.Area()
+		}
+	}
+	type ga struct {
+		g string
+		a float64
+	}
+	var order []ga
+	for g, a := range groupArea {
+		order = append(order, ga{g, a})
+	}
+	// Deterministic heaviest-first.
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if order[j].a > order[i].a || (order[j].a == order[i].a && order[j].g < order[i].g) {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	var area [2]float64
+	dieOf := make(map[string]netlist.Die)
+	for _, e := range order {
+		d := netlist.DieBottom
+		if area[1] < area[0] {
+			d = netlist.DieTop
+		}
+		dieOf[e.g] = d
+		area[d] += e.a
+	}
+	for i := range b.Cells {
+		if d, ok := dieOf[b.Cells[i].Group]; ok {
+			b.Cells[i].Die = d
+		}
+	}
+	for i := range b.Macros {
+		if d, ok := dieOf[b.Macros[i].Group]; ok {
+			b.Macros[i].Die = d
+		}
+	}
+	// Min-cut each folded group individually, with everything else frozen:
+	// second-level folding means every listed FUB is itself split across
+	// the two dies (paper Figure 3: exu0_top/exu0_bot and so on), not that
+	// the folded set may be divided FUB-by-FUB.
+	for i, g := range opt.FoldGroups {
+		gopt := opt
+		gopt.Seed = opt.Seed + uint64(i)*131
+		if err := foldMinCut(b, gopt, map[string]bool{g: true}); err != nil {
+			return err
+		}
+	}
+	MovePortsWithLogic(b)
+	return nil
+}
+
+// MovePortsWithLogic puts each port on the die where most of its connected
+// pins live (the paper moves the CCX I/O pins with their crossbar half).
+// The chip flow calls it again after port hookup, since chip-level ports are
+// created after folding.
+func MovePortsWithLogic(b *netlist.Block) {
+	votes := make(map[int32][2]int)
+	count := func(portIdx int32, other netlist.PinRef) {
+		v := votes[portIdx]
+		v[b.PinDie(other)]++
+		votes[portIdx] = v
+	}
+	for i := range b.Nets {
+		n := &b.Nets[i]
+		if n.Driver.Kind == netlist.KindPort {
+			for _, s := range n.Sinks {
+				if s.Kind != netlist.KindPort {
+					count(n.Driver.Idx, s)
+				}
+			}
+		}
+		for _, s := range n.Sinks {
+			if s.Kind == netlist.KindPort && n.Driver.Kind != netlist.KindPort {
+				count(s.Idx, n.Driver)
+			}
+		}
+	}
+	for idx, v := range votes {
+		if v[1] > v[0] {
+			b.Ports[idx].Die = netlist.DieTop
+		} else {
+			b.Ports[idx].Die = netlist.DieBottom
+		}
+	}
+}
+
+// inflateCut randomly exchanges same-kind node pairs across dies until the
+// number of die-crossing nets reaches target (or the swap budget runs out).
+// It preserves area balance by swapping pairs rather than moving singles.
+func inflateCut(b *netlist.Block, target int, r *rng.R) {
+	cut := func() int {
+		c := 0
+		for i := range b.Nets {
+			if b.Nets[i].Kind == netlist.Signal && b.NetIs3D(&b.Nets[i]) {
+				c++
+			}
+		}
+		return c
+	}
+	var d0, d1 []int
+	for i := range b.Cells {
+		if b.Cells[i].Die == netlist.DieBottom {
+			d0 = append(d0, i)
+		} else {
+			d1 = append(d1, i)
+		}
+	}
+	budget := 20 * len(b.Cells)
+	for cut() < target && budget > 0 && len(d0) > 0 && len(d1) > 0 {
+		i0 := r.Intn(len(d0))
+		i1 := r.Intn(len(d1))
+		c0, c1 := d0[i0], d1[i1]
+		b.Cells[c0].Die, b.Cells[c1].Die = netlist.DieTop, netlist.DieBottom
+		d0[i0], d1[i1] = c1, c0
+		budget--
+	}
+}

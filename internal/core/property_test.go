@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fold3d/internal/netlist"
+)
+
+// TestPropertyFoldPreservesNetlist: folding only reassigns dies — cell,
+// macro, net and port counts are untouched and the block stays valid.
+func TestPropertyFoldPreservesNetlist(t *testing.T) {
+	f := func(seed uint64) bool {
+		b := groupedBlock(nil, 12+int(seed%20))
+		nc, nm, nn, np := len(b.Cells), len(b.Macros), len(b.Nets), len(b.Ports)
+		if _, err := Fold(b, FoldOptions{Mode: FoldMinCut, Seed: seed}); err != nil {
+			return false
+		}
+		return len(b.Cells) == nc && len(b.Macros) == nm &&
+			len(b.Nets) == nn && len(b.Ports) == np &&
+			b.Is3D && b.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMinCutNeverWorseThanNatural: for the grouped block whose
+// optimal split is the group structure, min-cut must match or beat the
+// natural fold's cut.
+func TestPropertyMinCutNeverWorseThanNatural(t *testing.T) {
+	f := func(seed uint64) bool {
+		bn := groupedBlock(nil, 10+int(seed%15))
+		rn, err := Fold(bn, FoldOptions{Mode: FoldNatural,
+			GroupDie: map[string]int{"pcx": 0, "cpx": 1}, Seed: seed})
+		if err != nil {
+			return false
+		}
+		bm := groupedBlock(nil, 10+int(seed%15))
+		rm, err := Fold(bm, FoldOptions{Mode: FoldMinCut, BalanceTol: 0.15, Seed: seed})
+		if err != nil {
+			return false
+		}
+		return rm.CutNets <= rn.CutNets+1 // FM may trade one cut for balance
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyInflateMonotone: inflating the cut target never reduces the
+// achieved cut.
+func TestPropertyInflateMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		base := groupedBlock(nil, 30)
+		r0, err := Fold(base, FoldOptions{Mode: FoldNatural,
+			GroupDie: map[string]int{"pcx": 0, "cpx": 1}, Seed: seed})
+		if err != nil {
+			return false
+		}
+		prev := r0.CutNets
+		for _, target := range []int{5, 15, 30} {
+			b := groupedBlock(nil, 30)
+			r, err := Fold(b, FoldOptions{Mode: FoldNatural,
+				GroupDie:     map[string]int{"pcx": 0, "cpx": 1},
+				InflateCutTo: target, Seed: seed})
+			if err != nil {
+				return false
+			}
+			if r.CutNets < prev {
+				return false
+			}
+			prev = r.CutNets
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+var _ = netlist.DieBottom // keep the import for documentation symmetry

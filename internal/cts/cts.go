@@ -1,0 +1,292 @@
+// Package cts performs clock tree synthesis: a recursive geometric bisection
+// of the clock sinks (register clock pins and macro clock inputs) into a
+// buffered tree, following the pre-CTS / post-CTS structure of the paper's
+// flow. The tree's buffers and nets are materialized into the block netlist
+// (nets marked netlist.Clock, buffers marked IsClockBuf) so that wirelength,
+// buffer-count and power reports include the clock network, and the
+// resulting skew estimate feeds STA as uncertainty.
+package cts
+
+import (
+	"fmt"
+	"sort"
+
+	"fold3d/internal/geom"
+	"fold3d/internal/netlist"
+	"fold3d/internal/tech"
+)
+
+// Options configures tree construction.
+type Options struct {
+	// MaxFanout caps the sinks one clock buffer drives.
+	MaxFanout int
+	// BufferDrive is the drive strength of inserted clock buffers.
+	BufferDrive int
+	// Vth flavor of clock buffers: clock nets switch every cycle, so the
+	// flow keeps them RVT even in dual-Vth designs.
+	Vth tech.VthClass
+}
+
+// DefaultOptions returns the flow defaults.
+func DefaultOptions() Options {
+	return Options{MaxFanout: 24, BufferDrive: 8, Vth: tech.RVT}
+}
+
+// Result summarizes the synthesized tree.
+type Result struct {
+	// SkewPS is the worst-case arrival difference across sinks.
+	SkewPS float64
+	// InsertionDelayPS is the longest root-to-sink latency.
+	InsertionDelayPS float64
+	// NumBuffers is the number of clock buffers inserted.
+	NumBuffers int
+	// WirelengthUm is the drawn clock-net wirelength added.
+	WirelengthUm float64
+	// Levels is the tree depth.
+	Levels int
+}
+
+// sink is one clock consumer.
+type sink struct {
+	pos geom.Point
+	ref netlist.PinRef
+	die netlist.Die
+	cap float64
+}
+
+// Run synthesizes the clock tree of b in place. It must run after placement
+// (it needs sink locations) and before the final timing iterations. The
+// scale model is needed to compute clock wire delays consistently with
+// extraction.
+func Run(b *netlist.Block, lib *tech.Library, scale tech.ScaleModel, opt Options) (*Result, error) {
+	if opt.MaxFanout <= 1 {
+		opt.MaxFanout = DefaultOptions().MaxFanout
+	}
+	if opt.BufferDrive == 0 {
+		opt.BufferDrive = DefaultOptions().BufferDrive
+	}
+	master, err := lib.Cell(tech.BUF, opt.BufferDrive, opt.Vth)
+	if err != nil {
+		return nil, fmt.Errorf("cts: %v", err)
+	}
+
+	var sinks []sink
+	for i := range b.Cells {
+		c := &b.Cells[i]
+		if c.Master.Fam.IsSequential() {
+			sinks = append(sinks, sink{
+				pos: c.Center(),
+				ref: netlist.PinRef{Kind: netlist.KindCell, Idx: int32(i)},
+				die: c.Die,
+				cap: c.Master.ClkCap,
+			})
+		}
+	}
+	for i := range b.Macros {
+		m := &b.Macros[i]
+		sinks = append(sinks, sink{
+			pos: m.Center(),
+			ref: netlist.PinRef{Kind: netlist.KindMacro, Idx: int32(i), Pin: 0},
+			die: m.Die,
+			cap: m.Model.InCapfF * 2, // macro clock pins are heavy
+		})
+	}
+	res := &Result{}
+	if len(sinks) == 0 {
+		return res, nil
+	}
+
+	// Clock root: a port at the block boundary (create one if absent).
+	rootPort := int32(-1)
+	for i := range b.Ports {
+		if b.Ports[i].Name == "clk" {
+			rootPort = int32(i)
+			break
+		}
+	}
+	if rootPort < 0 {
+		rootPort = b.AddPort(netlist.Port{
+			Name:  "clk",
+			Dir:   netlist.In,
+			Pos:   geom.Point{X: b.Outline[0].Center().X, Y: b.Outline[0].Lo.Y},
+			Die:   netlist.DieBottom,
+			CapfF: 0,
+		})
+	}
+
+	layer, err := lib.Layer(5) // clock routes on intermediate layers
+	if err != nil {
+		return nil, err
+	}
+	rw := scale.WireRPerUm(layer)
+	cw := scale.WireCPerUm(layer)
+
+	// build recursively partitions sinks and returns the pin ref and
+	// position of the buffer driving them plus the subtree latency (ps).
+	var build func(group []sink, level int) (netlist.PinRef, geom.Point, float64, float64)
+	build = func(group []sink, level int) (netlist.PinRef, geom.Point, float64, float64) {
+		if level > res.Levels {
+			res.Levels = level
+		}
+		ctr := centroid(group)
+		if len(group) <= opt.MaxFanout {
+			// Leaf buffer at the centroid driving the sinks directly.
+			bi := b.AddCell(netlist.Instance{
+				Name:       fmt.Sprintf("ckbuf_l%d_%d", level, len(b.Cells)),
+				Master:     master,
+				Pos:        geom.Point{X: ctr.X - master.Width/2, Y: ctr.Y - tech.CellHeight/2},
+				Die:        majorityDie(group),
+				IsClockBuf: true,
+				Activity:   2,
+			})
+			net := netlist.Net{
+				Name:     fmt.Sprintf("cknet_l%d_%d", level, len(b.Nets)),
+				Kind:     netlist.Clock,
+				Driver:   netlist.PinRef{Kind: netlist.KindCell, Idx: bi},
+				Activity: 2,
+			}
+			var wl, load float64
+			for _, s := range group {
+				net.Sinks = append(net.Sinks, s.ref)
+				wl += ctr.ManhattanDist(s.pos)
+				load += s.cap
+			}
+			net.RouteLen = wl
+			net.WireCapfF = wl * cw
+			net.WireResOhm = wl * rw
+			net.Layer = layer.Index
+			b.AddNet(net)
+			res.WirelengthUm += wl
+			res.NumBuffers++
+			// Latency of this stage: buffer + average wire Elmore.
+			lat := master.Intr + master.DriveR*(net.WireCapfF+load)*1e-3 +
+				net.WireResOhm*(net.WireCapfF/2+load/float64(len(group)))*1e-3
+			// Skew within the leaf: spread of wire distances.
+			minD, maxD := 1e18, 0.0
+			for _, s := range group {
+				d := ctr.ManhattanDist(s.pos)
+				if d < minD {
+					minD = d
+				}
+				if d > maxD {
+					maxD = d
+				}
+			}
+			leafSkew := (maxD - minD) * rw * cw * 1e-3 // first-order RC spread
+			return netlist.PinRef{Kind: netlist.KindCell, Idx: bi}, ctr, lat, leafSkew
+		}
+		// Split along the longer spread dimension at the median.
+		bb := geom.BoundingBox(positions(group))
+		byX := bb.W() >= bb.H()
+		sort.Slice(group, func(i, j int) bool {
+			if byX {
+				return group[i].pos.X < group[j].pos.X
+			}
+			return group[i].pos.Y < group[j].pos.Y
+		})
+		mid := len(group) / 2
+		refA, posA, latA, skewA := build(group[:mid], level+1)
+		refB, posB, latB, skewB := build(group[mid:], level+1)
+
+		bi := b.AddCell(netlist.Instance{
+			Name:       fmt.Sprintf("ckbuf_l%d_%d", level, len(b.Cells)),
+			Master:     master,
+			Pos:        geom.Point{X: ctr.X - master.Width/2, Y: ctr.Y - tech.CellHeight/2},
+			Die:        majorityDie(group),
+			IsClockBuf: true,
+			Activity:   2,
+		})
+		wl := ctr.ManhattanDist(posA) + ctr.ManhattanDist(posB)
+		load := 2 * master.InCapfF
+		net := netlist.Net{
+			Name:       fmt.Sprintf("cknet_l%d_%d", level, len(b.Nets)),
+			Kind:       netlist.Clock,
+			Driver:     netlist.PinRef{Kind: netlist.KindCell, Idx: bi},
+			Sinks:      []netlist.PinRef{refA, refB},
+			Activity:   2,
+			RouteLen:   wl,
+			WireCapfF:  wl * cw,
+			WireResOhm: wl * rw,
+			Layer:      layer.Index,
+		}
+		b.AddNet(net)
+		res.WirelengthUm += wl
+		res.NumBuffers++
+		lat := master.Intr + master.DriveR*(net.WireCapfF+load)*1e-3 +
+			net.WireResOhm*net.WireCapfF/2*1e-3
+		sub := latA
+		if latB > sub {
+			sub = latB
+		}
+		skew := skewA
+		if skewB > skew {
+			skew = skewB
+		}
+		// A real CTS engine balances sibling latencies with delay buffers
+		// and wire snaking; only a fraction of the raw imbalance survives.
+		skew += 0.15 * absf(latA-latB)
+		return netlist.PinRef{Kind: netlist.KindCell, Idx: bi}, ctr, lat + sub, skew
+	}
+
+	rootRef, rootPos, lat, skew := build(sinks, 1)
+	// Root net from the clock port to the top buffer.
+	wl := b.Ports[rootPort].Pos.ManhattanDist(rootPos)
+	b.AddNet(netlist.Net{
+		Name:       "cknet_root",
+		Kind:       netlist.Clock,
+		Driver:     netlist.PinRef{Kind: netlist.KindPort, Idx: rootPort},
+		Sinks:      []netlist.PinRef{rootRef},
+		Activity:   2,
+		RouteLen:   wl,
+		WireCapfF:  wl * cw,
+		WireResOhm: wl * rw,
+		Layer:      layer.Index,
+	})
+	res.WirelengthUm += wl
+	// Post-CTS optimization bounds the global skew; cap the estimate at the
+	// few-percent-of-period level sign-off trees achieve.
+	maxSkew := 0.035 * b.Clock.PeriodPS()
+	if skew > maxSkew {
+		skew = maxSkew
+	}
+	res.SkewPS = skew
+	res.InsertionDelayPS = lat
+	return res, nil
+}
+
+func centroid(group []sink) geom.Point {
+	var c geom.Point
+	for _, s := range group {
+		c.X += s.pos.X
+		c.Y += s.pos.Y
+	}
+	return c.Scale(1 / float64(len(group)))
+}
+
+func positions(group []sink) []geom.Point {
+	pts := make([]geom.Point, len(group))
+	for i, s := range group {
+		pts[i] = s.pos
+	}
+	return pts
+}
+
+func majorityDie(group []sink) netlist.Die {
+	n := 0
+	for _, s := range group {
+		if s.die == netlist.DieTop {
+			n++
+		}
+	}
+	if n*2 > len(group) {
+		return netlist.DieTop
+	}
+	return netlist.DieBottom
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,167 @@
+package cts
+
+import (
+	"fmt"
+	"testing"
+
+	"fold3d/internal/geom"
+	"fold3d/internal/netlist"
+	"fold3d/internal/tech"
+)
+
+func clockedBlock(t *testing.T, nDFF, nMacro int) (*netlist.Block, *tech.Library, tech.ScaleModel) {
+	t.Helper()
+	lib := tech.NewLibrary()
+	sm, err := tech.NewScaleModel(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := netlist.NewBlock("ck", tech.CPUClock)
+	b.Outline[0] = geom.NewRect(0, 0, 80, 80)
+	for i := 0; i < nDFF; i++ {
+		b.AddCell(netlist.Instance{
+			Name:   fmt.Sprintf("ff%d", i),
+			Master: lib.MustCell(tech.DFF, 2, tech.RVT),
+			Pos:    geom.Point{X: float64(2 + (i*13)%75), Y: float64(2 + (i*29)%75)},
+		})
+	}
+	mm := lib.MacroKB
+	mm.Width, mm.Height = 10, 8
+	for k := 0; k < nMacro; k++ {
+		b.AddMacro(netlist.MacroInst{
+			Name:  fmt.Sprintf("m%d", k),
+			Model: mm,
+			Pos:   geom.Point{X: 60, Y: float64(5 + k*12)},
+			Fixed: true,
+		})
+	}
+	return b, lib, sm
+}
+
+func TestCTSReachesEverySink(t *testing.T) {
+	b, lib, sm := clockedBlock(t, 100, 3)
+	res, err := Run(b, lib, sm, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumBuffers == 0 {
+		t.Fatal("no clock buffers inserted")
+	}
+	// Walk the clock nets and verify every DFF and macro appears as a sink.
+	reached := map[netlist.PinRef]bool{}
+	for i := range b.Nets {
+		if b.Nets[i].Kind != netlist.Clock {
+			continue
+		}
+		for _, s := range b.Nets[i].Sinks {
+			reached[netlist.PinRef{Kind: s.Kind, Idx: s.Idx}] = true
+		}
+	}
+	for i := range b.Cells {
+		c := &b.Cells[i]
+		if c.Master.Fam.IsSequential() && !reached[netlist.PinRef{Kind: netlist.KindCell, Idx: int32(i)}] {
+			t.Errorf("DFF %s unreached by the clock tree", c.Name)
+		}
+	}
+	for i := range b.Macros {
+		if !reached[netlist.PinRef{Kind: netlist.KindMacro, Idx: int32(i)}] {
+			t.Errorf("macro %s unreached by the clock tree", b.Macros[i].Name)
+		}
+	}
+}
+
+func TestCTSMarksBuffersAndNets(t *testing.T) {
+	b, lib, sm := clockedBlock(t, 60, 0)
+	before := len(b.Cells)
+	res, err := Run(b, lib, sm, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	added := len(b.Cells) - before
+	if added != res.NumBuffers {
+		t.Errorf("added %d cells but reported %d buffers", added, res.NumBuffers)
+	}
+	for i := before; i < len(b.Cells); i++ {
+		if !b.Cells[i].IsClockBuf {
+			t.Errorf("clock buffer %s not marked", b.Cells[i].Name)
+		}
+	}
+	clockNets := 0
+	for i := range b.Nets {
+		if b.Nets[i].Kind == netlist.Clock {
+			clockNets++
+			if b.Nets[i].Activity != 2 {
+				t.Errorf("clock net %s activity = %v", b.Nets[i].Name, b.Nets[i].Activity)
+			}
+		}
+	}
+	if clockNets != res.NumBuffers+1 { // one net per buffer plus the root
+		t.Errorf("clock nets = %d, buffers = %d", clockNets, res.NumBuffers)
+	}
+}
+
+func TestCTSFanoutBound(t *testing.T) {
+	b, lib, sm := clockedBlock(t, 200, 0)
+	opt := DefaultOptions()
+	opt.MaxFanout = 8
+	if _, err := Run(b, lib, sm, opt); err != nil {
+		t.Fatal(err)
+	}
+	for i := range b.Nets {
+		n := &b.Nets[i]
+		if n.Kind == netlist.Clock && len(n.Sinks) > 8 {
+			t.Errorf("clock net %s fanout %d exceeds bound", n.Name, len(n.Sinks))
+		}
+	}
+}
+
+func TestCTSSkewBounded(t *testing.T) {
+	b, lib, sm := clockedBlock(t, 150, 2)
+	res, err := Run(b, lib, sm, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SkewPS < 0 {
+		t.Errorf("negative skew %v", res.SkewPS)
+	}
+	if res.SkewPS > 0.035*b.Clock.PeriodPS()+1e-9 {
+		t.Errorf("skew %v exceeds the sign-off cap", res.SkewPS)
+	}
+	if res.InsertionDelayPS <= 0 {
+		t.Errorf("insertion delay = %v", res.InsertionDelayPS)
+	}
+	if res.WirelengthUm <= 0 {
+		t.Errorf("clock wirelength = %v", res.WirelengthUm)
+	}
+}
+
+func TestCTSEmptyBlock(t *testing.T) {
+	b, lib, sm := clockedBlock(t, 0, 0)
+	res, err := Run(b, lib, sm, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumBuffers != 0 || res.SkewPS != 0 {
+		t.Errorf("empty block grew a clock tree: %+v", res)
+	}
+}
+
+func TestCTSCreatesClockRootPort(t *testing.T) {
+	b, lib, sm := clockedBlock(t, 30, 0)
+	if _, err := Run(b, lib, sm, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for i := range b.Ports {
+		if b.Ports[i].Name == "clk" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("clock root port missing")
+	}
+	// Validate netlist integrity after CTS.
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

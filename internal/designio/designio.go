@@ -1,0 +1,257 @@
+// Package designio writes the standard physical-design exchange files the
+// paper's flow moves between tools: a structural Verilog netlist, a DEF
+// (design exchange format) placement, and a LEF (library exchange format)
+// abstract of the cell library — plus the paper's §5.1 trick, the "2D-like
+// 3D design files": both dies of a folded block merged into one flat design
+// whose cell and layer names carry _die_top / _die_bot suffixes, so an
+// ordinary 2D router can route the 3D nets and reveal the F2F via locations
+// (Figure 4).
+package designio
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"fold3d/internal/netlist"
+	"fold3d/internal/tech"
+)
+
+// sanitize makes a netlist name a legal Verilog/DEF identifier.
+func sanitize(s string) string {
+	r := strings.NewReplacer("-", "_", "/", "_", " ", "_", ".", "_")
+	return r.Replace(s)
+}
+
+// dieSuffix returns the paper's merged-view suffix for a die.
+func dieSuffix(d netlist.Die) string {
+	if d == netlist.DieTop {
+		return "_die_top"
+	}
+	return "_die_bot"
+}
+
+// WriteVerilog emits b as a flat structural Verilog module. When merged3D is
+// true, instance master names carry the die suffix (the §5.1 merged view);
+// otherwise masters keep their library names.
+func WriteVerilog(w io.Writer, b *netlist.Block, merged3D bool) error {
+	var ports []string
+	for i := range b.Ports {
+		dir := "input"
+		if b.Ports[i].Dir == netlist.Out {
+			dir = "output"
+		}
+		ports = append(ports, fmt.Sprintf("  %s %s", dir, sanitize(b.Ports[i].Name)))
+	}
+	if _, err := fmt.Fprintf(w, "module %s (\n%s\n);\n\n", sanitize(b.Name), strings.Join(ports, ",\n")); err != nil {
+		return err
+	}
+
+	// Net declarations and per-pin connection map.
+	type conn struct {
+		net string
+		pin string
+	}
+	cellPins := make(map[int32][]conn)
+	macroPins := make(map[int32][]conn)
+	for ni := range b.Nets {
+		n := &b.Nets[ni]
+		name := sanitize(n.Name)
+		fmt.Fprintf(w, "  wire %s;\n", name)
+		attach := func(ref netlist.PinRef, pin string) {
+			switch ref.Kind {
+			case netlist.KindCell:
+				cellPins[ref.Idx] = append(cellPins[ref.Idx], conn{name, pin})
+			case netlist.KindMacro:
+				macroPins[ref.Idx] = append(macroPins[ref.Idx], conn{name, pin})
+			}
+		}
+		attach(n.Driver, "Z")
+		for si, s := range n.Sinks {
+			attach(s, fmt.Sprintf("A%d", s.Pin))
+			_ = si
+		}
+	}
+	fmt.Fprintln(w)
+
+	for i := range b.Cells {
+		c := &b.Cells[i]
+		master := c.Master.Name
+		if merged3D {
+			master += dieSuffix(c.Die)
+		}
+		var args []string
+		for _, pc := range cellPins[int32(i)] {
+			args = append(args, fmt.Sprintf(".%s(%s)", pc.pin, pc.net))
+		}
+		fmt.Fprintf(w, "  %s %s (%s);\n", sanitize(master), sanitize(c.Name), strings.Join(args, ", "))
+	}
+	for i := range b.Macros {
+		m := &b.Macros[i]
+		master := m.Model.Name
+		if merged3D {
+			master += dieSuffix(m.Die)
+		}
+		var args []string
+		for _, pc := range macroPins[int32(i)] {
+			args = append(args, fmt.Sprintf(".%s(%s)", pc.pin, pc.net))
+		}
+		fmt.Fprintf(w, "  %s %s (%s);\n", sanitize(master), sanitize(m.Name), strings.Join(args, ", "))
+	}
+	_, err := fmt.Fprintln(w, "\nendmodule")
+	return err
+}
+
+// WriteDEF emits the placement of b in DEF. die < 0 writes every component;
+// otherwise only that die's. merged3D suffixes component masters by die (the
+// §5.1 merged view, where both dies coexist in one flat DEF). Distances are
+// written in DEF database units of 1000 per drawn µm.
+func WriteDEF(w io.Writer, b *netlist.Block, die int, merged3D bool) error {
+	const dbu = 1000.0
+	out := b.Outline[0]
+	if b.Is3D {
+		out = out.Union(b.Outline[1])
+	}
+	fmt.Fprintf(w, "VERSION 5.8 ;\nDESIGN %s ;\nUNITS DISTANCE MICRONS %d ;\n", sanitize(b.Name), int(dbu))
+	fmt.Fprintf(w, "DIEAREA ( %d %d ) ( %d %d ) ;\n",
+		int(out.Lo.X*dbu), int(out.Lo.Y*dbu), int(out.Hi.X*dbu), int(out.Hi.Y*dbu))
+
+	count := 0
+	for i := range b.Cells {
+		if die >= 0 && int(b.Cells[i].Die) != die {
+			continue
+		}
+		count++
+	}
+	for i := range b.Macros {
+		if die >= 0 && int(b.Macros[i].Die) != die {
+			continue
+		}
+		count++
+	}
+	fmt.Fprintf(w, "COMPONENTS %d ;\n", count)
+	for i := range b.Cells {
+		c := &b.Cells[i]
+		if die >= 0 && int(c.Die) != die {
+			continue
+		}
+		master := c.Master.Name
+		if merged3D {
+			master += dieSuffix(c.Die)
+		}
+		fmt.Fprintf(w, "  - %s %s + PLACED ( %d %d ) N ;\n",
+			sanitize(c.Name), sanitize(master), int(c.Pos.X*dbu), int(c.Pos.Y*dbu))
+	}
+	for i := range b.Macros {
+		m := &b.Macros[i]
+		if die >= 0 && int(m.Die) != die {
+			continue
+		}
+		master := m.Model.Name
+		if merged3D {
+			master += dieSuffix(m.Die)
+		}
+		fmt.Fprintf(w, "  - %s %s + PLACED ( %d %d ) N + FIXED ;\n",
+			sanitize(m.Name), sanitize(master), int(m.Pos.X*dbu), int(m.Pos.Y*dbu))
+	}
+	fmt.Fprintln(w, "END COMPONENTS")
+
+	fmt.Fprintf(w, "PINS %d ;\n", len(b.Ports))
+	for i := range b.Ports {
+		p := &b.Ports[i]
+		if die >= 0 && int(p.Die) != die && !merged3D {
+			continue
+		}
+		dir := "INPUT"
+		if p.Dir == netlist.Out {
+			dir = "OUTPUT"
+		}
+		fmt.Fprintf(w, "  - %s + DIRECTION %s + PLACED ( %d %d ) N ;\n",
+			sanitize(p.Name), dir, int(p.Pos.X*dbu), int(p.Pos.Y*dbu))
+	}
+	fmt.Fprintln(w, "END PINS")
+	_, err := fmt.Fprintln(w, "END DESIGN")
+	return err
+}
+
+// WriteLEF emits the library abstract: the metal stack (doubled with die
+// suffixes when merged3D — the §5.1 LEF "contains the interconnect structure
+// for F2F bonding as well as cells and memory macros in both dies"), every
+// cell master, and the SRAM macro.
+func WriteLEF(w io.Writer, lib *tech.Library, merged3D bool) error {
+	fmt.Fprintln(w, "VERSION 5.8 ;\nBUSBITCHARS \"[]\" ;\nDIVIDERCHAR \"/\" ;")
+	fmt.Fprintln(w, "UNITS\n  DATABASE MICRONS 1000 ;\nEND UNITS")
+
+	suffixes := []string{""}
+	if merged3D {
+		suffixes = []string{"_die_bot", "_die_top"}
+	}
+	for _, sfx := range suffixes {
+		for _, m := range lib.Metal {
+			dir := "VERTICAL"
+			if m.Horiz {
+				dir = "HORIZONTAL"
+			}
+			fmt.Fprintf(w, "LAYER %s%s\n  TYPE ROUTING ;\n  DIRECTION %s ;\n  WIDTH %.3f ;\n  PITCH %.3f ;\nEND %s%s\n",
+				m.Name, sfx, dir, m.MinWidth, m.Pitch, m.Name, sfx)
+		}
+	}
+	if merged3D {
+		// The F2F via layer sits on top of both dies' M9.
+		fmt.Fprintf(w, "LAYER F2FVIA\n  TYPE CUT ;\n  WIDTH %.3f ;\nEND F2FVIA\n", lib.F2F.Diameter)
+	}
+
+	// Masters, sorted for stable output.
+	var names []string
+	for fam := tech.Family(0); fam < 8; fam++ {
+		for _, d := range tech.Drives {
+			for _, vth := range []tech.VthClass{tech.RVT, tech.HVT} {
+				c, err := lib.Cell(fam, d, vth)
+				if err != nil {
+					continue
+				}
+				names = append(names, c.Name)
+			}
+		}
+	}
+	sort.Strings(names)
+	for _, sfx := range suffixes {
+		for _, name := range names {
+			c, err := lib.ByName(name)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "MACRO %s%s\n  CLASS CORE ;\n  SIZE %.3f BY %.3f ;\nEND %s%s\n",
+				c.Name, sfx, c.Width, tech.CellHeight, c.Name, sfx)
+		}
+		mm := lib.MacroKB
+		fmt.Fprintf(w, "MACRO %s%s\n  CLASS BLOCK ;\n  SIZE %.3f BY %.3f ;\nEND %s%s\n",
+			mm.Name, sfx, mm.Width, mm.Height, mm.Name, sfx)
+	}
+	_, err := fmt.Fprintln(w, "END LIBRARY")
+	return err
+}
+
+// Write3DNetsOnly emits the §5.1 routing netlist: only the die-crossing nets
+// survive; every 2D net is tied to ground ("tying 2D nets to ground. By
+// this, F2F via locations are not affected by 2D net routing"). Returns the
+// number of 3D nets written.
+func Write3DNetsOnly(w io.Writer, b *netlist.Block) (int, error) {
+	fmt.Fprintf(w, "# 3D-net routing view of %s: 2D nets tied to VSS\n", sanitize(b.Name))
+	n3d := 0
+	for i := range b.Nets {
+		n := &b.Nets[i]
+		if n.Kind != netlist.Signal {
+			continue
+		}
+		if b.NetIs3D(n) {
+			fmt.Fprintf(w, "NET %s ROUTE ;\n", sanitize(n.Name))
+			n3d++
+		} else {
+			fmt.Fprintf(w, "NET %s USE GROUND ;\n", sanitize(n.Name))
+		}
+	}
+	_, err := fmt.Fprintln(w, "END NETS")
+	return n3d, err
+}

@@ -1,0 +1,159 @@
+package designio
+
+import (
+	"strings"
+	"testing"
+
+	"fold3d/internal/geom"
+	"fold3d/internal/netlist"
+	"fold3d/internal/tech"
+)
+
+func ioBlock(t *testing.T) *netlist.Block {
+	t.Helper()
+	lib := tech.NewLibrary()
+	b := netlist.NewBlock("blk-1", tech.CPUClock)
+	b.Is3D = true
+	b.Outline[0] = geom.NewRect(0, 0, 40, 24)
+	b.Outline[1] = b.Outline[0]
+	inv := b.AddCell(netlist.Instance{Name: "u/inv", Master: lib.MustCell(tech.INV, 2, tech.RVT), Pos: geom.Point{X: 2, Y: 1.2}})
+	nd := b.AddCell(netlist.Instance{Name: "u.nand", Master: lib.MustCell(tech.NAND2, 4, tech.RVT), Pos: geom.Point{X: 10, Y: 2.4}, Die: netlist.DieTop})
+	mm := lib.MacroKB
+	mm.Width, mm.Height = 8, 6
+	mac := b.AddMacro(netlist.MacroInst{Name: "mem0", Model: mm, Pos: geom.Point{X: 25, Y: 10}})
+	in := b.AddPort(netlist.Port{Name: "din", Dir: netlist.In, Pos: geom.Point{X: 0, Y: 5}})
+	out := b.AddPort(netlist.Port{Name: "dout", Dir: netlist.Out, Pos: geom.Point{X: 40, Y: 5}})
+	b.AddNet(netlist.Net{Name: "n_in", Driver: netlist.PinRef{Kind: netlist.KindPort, Idx: in},
+		Sinks: []netlist.PinRef{{Kind: netlist.KindCell, Idx: inv}}})
+	b.AddNet(netlist.Net{Name: "n_x", Driver: netlist.PinRef{Kind: netlist.KindCell, Idx: inv},
+		Sinks: []netlist.PinRef{{Kind: netlist.KindCell, Idx: nd}}}) // 3D net
+	b.AddNet(netlist.Net{Name: "n_out", Driver: netlist.PinRef{Kind: netlist.KindCell, Idx: nd},
+		Sinks: []netlist.PinRef{{Kind: netlist.KindMacro, Idx: mac, Pin: 2}, {Kind: netlist.KindPort, Idx: out}}})
+	return b
+}
+
+func TestWriteVerilog(t *testing.T) {
+	b := ioBlock(t)
+	var sb strings.Builder
+	if err := WriteVerilog(&sb, b, false); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	for _, want := range []string{
+		"module blk_1", "input din", "output dout",
+		"wire n_x;", "INV_X2_RVT u_inv", "NAND2_X4_RVT u_nand",
+		"SRAM16KB mem0", "endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("verilog missing %q", want)
+		}
+	}
+	if strings.Contains(v, "_die_top") {
+		t.Error("plain verilog must not carry die suffixes")
+	}
+}
+
+func TestWriteVerilogMerged3D(t *testing.T) {
+	b := ioBlock(t)
+	var sb strings.Builder
+	if err := WriteVerilog(&sb, b, true); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	// The paper's §5.1 view: masters renamed per die.
+	if !strings.Contains(v, "INV_X2_RVT_die_bot u_inv") {
+		t.Error("bottom-die suffix missing")
+	}
+	if !strings.Contains(v, "NAND2_X4_RVT_die_top u_nand") {
+		t.Error("top-die suffix missing")
+	}
+}
+
+func TestWriteDEF(t *testing.T) {
+	b := ioBlock(t)
+	var sb strings.Builder
+	if err := WriteDEF(&sb, b, -1, true); err != nil {
+		t.Fatal(err)
+	}
+	d := sb.String()
+	for _, want := range []string{
+		"VERSION 5.8", "DESIGN blk_1", "DIEAREA ( 0 0 ) ( 40000 24000 )",
+		"COMPONENTS 3 ;", "PLACED ( 2000 1200 )", "+ FIXED", "PINS 2 ;",
+		"DIRECTION OUTPUT", "END DESIGN",
+	} {
+		if !strings.Contains(d, want) {
+			t.Errorf("DEF missing %q", want)
+		}
+	}
+}
+
+func TestWriteDEFPerDie(t *testing.T) {
+	b := ioBlock(t)
+	var bot, top strings.Builder
+	if err := WriteDEF(&bot, b, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDEF(&top, b, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(bot.String(), "u_inv") || strings.Contains(bot.String(), "u_nand") {
+		t.Error("bottom DEF die filter wrong")
+	}
+	if !strings.Contains(top.String(), "u_nand") || strings.Contains(top.String(), "u_inv") {
+		t.Error("top DEF die filter wrong")
+	}
+}
+
+func TestWriteLEF(t *testing.T) {
+	lib := tech.NewLibrary()
+	var sb strings.Builder
+	if err := WriteLEF(&sb, lib, false); err != nil {
+		t.Fatal(err)
+	}
+	l := sb.String()
+	for _, want := range []string{"LAYER M1", "LAYER M9", "MACRO INV_X1_RVT", "MACRO DFF_X16_HVT", "MACRO SRAM16KB", "END LIBRARY"} {
+		if !strings.Contains(l, want) {
+			t.Errorf("LEF missing %q", want)
+		}
+	}
+	if strings.Contains(l, "F2FVIA") {
+		t.Error("plain LEF must not define the F2F via layer")
+	}
+}
+
+func TestWriteLEFMerged3D(t *testing.T) {
+	lib := tech.NewLibrary()
+	var sb strings.Builder
+	if err := WriteLEF(&sb, lib, true); err != nil {
+		t.Fatal(err)
+	}
+	l := sb.String()
+	// The paper's merged LEF: both dies' layers and masters plus the F2F cut.
+	for _, want := range []string{"LAYER M1_die_bot", "LAYER M9_die_top", "LAYER F2FVIA",
+		"MACRO INV_X1_RVT_die_bot", "MACRO INV_X1_RVT_die_top", "MACRO SRAM16KB_die_top"} {
+		if !strings.Contains(l, want) {
+			t.Errorf("merged LEF missing %q", want)
+		}
+	}
+}
+
+func TestWrite3DNetsOnly(t *testing.T) {
+	b := ioBlock(t)
+	var sb strings.Builder
+	n3d, err := Write3DNetsOnly(&sb, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n_x (inv bot -> nand top) and n_out (nand top -> macro/port bot) cross
+	// dies; n_in stays on the bottom die.
+	if n3d != 2 {
+		t.Errorf("3D nets = %d, want 2", n3d)
+	}
+	s := sb.String()
+	if !strings.Contains(s, "NET n_x ROUTE ;") || !strings.Contains(s, "NET n_out ROUTE ;") {
+		t.Error("3D nets not marked for routing")
+	}
+	if !strings.Contains(s, "NET n_in USE GROUND ;") {
+		t.Error("2D net not tied to ground (paper §5.1)")
+	}
+}

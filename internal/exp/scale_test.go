@@ -1,0 +1,55 @@
+package exp
+
+import (
+	"testing"
+
+	"fold3d/internal/core"
+	"fold3d/internal/extract"
+)
+
+// TestScaleConsistency checks the scale-model contract (DESIGN.md §6): the
+// percentage deltas that the study reports must hold up when the netlist
+// scale changes, within the model's validity floor — blocks need a few
+// hundred drawn cells for the layout statistics to be meaningful, so scales
+// beyond ~1000 (CCX below ~340 cells) are outside the contract. The CCX
+// natural fold is the sharpest probe — its 4-TSV cut is structural, so only
+// the statistics move.
+func TestScaleConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-scale sweep")
+	}
+	fo := core.FoldOptions{
+		Mode:     core.FoldNatural,
+		GroupDie: map[string]int{"pcx": 0, "cpx": 1},
+		Seed:     7,
+	}
+	type point struct {
+		scale    float64
+		powerPct float64
+		footPct  float64
+		tsvs     int
+	}
+	var pts []point
+	for _, scale := range []float64{1000, 500, 250} {
+		cfg := Config{Scale: scale, Seed: 7}
+		fc, err := foldBlock(cfg, "CCX", extract.F2B, fo)
+		if err != nil {
+			t.Fatalf("scale %v: %v", scale, err)
+		}
+		pts = append(pts, point{scale, fc.PowerPct, fc.FootprintPct, fc.R3D.Stats.NumTSV})
+	}
+	for _, p := range pts {
+		t.Logf("scale %5.0f: power %+.1f%%, footprint %+.1f%%, TSVs %d", p.scale, p.powerPct, p.footPct, p.tsvs)
+		// The fold must save power and halve the footprint at every scale.
+		if p.powerPct > -5 {
+			t.Errorf("scale %v: fold power benefit collapsed (%+.1f%%)", p.scale, p.powerPct)
+		}
+		if p.footPct > -30 {
+			t.Errorf("scale %v: fold footprint benefit collapsed (%+.1f%%)", p.scale, p.footPct)
+		}
+		// The natural cut stays structural (clock/test signals only).
+		if p.tsvs > 10 {
+			t.Errorf("scale %v: natural fold needed %d TSVs", p.scale, p.tsvs)
+		}
+	}
+}

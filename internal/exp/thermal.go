@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"fold3d/internal/extract"
+	"fold3d/internal/flow"
+	"fold3d/internal/t2"
+	"fold3d/internal/tech"
+	"fold3d/internal/thermal"
+)
+
+// ThermalRow is one design style's thermal outcome.
+type ThermalRow struct {
+	Style      t2.Style
+	TMaxC      float64
+	TAvgC      float64
+	TMaxPerDie [2]float64
+	PowerW     float64
+}
+
+// ThermalResult is the future-work study the paper's §7 sketches: thermal
+// behaviour of the design styles under the two bonding styles.
+type ThermalResult struct {
+	Rows []ThermalRow
+}
+
+// ThermalStudy builds the 2D chip, the core/cache stack and both folded
+// stacks, and solves each one's steady-state temperature field. The
+// expected story: stacking concentrates the same power in half the
+// footprint, so every 3D style runs hotter than 2D despite burning less
+// power; vertical coupling decides the rest — the F2F fold's full-face
+// metal bond beats the F2B fold's adhesive bond with sparse TSVs.
+func ThermalStudy(cfg Config) (*ThermalResult, error) {
+	res := &ThermalResult{}
+	for _, st := range []t2.Style{t2.Style2D, t2.StyleCoreCache, t2.StyleFoldF2B, t2.StyleFoldF2F} {
+		d, err := t2.Generate(cfg.t2cfg())
+		if err != nil {
+			return nil, err
+		}
+		fl := flow.New(d, flow.DefaultConfig())
+		r, err := fl.BuildChip(st)
+		if err != nil {
+			return nil, fmt.Errorf("exp: thermal %s: %v", st, err)
+		}
+		var tiles []thermal.ChipPowerTile
+		for name, br := range r.Blocks {
+			p, err := r.FP.Find(name)
+			if err != nil {
+				return nil, err
+			}
+			tiles = append(tiles, thermal.ChipPowerTile{
+				Rect:    p.Rect,
+				Die:     p.Die,
+				Both:    p.Both,
+				PowerMW: br.Power.TotalMW,
+			})
+		}
+		dies := 1
+		if st.Is3D() {
+			dies = 2
+		}
+		bond := extract.F2B
+		if st == t2.StyleFoldF2F {
+			bond = extract.F2F
+		}
+		sm, err := tech.NewScaleModel(cfg.t2cfg().Scale)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := thermal.AnalyzeChip(r.FP.Outline, tiles, dies, bond,
+			r.Stats.ViasPaperEquiv, sm, thermal.DefaultParams())
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, ThermalRow{
+			Style:      st,
+			TMaxC:      tr.TMaxC,
+			TAvgC:      tr.TAvgC,
+			TMaxPerDie: tr.TMaxPerDie,
+			PowerW:     r.Power.TotalMW / 1e3,
+		})
+	}
+	return res, nil
+}
+
+func (r *ThermalResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("== Thermal study (paper §7 future work) ==\n")
+	sb.WriteString("style        power W   Tmax C   Tavg C   Tmax bot/top\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-11s %8.2f %8.2f %8.2f   %.1f / %.1f\n",
+			row.Style, row.PowerW, row.TMaxC, row.TAvgC, row.TMaxPerDie[0], row.TMaxPerDie[1])
+	}
+	sb.WriteString("expected: every stack runs hotter than 2D at lower power (double power density);\n")
+	sb.WriteString("the F2F fold's full-face metal bond couples the tiers to the sink better than\n")
+	sb.WriteString("the F2B fold's adhesive bond with sparse TSV thermal paths\n")
+	return sb.String()
+}

@@ -1,0 +1,212 @@
+// Package extract estimates post-route parasitics for every net of a block:
+// drawn wirelength from pin (and 3D via) locations with a Steiner
+// correction, a routing-layer assignment by net length, wire RC from the
+// metal-stack constants under the scale model, and the TSV or F2F via RC of
+// die-crossing nets (the paper's Table 1 values). The results annotate the
+// netlist for the timing and power engines.
+package extract
+
+import (
+	"fmt"
+
+	"fold3d/internal/geom"
+	"fold3d/internal/netlist"
+	"fold3d/internal/tech"
+)
+
+// Bonding selects the 3D via model used for die-crossing nets.
+type Bonding int
+
+const (
+	// F2B is face-to-back bonding: crossings are TSVs (large C).
+	F2B Bonding = iota
+	// F2F is face-to-face bonding: crossings are F2F vias (negligible RC).
+	F2F
+)
+
+func (b Bonding) String() string {
+	if b == F2F {
+		return "F2F"
+	}
+	return "F2B"
+}
+
+// Extractor annotates blocks with parasitics.
+type Extractor struct {
+	Lib   *tech.Library
+	Scale tech.ScaleModel
+	Bond  Bonding
+	// TSVCoupling enables the TSV-to-wire coupling capacitance model the
+	// paper lists as future work (§7): wires routed near a TSV body pick up
+	// sidewall coupling. Each TSV pad within a net's expanded bounding box
+	// adds CouplingfF to that net.
+	TSVCoupling bool
+	// CouplingfF is the coupling capacitance per adjacent TSV (fF); zero
+	// selects the default.
+	CouplingfF float64
+	// UseRSMT estimates small nets with an actual rectilinear Steiner tree
+	// (geom.RSMT) instead of the statistical HPWL correction — slower but
+	// more accurate for the multi-pin nets that dominate net power.
+	UseRSMT bool
+}
+
+// DefaultTSVCouplingfF is the sidewall coupling between a TSV body and a
+// wire routed past it, per via (first-order value from TSV field-solver
+// studies at the paper's 5µm via size).
+const DefaultTSVCouplingfF = 0.8
+
+// maxCoupledTSVs caps how many TSV bodies one route can couple to: a wire
+// passes at most a handful of vias, not every via inside its bounding box.
+const maxCoupledTSVs = 3
+
+// New returns an extractor for the given library, scale model and bonding
+// style.
+func New(lib *tech.Library, scale tech.ScaleModel, bond Bonding) *Extractor {
+	return &Extractor{Lib: lib, Scale: scale, Bond: bond}
+}
+
+// layerFor picks the routing layer for a net by drawn length. Physical
+// thresholds: below ~60µm a net stays on the thin local layers, below
+// ~600µm on the intermediate 2x layers, beyond that on the top 4x layers if
+// the block may use them (the paper gives only the SPC all nine layers; in
+// F2F designs every layer is consumed by the block itself).
+func (e *Extractor) layerFor(b *netlist.Block, drawnLen float64) int {
+	physLen := drawnLen * e.Scale.RCInflation()
+	switch {
+	case physLen < 60:
+		return 2
+	case physLen < 600:
+		return 5
+	default:
+		if b.MaxRouteLayer >= 8 {
+			return 8
+		}
+		return 7
+	}
+}
+
+// NetLength returns the drawn routed-length estimate for net n: the Steiner
+// length over its pins, routed through its 3D via points if present (the
+// crossing splits the net into a per-die segment each).
+func NetLength(b *netlist.Block, n *netlist.Net) float64 {
+	return netLengthWith(b, n, geom.SteinerWL)
+}
+
+// NetLengthRSMT is NetLength with a real rectilinear Steiner tree for small
+// nets (geom.RSMT falls back to the spanning tree beyond its pin bound).
+func NetLengthRSMT(b *netlist.Block, n *netlist.Net) float64 {
+	return netLengthWith(b, n, geom.RSMT)
+}
+
+func netLengthWith(b *netlist.Block, n *netlist.Net, tree func([]geom.Point) float64) float64 {
+	if len(n.Vias) == 0 {
+		return tree(b.NetPins(n))
+	}
+	// Per-die segments: pins of each die plus every via point.
+	var seg [2][]geom.Point
+	add := func(ref netlist.PinRef) {
+		d := b.PinDie(ref)
+		seg[d] = append(seg[d], b.PinPos(ref))
+	}
+	add(n.Driver)
+	for _, s := range n.Sinks {
+		add(s)
+	}
+	for d := 0; d < 2; d++ {
+		if len(seg[d]) == 0 {
+			continue
+		}
+		seg[d] = append(seg[d], n.Vias...)
+	}
+	var wl float64
+	for d := 0; d < 2; d++ {
+		if len(seg[d]) >= 2 {
+			wl += tree(seg[d])
+		}
+	}
+	return wl
+}
+
+// Extract fills RouteLen, Layer, WireCapfF and WireResOhm for every net of
+// b. Die-crossing nets receive the via parasitics of the bonding style.
+func (e *Extractor) Extract(b *netlist.Block) error {
+	for i := range b.Nets {
+		n := &b.Nets[i]
+		var wl float64
+		if e.UseRSMT {
+			wl = NetLengthRSMT(b, n)
+		} else {
+			wl = NetLength(b, n)
+		}
+		n.RouteLen = wl
+		n.Layer = e.layerFor(b, wl)
+		layer, err := e.Lib.Layer(n.Layer)
+		if err != nil {
+			return fmt.Errorf("extract: block %s net %s: %v", b.Name, n.Name, err)
+		}
+		n.WireCapfF = wl * e.Scale.WireCPerUm(layer)
+		n.WireResOhm = wl * e.Scale.WireRPerUm(layer)
+		if n.Crossings > 0 {
+			switch e.Bond {
+			case F2B:
+				n.WireCapfF += float64(n.Crossings) * e.Lib.TSV.CfF
+				n.WireResOhm += float64(n.Crossings) * e.Lib.TSV.ROhm
+			case F2F:
+				n.WireCapfF += float64(n.Crossings) * e.Lib.F2F.CfF
+				n.WireResOhm += float64(n.Crossings) * e.Lib.F2F.ROhm
+			}
+		}
+	}
+	if e.TSVCoupling && e.Bond == F2B && len(b.TSVPads) > 0 {
+		e.addTSVCoupling(b)
+	}
+	return nil
+}
+
+// addTSVCoupling charges each net for the TSV bodies its route passes: every
+// pad whose center falls inside the net's bounding box (expanded by one
+// drawn TSV pitch of routing slack) couples to the net.
+func (e *Extractor) addTSVCoupling(b *netlist.Block) {
+	cc := e.CouplingfF
+	if cc == 0 {
+		cc = DefaultTSVCouplingfF
+	}
+	// Expansion: one pad edge of clearance around the route estimate.
+	slack := 0.0
+	if len(b.TSVPads) > 0 {
+		slack = b.TSVPads[0].W()
+	}
+	centers := make([]geom.Point, len(b.TSVPads))
+	for i, pad := range b.TSVPads {
+		centers[i] = pad.Center()
+	}
+	for i := range b.Nets {
+		n := &b.Nets[i]
+		if n.Kind != netlist.Signal || len(n.Sinks) == 0 {
+			continue
+		}
+		bb := geom.BoundingBox(b.NetPins(n)).Expand(slack)
+		near := 0
+		for _, c := range centers {
+			if bb.Contains(c) {
+				near++
+				if near == maxCoupledTSVs {
+					break
+				}
+			}
+		}
+		n.WireCapfF += float64(near) * cc
+	}
+}
+
+// TotalLoad returns the full load capacitance seen by net n's driver: wire
+// cap plus the input-pin caps of every sink. This is the C in both the delay
+// and the net-power models; the paper's "net power = wire power + pin power"
+// split falls out of its two terms.
+func TotalLoad(b *netlist.Block, n *netlist.Net) (wirefF, pinfF float64) {
+	wirefF = n.WireCapfF
+	for _, s := range n.Sinks {
+		pinfF += b.PinCap(s)
+	}
+	return wirefF, pinfF
+}

@@ -1,0 +1,189 @@
+package floorplan
+
+import (
+	"testing"
+
+	"fold3d/internal/netlist"
+	"fold3d/internal/tech"
+)
+
+func shapes4() map[string]Shape {
+	return map[string]Shape{
+		"A": {Name: "A", W: 20, H: 10},
+		"B": {Name: "B", W: 15, H: 12},
+		"C": {Name: "C", W: 10, H: 10},
+		"D": {Name: "D", W: 25, H: 8},
+	}
+}
+
+func TestRowPlanPlacesAll(t *testing.T) {
+	fp, err := RowPlan(shapes4(), [2][]Row{{
+		{Names: []string{"A", "B"}},
+		{Names: []string{"C", "D"}},
+	}, nil}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fp.Blocks) != 4 {
+		t.Fatalf("placed %d blocks", len(fp.Blocks))
+	}
+	for name, s := range shapes4() {
+		p, err := fp.Find(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Rect.W() != s.W || p.Rect.H() != s.H {
+			t.Errorf("%s shape changed: %v", name, p.Rect)
+		}
+		if !fp.Outline.ContainsRect(p.Rect) {
+			t.Errorf("%s outside chip outline", name)
+		}
+	}
+	// No overlaps.
+	names := []string{"A", "B", "C", "D"}
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			a, _ := fp.Find(names[i])
+			b, _ := fp.Find(names[j])
+			if a.Rect.Overlaps(b.Rect) {
+				t.Errorf("%s overlaps %s", names[i], names[j])
+			}
+		}
+	}
+}
+
+func TestRowPlanTwoDies(t *testing.T) {
+	fp, err := RowPlan(shapes4(), [2][]Row{
+		{{Names: []string{"A", "B"}}},
+		{{Names: []string{"C", "D"}}},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := fp.Find("A")
+	c, _ := fp.Find("C")
+	if a.Die != netlist.DieBottom || c.Die != netlist.DieTop {
+		t.Error("die assignment from plan rows wrong")
+	}
+}
+
+func TestRowPlanErrors(t *testing.T) {
+	if _, err := RowPlan(shapes4(), [2][]Row{{{Names: []string{"NOPE"}}}, nil}, 2); err == nil {
+		t.Error("expected unknown-block error")
+	}
+	if _, err := RowPlan(shapes4(), [2][]Row{nil, nil}, 2); err == nil {
+		t.Error("expected empty-plan error")
+	}
+	dup := [2][]Row{{{Names: []string{"A"}}, {Names: []string{"A"}}}, nil}
+	if _, err := RowPlan(shapes4(), dup, 2); err == nil {
+		t.Error("expected duplicate-placement error")
+	}
+}
+
+func TestPlanInterblockTSVs(t *testing.T) {
+	sh := shapes4()
+	fp, err := RowPlan(sh, [2][]Row{
+		{{Names: []string{"A", "B"}}},
+		{{Names: []string{"C", "D"}}},
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundles := []Bundle{
+		{A: "A", B: "C", Width: 40}, // crosses dies
+		{A: "A", B: "B", Width: 10}, // same die: no array
+	}
+	if err := PlanInterblockTSVs(fp, bundles, PlanTSVArrayOptions{PitchDrawn: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if len(fp.Arrays) != 1 {
+		t.Fatalf("arrays = %d, want 1", len(fp.Arrays))
+	}
+	if fp.NumTSV() != 40 {
+		t.Errorf("NumTSV = %d", fp.NumTSV())
+	}
+	// Arrays must not overlap blocks.
+	for _, a := range fp.Arrays {
+		for name := range sh {
+			p, _ := fp.Find(name)
+			if a.Rect.Overlaps(p.Rect) {
+				t.Errorf("TSV array overlaps block %s", name)
+			}
+		}
+	}
+	if err := PlanInterblockTSVs(fp, bundles, PlanTSVArrayOptions{}); err == nil {
+		t.Error("expected error for zero pitch")
+	}
+}
+
+func TestAssignPorts(t *testing.T) {
+	sh := shapes4()
+	fp, err := RowPlan(sh, [2][]Row{{
+		{Names: []string{"A", "B", "C", "D"}},
+	}, nil}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := map[string]*netlist.Block{
+		"A": netlist.NewBlock("A", tech.CPUClock),
+		"B": netlist.NewBlock("B", tech.CPUClock),
+	}
+	bundles := []Bundle{
+		{A: "A", B: "B", Width: 5},
+		{A: "B", B: "C", Width: 3}, // C absent: B side only
+	}
+	nets, err := AssignPorts(blocks, fp, bundles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nets) != 8 {
+		t.Fatalf("chip nets = %d, want 8", len(nets))
+	}
+	if len(blocks["A"].Ports) != 5 {
+		t.Errorf("A ports = %d", len(blocks["A"].Ports))
+	}
+	if len(blocks["B"].Ports) != 5+3 {
+		t.Errorf("B ports = %d", len(blocks["B"].Ports))
+	}
+	// Missing-side nets carry -1.
+	miss := 0
+	for _, n := range nets {
+		if n.B.Port < 0 {
+			miss++
+		}
+	}
+	if miss != 3 {
+		t.Errorf("missing-side nets = %d, want 3 (C absent)", miss)
+	}
+	// Port positions are block-local and on the boundary.
+	for i := range blocks["A"].Ports {
+		p := blocks["A"].Ports[i].Pos
+		pa, _ := fp.Find("A")
+		w, h := pa.Rect.W(), pa.Rect.H()
+		onEdge := p.X == 0 || p.X == w || p.Y == 0 || p.Y == h
+		if !onEdge {
+			t.Errorf("port %d not on the block edge: %v", i, p)
+		}
+	}
+	// A faces B on its right edge: ports should sit at x = W.
+	pa, _ := fp.Find("A")
+	for i := range blocks["A"].Ports {
+		if blocks["A"].Ports[i].Pos.X != pa.Rect.W() {
+			t.Errorf("A's port %d not on the B-facing edge", i)
+		}
+	}
+}
+
+func TestFloorplanFind(t *testing.T) {
+	fp := &Floorplan{Blocks: map[string]*Placed{}}
+	if _, err := fp.Find("missing"); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestBundleName(t *testing.T) {
+	b := Bundle{A: "X", B: "Y"}
+	if b.Name() != "X-Y" {
+		t.Errorf("Name = %s", b.Name())
+	}
+}

@@ -1,0 +1,223 @@
+package floorplan
+
+import (
+	"fmt"
+	"math"
+
+	"fold3d/internal/geom"
+	"fold3d/internal/netlist"
+	"fold3d/internal/rng"
+)
+
+// SAOptions tunes the sequence-pair annealer.
+type SAOptions struct {
+	// Moves is the total number of annealing moves.
+	Moves int
+	// WirelengthWeight trades block-center HPWL against area.
+	WirelengthWeight float64
+	// AspectTarget is the desired chip aspect ratio (W/H).
+	AspectTarget float64
+	Seed         uint64
+}
+
+// DefaultSAOptions returns moderate-effort annealing.
+func DefaultSAOptions() SAOptions {
+	return SAOptions{Moves: 30000, WirelengthWeight: 0.3, AspectTarget: 1.0, Seed: 11}
+}
+
+// Anneal floorplans the shapes with a sequence-pair simulated annealer,
+// minimizing area and bundle wirelength. All shapes are placed on one die
+// (run per die for a 3D stack, or pass Both shapes to mirror). It returns a
+// compacted floorplan at origin.
+func Anneal(shapes []Shape, bundles []Bundle, opt SAOptions) (*Floorplan, error) {
+	n := len(shapes)
+	if n == 0 {
+		return nil, fmt.Errorf("floorplan: no shapes to anneal")
+	}
+	if opt.Moves <= 0 {
+		opt = DefaultSAOptions()
+	}
+	r := rng.New(opt.Seed)
+
+	idx := make(map[string]int, n)
+	for i, s := range shapes {
+		if _, dup := idx[s.Name]; dup {
+			return nil, fmt.Errorf("floorplan: duplicate shape %q", s.Name)
+		}
+		idx[s.Name] = i
+	}
+	type pair struct{ a, b int }
+	var conns []pair
+	var connW []float64
+	for _, bu := range bundles {
+		ia, oka := idx[bu.A]
+		ib, okb := idx[bu.B]
+		if !oka || !okb {
+			continue // bundle to a block on the other die
+		}
+		conns = append(conns, pair{ia, ib})
+		connW = append(connW, float64(bu.Width))
+	}
+
+	sp := r.Perm(n)
+	sn := r.Perm(n)
+	rot := make([]bool, n)
+
+	w := make([]float64, n)
+	h := make([]float64, n)
+	dims := func() {
+		for i, s := range shapes {
+			if rot[i] {
+				w[i], h[i] = s.H, s.W
+			} else {
+				w[i], h[i] = s.W, s.H
+			}
+		}
+	}
+
+	// Sequence-pair evaluation: x by longest path over pairs where i
+	// precedes j in both sequences; y where i precedes j in sn but follows
+	// in sp. O(n^2), fine for dozens of blocks.
+	posP := make([]int, n)
+	posN := make([]int, n)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	evaluate := func() (W, H float64) {
+		dims()
+		for i, v := range sp {
+			posP[v] = i
+		}
+		for i, v := range sn {
+			posN[v] = i
+		}
+		for i := range x {
+			x[i], y[i] = 0, 0
+		}
+		// Process in sn order for x (left-to-right topological order).
+		for _, v := range sn {
+			for _, u := range sn {
+				if u == v {
+					break
+				}
+				if posP[u] < posP[v] { // u left of v
+					if x[u]+w[u] > x[v] {
+						x[v] = x[u] + w[u]
+					}
+				}
+			}
+			if x[v]+w[v] > W {
+				W = x[v] + w[v]
+			}
+		}
+		for _, v := range sn {
+			for _, u := range sn {
+				if u == v {
+					break
+				}
+				if posP[u] > posP[v] { // u below v
+					if y[u]+h[u] > y[v] {
+						y[v] = y[u] + h[u]
+					}
+				}
+			}
+			if y[v]+h[v] > H {
+				H = y[v] + h[v]
+			}
+		}
+		return W, H
+	}
+
+	cost := func() float64 {
+		W, H := evaluate()
+		area := W * H
+		aspect := math.Abs(math.Log((W/H)/opt.AspectTarget)) + 1
+		var wl float64
+		for k, c := range conns {
+			dx := (x[c.a] + w[c.a]/2) - (x[c.b] + w[c.b]/2)
+			dy := (y[c.a] + h[c.a]/2) - (y[c.b] + h[c.b]/2)
+			wl += connW[k] * (math.Abs(dx) + math.Abs(dy))
+		}
+		return area*aspect + opt.WirelengthWeight*wl
+	}
+
+	cur := cost()
+	best := cur
+	bestSP := append([]int(nil), sp...)
+	bestSN := append([]int(nil), sn...)
+	bestRot := append([]bool(nil), rot...)
+
+	t0 := cur * 0.05
+	for m := 0; m < opt.Moves; m++ {
+		temp := t0 * math.Pow(0.001/0.05, float64(m)/float64(opt.Moves))
+		i, j := r.Intn(n), r.Intn(n)
+		kind := r.Intn(3)
+		switch kind {
+		case 0:
+			sp[i], sp[j] = sp[j], sp[i]
+		case 1:
+			sp[i], sp[j] = sp[j], sp[i]
+			sn[i], sn[j] = sn[j], sn[i]
+		case 2:
+			rot[i] = !rot[i]
+		}
+		c := cost()
+		accept := c < cur || (temp > 0 && r.Float64() < math.Exp((cur-c)/temp))
+		if accept {
+			cur = c
+			if c < best {
+				best = c
+				copy(bestSP, sp)
+				copy(bestSN, sn)
+				copy(bestRot, rot)
+			}
+		} else {
+			switch kind {
+			case 0:
+				sp[i], sp[j] = sp[j], sp[i]
+			case 1:
+				sp[i], sp[j] = sp[j], sp[i]
+				sn[i], sn[j] = sn[j], sn[i]
+			case 2:
+				rot[i] = !rot[i]
+			}
+		}
+	}
+
+	copy(sp, bestSP)
+	copy(sn, bestSN)
+	copy(rot, bestRot)
+	W, H := evaluate()
+	fp := &Floorplan{
+		Outline: geom.NewRect(0, 0, W, H),
+		Blocks:  make(map[string]*Placed, n),
+	}
+	for i, s := range shapes {
+		fp.Blocks[s.Name] = &Placed{
+			Name: s.Name,
+			Rect: geom.RectWH(x[i], y[i], w[i], h[i]),
+			Die:  s.Die,
+			Both: s.Both,
+		}
+	}
+	return fp, nil
+}
+
+// Mirror3D merges two per-die floorplans into one two-die floorplan whose
+// outline covers both.
+func Mirror3D(bottom, top *Floorplan) *Floorplan {
+	fp := &Floorplan{
+		Outline: bottom.Outline.Union(top.Outline),
+		Blocks:  make(map[string]*Placed),
+	}
+	for n, p := range bottom.Blocks {
+		cp := *p
+		cp.Die = netlist.DieBottom
+		fp.Blocks[n] = &cp
+	}
+	for n, p := range top.Blocks {
+		cp := *p
+		cp.Die = netlist.DieTop
+		fp.Blocks[n] = &cp
+	}
+	return fp
+}

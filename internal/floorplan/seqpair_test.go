@@ -1,0 +1,129 @@
+package floorplan
+
+import (
+	"fmt"
+	"testing"
+)
+
+func annealShapes(n int) []Shape {
+	var out []Shape
+	for i := 0; i < n; i++ {
+		out = append(out, Shape{
+			Name: fmt.Sprintf("B%d", i),
+			W:    10 + float64(i%4)*5,
+			H:    8 + float64(i%3)*4,
+		})
+	}
+	return out
+}
+
+func TestAnnealLegal(t *testing.T) {
+	shapes := annealShapes(10)
+	opt := DefaultSAOptions()
+	opt.Moves = 5000
+	fp, err := Anneal(shapes, nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fp.Blocks) != 10 {
+		t.Fatalf("placed %d", len(fp.Blocks))
+	}
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			a := fp.Blocks[fmt.Sprintf("B%d", i)]
+			b := fp.Blocks[fmt.Sprintf("B%d", j)]
+			if a.Rect.Expand(-1e-9).Overlaps(b.Rect.Expand(-1e-9)) {
+				t.Fatalf("B%d overlaps B%d", i, j)
+			}
+		}
+	}
+	for n, p := range fp.Blocks {
+		if !fp.Outline.ContainsRect(p.Rect.Expand(-1e-9)) {
+			t.Errorf("%s outside outline", n)
+		}
+	}
+}
+
+func TestAnnealAreaEfficiency(t *testing.T) {
+	shapes := annealShapes(12)
+	var blockArea float64
+	for _, s := range shapes {
+		blockArea += s.W * s.H
+	}
+	opt := DefaultSAOptions()
+	opt.Moves = 20000
+	fp, err := Anneal(shapes, nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := blockArea / fp.Outline.Area()
+	if util < 0.5 {
+		t.Errorf("annealed floorplan too loose: utilization %.2f", util)
+	}
+}
+
+func TestAnnealPullsConnectedBlocksTogether(t *testing.T) {
+	shapes := annealShapes(10)
+	bundles := []Bundle{{A: "B0", B: "B9", Width: 200}}
+	opt := DefaultSAOptions()
+	opt.Moves = 20000
+	opt.WirelengthWeight = 10
+	fp, err := Anneal(shapes, bundles, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d09 := fp.Blocks["B0"].Rect.Center().ManhattanDist(fp.Blocks["B9"].Rect.Center())
+	// Against the chip diagonal, the heavy bundle should keep them in the
+	// same neighborhood.
+	diag := fp.Outline.W() + fp.Outline.H()
+	if d09 > 0.75*diag {
+		t.Errorf("connected blocks far apart: %.1f of diagonal %.1f", d09, diag)
+	}
+}
+
+func TestAnnealDeterministic(t *testing.T) {
+	shapes := annealShapes(8)
+	opt := DefaultSAOptions()
+	opt.Moves = 3000
+	fp1, err := Anneal(shapes, nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := Anneal(annealShapes(8), nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := range fp1.Blocks {
+		if fp1.Blocks[n].Rect != fp2.Blocks[n].Rect {
+			t.Fatal("annealing is not deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestAnnealErrors(t *testing.T) {
+	if _, err := Anneal(nil, nil, DefaultSAOptions()); err == nil {
+		t.Error("expected error for no shapes")
+	}
+	dup := []Shape{{Name: "X", W: 1, H: 1}, {Name: "X", W: 2, H: 2}}
+	if _, err := Anneal(dup, nil, DefaultSAOptions()); err == nil {
+		t.Error("expected error for duplicate names")
+	}
+}
+
+func TestMirror3D(t *testing.T) {
+	bot, err := Anneal(annealShapes(4), nil, SAOptions{Moves: 1000, AspectTarget: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := Anneal(annealShapes(3), nil, SAOptions{Moves: 1000, AspectTarget: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := Mirror3D(bot, top)
+	if len(fp.Blocks) != 4 { // names overlap (B0..B2); top overwrites
+		t.Errorf("merged blocks = %d", len(fp.Blocks))
+	}
+	if !fp.Outline.ContainsRect(bot.Outline) || !fp.Outline.ContainsRect(top.Outline) {
+		t.Error("merged outline must cover both dies")
+	}
+}

@@ -1,0 +1,320 @@
+// Package flow is the RTL-to-GDSII-like implementation engine: it drives a
+// block (or the whole chip) through outline sizing, macro placement, mixed-
+// size placement, clock tree synthesis, repeater insertion, timing and power
+// optimization, parasitic extraction, STA and power analysis — the same
+// stages the paper runs in its commercial-tool flow (§2.2) — for every
+// design style the paper compares: 2D, 3D floorplanned (F2B), and folded
+// blocks under F2B or F2F bonding, with RVT-only or dual-Vth libraries.
+package flow
+
+import (
+	"fmt"
+	"io"
+
+	"fold3d/internal/cts"
+	"fold3d/internal/extract"
+	"fold3d/internal/netlist"
+	"fold3d/internal/opt"
+	"fold3d/internal/place"
+	"fold3d/internal/power"
+	"fold3d/internal/sta"
+	"fold3d/internal/t2"
+	"fold3d/internal/tech"
+)
+
+// Config selects the design style and effort.
+type Config struct {
+	// Bond is the bonding style for 3D connections (extract.F2B/F2F).
+	Bond extract.Bonding
+	// UseHVT enables the dual-Vth power pass (paper §6.2).
+	UseHVT bool
+	// Util is the placement target utilization used for outline sizing.
+	Util float64
+	// BufferAllowance reserves outline area for repeaters and clock buffers.
+	BufferAllowance float64
+	// MacroChannel is the routing-channel fraction around macros.
+	MacroChannel float64
+	// TSVCoupling enables the TSV-to-wire coupling capacitance model
+	// (paper §7 future work) during extraction of F2B designs.
+	TSVCoupling bool
+	// UseRSMT switches extraction to real rectilinear Steiner trees for
+	// small nets (slower, more accurate).
+	UseRSMT bool
+	// Place, Opt and CTS tune the engines.
+	Place place.Options
+	Opt   opt.Options
+	CTS   cts.Options
+	Seed  uint64
+	// Trace, when non-nil, receives per-stage progress lines (stage name,
+	// block, WNS) — the flow's equivalent of a tool log.
+	Trace io.Writer
+}
+
+// DefaultConfig returns the flow defaults used across the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Bond:            extract.F2B,
+		Util:            0.66,
+		BufferAllowance: 1.10,
+		MacroChannel:    0.22,
+		Place:           place.DefaultOptions(),
+		Opt:             opt.DefaultOptions(),
+		CTS:             cts.DefaultOptions(),
+		Seed:            17,
+	}
+}
+
+// Flow binds a design database to a configuration.
+type Flow struct {
+	D   *t2.Design
+	Cfg Config
+	Ex  *extract.Extractor
+}
+
+// New returns a flow over design d.
+func New(d *t2.Design, cfg Config) *Flow {
+	if cfg.Util <= 0 {
+		cfg = DefaultConfig()
+	}
+	ex := extract.New(d.Lib, d.Scale, cfg.Bond)
+	ex.TSVCoupling = cfg.TSVCoupling
+	ex.UseRSMT = cfg.UseRSMT
+	return &Flow{
+		D:   d,
+		Cfg: cfg,
+		Ex:  ex,
+	}
+}
+
+// BlockResult captures everything the experiments report per block.
+type BlockResult struct {
+	Block  *netlist.Block
+	Stats  netlist.Stats
+	Power  power.Report
+	Timing *sta.Report
+	CTS    *cts.Result
+	// RepeatersInserted counts data-path repeaters from optimization.
+	RepeatersInserted int
+	// HVTSwapped counts RVT->HVT conversions.
+	HVTSwapped int
+}
+
+// ImplementBlock runs the full block-level flow on b (which may already be
+// folded/3D — the flow branches on b.Is3D). The block is modified in place;
+// callers wanting to compare styles clone the synthesized netlist first.
+// aspect is the outline aspect ratio used when the outline is not already
+// fixed by the chip floorplan.
+func (f *Flow) ImplementBlock(b *netlist.Block, aspect float64) (*BlockResult, error) {
+	if b.Is3D {
+		return f.implement3D(b, aspect)
+	}
+	if err := f.prepareOutline2D(b, aspect); err != nil {
+		return nil, err
+	}
+	normalizePorts(b)
+	placer := place.New(f.placeOptions())
+	if err := placer.Place(b); err != nil {
+		return nil, fmt.Errorf("flow: placing %s: %v", b.Name, err)
+	}
+	return f.finishBlock(b, placer)
+}
+
+// placeOptions derives per-run placer options.
+func (f *Flow) placeOptions() place.Options {
+	po := f.Cfg.Place
+	po.TargetUtil = f.Cfg.Util + 0.12 // legalization headroom over sizing util
+	if po.TargetUtil > 0.92 {
+		po.TargetUtil = 0.92
+	}
+	po.Seed = f.Cfg.Seed
+	return po
+}
+
+// trace logs one flow stage when tracing is enabled.
+func (f *Flow) trace(b *netlist.Block, stage string) {
+	if f.Cfg.Trace == nil {
+		return
+	}
+	rep, err := sta.Analyze(b, 0)
+	if err != nil {
+		fmt.Fprintf(f.Cfg.Trace, "%-8s %-14s STA error: %v\n", b.Name, stage, err)
+		return
+	}
+	fmt.Fprintf(f.Cfg.Trace, "%-8s %-14s WNS %8.1f TNS %10.0f fail %d/%d cells %d\n",
+		b.Name, stage, rep.WNS, rep.TNS, rep.Failing, rep.Endpoints, len(b.Cells))
+}
+
+// finishBlock runs the shared post-placement stages: extraction, repeater
+// insertion, CTS, legalization, timing closure, power recovery, optional
+// dual-Vth, and final analysis.
+func (f *Flow) finishBlock(b *netlist.Block, placer *place.Placer) (*BlockResult, error) {
+	if err := f.Ex.Extract(b); err != nil {
+		return nil, err
+	}
+	optCfg := f.Cfg.Opt
+	if b.Is3D {
+		optCfg.AreaBudgetDie = f.repeaterBudgetPerDie(b)
+	} else {
+		optCfg.AreaBudget = f.repeaterBudget(b)
+	}
+	o := opt.New(f.D.Lib, f.Ex, optCfg)
+
+	f.trace(b, "placed")
+	reps, err := o.BufferLongNets(b)
+	if err != nil {
+		return nil, fmt.Errorf("flow: buffering %s: %v", b.Name, err)
+	}
+	f.trace(b, "buffered")
+
+	ctsRes, err := cts.Run(b, f.D.Lib, f.D.Scale, f.Cfg.CTS)
+	if err != nil {
+		return nil, fmt.Errorf("flow: CTS on %s: %v", b.Name, err)
+	}
+	o.Skew = ctsRes.SkewPS
+
+	// Legalize the repeaters and clock buffers that were dropped at ideal
+	// locations.
+	if err := placer.LegalizeAll(b); err != nil {
+		return nil, fmt.Errorf("flow: post-CTS legalization of %s: %v", b.Name, err)
+	}
+	if err := f.Ex.Extract(b); err != nil {
+		return nil, err
+	}
+	f.trace(b, "cts+legal")
+
+	if _, err := o.FixTiming(b); err != nil {
+		return nil, fmt.Errorf("flow: timing opt on %s: %v", b.Name, err)
+	}
+	f.trace(b, "timing-opt")
+	// Two-tier slack allocation for power recovery: downsizing stops at its
+	// guard-banded floor (DownsizeMargin), which deliberately strands slack
+	// that the cheaper Vth swaps then convert to leakage savings down to the
+	// tighter SlackMargin — mirroring how sign-off flows stage sizing and
+	// multi-Vth optimization.
+	if _, err := o.RecoverPower(b); err != nil {
+		return nil, fmt.Errorf("flow: power opt on %s: %v", b.Name, err)
+	}
+	f.trace(b, "power-opt")
+	swapped := 0
+	if f.Cfg.UseHVT {
+		swapped, err = o.SwapToHVT(b)
+		if err != nil {
+			return nil, fmt.Errorf("flow: Vth opt on %s: %v", b.Name, err)
+		}
+		f.trace(b, "vth-opt")
+	}
+	if err := f.Ex.Extract(b); err != nil {
+		return nil, err
+	}
+	timing, err := sta.Analyze(b, o.Skew)
+	if err != nil {
+		return nil, fmt.Errorf("flow: final STA on %s: %v", b.Name, err)
+	}
+
+	res := &BlockResult{
+		Block:             b,
+		Stats:             netlist.CollectStats(b, f.D.Scale.LongWireThreshold()),
+		Power:             power.Analyze(b, f.D.Scale),
+		Timing:            timing,
+		CTS:               ctsRes,
+		RepeatersInserted: reps,
+		HVTSwapped:        swapped,
+	}
+	return res, nil
+}
+
+// normalizePorts rescales port locations proportionally into the block
+// outline when they were assigned against a different (estimated) shape —
+// block-level experiments attach ports using spec-estimated geometry, and a
+// folded block's per-die outline differs from the 2D estimate. Relative
+// positions (which edge, where along it) are preserved.
+func normalizePorts(b *netlist.Block) {
+	if len(b.Ports) == 0 {
+		return
+	}
+	var maxX, maxY float64
+	for i := range b.Ports {
+		if b.Ports[i].Pos.X > maxX {
+			maxX = b.Ports[i].Pos.X
+		}
+		if b.Ports[i].Pos.Y > maxY {
+			maxY = b.Ports[i].Pos.Y
+		}
+	}
+	out := b.Outline[0]
+	sx, sy := 1.0, 1.0
+	if maxX > out.W() && maxX > 0 {
+		sx = out.W() / maxX
+	}
+	if maxY > out.H() && maxY > 0 {
+		sy = out.H() / maxY
+	}
+	if sx == 1 && sy == 1 {
+		return
+	}
+	for i := range b.Ports {
+		b.Ports[i].Pos.X *= sx
+		b.Ports[i].Pos.Y *= sy
+	}
+}
+
+// repeaterBudget returns the free placement area (µm²) available for
+// repeater insertion: the outline capacity at the legalization utilization
+// ceiling minus everything already placed, with a reserve for clock buffers.
+func (f *Flow) repeaterBudget(b *netlist.Block) float64 {
+	const maxUtil = 0.80
+	area, err := place.FreeRowArea(b, netlist.DieBottom)
+	if err != nil {
+		return 1
+	}
+	if b.Is3D {
+		a1, err := place.FreeRowArea(b, netlist.DieTop)
+		if err != nil {
+			return 1
+		}
+		area += a1
+	}
+	free := area*maxUtil - b.CellArea(-1)
+	// Reserve part of the free space for CTS buffers and legalization slop.
+	free *= 0.85
+	if free < 0 {
+		free = 1 // effectively no repeaters; legalization still has to fit
+	}
+	return free
+}
+
+// repeaterBudgetPerDie splits the repeater budget per die for folded blocks:
+// a die overflows individually, so each account is computed from that die's
+// own free row capacity and placed cell area.
+func (f *Flow) repeaterBudgetPerDie(b *netlist.Block) [2]float64 {
+	const maxUtil = 0.80
+	var out [2]float64
+	for d := 0; d < 2; d++ {
+		area, err := place.FreeRowArea(b, netlist.Die(d))
+		if err != nil {
+			out[d] = 1
+			continue
+		}
+		free := area*maxUtil - b.CellArea(d)
+		free *= 0.85
+		if free < 1 {
+			free = 1
+		}
+		out[d] = free
+	}
+	return out
+}
+
+// Profile converts a block result into the folding-criteria profile
+// (core.BlockProfile) with the given copy count.
+func (r *BlockResult) Profile(copies int) (name string, totalMW, netMW float64, longWires int) {
+	return r.Block.Name, r.Power.TotalMW, r.Power.NetMW, r.Stats.NumLongWire
+}
+
+// VthOf exposes the library flavor used by the flow for reports.
+func (f *Flow) VthOf() tech.VthClass {
+	if f.Cfg.UseHVT {
+		return tech.HVT
+	}
+	return tech.RVT
+}

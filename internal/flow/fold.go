@@ -1,0 +1,91 @@
+package flow
+
+import (
+	"fmt"
+
+	"fold3d/internal/core"
+	"fold3d/internal/extract"
+	"fold3d/internal/netlist"
+	"fold3d/internal/place"
+	"fold3d/internal/route"
+)
+
+// FoldAndImplement folds block b (per the fold options) and runs the 3D
+// implementation under the flow's bonding style. b is modified in place.
+func (f *Flow) FoldAndImplement(b *netlist.Block, fo core.FoldOptions, aspect float64) (*BlockResult, *core.FoldResult, error) {
+	fr, err := core.Fold(b, fo)
+	if err != nil {
+		return nil, nil, err
+	}
+	br, err := f.ImplementBlock(b, aspect)
+	if err != nil {
+		return nil, nil, err
+	}
+	return br, fr, nil
+}
+
+// implement3D implements a folded (two-die) block:
+//
+//	F2B: size outlines with TSV-pad area, 3D global place with ideal vias,
+//	     plan TSV sites (outside macros), respread, legalize.
+//	F2F: size outlines with no via area, 3D place, legalize, then run the
+//	     paper's F2F via placer (3D net routing over the merged dies, §5.1).
+func (f *Flow) implement3D(b *netlist.Block, aspect float64) (*BlockResult, error) {
+	// Under F2F bonding every metal layer is consumed by the block itself
+	// (F2F vias sit on top of M9), so the block may route all nine layers
+	// but becomes an over-the-block routing blockage at chip level (§6.1).
+	if f.Cfg.Bond == extract.F2F {
+		b.MaxRouteLayer = 9
+	}
+
+	tsvOpt := place.DefaultTSVPlanOptions(f.D.Cfg.Scale)
+	if err := f.prepareOutline3D(b, aspect, f.tsvPadAllowance(b)); err != nil {
+		return nil, err
+	}
+	normalizePorts(b)
+
+	placer := place.New(f.placeOptions())
+	if err := placer.Place(b); err != nil {
+		return nil, fmt.Errorf("flow: 3D placing %s: %v", b.Name, err)
+	}
+
+	switch f.Cfg.Bond {
+	case extract.F2B:
+		if err := place.PlanTSVs(b, tsvOpt); err != nil {
+			return nil, fmt.Errorf("flow: TSV planning %s: %v", b.Name, err)
+		}
+		// TSV pads claim placement area: evict overlapping cells.
+		if err := placer.LegalizeAll(b); err != nil {
+			return nil, fmt.Errorf("flow: post-TSV legalization of %s: %v", b.Name, err)
+		}
+	case extract.F2F:
+		if _, err := route.PlaceF2FVias(b, route.DefaultOptions()); err != nil {
+			return nil, fmt.Errorf("flow: F2F via placement on %s: %v", b.Name, err)
+		}
+	}
+	return f.finishBlock(b, placer)
+}
+
+// tsvPadAllowance is the per-die outline area reserved for intra-block TSV
+// landing pads of a folded F2B block: pads also fragment placement rows, so
+// the reserve is well beyond the raw pad area. F2F blocks reserve nothing.
+func (f *Flow) tsvPadAllowance(b *netlist.Block) float64 {
+	if f.Cfg.Bond != extract.F2B || !b.Is3D {
+		return 0
+	}
+	tsvOpt := place.DefaultTSVPlanOptions(f.D.Cfg.Scale)
+	cut := Fold3DNetCount(b)
+	pad := tsvOpt.DrawnPitch()
+	return 1.6 * float64(cut) * pad * pad
+}
+
+// Fold3DNetCount counts die-crossing signal nets of a folded block.
+func Fold3DNetCount(b *netlist.Block) int {
+	n := 0
+	for i := range b.Nets {
+		if b.Nets[i].Kind == netlist.Signal && b.NetIs3D(&b.Nets[i]) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,89 @@
+package geom
+
+import "fmt"
+
+// Grid is a uniform 2D binning of a region. It is used by the placer for
+// supply/demand density maps and by the router for capacity maps.
+type Grid struct {
+	Region Rect
+	NX, NY int
+	dx, dy float64
+}
+
+// NewGrid partitions region into nx by ny bins. nx and ny must be positive
+// and the region must have positive area.
+func NewGrid(region Rect, nx, ny int) (*Grid, error) {
+	if nx <= 0 || ny <= 0 {
+		return nil, fmt.Errorf("geom: grid dimensions must be positive, got %dx%d", nx, ny)
+	}
+	if region.W() <= 0 || region.H() <= 0 {
+		return nil, fmt.Errorf("geom: grid region must have positive area, got %v", region)
+	}
+	return &Grid{
+		Region: region,
+		NX:     nx, NY: ny,
+		dx: region.W() / float64(nx),
+		dy: region.H() / float64(ny),
+	}, nil
+}
+
+// BinSize returns the width and height of one bin.
+func (g *Grid) BinSize() (float64, float64) { return g.dx, g.dy }
+
+// NumBins returns the total number of bins.
+func (g *Grid) NumBins() int { return g.NX * g.NY }
+
+// Index maps bin coordinates to a flat index.
+func (g *Grid) Index(ix, iy int) int { return iy*g.NX + ix }
+
+// Coords maps a flat index back to bin coordinates.
+func (g *Grid) Coords(i int) (ix, iy int) { return i % g.NX, i / g.NX }
+
+// BinAt returns the bin coordinates containing p, clamped to the grid.
+func (g *Grid) BinAt(p Point) (ix, iy int) {
+	ix = int((p.X - g.Region.Lo.X) / g.dx)
+	iy = int((p.Y - g.Region.Lo.Y) / g.dy)
+	if ix < 0 {
+		ix = 0
+	}
+	if ix >= g.NX {
+		ix = g.NX - 1
+	}
+	if iy < 0 {
+		iy = 0
+	}
+	if iy >= g.NY {
+		iy = g.NY - 1
+	}
+	return ix, iy
+}
+
+// BinRect returns the rectangle of bin (ix, iy).
+func (g *Grid) BinRect(ix, iy int) Rect {
+	x := g.Region.Lo.X + float64(ix)*g.dx
+	y := g.Region.Lo.Y + float64(iy)*g.dy
+	return RectWH(x, y, g.dx, g.dy)
+}
+
+// BinCenter returns the center point of bin (ix, iy).
+func (g *Grid) BinCenter(ix, iy int) Point { return g.BinRect(ix, iy).Center() }
+
+// OverlapBins calls fn for every bin overlapping r, passing the bin
+// coordinates and the overlap area with that bin.
+func (g *Grid) OverlapBins(r Rect, fn func(ix, iy int, area float64)) {
+	clip, ok := r.Intersect(g.Region)
+	if !ok {
+		return
+	}
+	ix0, iy0 := g.BinAt(clip.Lo)
+	// Use a point epsilon inside the high corner so exact-boundary rects do
+	// not spill into a nonexistent bin row/column.
+	ix1, iy1 := g.BinAt(Point{clip.Hi.X - 1e-12, clip.Hi.Y - 1e-12})
+	for iy := iy0; iy <= iy1; iy++ {
+		for ix := ix0; ix <= ix1; ix++ {
+			if ov, ok := clip.Intersect(g.BinRect(ix, iy)); ok {
+				fn(ix, iy, ov.Area())
+			}
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRMSTKnownValues(t *testing.T) {
+	// Two points: the Manhattan distance.
+	if got := RMST([]Point{{0, 0}, {3, 4}}); got != 7 {
+		t.Errorf("RMST 2pt = %v", got)
+	}
+	// Unit-square corners: three unit edges... rectilinear distances are 1
+	// between adjacent corners, so the MST costs 3.
+	sq := []Point{{0, 0}, {1, 0}, {0, 1}, {1, 1}}
+	if got := RMST(sq); got != 3 {
+		t.Errorf("RMST square = %v, want 3", got)
+	}
+	if RMST(nil) != 0 || RMST([]Point{{1, 1}}) != 0 {
+		t.Error("degenerate RMST not zero")
+	}
+}
+
+func TestRSMTPlusConfiguration(t *testing.T) {
+	// The classic 1-Steiner example: four arms of a plus. The RMST costs 6
+	// (three length-2 links); one Steiner point at the center gives 4.
+	plus := []Point{{1, 0}, {0, 1}, {2, 1}, {1, 2}}
+	if got := RMST(plus); got != 6 {
+		t.Fatalf("RMST plus = %v, want 6", got)
+	}
+	if got := RSMT(plus); got != 4 {
+		t.Errorf("RSMT plus = %v, want 4 (Steiner point at center)", got)
+	}
+}
+
+func TestRSMTNeverWorseThanRMST(t *testing.T) {
+	f := func(raw []struct{ X, Y float64 }) bool {
+		if len(raw) < 2 || len(raw) > 9 {
+			return true
+		}
+		var pts []Point
+		for _, r := range raw {
+			if math.IsNaN(r.X) || math.IsInf(r.X, 0) || math.Abs(r.X) > 1e6 ||
+				math.IsNaN(r.Y) || math.IsInf(r.Y, 0) || math.Abs(r.Y) > 1e6 {
+				return true
+			}
+			pts = append(pts, Point{r.X, r.Y})
+		}
+		rsmt := RSMT(pts)
+		rmst := RMST(pts)
+		hpwl := HPWL(pts)
+		// Sandwich: HPWL lower-bounds any tree; the Steiner refinement can
+		// only improve on the spanning tree.
+		return rsmt <= rmst+1e-9 && rsmt >= hpwl-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRSMTLargeNetFallsBack(t *testing.T) {
+	var pts []Point
+	for i := 0; i < 20; i++ {
+		pts = append(pts, Point{float64(i * 3 % 17), float64(i * 7 % 13)})
+	}
+	if RSMT(pts) != RMST(pts) {
+		t.Error("large nets must fall back to the RMST")
+	}
+}

@@ -1,0 +1,458 @@
+// Package netlist holds the gate-level design database: cell and macro
+// instances, nets, block I/O ports, and the block container that the rest of
+// the flow (placement, routing, timing, power) operates on. The model is
+// deliberately index-based: instances, macros, ports and nets are slices and
+// all cross-references are integer IDs, which keeps large designs compact and
+// makes deep-copying a block (needed to compare 2D vs folded variants of the
+// same netlist) trivial.
+package netlist
+
+import (
+	"fmt"
+
+	"fold3d/internal/geom"
+	"fold3d/internal/tech"
+)
+
+// Die identifies one tier of a (up to) two-tier 3D stack.
+type Die int
+
+const (
+	// DieBottom is the bottom tier (die 0); 2D designs live entirely here.
+	DieBottom Die = 0
+	// DieTop is the top tier (die 1) of a two-tier stack.
+	DieTop Die = 1
+)
+
+func (d Die) String() string {
+	if d == DieTop {
+		return "top"
+	}
+	return "bot"
+}
+
+// NodeKind distinguishes what a PinRef points at.
+type NodeKind int8
+
+const (
+	// KindCell references a standard-cell instance.
+	KindCell NodeKind = iota
+	// KindMacro references a hard-macro instance.
+	KindMacro
+	// KindPort references a block I/O port.
+	KindPort
+)
+
+// PinRef identifies one connection point: pin number Pin of object Idx of
+// kind Kind. For cells, pin 0..NumInputs-1 are inputs, the output is implied
+// by the net's Driver role; for macros, Pin indexes the macro's signal pins;
+// for ports, Pin is always 0.
+type PinRef struct {
+	Kind NodeKind
+	Idx  int32
+	Pin  int16
+}
+
+// Instance is one placed standard cell.
+type Instance struct {
+	Name   string
+	Master *tech.Cell
+	Pos    geom.Point // lower-left corner, µm
+	Die    Die
+	Fixed  bool
+	// Group is the functional-unit-block (FUB) label used for second-level
+	// folding of the SPC; empty for flat blocks.
+	Group string
+	// IsClockBuf marks repeaters inserted by clock tree synthesis so that
+	// power reporting can attribute them to the clock network.
+	IsClockBuf bool
+	// Activity is the switching activity of the instance's output net
+	// relative to the clock (0..1 typical, clock pins use 2 implicitly).
+	Activity float64
+}
+
+// Center returns the center point of the instance footprint.
+func (inst *Instance) Center() geom.Point {
+	return geom.Point{
+		X: inst.Pos.X + inst.Master.Width/2,
+		Y: inst.Pos.Y + tech.CellHeight/2,
+	}
+}
+
+// Rect returns the instance footprint.
+func (inst *Instance) Rect() geom.Rect {
+	return geom.RectWH(inst.Pos.X, inst.Pos.Y, inst.Master.Width, tech.CellHeight)
+}
+
+// MacroInst is one placed hard macro (memory).
+type MacroInst struct {
+	Name  string
+	Model tech.MacroModel
+	Pos   geom.Point // lower-left corner
+	Die   Die
+	Fixed bool
+	Group string
+	// Activity is the access activity relative to the block clock.
+	Activity float64
+}
+
+// Rect returns the macro footprint.
+func (m *MacroInst) Rect() geom.Rect {
+	return geom.RectWH(m.Pos.X, m.Pos.Y, m.Model.Width, m.Model.Height)
+}
+
+// Center returns the macro center.
+func (m *MacroInst) Center() geom.Point { return m.Rect().Center() }
+
+// PortDir is the direction of a block I/O port.
+type PortDir int8
+
+const (
+	// In is a block input port.
+	In PortDir = iota
+	// Out is a block output port.
+	Out
+)
+
+// Port is a block-level I/O pin with a fixed boundary location. In chip
+// assembly, port locations are derived from the floorplan (which neighbor
+// block the connection goes to), which is exactly the mechanism that
+// fragments the 2D CCX placement in the paper (§4.3).
+type Port struct {
+	Name string
+	Dir  PortDir
+	Pos  geom.Point
+	Die  Die
+	// CapfF is the external load seen by an output port (downstream pin and
+	// wire cap budgeted from the chip level), and the driver cap behind an
+	// input port.
+	CapfF float64
+	// Budget is the timing budget in ps allocated to the path outside this
+	// block (set by chip-level STA; see sta.BudgetPorts).
+	Budget float64
+}
+
+// NetKind distinguishes signal nets from clock nets.
+type NetKind int8
+
+const (
+	// Signal is an ordinary data net.
+	Signal NetKind = iota
+	// Clock marks a clock-distribution net (built by CTS).
+	Clock
+)
+
+// Net is one logical net with a single driver and one or more sinks.
+type Net struct {
+	Name   string
+	Kind   NetKind
+	Driver PinRef
+	Sinks  []PinRef
+	// Activity is the switching activity factor relative to the block clock
+	// frequency (probability of a transition per cycle / 2 as used in the
+	// dynamic power formula).
+	Activity float64
+	// Route metrics filled by extraction: drawn length (µm), layer index the
+	// net is (predominantly) routed on, and the number of 3D crossings
+	// (TSVs or F2F vias) the net uses.
+	RouteLen  float64
+	Layer     int
+	Crossings int
+	// Vias holds the XY locations of the net's 3D crossing points (TSV
+	// landing pads for F2B, F2F vias for F2F), filled by TSV planning or the
+	// F2F via placer. Wirelength and RC extraction route the net through
+	// these points.
+	Vias []geom.Point
+	// WireCapfF and WireResOhm are the extracted wire (plus 3D via)
+	// parasitics, filled by extract.Extract. Pin caps are not included; the
+	// timing and power engines add them per sink.
+	WireCapfF  float64
+	WireResOhm float64
+}
+
+// Block is one design partition: a flat netlist plus its implementation
+// state (placement region per die, ports, and accumulated flow results).
+type Block struct {
+	Name   string
+	Clock  tech.ClockDomain
+	Cells  []Instance
+	Macros []MacroInst
+	Ports  []Port
+	Nets   []Net
+
+	// Outline is the placement region per die. A 2D block uses only
+	// Outline[DieBottom]; a folded block has a (usually equal) outline on
+	// both dies.
+	Outline [2]geom.Rect
+	// Is3D reports whether the block is implemented across two dies.
+	Is3D bool
+	// NumTSV and NumF2F count the intra-block 3D connections after folding.
+	NumTSV int
+	NumF2F int
+	// TSVPads are the landing-pad blockage rectangles of intra-block TSVs
+	// (F2B folding only). A pad blocks placement on both dies: the TSV body
+	// pierces the top die's silicon and its landing pad occupies M1 of the
+	// bottom die. F2F vias leave this empty — they consume no silicon.
+	TSVPads []geom.Rect
+	// MaxRouteLayer is the top metal usable for intra-block routing
+	// (7 for most blocks, 9 for SPC; 9 for everything under F2F bonding).
+	MaxRouteLayer int
+}
+
+// NewBlock returns an empty block with the given name and clock domain,
+// routing up to M7 by default (the paper's default for non-SPC blocks).
+func NewBlock(name string, clock tech.ClockDomain) *Block {
+	return &Block{Name: name, Clock: clock, MaxRouteLayer: 7}
+}
+
+// AddCell appends a cell instance and returns its index.
+func (b *Block) AddCell(inst Instance) int32 {
+	b.Cells = append(b.Cells, inst)
+	return int32(len(b.Cells) - 1)
+}
+
+// AddMacro appends a macro instance and returns its index.
+func (b *Block) AddMacro(m MacroInst) int32 {
+	b.Macros = append(b.Macros, m)
+	return int32(len(b.Macros) - 1)
+}
+
+// AddPort appends a port and returns its index.
+func (b *Block) AddPort(p Port) int32 {
+	b.Ports = append(b.Ports, p)
+	return int32(len(b.Ports) - 1)
+}
+
+// AddNet appends a net and returns its index.
+func (b *Block) AddNet(n Net) int32 {
+	b.Nets = append(b.Nets, n)
+	return int32(len(b.Nets) - 1)
+}
+
+// PinPos returns the physical location of a pin reference. Cell and macro
+// pins are approximated at the instance center (pin-level offsets are below
+// the fidelity the study needs); port pins are at the port location.
+func (b *Block) PinPos(ref PinRef) geom.Point {
+	switch ref.Kind {
+	case KindCell:
+		return b.Cells[ref.Idx].Center()
+	case KindMacro:
+		return b.Macros[ref.Idx].Center()
+	case KindPort:
+		return b.Ports[ref.Idx].Pos
+	}
+	panic(fmt.Sprintf("netlist: bad pin kind %d", ref.Kind))
+}
+
+// PinDie returns the die a pin reference lives on.
+func (b *Block) PinDie(ref PinRef) Die {
+	switch ref.Kind {
+	case KindCell:
+		return b.Cells[ref.Idx].Die
+	case KindMacro:
+		return b.Macros[ref.Idx].Die
+	case KindPort:
+		return b.Ports[ref.Idx].Die
+	}
+	panic(fmt.Sprintf("netlist: bad pin kind %d", ref.Kind))
+}
+
+// PinCap returns the input capacitance in fF presented by a sink pin.
+func (b *Block) PinCap(ref PinRef) float64 {
+	switch ref.Kind {
+	case KindCell:
+		return b.Cells[ref.Idx].Master.InCapfF
+	case KindMacro:
+		return b.Macros[ref.Idx].Model.InCapfF
+	case KindPort:
+		return b.Ports[ref.Idx].CapfF
+	}
+	panic(fmt.Sprintf("netlist: bad pin kind %d", ref.Kind))
+}
+
+// DriverR returns the drive resistance in Ω behind a driver pin. Ports use a
+// nominal chip-level driver; macros use a strong output driver.
+func (b *Block) DriverR(ref PinRef) float64 {
+	switch ref.Kind {
+	case KindCell:
+		return b.Cells[ref.Idx].Master.DriveR
+	case KindMacro:
+		return 400 // macro output drivers are strong
+	case KindPort:
+		return 800 // chip-level net handoff driver
+	}
+	panic(fmt.Sprintf("netlist: bad pin kind %d", ref.Kind))
+}
+
+// NetPins returns the positions of every pin of net n (driver first).
+func (b *Block) NetPins(n *Net) []geom.Point {
+	pts := make([]geom.Point, 0, len(n.Sinks)+1)
+	pts = append(pts, b.PinPos(n.Driver))
+	for _, s := range n.Sinks {
+		pts = append(pts, b.PinPos(s))
+	}
+	return pts
+}
+
+// NetIs3D reports whether net n spans both dies.
+func (b *Block) NetIs3D(n *Net) bool {
+	d := b.PinDie(n.Driver)
+	for _, s := range n.Sinks {
+		if b.PinDie(s) != d {
+			return true
+		}
+	}
+	return false
+}
+
+// CellArea returns the total standard-cell area on the given die (or on all
+// dies if die < 0).
+func (b *Block) CellArea(die int) float64 {
+	var a float64
+	for i := range b.Cells {
+		if die < 0 || b.Cells[i].Die == Die(die) {
+			a += b.Cells[i].Master.Area()
+		}
+	}
+	return a
+}
+
+// MacroArea returns the total macro area on the given die (all dies if <0).
+func (b *Block) MacroArea(die int) float64 {
+	var a float64
+	for i := range b.Macros {
+		if die < 0 || b.Macros[i].Die == Die(die) {
+			a += b.Macros[i].Model.Area()
+		}
+	}
+	return a
+}
+
+// Footprint returns the silicon area of the block: the outline area of the
+// bottom die for 2D blocks, or the larger of the two die outlines for 3D
+// blocks (both dies must accommodate the design).
+func (b *Block) Footprint() float64 {
+	if !b.Is3D {
+		return b.Outline[DieBottom].Area()
+	}
+	a0, a1 := b.Outline[0].Area(), b.Outline[1].Area()
+	if a1 > a0 {
+		return a1
+	}
+	return a0
+}
+
+// NumBuffers counts repeaters (BUF/INV inserted by optimization or CTS).
+// The generator never emits bare buffers, so this measures flow-inserted
+// repeaters, matching the paper's "# buffers" metric.
+func (b *Block) NumBuffers() int {
+	n := 0
+	for i := range b.Cells {
+		if b.Cells[i].Master.Fam == tech.BUF ||
+			(b.Cells[i].Master.Fam == tech.INV && b.Cells[i].IsClockBuf) {
+			n++
+		}
+	}
+	return n
+}
+
+// Wirelength returns the total drawn routed length in µm over all nets
+// (filled by extraction).
+func (b *Block) Wirelength() float64 {
+	var wl float64
+	for i := range b.Nets {
+		wl += b.Nets[i].RouteLen
+	}
+	return wl
+}
+
+// HVTFraction returns the fraction of cells using the HVT flavor.
+func (b *Block) HVTFraction() float64 {
+	if len(b.Cells) == 0 {
+		return 0
+	}
+	n := 0
+	for i := range b.Cells {
+		if b.Cells[i].Master.Vth == tech.HVT {
+			n++
+		}
+	}
+	return float64(n) / float64(len(b.Cells))
+}
+
+// Clone returns a deep copy of the block. The flow clones the synthesized
+// netlist before implementing each design style so 2D, folded-F2B and
+// folded-F2F variants start from identical logic.
+func (b *Block) Clone() *Block {
+	nb := &Block{
+		Name:          b.Name,
+		Clock:         b.Clock,
+		Cells:         make([]Instance, len(b.Cells)),
+		Macros:        make([]MacroInst, len(b.Macros)),
+		Ports:         make([]Port, len(b.Ports)),
+		Nets:          make([]Net, len(b.Nets)),
+		Outline:       b.Outline,
+		Is3D:          b.Is3D,
+		NumTSV:        b.NumTSV,
+		NumF2F:        b.NumF2F,
+		TSVPads:       append([]geom.Rect(nil), b.TSVPads...),
+		MaxRouteLayer: b.MaxRouteLayer,
+	}
+	copy(nb.Cells, b.Cells)
+	copy(nb.Macros, b.Macros)
+	copy(nb.Ports, b.Ports)
+	for i := range b.Nets {
+		n := b.Nets[i]
+		n.Sinks = append([]PinRef(nil), n.Sinks...)
+		n.Vias = append([]geom.Point(nil), n.Vias...)
+		nb.Nets[i] = n
+	}
+	return nb
+}
+
+// Validate checks referential integrity of the netlist: every pin reference
+// must point at an existing object and pin, every net must have a driver,
+// and no cell output may drive more than one net.
+func (b *Block) Validate() error {
+	check := func(ref PinRef, role string, net string) error {
+		switch ref.Kind {
+		case KindCell:
+			if int(ref.Idx) >= len(b.Cells) || ref.Idx < 0 {
+				return fmt.Errorf("netlist %s: net %s %s references cell %d of %d", b.Name, net, role, ref.Idx, len(b.Cells))
+			}
+		case KindMacro:
+			if int(ref.Idx) >= len(b.Macros) || ref.Idx < 0 {
+				return fmt.Errorf("netlist %s: net %s %s references macro %d of %d", b.Name, net, role, ref.Idx, len(b.Macros))
+			}
+		case KindPort:
+			if int(ref.Idx) >= len(b.Ports) || ref.Idx < 0 {
+				return fmt.Errorf("netlist %s: net %s %s references port %d of %d", b.Name, net, role, ref.Idx, len(b.Ports))
+			}
+		default:
+			return fmt.Errorf("netlist %s: net %s %s has bad kind %d", b.Name, net, role, ref.Kind)
+		}
+		return nil
+	}
+	cellDrives := make(map[int32]string)
+	for i := range b.Nets {
+		n := &b.Nets[i]
+		if err := check(n.Driver, "driver", n.Name); err != nil {
+			return err
+		}
+		if n.Driver.Kind == KindCell && n.Kind == Signal {
+			if prev, dup := cellDrives[n.Driver.Idx]; dup {
+				return fmt.Errorf("netlist %s: cell %d drives both %s and %s", b.Name, n.Driver.Idx, prev, n.Name)
+			}
+			cellDrives[n.Driver.Idx] = n.Name
+		}
+		if len(n.Sinks) == 0 {
+			return fmt.Errorf("netlist %s: net %s has no sinks", b.Name, n.Name)
+		}
+		for _, s := range n.Sinks {
+			if err := check(s, "sink", n.Name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

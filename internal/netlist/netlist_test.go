@@ -1,0 +1,183 @@
+package netlist
+
+import (
+	"testing"
+
+	"fold3d/internal/geom"
+	"fold3d/internal/tech"
+)
+
+// buildTiny returns a small valid block: port -> inv -> nand -> dff, with a
+// macro hanging off the nand output.
+func buildTiny(t *testing.T) (*Block, *tech.Library) {
+	t.Helper()
+	lib := tech.NewLibrary()
+	b := NewBlock("tiny", tech.CPUClock)
+	b.Outline[0] = geom.NewRect(0, 0, 50, 24)
+
+	inv := b.AddCell(Instance{Name: "u_inv", Master: lib.MustCell(tech.INV, 2, tech.RVT), Pos: geom.Point{X: 5, Y: 6}})
+	nand := b.AddCell(Instance{Name: "u_nand", Master: lib.MustCell(tech.NAND2, 4, tech.RVT), Pos: geom.Point{X: 20, Y: 6}})
+	dff := b.AddCell(Instance{Name: "u_dff", Master: lib.MustCell(tech.DFF, 2, tech.RVT), Pos: geom.Point{X: 35, Y: 6}})
+	mac := b.AddMacro(MacroInst{Name: "u_mem", Model: lib.MacroKB, Pos: geom.Point{X: 2, Y: 12}})
+	in := b.AddPort(Port{Name: "din", Dir: In, Pos: geom.Point{X: 0, Y: 10}, CapfF: 3})
+
+	b.AddNet(Net{Name: "n_in", Driver: PinRef{Kind: KindPort, Idx: in},
+		Sinks: []PinRef{{Kind: KindCell, Idx: inv}}, Activity: 0.2})
+	b.AddNet(Net{Name: "n_mid", Driver: PinRef{Kind: KindCell, Idx: inv},
+		Sinks: []PinRef{{Kind: KindCell, Idx: nand}}, Activity: 0.2})
+	b.AddNet(Net{Name: "n_out", Driver: PinRef{Kind: KindCell, Idx: nand},
+		Sinks: []PinRef{{Kind: KindCell, Idx: dff}, {Kind: KindMacro, Idx: mac, Pin: 1}}, Activity: 0.2})
+	return b, lib
+}
+
+func TestValidateOK(t *testing.T) {
+	b, _ := buildTiny(t)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadRefs(t *testing.T) {
+	b, _ := buildTiny(t)
+	b.Nets[0].Sinks[0].Idx = 99
+	if err := b.Validate(); err == nil {
+		t.Error("expected error for out-of-range sink")
+	}
+
+	b2, _ := buildTiny(t)
+	b2.Nets[1].Driver.Idx = -1
+	if err := b2.Validate(); err == nil {
+		t.Error("expected error for negative driver index")
+	}
+
+	b3, _ := buildTiny(t)
+	b3.Nets[2].Sinks = nil
+	if err := b3.Validate(); err == nil {
+		t.Error("expected error for sinkless net")
+	}
+}
+
+func TestValidateCatchesDoubleDriver(t *testing.T) {
+	b, _ := buildTiny(t)
+	// Cell 0 (inv) already drives n_mid; make it drive another net too.
+	b.AddNet(Net{Name: "dup", Driver: PinRef{Kind: KindCell, Idx: 0},
+		Sinks: []PinRef{{Kind: KindCell, Idx: 1}}})
+	if err := b.Validate(); err == nil {
+		t.Error("expected error for a cell driving two nets")
+	}
+}
+
+func TestPinGeometry(t *testing.T) {
+	b, lib := buildTiny(t)
+	inv := &b.Cells[0]
+	ctr := inv.Center()
+	wantX := inv.Pos.X + inv.Master.Width/2
+	if ctr.X != wantX || ctr.Y != inv.Pos.Y+tech.CellHeight/2 {
+		t.Errorf("Center = %v", ctr)
+	}
+	p := b.PinPos(PinRef{Kind: KindPort, Idx: 0})
+	if p != (geom.Point{X: 0, Y: 10}) {
+		t.Errorf("port pos = %v", p)
+	}
+	mp := b.PinPos(PinRef{Kind: KindMacro, Idx: 0})
+	if mp != b.Macros[0].Rect().Center() {
+		t.Errorf("macro pos = %v", mp)
+	}
+	_ = lib
+}
+
+func TestPinCapAndDriverR(t *testing.T) {
+	b, _ := buildTiny(t)
+	if got := b.PinCap(PinRef{Kind: KindPort, Idx: 0}); got != 3 {
+		t.Errorf("port cap = %v", got)
+	}
+	if got := b.PinCap(PinRef{Kind: KindCell, Idx: 0}); got != b.Cells[0].Master.InCapfF {
+		t.Errorf("cell cap = %v", got)
+	}
+	if b.DriverR(PinRef{Kind: KindMacro, Idx: 0}) <= 0 {
+		t.Error("macro driver R must be positive")
+	}
+	if b.DriverR(PinRef{Kind: KindCell, Idx: 0}) != b.Cells[0].Master.DriveR {
+		t.Error("cell driver R must come from the master")
+	}
+}
+
+func TestNetIs3D(t *testing.T) {
+	b, _ := buildTiny(t)
+	n := &b.Nets[1]
+	if b.NetIs3D(n) {
+		t.Error("planar net misreported as 3D")
+	}
+	b.Cells[1].Die = DieTop
+	if !b.NetIs3D(n) {
+		t.Error("die-crossing net not detected")
+	}
+}
+
+func TestAreasAndFootprint(t *testing.T) {
+	b, _ := buildTiny(t)
+	wantCells := b.Cells[0].Master.Area() + b.Cells[1].Master.Area() + b.Cells[2].Master.Area()
+	if got := b.CellArea(-1); got != wantCells {
+		t.Errorf("CellArea = %v, want %v", got, wantCells)
+	}
+	if got := b.CellArea(1); got != 0 {
+		t.Errorf("CellArea(die1) = %v, want 0", got)
+	}
+	if got := b.MacroArea(-1); got != b.Macros[0].Model.Area() {
+		t.Errorf("MacroArea = %v", got)
+	}
+	if b.Footprint() != b.Outline[0].Area() {
+		t.Error("2D footprint must equal the bottom-die outline")
+	}
+	b.Is3D = true
+	b.Outline[1] = geom.NewRect(0, 0, 100, 48)
+	if b.Footprint() != b.Outline[1].Area() {
+		t.Error("3D footprint must be the larger die outline")
+	}
+}
+
+func TestNumBuffersCountsRepeatersOnly(t *testing.T) {
+	b, lib := buildTiny(t)
+	if b.NumBuffers() != 0 {
+		t.Errorf("fresh block has %d buffers", b.NumBuffers())
+	}
+	b.AddCell(Instance{Name: "rb", Master: lib.MustCell(tech.BUF, 8, tech.RVT)})
+	b.AddCell(Instance{Name: "ckinv", Master: lib.MustCell(tech.INV, 8, tech.RVT), IsClockBuf: true})
+	b.AddCell(Instance{Name: "plain_inv", Master: lib.MustCell(tech.INV, 8, tech.RVT)})
+	if b.NumBuffers() != 2 {
+		t.Errorf("NumBuffers = %d, want 2 (BUF + clock INV)", b.NumBuffers())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	b, _ := buildTiny(t)
+	b.Nets[0].Vias = []geom.Point{{X: 1, Y: 1}}
+	c := b.Clone()
+	c.Cells[0].Pos.X = 99
+	c.Nets[0].Sinks[0].Idx = 2
+	c.Nets[0].Vias[0].X = 42
+	c.Ports[0].Budget = 777
+	if b.Cells[0].Pos.X == 99 || b.Nets[0].Sinks[0].Idx == 2 ||
+		b.Nets[0].Vias[0].X == 42 || b.Ports[0].Budget == 777 {
+		t.Error("Clone shares state with the original")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWirelengthAndHVT(t *testing.T) {
+	b, lib := buildTiny(t)
+	b.Nets[0].RouteLen = 10
+	b.Nets[1].RouteLen = 20
+	if b.Wirelength() != 30 {
+		t.Errorf("Wirelength = %v", b.Wirelength())
+	}
+	if b.HVTFraction() != 0 {
+		t.Error("fresh block should be RVT-only")
+	}
+	b.Cells[0].Master = lib.MustCell(tech.INV, 2, tech.HVT)
+	if got := b.HVTFraction(); got < 0.3 || got > 0.34 {
+		t.Errorf("HVTFraction = %v, want 1/3", got)
+	}
+}

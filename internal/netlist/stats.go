@@ -1,0 +1,169 @@
+package netlist
+
+import (
+	"sort"
+
+	"fold3d/internal/tech"
+)
+
+// Stats summarizes the physical state of a block, matching the metrics the
+// paper tabulates (Tables 2-5): footprint, cell/buffer counts, wirelength,
+// long-wire census, and 3D connection counts.
+type Stats struct {
+	Name        string
+	Footprint   float64 // µm², silicon footprint
+	NumCells    int
+	NumBuffers  int
+	NumMacros   int
+	Wirelength  float64 // µm, drawn
+	NumLongWire int
+	NumTSV      int
+	NumF2F      int
+	HVTFraction float64
+}
+
+// CollectStats gathers Stats for b. longThreshold is the drawn-space long
+// wire threshold in µm (tech.ScaleModel.LongWireThreshold).
+func CollectStats(b *Block, longThreshold float64) Stats {
+	s := Stats{
+		Name:        b.Name,
+		Footprint:   b.Footprint(),
+		NumCells:    len(b.Cells),
+		NumBuffers:  b.NumBuffers(),
+		NumMacros:   len(b.Macros),
+		Wirelength:  b.Wirelength(),
+		NumTSV:      b.NumTSV,
+		NumF2F:      b.NumF2F,
+		HVTFraction: b.HVTFraction(),
+	}
+	for i := range b.Nets {
+		if b.Nets[i].RouteLen > longThreshold {
+			s.NumLongWire++
+		}
+	}
+	return s
+}
+
+// LongWires returns the indices of nets longer than threshold, sorted by
+// decreasing length. The folding criteria (§4.1) use the count; buffer
+// insertion walks the list.
+func LongWires(b *Block, threshold float64) []int {
+	var idx []int
+	for i := range b.Nets {
+		if b.Nets[i].RouteLen > threshold {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, c int) bool {
+		return b.Nets[idx[a]].RouteLen > b.Nets[idx[c]].RouteLen
+	})
+	return idx
+}
+
+// FanoutHistogram returns counts of nets by sink count (1, 2, 3, 4+).
+func FanoutHistogram(b *Block) [4]int {
+	var h [4]int
+	for i := range b.Nets {
+		f := len(b.Nets[i].Sinks)
+		switch {
+		case f <= 1:
+			h[0]++
+		case f == 2:
+			h[1]++
+		case f == 3:
+			h[2]++
+		default:
+			h[3]++
+		}
+	}
+	return h
+}
+
+// GroupNames returns the distinct instance Group labels in b, sorted. For
+// the SPC this enumerates its functional unit blocks (FUBs).
+func GroupNames(b *Block) []string {
+	seen := make(map[string]bool)
+	for i := range b.Cells {
+		if g := b.Cells[i].Group; g != "" {
+			seen[g] = true
+		}
+	}
+	for i := range b.Macros {
+		if g := b.Macros[i].Group; g != "" {
+			seen[g] = true
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for g := range seen {
+		names = append(names, g)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GroupCellCount returns the number of cells in each Group of b.
+func GroupCellCount(b *Block) map[string]int {
+	m := make(map[string]int)
+	for i := range b.Cells {
+		m[b.Cells[i].Group]++
+	}
+	return m
+}
+
+// CellAreaByDie returns the standard-cell plus macro area per die.
+func CellAreaByDie(b *Block) [2]float64 {
+	var a [2]float64
+	for i := range b.Cells {
+		a[b.Cells[i].Die] += b.Cells[i].Master.Area()
+	}
+	for i := range b.Macros {
+		a[b.Macros[i].Die] += b.Macros[i].Model.Area()
+	}
+	return a
+}
+
+// Cut3DNets returns the indices of nets spanning both dies.
+func Cut3DNets(b *Block) []int {
+	var idx []int
+	for i := range b.Nets {
+		if b.NetIs3D(&b.Nets[i]) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// DriveHistogram counts cells by drive strength; the paper's cell-power
+// argument (3D slack lets cells shrink) shows up as this histogram shifting
+// toward smaller drives in 3D designs.
+func DriveHistogram(b *Block) map[int]int {
+	h := make(map[int]int)
+	for i := range b.Cells {
+		h[b.Cells[i].Master.Drive]++
+	}
+	return h
+}
+
+// MeanDrive returns the average drive strength of the block's cells.
+func MeanDrive(b *Block) float64 {
+	if len(b.Cells) == 0 {
+		return 0
+	}
+	sum := 0
+	for i := range b.Cells {
+		sum += b.Cells[i].Master.Drive
+	}
+	return float64(sum) / float64(len(b.Cells))
+}
+
+// CountVth returns the number of RVT and HVT cells.
+func CountVth(b *Block) (rvt, hvt int) {
+	for i := range b.Cells {
+		if b.Cells[i].Master.Vth == tech.HVT {
+			hvt++
+		} else {
+			rvt++
+		}
+	}
+	return rvt, hvt
+}

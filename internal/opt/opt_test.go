@@ -1,0 +1,297 @@
+package opt
+
+import (
+	"fmt"
+	"testing"
+
+	"fold3d/internal/extract"
+	"fold3d/internal/geom"
+	"fold3d/internal/netlist"
+	"fold3d/internal/rng"
+	"fold3d/internal/sta"
+	"fold3d/internal/tech"
+)
+
+func optSetup(t *testing.T) (*tech.Library, *extract.Extractor) {
+	t.Helper()
+	lib := tech.NewLibrary()
+	sm, err := tech.NewScaleModel(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib, extract.New(lib, sm, extract.F2B)
+}
+
+// chainBlock builds dff -> k logic stages -> dff placed across the outline.
+func chainBlock(t *testing.T, lib *tech.Library, stages int, span float64) *netlist.Block {
+	t.Helper()
+	b := netlist.NewBlock("cb", tech.CPUClock)
+	b.Outline[0] = geom.NewRect(0, 0, span, 60)
+	prev := b.AddCell(netlist.Instance{Name: "ff0", Master: lib.MustCell(tech.DFF, 2, tech.RVT),
+		Pos: geom.Point{X: 1, Y: 1}})
+	for i := 0; i < stages; i++ {
+		x := 1 + (span-10)*float64(i+1)/float64(stages+1)
+		cur := b.AddCell(netlist.Instance{Name: fmt.Sprintf("g%d", i),
+			Master: lib.MustCell(tech.NAND2, 2, tech.RVT), Pos: geom.Point{X: x, Y: 1}})
+		b.AddNet(netlist.Net{Name: fmt.Sprintf("n%d", i),
+			Driver: netlist.PinRef{Kind: netlist.KindCell, Idx: prev},
+			Sinks:  []netlist.PinRef{{Kind: netlist.KindCell, Idx: cur}}})
+		prev = cur
+	}
+	ff1 := b.AddCell(netlist.Instance{Name: "ff1", Master: lib.MustCell(tech.DFF, 2, tech.RVT),
+		Pos: geom.Point{X: span - 5, Y: 1}})
+	b.AddNet(netlist.Net{Name: "nend",
+		Driver: netlist.PinRef{Kind: netlist.KindCell, Idx: prev},
+		Sinks:  []netlist.PinRef{{Kind: netlist.KindCell, Idx: ff1}}})
+	return b
+}
+
+func TestOptimalBufferSpacing(t *testing.T) {
+	lib, ex := optSetup(t)
+	o := New(lib, ex, DefaultOptions())
+	sp, err := o.OptimalBufferSpacing(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp <= 0 || sp > 1000 {
+		t.Errorf("spacing = %v", sp)
+	}
+}
+
+func TestBufferLongNetsInsertsAndStaysValid(t *testing.T) {
+	lib, ex := optSetup(t)
+	b := chainBlock(t, lib, 4, 200)
+	if err := ex.Extract(b); err != nil {
+		t.Fatal(err)
+	}
+	o := New(lib, ex, DefaultOptions())
+	n0 := len(b.Cells)
+	ins, err := o.BufferLongNets(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins == 0 {
+		t.Fatal("no repeaters inserted on 40um+ nets")
+	}
+	if len(b.Cells) != n0+ins {
+		t.Errorf("cell count %d != %d + %d", len(b.Cells), n0, ins)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.NumBuffers() != ins {
+		t.Errorf("NumBuffers = %d, want %d", b.NumBuffers(), ins)
+	}
+	// Timing must improve on a long-wire chain.
+	if _, err := sta.Analyze(b, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferingImprovesLongPathTiming(t *testing.T) {
+	lib, ex := optSetup(t)
+	b := chainBlock(t, lib, 3, 300)
+	if err := ex.Extract(b); err != nil {
+		t.Fatal(err)
+	}
+	before, err := sta.Analyze(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := New(lib, ex, DefaultOptions())
+	if _, err := o.BufferLongNets(b); err != nil {
+		t.Fatal(err)
+	}
+	after, err := sta.Analyze(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.WNS <= before.WNS {
+		t.Errorf("buffering did not help: %v -> %v", before.WNS, after.WNS)
+	}
+}
+
+func TestAreaBudgetRespected(t *testing.T) {
+	lib, ex := optSetup(t)
+	b := chainBlock(t, lib, 6, 400)
+	if err := ex.Extract(b); err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	buf := lib.MustCell(tech.BUF, opt.BufferDrive, tech.RVT)
+	opt.AreaBudget = 3 * buf.Area() // room for only 3 repeaters
+	o := New(lib, ex, opt)
+	ins, err := o.BufferLongNets(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins > 3 {
+		t.Errorf("budget violated: inserted %d", ins)
+	}
+}
+
+func TestFanoutTreeCapsFanout(t *testing.T) {
+	lib, ex := optSetup(t)
+	b := netlist.NewBlock("fo", tech.CPUClock)
+	b.Outline[0] = geom.NewRect(0, 0, 60, 60)
+	r := rng.New(3)
+	drv := b.AddCell(netlist.Instance{Name: "drv", Master: lib.MustCell(tech.INV, 2, tech.RVT),
+		Pos: geom.Point{X: 30, Y: 30}})
+	net := netlist.Net{Name: "big", Driver: netlist.PinRef{Kind: netlist.KindCell, Idx: drv}}
+	for i := 0; i < 40; i++ {
+		s := b.AddCell(netlist.Instance{Name: fmt.Sprintf("s%d", i),
+			Master: lib.MustCell(tech.NAND2, 2, tech.RVT),
+			Pos:    geom.Point{X: r.Range(1, 58), Y: r.Range(1, 58)}})
+		net.Sinks = append(net.Sinks, netlist.PinRef{Kind: netlist.KindCell, Idx: s})
+	}
+	b.AddNet(net)
+	if err := ex.Extract(b); err != nil {
+		t.Fatal(err)
+	}
+	o := New(lib, ex, DefaultOptions())
+	if _, err := o.BufferLongNets(b); err != nil {
+		t.Fatal(err)
+	}
+	maxFo := 0
+	for i := range b.Nets {
+		if fo := len(b.Nets[i].Sinks); fo > maxFo {
+			maxFo = fo
+		}
+	}
+	if maxFo > DefaultOptions().MaxFanout {
+		t.Errorf("max fanout after trees = %d", maxFo)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every original sink must still be reachable from drv via buffers.
+	reached := map[int32]bool{}
+	frontier := []int32{int32(drv)}
+	for len(frontier) > 0 {
+		v := frontier[0]
+		frontier = frontier[1:]
+		for ni := range b.Nets {
+			n := &b.Nets[ni]
+			if n.Driver.Kind == netlist.KindCell && n.Driver.Idx == v {
+				for _, s := range n.Sinks {
+					if s.Kind == netlist.KindCell && !reached[s.Idx] {
+						reached[s.Idx] = true
+						frontier = append(frontier, s.Idx)
+					}
+				}
+			}
+		}
+	}
+	for i := 1; i <= 40; i++ {
+		if !reached[int32(i)] {
+			t.Fatalf("sink s%d lost by fanout tree", i-1)
+		}
+	}
+}
+
+func TestFixTimingUpsizes(t *testing.T) {
+	lib, ex := optSetup(t)
+	b := chainBlock(t, lib, 10, 150)
+	// Heavy load at the end: force violations.
+	for i := 0; i < 6; i++ {
+		s := b.AddCell(netlist.Instance{Name: fmt.Sprintf("ld%d", i),
+			Master: lib.MustCell(tech.DFF, 16, tech.RVT), Pos: geom.Point{X: 100, Y: 30}})
+		b.Nets[len(b.Nets)-1].Sinks = append(b.Nets[len(b.Nets)-1].Sinks,
+			netlist.PinRef{Kind: netlist.KindCell, Idx: s})
+	}
+	if err := ex.Extract(b); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := sta.Analyze(b, 0)
+	o := New(lib, ex, DefaultOptions())
+	rep, err := o.FixTiming(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WNS < before.WNS {
+		t.Errorf("FixTiming made timing worse: %v -> %v", before.WNS, rep.WNS)
+	}
+	if netlist.MeanDrive(b) <= 2.2 {
+		t.Errorf("no upsizing happened: mean drive %v", netlist.MeanDrive(b))
+	}
+}
+
+func TestRecoverPowerKeepsTiming(t *testing.T) {
+	lib, ex := optSetup(t)
+	b := chainBlock(t, lib, 3, 60)
+	// Oversize everything first.
+	for i := range b.Cells {
+		b.Cells[i].Master = lib.MustCell(b.Cells[i].Master.Fam, 16, tech.RVT)
+	}
+	if err := ex.Extract(b); err != nil {
+		t.Fatal(err)
+	}
+	o := New(lib, ex, DefaultOptions())
+	down, err := o.RecoverPower(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down == 0 {
+		t.Fatal("nothing downsized despite huge slack")
+	}
+	rep, err := sta.Analyze(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WNS < 0 {
+		t.Errorf("power recovery broke timing: WNS %v", rep.WNS)
+	}
+}
+
+func TestSwapToHVT(t *testing.T) {
+	lib, ex := optSetup(t)
+	b := chainBlock(t, lib, 3, 60)
+	if err := ex.Extract(b); err != nil {
+		t.Fatal(err)
+	}
+	o := New(lib, ex, DefaultOptions())
+	n, err := o.SwapToHVT(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no HVT swaps despite slack")
+	}
+	if b.HVTFraction() == 0 {
+		t.Error("HVT fraction still zero")
+	}
+	rep, err := sta.Analyze(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WNS < 0 {
+		t.Errorf("HVT swap broke timing: WNS %v", rep.WNS)
+	}
+}
+
+func TestChainPreservesVias(t *testing.T) {
+	lib, ex := optSetup(t)
+	b := chainBlock(t, lib, 1, 200)
+	b.Is3D = true
+	b.Outline[1] = b.Outline[0]
+	// Make the last net a 3D net with a via.
+	last := len(b.Nets) - 1
+	b.Cells[b.Nets[last].Sinks[0].Idx].Die = netlist.DieTop
+	b.Nets[last].Vias = []geom.Point{{X: 100, Y: 1}}
+	b.Nets[last].Crossings = 1
+	if err := ex.Extract(b); err != nil {
+		t.Fatal(err)
+	}
+	o := New(lib, ex, DefaultOptions())
+	if _, err := o.BufferLongNets(b); err != nil {
+		t.Fatal(err)
+	}
+	// The via must survive on exactly one net.
+	vias := 0
+	for i := range b.Nets {
+		vias += b.Nets[i].Crossings
+	}
+	if vias != 1 {
+		t.Errorf("crossings after buffering = %d, want 1", vias)
+	}
+}

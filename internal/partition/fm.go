@@ -1,0 +1,361 @@
+// Package partition implements Fiduccia-Mattheyses min-cut bipartitioning
+// with gain buckets. The flow uses it twice: to assign blocks to dies during
+// 3D floorplanning (core/core style) and — the paper's block folding (§4) —
+// to split one block's cells and macros across two dies while minimizing the
+// number of intra-block 3D connections (TSVs or F2F vias).
+package partition
+
+import (
+	"fmt"
+
+	"fold3d/internal/rng"
+)
+
+// Hypergraph is the partitioning input: weighted nodes connected by
+// hyperedges. Node and edge IDs are dense indices.
+type Hypergraph struct {
+	NodeWeight []float64 // area (or any balance weight) per node
+	Edges      [][]int32 // node IDs per hyperedge
+	EdgeWeight []int     // cut cost per hyperedge (nil = all 1)
+	// Fixed pins a node to a side: -1 free, 0 or 1 fixed.
+	Fixed []int8
+}
+
+// NewHypergraph allocates a hypergraph with n free nodes of weight 1.
+func NewHypergraph(n int) *Hypergraph {
+	h := &Hypergraph{
+		NodeWeight: make([]float64, n),
+		Fixed:      make([]int8, n),
+	}
+	for i := range h.NodeWeight {
+		h.NodeWeight[i] = 1
+		h.Fixed[i] = -1
+	}
+	return h
+}
+
+// AddEdge appends a hyperedge over the given nodes with weight w.
+func (h *Hypergraph) AddEdge(nodes []int32, w int) {
+	h.Edges = append(h.Edges, nodes)
+	h.EdgeWeight = append(h.EdgeWeight, w)
+}
+
+// Result is the outcome of a bipartitioning run.
+type Result struct {
+	Side    []int8 // 0 or 1 per node
+	CutCost int    // total weight of cut hyperedges
+	CutNets int    // number of cut hyperedges
+	// Weight is the total node weight per side.
+	Weight [2]float64
+}
+
+// Options configures the FM run.
+type Options struct {
+	// BalanceTol is the allowed deviation of side-0 weight fraction from
+	// Target (e.g. 0.05 means 45..55% for Target 0.5).
+	BalanceTol float64
+	// Target is the desired fraction of total weight on side 0.
+	Target float64
+	// MaxPasses bounds the number of FM passes per restart.
+	MaxPasses int
+	// Seed drives the initial random partition and tie-breaking.
+	Seed uint64
+	// Restarts runs FM from several random initial partitions and keeps the
+	// best; min-cut quality improves markedly with a few restarts.
+	Restarts int
+}
+
+// DefaultOptions returns balanced bipartitioning with sensible effort.
+func DefaultOptions() Options {
+	return Options{BalanceTol: 0.05, Target: 0.5, MaxPasses: 10, Seed: 1, Restarts: 6}
+}
+
+// Bipartition splits h into two sides minimizing cut cost subject to the
+// balance constraint. Fixed nodes never move.
+func Bipartition(h *Hypergraph, opt Options) (*Result, error) {
+	n := len(h.NodeWeight)
+	if n == 0 {
+		return nil, fmt.Errorf("partition: empty hypergraph")
+	}
+	if opt.MaxPasses <= 0 {
+		opt.MaxPasses = 10
+	}
+	if opt.Restarts <= 0 {
+		opt.Restarts = 1
+	}
+	if opt.Target <= 0 || opt.Target >= 1 {
+		opt.Target = 0.5
+	}
+	r := rng.New(opt.Seed)
+
+	// Precompute node -> incident edges and the gain bound (sum of incident
+	// edge weights caps |gain|).
+	inc := make([][]int32, n)
+	maxGain := 1
+	for e, nodes := range h.Edges {
+		for _, v := range nodes {
+			if int(v) < 0 || int(v) >= n {
+				return nil, fmt.Errorf("partition: edge %d references node %d of %d", e, v, n)
+			}
+			inc[v] = append(inc[v], int32(e))
+		}
+	}
+	for v := 0; v < n; v++ {
+		g := 0
+		for _, e := range inc[v] {
+			g += h.edgeWeight(int(e))
+		}
+		if g > maxGain {
+			maxGain = g
+		}
+	}
+
+	var best *Result
+	for restart := 0; restart < opt.Restarts; restart++ {
+		res := runFM(h, inc, maxGain, opt, r.Split(fmt.Sprintf("restart%d", restart)))
+		if best == nil || res.CutCost < best.CutCost {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+func (h *Hypergraph) edgeWeight(e int) int {
+	if h.EdgeWeight == nil {
+		return 1
+	}
+	return h.EdgeWeight[e]
+}
+
+// buckets is the classic FM gain-bucket structure: a doubly linked list of
+// nodes per integer gain value, with a cached maximum non-empty bucket.
+type buckets struct {
+	offset int // gain g lives in head[g+offset]
+	head   []int32
+	next   []int32
+	prev   []int32
+	gainOf []int
+	in     []bool
+	maxIdx int
+}
+
+func newBuckets(n, maxGain int) *buckets {
+	b := &buckets{
+		offset: maxGain,
+		head:   make([]int32, 2*maxGain+1),
+		next:   make([]int32, n),
+		prev:   make([]int32, n),
+		gainOf: make([]int, n),
+		in:     make([]bool, n),
+		maxIdx: -1,
+	}
+	for i := range b.head {
+		b.head[i] = -1
+	}
+	return b
+}
+
+func (b *buckets) insert(v int32, gain int) {
+	i := gain + b.offset
+	b.gainOf[v] = gain
+	b.in[v] = true
+	b.prev[v] = -1
+	b.next[v] = b.head[i]
+	if b.head[i] != -1 {
+		b.prev[b.head[i]] = v
+	}
+	b.head[i] = v
+	if i > b.maxIdx {
+		b.maxIdx = i
+	}
+}
+
+func (b *buckets) remove(v int32) {
+	if !b.in[v] {
+		return
+	}
+	b.in[v] = false
+	i := b.gainOf[v] + b.offset
+	if b.prev[v] != -1 {
+		b.next[b.prev[v]] = b.next[v]
+	} else {
+		b.head[i] = b.next[v]
+	}
+	if b.next[v] != -1 {
+		b.prev[b.next[v]] = b.prev[v]
+	}
+}
+
+func (b *buckets) update(v int32, gain int) {
+	if b.in[v] && b.gainOf[v] == gain {
+		return
+	}
+	b.remove(v)
+	b.insert(v, gain)
+}
+
+// popBest returns the highest-gain node for which feasible returns true,
+// removing it. Returns -1 if none qualifies.
+func (b *buckets) popBest(feasible func(v int32) bool) int32 {
+	for b.maxIdx >= 0 {
+		if b.head[b.maxIdx] == -1 {
+			b.maxIdx--
+			continue
+		}
+		for v := b.head[b.maxIdx]; v != -1; v = b.next[v] {
+			if feasible(v) {
+				b.remove(v)
+				return v
+			}
+		}
+		// Every node at this gain is balance-blocked; scan lower gains.
+		// (Rare: fall through by linear scan below maxIdx.)
+		for i := b.maxIdx - 1; i >= 0; i-- {
+			for v := b.head[i]; v != -1; v = b.next[v] {
+				if feasible(v) {
+					b.remove(v)
+					return v
+				}
+			}
+		}
+		return -1
+	}
+	return -1
+}
+
+// runFM performs one multi-pass FM descent from a random balanced start.
+func runFM(h *Hypergraph, inc [][]int32, maxGain int, opt Options, r *rng.R) *Result {
+	n := len(h.NodeWeight)
+	side := make([]int8, n)
+	var total float64
+	for _, w := range h.NodeWeight {
+		total += w
+	}
+
+	// Initial partition: honor fixed nodes, then greedily fill side 0 to the
+	// target weight in random order.
+	var w0 float64
+	for i := range side {
+		side[i] = 1
+	}
+	for i := range side {
+		if h.Fixed[i] == 0 {
+			side[i] = 0
+			w0 += h.NodeWeight[i]
+		}
+	}
+	for _, v := range r.Perm(n) {
+		if h.Fixed[v] != -1 {
+			continue
+		}
+		if w0+h.NodeWeight[v] <= opt.Target*total {
+			side[v] = 0
+			w0 += h.NodeWeight[v]
+		}
+	}
+
+	lo := (opt.Target - opt.BalanceTol) * total
+	hi := (opt.Target + opt.BalanceTol) * total
+
+	// Per-edge side population counts.
+	cnt := make([][2]int32, len(h.Edges))
+	for e, nodes := range h.Edges {
+		for _, v := range nodes {
+			cnt[e][side[v]]++
+		}
+	}
+
+	gain := func(v int32) int {
+		g := 0
+		s := side[v]
+		for _, e := range inc[v] {
+			w := h.edgeWeight(int(e))
+			if cnt[e][s] == 1 && cnt[e][1-s] > 0 {
+				g += w // moving v uncuts e
+			}
+			if cnt[e][1-s] == 0 {
+				g -= w // moving v newly cuts e
+			}
+		}
+		return g
+	}
+
+	applyMove := func(v int32) {
+		s := side[v]
+		for _, e := range inc[v] {
+			cnt[e][s]--
+			cnt[e][1-s]++
+		}
+		if s == 0 {
+			w0 -= h.NodeWeight[v]
+		} else {
+			w0 += h.NodeWeight[v]
+		}
+		side[v] = 1 - s
+	}
+
+	for pass := 0; pass < opt.MaxPasses; pass++ {
+		bk := newBuckets(n, maxGain)
+		for v := 0; v < n; v++ {
+			if h.Fixed[v] == -1 {
+				bk.insert(int32(v), gain(int32(v)))
+			}
+		}
+		feasible := func(v int32) bool {
+			nw0 := w0
+			if side[v] == 0 {
+				nw0 -= h.NodeWeight[v]
+			} else {
+				nw0 += h.NodeWeight[v]
+			}
+			return nw0 >= lo && nw0 <= hi
+		}
+
+		var seq []int32
+		cum, bestCum, bestAt := 0, 0, -1
+		for {
+			v := bk.popBest(feasible)
+			if v == -1 {
+				break
+			}
+			cum += bk.gainOf[v]
+			applyMove(v)
+			seq = append(seq, v)
+			if cum > bestCum {
+				bestCum, bestAt = cum, len(seq)-1
+			}
+			// Refresh gains of still-unlocked neighbors.
+			for _, e := range inc[v] {
+				for _, u := range h.Edges[e] {
+					if bk.in[u] {
+						bk.update(u, gain(u))
+					}
+				}
+			}
+			// Early exit: long negative streaks rarely recover and the
+			// rollback undoes them anyway.
+			if len(seq)-1-bestAt > 200 && len(seq) > n/4 {
+				break
+			}
+		}
+		// Roll back moves after the best prefix.
+		for i := len(seq) - 1; i > bestAt; i-- {
+			applyMove(seq[i])
+		}
+		if bestCum <= 0 {
+			break // converged: no improving prefix
+		}
+	}
+
+	res := &Result{Side: side}
+	for e := range h.Edges {
+		if cnt[e][0] > 0 && cnt[e][1] > 0 {
+			res.CutNets++
+			res.CutCost += h.edgeWeight(e)
+		}
+	}
+	for v, s := range side {
+		res.Weight[s] += h.NodeWeight[v]
+	}
+	return res
+}

@@ -1,0 +1,203 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fold3d/internal/rng"
+)
+
+// twoCliques builds two k-cliques joined by `bridges` edges; the min cut is
+// exactly `bridges`.
+func twoCliques(k, bridges int) *Hypergraph {
+	h := NewHypergraph(2 * k)
+	for side := 0; side < 2; side++ {
+		base := side * k
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				h.AddEdge([]int32{int32(base + i), int32(base + j)}, 1)
+			}
+		}
+	}
+	for b := 0; b < bridges; b++ {
+		h.AddEdge([]int32{int32(b % k), int32(k + (b+1)%k)}, 1)
+	}
+	return h
+}
+
+func TestBipartitionFindsBridgeCut(t *testing.T) {
+	h := twoCliques(12, 3)
+	res, err := Bipartition(h, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CutCost != 3 {
+		t.Errorf("cut = %d, want 3 (the bridges)", res.CutCost)
+	}
+	// The cliques must be intact: all of clique A on one side.
+	side0 := res.Side[0]
+	for i := 1; i < 12; i++ {
+		if res.Side[i] != side0 {
+			t.Fatalf("clique A split at node %d", i)
+		}
+	}
+	for i := 13; i < 24; i++ {
+		if res.Side[i] != res.Side[12] {
+			t.Fatalf("clique B split at node %d", i)
+		}
+	}
+	if side0 == res.Side[12] {
+		t.Error("cliques ended on the same side")
+	}
+}
+
+func TestBalanceRespected(t *testing.T) {
+	h := twoCliques(10, 2)
+	opt := DefaultOptions()
+	opt.BalanceTol = 0.05
+	res, err := Bipartition(h, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Weight[0] + res.Weight[1]
+	frac := res.Weight[0] / total
+	if frac < 0.45-1e-9 || frac > 0.55+1e-9 {
+		t.Errorf("balance violated: %v", frac)
+	}
+}
+
+func TestWeightedNodesBalance(t *testing.T) {
+	// One heavy node (weight 9) and nine light nodes (weight 1): a
+	// 0.5 +/- 0.2 balance forces the heavy node alone on one side.
+	h := NewHypergraph(10)
+	h.NodeWeight[0] = 9
+	for i := 1; i < 10; i++ {
+		h.AddEdge([]int32{0, int32(i)}, 1)
+	}
+	opt := DefaultOptions()
+	opt.BalanceTol = 0.2
+	res, err := Bipartition(h, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := res.Weight[0] / 18
+	if frac < 0.3-1e-9 || frac > 0.7+1e-9 {
+		t.Errorf("weighted balance violated: %v", frac)
+	}
+}
+
+func TestFixedNodesStay(t *testing.T) {
+	h := twoCliques(8, 1)
+	h.Fixed[0] = 0
+	h.Fixed[8] = 1
+	res, err := Bipartition(h, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Side[0] != 0 || res.Side[8] != 1 {
+		t.Errorf("fixed nodes moved: %d, %d", res.Side[0], res.Side[8])
+	}
+}
+
+func TestWeightedEdgesPreferred(t *testing.T) {
+	// A 4-node path with a heavy middle edge: the cut must avoid it.
+	h := NewHypergraph(4)
+	h.AddEdge([]int32{0, 1}, 1)
+	h.AddEdge([]int32{1, 2}, 10)
+	h.AddEdge([]int32{2, 3}, 1)
+	opt := DefaultOptions()
+	opt.BalanceTol = 0.3
+	res, err := Bipartition(h, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Side[1] != res.Side[2] {
+		t.Errorf("heavy edge cut: sides %v", res.Side)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	h1 := twoCliques(10, 2)
+	h2 := twoCliques(10, 2)
+	r1, err := Bipartition(h1, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Bipartition(h2, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Side {
+		if r1.Side[i] != r2.Side[i] {
+			t.Fatal("same seed must give the same partition")
+		}
+	}
+}
+
+func TestEmptyHypergraphErrors(t *testing.T) {
+	if _, err := Bipartition(NewHypergraph(0), DefaultOptions()); err == nil {
+		t.Error("expected error for empty hypergraph")
+	}
+}
+
+func TestBadEdgeErrors(t *testing.T) {
+	h := NewHypergraph(2)
+	h.AddEdge([]int32{0, 7}, 1)
+	if _, err := Bipartition(h, DefaultOptions()); err == nil {
+		t.Error("expected error for out-of-range edge")
+	}
+}
+
+func TestCutCountMatchesSides(t *testing.T) {
+	// Property: reported CutNets equals a recount from the side vector.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 20 + r.Intn(30)
+		h := NewHypergraph(n)
+		edges := 2 * n
+		for e := 0; e < edges; e++ {
+			k := 2 + r.Intn(3)
+			nodes := make([]int32, 0, k)
+			for i := 0; i < k; i++ {
+				nodes = append(nodes, int32(r.Intn(n)))
+			}
+			h.AddEdge(nodes, 1)
+		}
+		opt := DefaultOptions()
+		opt.Seed = seed
+		opt.Restarts = 1
+		res, err := Bipartition(h, opt)
+		if err != nil {
+			return false
+		}
+		recount := 0
+		for _, nodes := range h.Edges {
+			has := [2]bool{}
+			for _, v := range nodes {
+				has[res.Side[v]] = true
+			}
+			if has[0] && has[1] {
+				recount++
+			}
+		}
+		return recount == res.CutNets
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFMBeatsRandomSplit(t *testing.T) {
+	// FM should comfortably beat the expected random cut on structured
+	// graphs.
+	h := twoCliques(16, 4)
+	res, err := Bipartition(h, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A random balanced split of two 16-cliques cuts about half of each
+	// clique's edges (~120); FM must find the 4 bridges.
+	if res.CutCost > 8 {
+		t.Errorf("FM cut %d is far from the optimum 4", res.CutCost)
+	}
+}

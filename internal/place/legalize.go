@@ -1,0 +1,212 @@
+package place
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fold3d/internal/geom"
+	"fold3d/internal/netlist"
+	"fold3d/internal/tech"
+)
+
+// LegalStats reports legalization quality; the macro-mode ablation compares
+// these between MacroHoles and MacroDemand (demand-reduction leaves cells on
+// top of macros that legalization must evict a long way — halos).
+type LegalStats struct {
+	// TotalDisp is the summed cell displacement in µm.
+	TotalDisp float64
+	// MaxDisp is the largest single-cell displacement in µm.
+	MaxDisp float64
+	// Moved is the number of cells legalization had to relocate.
+	Moved int
+}
+
+// LastLegal exposes the statistics of the most recent legalization run
+// (summed over dies).
+func (p *Placer) LastLegal() LegalStats { return p.legalStats }
+
+// segment is a free interval of one placement row. Placing a cell splits
+// the interval, so no row space is ever stranded behind a cursor.
+type segment struct {
+	x0, x1 float64
+}
+
+type row struct {
+	y    float64
+	segs []segment
+}
+
+// buildRows constructs the placement rows of die d with macro, fixed-cell
+// and TSV-pad blockages cut out.
+func buildRows(b *netlist.Block, d netlist.Die) ([]row, error) {
+	out := b.Outline[d]
+	nRows := int(out.H() / tech.CellHeight)
+	if nRows <= 0 {
+		return nil, fmt.Errorf("place: outline of %s die %s shorter than a cell row", b.Name, d)
+	}
+	var blockages []geom.Rect
+	for i := range b.Macros {
+		if b.Macros[i].Die == d {
+			blockages = append(blockages, b.Macros[i].Rect())
+		}
+	}
+	for i := range b.Cells {
+		c := &b.Cells[i]
+		if c.Die == d && c.Fixed {
+			blockages = append(blockages, c.Rect())
+		}
+	}
+	blockages = append(blockages, b.TSVPads...)
+	rows := make([]row, nRows)
+	for r := 0; r < nRows; r++ {
+		y := out.Lo.Y + float64(r)*tech.CellHeight
+		rowRect := geom.NewRect(out.Lo.X, y, out.Hi.X, y+tech.CellHeight)
+		free := []segment{{x0: out.Lo.X, x1: out.Hi.X}}
+		for _, blk := range blockages {
+			if !blk.Overlaps(rowRect) {
+				continue
+			}
+			var next []segment
+			for _, s := range free {
+				// Subtract [blk.Lo.X, blk.Hi.X] from [s.x0, s.x1].
+				if blk.Hi.X <= s.x0 || blk.Lo.X >= s.x1 {
+					next = append(next, s)
+					continue
+				}
+				if blk.Lo.X > s.x0 {
+					next = append(next, segment{x0: s.x0, x1: blk.Lo.X})
+				}
+				if blk.Hi.X < s.x1 {
+					next = append(next, segment{x0: blk.Hi.X, x1: s.x1})
+				}
+			}
+			free = next
+		}
+		rows[r] = row{y: y, segs: free}
+	}
+	return rows, nil
+}
+
+// FreeRowArea returns the usable standard-cell row area (µm²) of die d:
+// the summed width of free row segments wide enough to host a cell,
+// excluding macro, fixed-cell and TSV-pad blockages.
+func FreeRowArea(b *netlist.Block, d netlist.Die) (float64, error) {
+	rows, err := buildRows(b, d)
+	if err != nil {
+		return 0, err
+	}
+	const minSeg = 2.0 // slivers narrower than a small cell are wasted
+	var area float64
+	for _, r := range rows {
+		for _, s := range r.segs {
+			if w := s.x1 - s.x0; w >= minSeg {
+				area += w * tech.CellHeight
+			}
+		}
+	}
+	return area, nil
+}
+
+// legalize snaps every movable cell of die d onto non-overlapping row sites,
+// avoiding macros and fixed cells, with minimal displacement (greedy tetris:
+// cells are processed in x order and each takes the cheapest feasible slot).
+func (p *Placer) legalize(b *netlist.Block, d netlist.Die) error {
+	out := b.Outline[d]
+	rows, err := buildRows(b, d)
+	if err != nil {
+		return err
+	}
+	nRows := len(rows)
+
+	// Collect movable cells of this die, sorted by desired x then y.
+	var ids []int
+	for i := range b.Cells {
+		c := &b.Cells[i]
+		if c.Die == d && !c.Fixed {
+			ids = append(ids, i)
+		}
+	}
+	sort.Slice(ids, func(a, c int) bool {
+		ca, cc := &b.Cells[ids[a]], &b.Cells[ids[c]]
+		if ca.Pos.X != cc.Pos.X {
+			return ca.Pos.X < cc.Pos.X
+		}
+		return ca.Pos.Y < cc.Pos.Y
+	})
+
+	for _, i := range ids {
+		c := &b.Cells[i]
+		w := c.Master.Width
+		desired := c.Pos
+		rDes := int((desired.Y - out.Lo.Y) / tech.CellHeight)
+		if rDes < 0 {
+			rDes = 0
+		}
+		if rDes >= nRows {
+			rDes = nRows - 1
+		}
+
+		bestCost := math.Inf(1)
+		bestRow, bestSeg := -1, -1
+		var bestX float64
+		// Search rows outward from the desired row; stop once row distance
+		// alone exceeds the best cost found.
+		for off := 0; off < nRows; off++ {
+			cand := []int{rDes - off, rDes + off}
+			if off == 0 {
+				cand = cand[:1]
+			}
+			progress := false
+			for _, rIdx := range cand {
+				if rIdx < 0 || rIdx >= nRows {
+					continue
+				}
+				progress = true
+				dy := math.Abs(rows[rIdx].y - desired.Y)
+				if dy >= bestCost {
+					continue
+				}
+				for sIdx := range rows[rIdx].segs {
+					s := &rows[rIdx].segs[sIdx]
+					if s.x1-s.x0 < w {
+						continue
+					}
+					x := math.Max(s.x0, math.Min(desired.X, s.x1-w))
+					cost := math.Abs(x-desired.X) + dy
+					if cost < bestCost {
+						bestCost, bestRow, bestSeg, bestX = cost, rIdx, sIdx, x
+					}
+				}
+			}
+			if !progress || (bestRow >= 0 && float64(off)*tech.CellHeight > bestCost) {
+				break
+			}
+		}
+		if bestRow < 0 {
+			return fmt.Errorf("place: no legal slot for cell %s in %s die %s (outline too small)", c.Name, b.Name, d)
+		}
+		// Split the chosen segment around the placed cell.
+		segs := rows[bestRow].segs
+		seg := segs[bestSeg]
+		c.Pos = geom.Point{X: bestX, Y: rows[bestRow].y}
+		var repl []segment
+		if bestX-seg.x0 > 1e-9 {
+			repl = append(repl, segment{x0: seg.x0, x1: bestX})
+		}
+		if seg.x1-(bestX+w) > 1e-9 {
+			repl = append(repl, segment{x0: bestX + w, x1: seg.x1})
+		}
+		rows[bestRow].segs = append(segs[:bestSeg], append(repl, segs[bestSeg+1:]...)...)
+
+		disp := math.Abs(bestX-desired.X) + math.Abs(rows[bestRow].y-desired.Y)
+		p.legalStats.TotalDisp += disp
+		if disp > p.legalStats.MaxDisp {
+			p.legalStats.MaxDisp = disp
+		}
+		if disp > 1e-9 {
+			p.legalStats.Moved++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,443 @@
+// Package place implements the mixed-size (3D) placer of the paper's §4.2:
+// an iterative analytical placer alternating quadratic-wirelength pulls with
+// supply/demand density spreading, where hard macros are modeled as holes in
+// the supply/demand map (supply = demand = 0 over the macro), which avoids
+// the whitespace halos that demand-reduction schemes leave around very large
+// macros. A two-die (3D) mode places folded blocks: both tiers share the XY
+// plane, each object carries a die assignment, and inter-die nets pull their
+// endpoints together exactly as intra-die nets do (the "ideal 3D
+// interconnect" assumption under which the F2F via placer later routes).
+package place
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fold3d/internal/geom"
+	"fold3d/internal/netlist"
+	"fold3d/internal/rng"
+	"fold3d/internal/tech"
+)
+
+// MacroMode selects how the density map treats hard macros.
+type MacroMode int
+
+const (
+	// MacroHoles zeroes both supply and demand over macros (the paper's
+	// method, §4.2): cells flow around macros with no halo.
+	MacroHoles MacroMode = iota
+	// MacroDemand models a macro as a large placeable demand with reduced
+	// weight (the Kraftwerk2-style tactic the paper found insufficient for
+	// very large macros). Kept for the ablation benchmark.
+	MacroDemand
+)
+
+// Options configures a placement run.
+type Options struct {
+	Iterations int     // global placement iterations
+	TargetUtil float64 // target placement density in non-macro area
+	BinCells   float64 // desired average cells per density bin
+	Macro      MacroMode
+	// DemandFactor is the macro demand weight under MacroDemand mode.
+	DemandFactor float64
+	Seed         uint64
+}
+
+// DefaultOptions returns the flow defaults.
+func DefaultOptions() Options {
+	return Options{
+		Iterations:   36,
+		TargetUtil:   0.72,
+		BinCells:     24,
+		Macro:        MacroHoles,
+		DemandFactor: 0.8,
+		Seed:         7,
+	}
+}
+
+// Placer runs global placement and legalization on one block.
+type Placer struct {
+	opt        Options
+	legalStats LegalStats
+}
+
+// New returns a Placer with the given options.
+func New(opt Options) *Placer {
+	if opt.Iterations <= 0 {
+		opt.Iterations = DefaultOptions().Iterations
+	}
+	if opt.TargetUtil <= 0 || opt.TargetUtil > 1 {
+		opt.TargetUtil = DefaultOptions().TargetUtil
+	}
+	if opt.BinCells <= 0 {
+		opt.BinCells = DefaultOptions().BinCells
+	}
+	return &Placer{opt: opt}
+}
+
+// Place globally places and legalizes every movable cell of b inside its die
+// outline(s). Macros and fixed cells are respected as blockages. Ports stay
+// where the floorplan put them.
+func (p *Placer) Place(b *netlist.Block) error {
+	dies := []netlist.Die{netlist.DieBottom}
+	if b.Is3D {
+		dies = append(dies, netlist.DieTop)
+	}
+	for _, d := range dies {
+		if b.Outline[d].Area() <= 0 {
+			return fmt.Errorf("place: block %s has empty outline on die %s", b.Name, d)
+		}
+	}
+
+	r := rng.New(p.opt.Seed)
+	p.seedPositions(b, r)
+
+	grids := make(map[netlist.Die]*densityGrid)
+	for _, d := range dies {
+		g, err := p.buildDensityGrid(b, d)
+		if err != nil {
+			return err
+		}
+		grids[d] = g
+	}
+
+	for it := 0; it < p.opt.Iterations; it++ {
+		// Cooling: early iterations favor wirelength, later ones density.
+		lambda := 0.9 - 0.5*float64(it)/float64(p.opt.Iterations)
+		p.wirelengthPass(b, lambda)
+		for _, d := range dies {
+			p.spreadPass(b, d, grids[d])
+		}
+	}
+	for _, d := range dies {
+		if err := p.legalize(b, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LegalizeAll re-legalizes every movable cell from its current position,
+// without global placement. The flow uses it after CTS and repeater
+// insertion drop new cells at ideal (overlapping) locations, and after TSV
+// pads claim placement area.
+func (p *Placer) LegalizeAll(b *netlist.Block) error {
+	dies := []netlist.Die{netlist.DieBottom}
+	if b.Is3D {
+		dies = append(dies, netlist.DieTop)
+	}
+	for _, d := range dies {
+		if err := p.legalize(b, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// seedPositions gives every movable cell an initial random position inside
+// its die outline; cells that already have a nonzero position (incremental
+// placement after optimization inserted buffers) keep it.
+func (p *Placer) seedPositions(b *netlist.Block, r *rng.R) {
+	for i := range b.Cells {
+		c := &b.Cells[i]
+		if c.Fixed {
+			continue
+		}
+		out := b.Outline[c.Die]
+		if c.Pos.X == 0 && c.Pos.Y == 0 {
+			c.Pos = geom.Point{
+				X: r.Range(out.Lo.X, out.Hi.X-c.Master.Width),
+				Y: r.Range(out.Lo.Y, out.Hi.Y-tech.CellHeight),
+			}
+		} else {
+			c.Pos = clampCell(out, c)
+		}
+	}
+}
+
+func clampCell(out geom.Rect, c *netlist.Instance) geom.Point {
+	return geom.Point{
+		X: math.Min(math.Max(c.Pos.X, out.Lo.X), out.Hi.X-c.Master.Width),
+		Y: math.Min(math.Max(c.Pos.Y, out.Lo.Y), out.Hi.Y-tech.CellHeight),
+	}
+}
+
+// wirelengthPass moves every movable cell toward the weighted centroid of
+// its nets' other pins (one Jacobi sweep of the quadratic star model). Nets
+// spanning dies pull through the shared XY plane — this is exactly the
+// "ideal 3D interconnect" pull of the paper's folding placer. lambda damps
+// the move.
+func (p *Placer) wirelengthPass(b *netlist.Block, lambda float64) {
+	n := len(b.Cells)
+	sumX := make([]float64, n)
+	sumY := make([]float64, n)
+	sumW := make([]float64, n)
+
+	for ni := range b.Nets {
+		net := &b.Nets[ni]
+		pins := make([]netlist.PinRef, 0, len(net.Sinks)+1)
+		pins = append(pins, net.Driver)
+		pins = append(pins, net.Sinks...)
+		if len(pins) < 2 {
+			continue
+		}
+		// Star model: every pin attracts toward the net centroid with
+		// weight 1/(k-1).
+		var cx, cy float64
+		for _, pr := range pins {
+			pt := b.PinPos(pr)
+			cx += pt.X
+			cy += pt.Y
+		}
+		k := float64(len(pins))
+		cx /= k
+		cy /= k
+		w := 1.0 / (k - 1)
+		if net.Kind == netlist.Clock {
+			w *= 0.25 // clock nets are CTS's problem; don't let them clump logic
+		}
+		for _, pr := range pins {
+			if pr.Kind != netlist.KindCell {
+				continue
+			}
+			c := &b.Cells[pr.Idx]
+			if c.Fixed {
+				continue
+			}
+			sumX[pr.Idx] += w * cx
+			sumY[pr.Idx] += w * cy
+			sumW[pr.Idx] += w
+		}
+	}
+
+	for i := range b.Cells {
+		c := &b.Cells[i]
+		if c.Fixed || sumW[i] == 0 {
+			continue
+		}
+		tx := sumX[i]/sumW[i] - c.Master.Width/2
+		ty := sumY[i]/sumW[i] - tech.CellHeight/2
+		c.Pos.X += lambda * (tx - c.Pos.X)
+		c.Pos.Y += lambda * (ty - c.Pos.Y)
+		c.Pos = clampCell(b.Outline[c.Die], c)
+	}
+}
+
+// densityGrid holds the per-bin placement supply for one die.
+type densityGrid struct {
+	grid   *geom.Grid
+	supply []float64 // available placement area per bin
+}
+
+// buildDensityGrid computes the supply map of die d: bin area times target
+// utilization, with macro overlaps handled per the macro mode. Under
+// MacroHoles the macro-covered area contributes zero supply (a hole).
+func (p *Placer) buildDensityGrid(b *netlist.Block, d netlist.Die) (*densityGrid, error) {
+	out := b.Outline[d]
+	// Bin count: aim for ~BinCells cells per bin, at least 4x4.
+	nCells := 0
+	for i := range b.Cells {
+		if b.Cells[i].Die == d {
+			nCells++
+		}
+	}
+	nb := int(math.Sqrt(float64(nCells)/p.opt.BinCells)) + 1
+	if nb < 4 {
+		nb = 4
+	}
+	g, err := geom.NewGrid(out, nb, nb)
+	if err != nil {
+		return nil, fmt.Errorf("place: block %s die %s: %v", b.Name, d, err)
+	}
+	dg := &densityGrid{grid: g, supply: make([]float64, g.NumBins())}
+	for i := range dg.supply {
+		ix, iy := g.Coords(i)
+		dg.supply[i] = g.BinRect(ix, iy).Area() * p.opt.TargetUtil
+	}
+	for i := range b.Macros {
+		m := &b.Macros[i]
+		if m.Die != d {
+			continue
+		}
+		blockArea := m.Rect()
+		switch p.opt.Macro {
+		case MacroHoles:
+			// Hole: remove the full overlapped supply.
+			g.OverlapBins(blockArea, func(ix, iy int, area float64) {
+				idx := g.Index(ix, iy)
+				dg.supply[idx] -= area / p.opt.TargetUtil * p.opt.TargetUtil
+				if dg.supply[idx] < 0 {
+					dg.supply[idx] = 0
+				}
+			})
+		case MacroDemand:
+			// Demand-reduction: macro consumes only DemandFactor of its
+			// area, leaving phantom supply that attracts cells which
+			// legalization must then evict (halos).
+			g.OverlapBins(blockArea, func(ix, iy int, area float64) {
+				idx := g.Index(ix, iy)
+				dg.supply[idx] -= area * p.opt.DemandFactor
+				if dg.supply[idx] < 0 {
+					dg.supply[idx] = 0
+				}
+			})
+		}
+	}
+	// Fixed cells and TSV landing pads also consume supply. TSV pads block
+	// both dies (the via body pierces the top silicon; the pad sits at M1 of
+	// the bottom die).
+	consume := func(r geom.Rect) {
+		g.OverlapBins(r, func(ix, iy int, area float64) {
+			idx := g.Index(ix, iy)
+			dg.supply[idx] -= area
+			if dg.supply[idx] < 0 {
+				dg.supply[idx] = 0
+			}
+		})
+	}
+	for i := range b.Cells {
+		c := &b.Cells[i]
+		if c.Die == d && c.Fixed {
+			consume(c.Rect())
+		}
+	}
+	for _, pad := range b.TSVPads {
+		consume(pad)
+	}
+	return dg, nil
+}
+
+// spreadPass performs one FastPlace-style cell-shifting step on die d: the
+// x (then y) coordinate distribution of cell area is remapped so that the
+// cumulative demand tracks the cumulative supply. Zero-supply spans (macro
+// holes) are jumped over, which is precisely the behaviour the paper needs
+// for the L2D memory-bank folding.
+func (p *Placer) spreadPass(b *netlist.Block, d netlist.Die, dg *densityGrid) {
+	g := dg.grid
+	// --- X direction: per bin row ---
+	for iy := 0; iy < g.NY; iy++ {
+		p.shift1D(b, d, g, dg, iy, true)
+	}
+	// --- Y direction: per bin column ---
+	for ix := 0; ix < g.NX; ix++ {
+		p.shift1D(b, d, g, dg, ix, false)
+	}
+}
+
+// shift1D remaps the coordinate of the cells in one bin row (horiz=true) or
+// column (horiz=false) so demand matches supply cumulatively.
+func (p *Placer) shift1D(b *netlist.Block, d netlist.Die, g *geom.Grid, dg *densityGrid, lane int, horiz bool) {
+	n := g.NX
+	if !horiz {
+		n = g.NY
+	}
+	demand := make([]float64, n)
+	supply := make([]float64, n)
+	var cells []int
+
+	for i := range b.Cells {
+		c := &b.Cells[i]
+		if c.Die != d || c.Fixed {
+			continue
+		}
+		ix, iy := g.BinAt(c.Center())
+		if horiz && iy == lane {
+			demand[ix] += c.Master.Area()
+			cells = append(cells, i)
+		} else if !horiz && ix == lane {
+			demand[iy] += c.Master.Area()
+			cells = append(cells, i)
+		}
+	}
+	if len(cells) == 0 {
+		return
+	}
+	for k := 0; k < n; k++ {
+		var idx int
+		if horiz {
+			idx = g.Index(k, lane)
+		} else {
+			idx = g.Index(lane, k)
+		}
+		supply[k] = dg.supply[idx] + 1e-9
+	}
+
+	// Cumulative distributions along the lane.
+	cumD := make([]float64, n+1)
+	cumS := make([]float64, n+1)
+	for k := 0; k < n; k++ {
+		cumD[k+1] = cumD[k] + demand[k]
+		cumS[k+1] = cumS[k] + supply[k]
+	}
+	totD, totS := cumD[n], cumS[n]
+	if totD <= 0 {
+		return
+	}
+
+	lo := g.Region.Lo.X
+	binSz, _ := g.BinSize()
+	if !horiz {
+		lo = g.Region.Lo.Y
+		_, binSz = g.BinSize()
+	}
+
+	// Map a coordinate through: u = demand CDF at coord (scaled), then find
+	// coord' where supply CDF reaches u * totS/totD.
+	remap := func(coord float64) float64 {
+		f := (coord - lo) / binSz
+		k := int(f)
+		if k < 0 {
+			k = 0
+		}
+		if k >= n {
+			k = n - 1
+		}
+		frac := f - float64(k)
+		u := (cumD[k] + frac*demand[k]) / totD * totS
+		// Invert supply CDF.
+		j := sort.Search(n, func(j int) bool { return cumS[j+1] >= u }) // first bin whose cum reaches u
+		if j >= n {
+			j = n - 1
+		}
+		var t float64
+		if supply[j] > 0 {
+			t = (u - cumS[j]) / supply[j]
+		}
+		if t < 0 {
+			t = 0
+		}
+		if t > 1 {
+			t = 1
+		}
+		return lo + (float64(j)+t)*binSz
+	}
+
+	const alpha = 0.55 // damping of the shift
+	for _, i := range cells {
+		c := &b.Cells[i]
+		ctr := c.Center()
+		if horiz {
+			nx := remap(ctr.X)
+			c.Pos.X += alpha * (nx - ctr.X)
+		} else {
+			ny := remap(ctr.Y)
+			c.Pos.Y += alpha * (ny - ctr.Y)
+		}
+		c.Pos = clampCell(b.Outline[d], c)
+	}
+}
+
+// HPWL returns the total half-perimeter wirelength of all signal nets of b
+// (3D nets measured in the shared XY plane), the placer's objective value.
+func HPWL(b *netlist.Block) float64 {
+	var wl float64
+	for i := range b.Nets {
+		n := &b.Nets[i]
+		if n.Kind != netlist.Signal {
+			continue
+		}
+		wl += geom.HPWL(b.NetPins(n))
+	}
+	return wl
+}

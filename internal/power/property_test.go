@@ -1,0 +1,98 @@
+package power
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fold3d/internal/geom"
+	"fold3d/internal/netlist"
+	"fold3d/internal/rng"
+	"fold3d/internal/tech"
+)
+
+func randomPowerBlock(seed uint64) *netlist.Block {
+	lib := tech.NewLibrary()
+	r := rng.New(seed)
+	b := netlist.NewBlock("pp", tech.CPUClock)
+	b.Outline[0] = geom.NewRect(0, 0, 50, 50)
+	n := 5 + r.Intn(40)
+	for i := 0; i < n; i++ {
+		vth := tech.RVT
+		if r.Bool(0.4) {
+			vth = tech.HVT
+		}
+		b.AddCell(netlist.Instance{
+			Name:     fmt.Sprintf("c%d", i),
+			Master:   lib.MustCell(tech.NAND2, tech.Drives[r.Intn(5)], vth),
+			Activity: r.Range(0.05, 0.5),
+		})
+	}
+	for i := 0; i < n-1; i++ {
+		b.AddNet(netlist.Net{
+			Name:      fmt.Sprintf("n%d", i),
+			Driver:    netlist.PinRef{Kind: netlist.KindCell, Idx: int32(i)},
+			Sinks:     []netlist.PinRef{{Kind: netlist.KindCell, Idx: int32(i + 1)}},
+			Activity:  r.Range(0.05, 0.5),
+			WireCapfF: r.Range(0, 60),
+		})
+	}
+	return b
+}
+
+func TestPropertyPowerConservation(t *testing.T) {
+	sm, _ := tech.NewScaleModel(1)
+	f := func(seed uint64) bool {
+		r := Analyze(randomPowerBlock(seed), sm)
+		return math.Abs(r.TotalMW-(r.CellMW+r.NetMW+r.LeakageMW)) < 1e-9 &&
+			math.Abs(r.NetMW-(r.WireMW+r.PinMW)) < 1e-9 &&
+			r.TotalMW >= 0 && r.ClockMW >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyPowerScalesLinearly(t *testing.T) {
+	sm1, _ := tech.NewScaleModel(1)
+	f := func(seed uint64, k uint8) bool {
+		scale := 1 + float64(k%200)
+		smk, err := tech.NewScaleModel(scale)
+		if err != nil {
+			return false
+		}
+		b := randomPowerBlock(seed)
+		r1 := Analyze(b, sm1)
+		rk := Analyze(b, smk)
+		if r1.TotalMW == 0 {
+			return rk.TotalMW == 0
+		}
+		return math.Abs(rk.TotalMW/r1.TotalMW-scale) < 1e-6*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMonotoneInWireCap(t *testing.T) {
+	// Adding wire cap to any net never reduces total power.
+	sm, _ := tech.NewScaleModel(1)
+	f := func(seed uint64, extra float64) bool {
+		extra = math.Abs(extra)
+		if math.IsNaN(extra) || math.IsInf(extra, 0) || extra > 1e6 {
+			return true
+		}
+		b := randomPowerBlock(seed)
+		before := Analyze(b, sm).TotalMW
+		if len(b.Nets) == 0 {
+			return true
+		}
+		b.Nets[0].WireCapfF += extra
+		after := Analyze(b, sm).TotalMW
+		return after >= before-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,374 @@
+// Package route implements a grid-based global router and, on top of it, the
+// paper's F2F via placer (§5.1): unlike TSVs, face-to-face vias may sit
+// anywhere — including over cells and macros — so placement-style algorithms
+// are the wrong tool; instead the two dies are merged into one "2D-like"
+// routing graph (plane 0 = bottom-die metal, plane 1 = top-die metal, with
+// F2F-via edges between them at every grid cell) and the 3D nets are routed
+// by an ordinary 2D router; the points where routes change plane are the F2F
+// via locations.
+package route
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"fold3d/internal/geom"
+	"fold3d/internal/netlist"
+)
+
+// Options configures the router.
+type Options struct {
+	// GCell is the routing grid cell edge in drawn µm.
+	GCell float64
+	// Capacity is the number of routes a gcell absorbs before congestion
+	// cost kicks in.
+	Capacity int
+	// ViaCost is the extra path cost of changing planes (in gcell units);
+	// keeps routes from zig-zagging between dies.
+	ViaCost float64
+	// CongestionCost is the per-overflow additive cost.
+	CongestionCost float64
+}
+
+// DefaultOptions returns router defaults tuned for block-level F2F routing.
+func DefaultOptions() Options {
+	return Options{GCell: 2.0, Capacity: 24, ViaCost: 2.0, CongestionCost: 4.0}
+}
+
+// Grid is the two-plane routing graph over a block outline.
+type Grid struct {
+	opt    Options
+	region geom.Rect
+	nx, ny int
+	// usage[plane][y*nx+x] counts routes through the gcell.
+	usage [2][]int
+	// viaUse[y*nx+x] counts F2F vias dropped in the gcell.
+	viaUse []int
+}
+
+// NewGrid builds the routing grid over region.
+func NewGrid(region geom.Rect, opt Options) (*Grid, error) {
+	if opt.GCell <= 0 {
+		opt = DefaultOptions()
+	}
+	nx := int(math.Ceil(region.W() / opt.GCell))
+	ny := int(math.Ceil(region.H() / opt.GCell))
+	if nx <= 0 || ny <= 0 {
+		return nil, fmt.Errorf("route: empty routing region %v", region)
+	}
+	g := &Grid{opt: opt, region: region, nx: nx, ny: ny}
+	for p := 0; p < 2; p++ {
+		g.usage[p] = make([]int, nx*ny)
+	}
+	g.viaUse = make([]int, nx*ny)
+	return g, nil
+}
+
+// Dims returns the gcell grid dimensions.
+func (g *Grid) Dims() (nx, ny int) { return g.nx, g.ny }
+
+// cellAt maps a point to gcell coordinates, clamped.
+func (g *Grid) cellAt(p geom.Point) (int, int) {
+	x := int((p.X - g.region.Lo.X) / g.opt.GCell)
+	y := int((p.Y - g.region.Lo.Y) / g.opt.GCell)
+	if x < 0 {
+		x = 0
+	}
+	if x >= g.nx {
+		x = g.nx - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= g.ny {
+		y = g.ny - 1
+	}
+	return x, y
+}
+
+// center returns the drawn-space center of gcell (x, y).
+func (g *Grid) center(x, y int) geom.Point {
+	return geom.Point{
+		X: g.region.Lo.X + (float64(x)+0.5)*g.opt.GCell,
+		Y: g.region.Lo.Y + (float64(y)+0.5)*g.opt.GCell,
+	}
+}
+
+// node encodes (plane, y, x) as one integer.
+func (g *Grid) node(plane, x, y int) int { return plane*g.nx*g.ny + y*g.nx + x }
+
+func (g *Grid) unnode(n int) (plane, x, y int) {
+	sz := g.nx * g.ny
+	plane = n / sz
+	rem := n % sz
+	return plane, rem % g.nx, rem / g.nx
+}
+
+// stepCost is the cost of entering gcell (x,y) on plane.
+func (g *Grid) stepCost(plane, x, y int) float64 {
+	c := 1.0
+	u := g.usage[plane][y*g.nx+x]
+	if u > g.opt.Capacity {
+		c += g.opt.CongestionCost * float64(u-g.opt.Capacity)
+	}
+	return c
+}
+
+// pqItem is an A* frontier entry.
+type pqItem struct {
+	node int
+	f    float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].f < q[j].f }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// RoutedPath is the result of routing one two-pin connection.
+type RoutedPath struct {
+	// Nodes is the gcell node sequence from source to target.
+	Nodes []int
+	// LenUm is the drawn routed length in µm.
+	LenUm float64
+	// Vias are the drawn-space locations where the path changes plane.
+	Vias []geom.Point
+}
+
+// Route2Pin routes from src (on plane srcPlane) to dst (on plane dstPlane)
+// with A*, allowing plane changes (F2F vias) at any gcell. It updates usage.
+func (g *Grid) Route2Pin(src geom.Point, srcPlane int, dst geom.Point, dstPlane int) (*RoutedPath, error) {
+	sx, sy := g.cellAt(src)
+	tx, ty := g.cellAt(dst)
+	start := g.node(srcPlane, sx, sy)
+	goal := g.node(dstPlane, tx, ty)
+
+	n := 2 * g.nx * g.ny
+	dist := make([]float64, n)
+	prev := make([]int32, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[start] = 0
+	h := func(node int) float64 {
+		p, x, y := g.unnode(node)
+		d := math.Abs(float64(x-tx)) + math.Abs(float64(y-ty))
+		if p != dstPlane {
+			d += g.opt.ViaCost
+		}
+		return d
+	}
+	frontier := &pq{{start, h(start)}}
+	for frontier.Len() > 0 {
+		it := heap.Pop(frontier).(pqItem)
+		if it.node == goal {
+			break
+		}
+		if it.f > dist[it.node]+h(it.node)+1e-9 {
+			continue // stale entry
+		}
+		plane, x, y := g.unnode(it.node)
+		// 4-neighborhood on the same plane.
+		for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			nxp, nyp := x+d[0], y+d[1]
+			if nxp < 0 || nxp >= g.nx || nyp < 0 || nyp >= g.ny {
+				continue
+			}
+			v := g.node(plane, nxp, nyp)
+			nd := dist[it.node] + g.stepCost(plane, nxp, nyp)
+			if nd < dist[v] {
+				dist[v] = nd
+				prev[v] = int32(it.node)
+				heap.Push(frontier, pqItem{v, nd + h(v)})
+			}
+		}
+		// Plane change (F2F via) in place.
+		v := g.node(1-plane, x, y)
+		nd := dist[it.node] + g.opt.ViaCost
+		if nd < dist[v] {
+			dist[v] = nd
+			prev[v] = int32(it.node)
+			heap.Push(frontier, pqItem{v, nd + h(v)})
+		}
+	}
+	if math.IsInf(dist[goal], 1) {
+		return nil, fmt.Errorf("route: no path from %v to %v", src, dst)
+	}
+
+	// Recover the path, commit usage, collect via points.
+	var nodes []int
+	for v := goal; v != -1; v = int(prev[v]) {
+		nodes = append(nodes, v)
+	}
+	// Reverse into source->target order.
+	for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+		nodes[i], nodes[j] = nodes[j], nodes[i]
+	}
+	path := &RoutedPath{Nodes: nodes}
+	for i, v := range nodes {
+		plane, x, y := g.unnode(v)
+		g.usage[plane][y*g.nx+x]++
+		if i > 0 {
+			pp, _, _ := g.unnode(nodes[i-1])
+			if pp != plane {
+				path.Vias = append(path.Vias, g.center(x, y))
+				g.viaUse[y*g.nx+x]++
+			} else {
+				path.LenUm += g.opt.GCell
+			}
+		}
+	}
+	return path, nil
+}
+
+// Overflow returns the total gcell usage beyond capacity, a congestion
+// metric.
+func (g *Grid) Overflow() int {
+	total := 0
+	for p := 0; p < 2; p++ {
+		for _, u := range g.usage[p] {
+			if u > g.opt.Capacity {
+				total += u - g.opt.Capacity
+			}
+		}
+	}
+	return total
+}
+
+// MaxViaDensity returns the largest number of F2F vias in any single gcell.
+func (g *Grid) MaxViaDensity() int {
+	m := 0
+	for _, u := range g.viaUse {
+		if u > m {
+			m = u
+		}
+	}
+	return m
+}
+
+// PlaceF2FVias runs the paper's F2F via placement flow on a folded block:
+// every die-crossing signal net is routed through the merged two-plane grid
+// (2D nets are excluded — the paper ties them to ground so they cannot
+// perturb the 3D routes), and the plane-change points become the net's F2F
+// vias. Macros are NOT blockages: F2F vias live above the top metal.
+// Sets net.Vias/Crossings and b.NumF2F; returns the grid for inspection.
+func PlaceF2FVias(b *netlist.Block, opt Options) (*Grid, error) {
+	if !b.Is3D {
+		return nil, fmt.Errorf("route: PlaceF2FVias on 2D block %s", b.Name)
+	}
+	region := b.Outline[0].Union(b.Outline[1])
+	g, err := NewGrid(region, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	// Route longest nets first (they define the via fabric), like the
+	// TSV planner.
+	type work struct {
+		net  int
+		span float64
+	}
+	var ws []work
+	for i := range b.Nets {
+		n := &b.Nets[i]
+		if n.Kind != netlist.Signal || !b.NetIs3D(n) {
+			continue
+		}
+		ws = append(ws, work{i, geom.HPWL(b.NetPins(n))})
+	}
+	sort.Slice(ws, func(a, c int) bool { return ws[a].span > ws[c].span })
+
+	b.NumF2F = 0
+	for _, w := range ws {
+		n := &b.Nets[w.net]
+		vias, err := routeNet3D(b, g, n)
+		if err != nil {
+			return nil, fmt.Errorf("route: net %s: %v", n.Name, err)
+		}
+		n.Vias = vias
+		n.Crossings = len(vias)
+		b.NumF2F += len(vias)
+	}
+	return g, nil
+}
+
+// routeNet3D routes one multi-pin 3D net as a driver-rooted star of 2-pin
+// connections, merging the plane-change points. A sink on the driver's die
+// contributes no via; sinks on the other die route through the merged graph.
+func routeNet3D(b *netlist.Block, g *Grid, n *netlist.Net) ([]geom.Point, error) {
+	dp := b.PinPos(n.Driver)
+	dd := int(b.PinDie(n.Driver))
+	var vias []geom.Point
+	// Route to the centroid of far-die sinks once: a net crosses dies at one
+	// (or a few) points, not once per sink; the router shares the crossing.
+	var farPts []geom.Point
+	for _, s := range n.Sinks {
+		if int(b.PinDie(s)) != dd {
+			farPts = append(farPts, b.PinPos(s))
+		}
+	}
+	if len(farPts) == 0 {
+		return nil, nil
+	}
+	// The route target is the far-die sink closest to the driver; remaining
+	// far-die sinks connect on their own die from the via.
+	best := farPts[0]
+	for _, p := range farPts[1:] {
+		if p.ManhattanDist(dp) < best.ManhattanDist(dp) {
+			best = p
+		}
+	}
+	path, err := g.Route2Pin(dp, dd, best, 1-dd)
+	if err != nil {
+		return nil, err
+	}
+	vias = append(vias, path.Vias...)
+	if len(vias) == 0 {
+		// Degenerate same-cell route; drop the via at the driver location.
+		vias = append(vias, dp)
+	}
+	return vias, nil
+}
+
+// PlaceViasMidpoint is the naive baseline for the ablation study: every 3D
+// net gets a via at the geometric crossing point with no congestion or
+// sharing awareness. Returns the maximum via pile-up on a GCell-sized grid
+// so the benchmark can contrast it with the routed flow.
+func PlaceViasMidpoint(b *netlist.Block, opt Options) (maxDensity int, err error) {
+	if !b.Is3D {
+		return 0, fmt.Errorf("route: PlaceViasMidpoint on 2D block %s", b.Name)
+	}
+	region := b.Outline[0].Union(b.Outline[1])
+	g, err := NewGrid(region, opt)
+	if err != nil {
+		return 0, err
+	}
+	b.NumF2F = 0
+	for i := range b.Nets {
+		n := &b.Nets[i]
+		if n.Kind != netlist.Signal || !b.NetIs3D(n) {
+			continue
+		}
+		pins := b.NetPins(n)
+		bb := geom.BoundingBox(pins)
+		p := bb.Center()
+		n.Vias = []geom.Point{p}
+		n.Crossings = 1
+		b.NumF2F++
+		x, y := g.cellAt(p)
+		g.viaUse[y*g.nx+x]++
+	}
+	return g.MaxViaDensity(), nil
+}

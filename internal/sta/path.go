@@ -1,0 +1,110 @@
+package sta
+
+import (
+	"fmt"
+	"strings"
+
+	"fold3d/internal/netlist"
+)
+
+// PathStage is one hop of a reported timing path.
+type PathStage struct {
+	What    string  // cell master / macro / port description
+	Net     string  // net driven into the next stage
+	Arrival float64 // ps at this stage's output
+	LoadfF  float64
+	WireUm  float64
+	Fanout  int
+}
+
+// CriticalPath reconstructs the worst arrival path of the analyzed block by
+// walking max-arrival fanins backward from the latest cell output. It is a
+// diagnostic (the paper's report_timing): the path is approximate in that it
+// follows worst arrivals, not worst slacks.
+func CriticalPath(b *netlist.Block, rep *Report) []PathStage {
+	// Find the latest-arriving cell output.
+	worst, at := -1e18, -1
+	for i, a := range rep.ArrOut {
+		if a > worst && a < 1e17 {
+			worst, at = a, i
+		}
+	}
+	if at < 0 {
+		return nil
+	}
+	// fanin nets per cell.
+	fanin := make(map[int32][]int32)
+	driverNet := make([]int32, len(b.Cells))
+	for i := range driverNet {
+		driverNet[i] = -1
+	}
+	for ni := range b.Nets {
+		n := &b.Nets[ni]
+		if n.Kind != netlist.Signal {
+			continue
+		}
+		if n.Driver.Kind == netlist.KindCell {
+			driverNet[n.Driver.Idx] = int32(ni)
+		}
+		for _, s := range n.Sinks {
+			if s.Kind == netlist.KindCell {
+				fanin[s.Idx] = append(fanin[s.Idx], int32(ni))
+			}
+		}
+	}
+
+	var stages []PathStage
+	cur := int32(at)
+	for hop := 0; hop < 200; hop++ {
+		c := &b.Cells[cur]
+		st := PathStage{
+			What:    c.Master.Name,
+			Arrival: rep.ArrOut[cur],
+		}
+		if ni := driverNet[cur]; ni >= 0 {
+			n := &b.Nets[ni]
+			st.Net = n.Name
+			wire, pins := totalLoad(b, n)
+			st.LoadfF = wire + pins
+			st.WireUm = n.RouteLen
+			st.Fanout = len(n.Sinks)
+		}
+		stages = append(stages, st)
+		if c.Master.Fam.IsSequential() {
+			break
+		}
+		// Predecessor with the max arrival at this cell's input.
+		bestA, bestCell := -1e18, int32(-1)
+		for _, ni := range fanin[cur] {
+			n := &b.Nets[ni]
+			if n.Driver.Kind != netlist.KindCell {
+				continue
+			}
+			a := rep.ArrOut[n.Driver.Idx]
+			if a > bestA && a < 1e17 {
+				bestA, bestCell = a, n.Driver.Idx
+			}
+		}
+		if bestCell < 0 {
+			break
+		}
+		cur = bestCell
+	}
+	// Reverse to launch-to-capture order.
+	for i, j := 0, len(stages)-1; i < j; i, j = i+1, j-1 {
+		stages[i], stages[j] = stages[j], stages[i]
+	}
+	return stages
+}
+
+// FormatPath renders a critical path report.
+func FormatPath(stages []PathStage) string {
+	var sb strings.Builder
+	prev := 0.0
+	for _, st := range stages {
+		fmt.Fprintf(&sb, "  %-16s arr %8.1f (+%6.1f)  load %6.1ffF wire %6.1fum fo %d  net %s\n",
+			st.What, st.Arrival, st.Arrival-prev, st.LoadfF, st.WireUm, st.Fanout, st.Net)
+		prev = st.Arrival
+	}
+	return sb.String()
+}

@@ -1,0 +1,262 @@
+package t2
+
+import (
+	"fmt"
+	"sort"
+
+	"fold3d/internal/floorplan"
+	"fold3d/internal/netlist"
+	"fold3d/internal/rng"
+	"fold3d/internal/tech"
+)
+
+// ConnectPorts wires the chip-level ports (created on the blocks by
+// floorplan.AssignPorts) into the block netlists: an output port becomes an
+// extra sink of a net driven deep in the bundle's source group; an input
+// port drives a new net whose sinks are cell inputs reserved for it during
+// generation. The group targeting is what gives the CCX its paper behaviour:
+// SPC-facing ports attach to PCX logic and L2-facing return ports to CPX
+// logic, so the 2D placement tears each half toward its partners (§4.3).
+//
+// Leftover reserved inputs are tied to level-0-driven nets (registers and
+// macro outputs), keeping the DAG property STA depends on.
+func (d *Design) ConnectPorts(chipNets []floorplan.ChipNet) error {
+	byName := make(map[string]floorplan.Bundle, len(d.Bundles))
+	for _, b := range d.Bundles {
+		byName[b.Name()] = b
+	}
+	r := rng.New(d.Cfg.Seed).Split("hookup")
+
+	// Per-block caches.
+	type cache struct {
+		driverNet map[int32]int32 // cell -> net it drives
+		// shallowCells are combinational cells a handful of levels past the
+		// launching registers (and, in memory blocks, one stage past the
+		// macro read-outs): block outputs tap these, so an outgoing
+		// inter-block signal leaves a few stages after its register or
+		// memory access — which is exactly where the paper's slow
+		// synthesized memories make the 2D design frequency-limited.
+		shallowCells map[string][]int32
+		// deepCells are near-capture cells, the fallback sinks for inputs.
+		deepCells map[string][]int32
+	}
+	caches := make(map[string]*cache)
+	getCache := func(name string) (*cache, error) {
+		if c, ok := caches[name]; ok {
+			return c, nil
+		}
+		b, ok := d.Blocks[name]
+		if !ok {
+			return nil, fmt.Errorf("t2: hookup references unknown block %q", name)
+		}
+		c := &cache{
+			driverNet:    make(map[int32]int32),
+			shallowCells: make(map[string][]int32),
+			deepCells:    make(map[string][]int32),
+		}
+		for ni := range b.Nets {
+			n := &b.Nets[ni]
+			if n.Kind == netlist.Signal && n.Driver.Kind == netlist.KindCell {
+				c.driverNet[n.Driver.Idx] = int32(ni)
+			}
+		}
+		lv := d.Levels[name]
+		depth := int16(d.Specs[name].Depth)
+		if depth < 4 {
+			depth = 8
+		}
+		for ci := range b.Cells {
+			if b.Cells[ci].Master.Fam.IsSequential() {
+				continue
+			}
+			g := b.Cells[ci].Group
+			if lv[ci] >= 4 && lv[ci] <= 6 {
+				c.shallowCells[g] = append(c.shallowCells[g], int32(ci))
+			}
+			if lv[ci] >= depth-3 {
+				c.deepCells[g] = append(c.deepCells[g], int32(ci))
+			}
+		}
+		return c, nil
+	}
+	anyCells := func(m map[string][]int32, group string) []int32 {
+		cells := m[group]
+		if len(cells) == 0 {
+			// Deterministic fallback: first non-empty group by name.
+			var names []string
+			for g := range m {
+				names = append(names, g)
+			}
+			sort.Strings(names)
+			for _, g := range names {
+				if len(m[g]) > 0 {
+					cells = m[g]
+					break
+				}
+			}
+		}
+		return cells
+	}
+
+	for i := range chipNets {
+		cn := &chipNets[i]
+		bu, ok := byName[cn.Bundle]
+		if !ok {
+			return fmt.Errorf("t2: hookup: unknown bundle %q", cn.Bundle)
+		}
+		// --- A side: output port is a sink of an internal net. ---
+		// A negative port index marks an absent partner block in a
+		// block-level experiment; that side is simply not wired.
+		if cn.A.Port >= 0 {
+			ba := d.Blocks[cn.A.Block]
+			ca, err := getCache(cn.A.Block)
+			if err != nil {
+				return err
+			}
+			caches[cn.A.Block] = ca
+			cells := anyCells(ca.shallowCells, bu.GroupA)
+			if len(cells) == 0 {
+				return fmt.Errorf("t2: block %s has no candidate drivers for bundle %s", cn.A.Block, cn.Bundle)
+			}
+			drvCell := cells[r.Intn(len(cells))]
+			portRef := netlist.PinRef{Kind: netlist.KindPort, Idx: cn.A.Port}
+			if ni, ok := ca.driverNet[drvCell]; ok {
+				ba.Nets[ni].Sinks = append(ba.Nets[ni].Sinks, portRef)
+			} else {
+				ni := ba.AddNet(netlist.Net{
+					Name:     fmt.Sprintf("%s_out%d", cn.Bundle, i),
+					Kind:     netlist.Signal,
+					Driver:   netlist.PinRef{Kind: netlist.KindCell, Idx: drvCell},
+					Sinks:    []netlist.PinRef{portRef},
+					Activity: bundleAct(bu),
+				})
+				ca.driverNet[drvCell] = ni
+			}
+		}
+
+		// --- B side: input port drives reserved inputs. ---
+		if cn.B.Port >= 0 {
+			bb := d.Blocks[cn.B.Block]
+			cb, err := getCache(cn.B.Block)
+			if err != nil {
+				return err
+			}
+			caches[cn.B.Block] = cb
+			sinks := d.popFree(cn.B.Block, bu.GroupB, 2, r)
+			if len(sinks) == 0 {
+				// No reserved inputs left: land on a deep cell's input pin;
+				// the netlist model tolerates a doubly-driven input (it only
+				// adds pin load and a timing arc).
+				cells := anyCells(cb.deepCells, bu.GroupB)
+				if len(cells) == 0 {
+					return fmt.Errorf("t2: block %s has no candidate sinks for bundle %s", cn.B.Block, cn.Bundle)
+				}
+				sinks = []netlist.PinRef{{Kind: netlist.KindCell, Idx: cells[r.Intn(len(cells))], Pin: 0}}
+			}
+			bb.AddNet(netlist.Net{
+				Name:     fmt.Sprintf("%s_in%d", cn.Bundle, i),
+				Kind:     netlist.Signal,
+				Driver:   netlist.PinRef{Kind: netlist.KindPort, Idx: cn.B.Port},
+				Sinks:    sinks,
+				Activity: bundleAct(bu),
+			})
+		}
+	}
+
+	// Tie leftover reserved inputs to level-0-driven nets (DAG-safe),
+	// in deterministic block order.
+	var freeNames []string
+	for name := range d.free {
+		freeNames = append(freeNames, name)
+	}
+	sort.Strings(freeNames)
+	for _, name := range freeNames {
+		groups := d.free[name]
+		b := d.Blocks[name]
+		var l0nets []int32
+		for ni := range b.Nets {
+			n := &b.Nets[ni]
+			if n.Kind != netlist.Signal {
+				continue
+			}
+			switch n.Driver.Kind {
+			case netlist.KindMacro:
+				l0nets = append(l0nets, int32(ni))
+			case netlist.KindCell:
+				if b.Cells[n.Driver.Idx].Master.Fam == tech.DFF {
+					l0nets = append(l0nets, int32(ni))
+				}
+			}
+		}
+		if len(l0nets) == 0 {
+			continue
+		}
+		var gnames []string
+		for g := range groups {
+			gnames = append(gnames, g)
+		}
+		sort.Strings(gnames)
+		for _, g := range gnames {
+			for _, ref := range groups[g] {
+				ni := l0nets[r.Intn(len(l0nets))]
+				b.Nets[ni].Sinks = append(b.Nets[ni].Sinks, ref)
+			}
+			groups[g] = nil
+		}
+	}
+
+	for name, b := range d.Blocks {
+		if err := b.Validate(); err != nil {
+			return fmt.Errorf("t2: after hookup, block %s: %v", name, err)
+		}
+	}
+	return nil
+}
+
+// popFree removes and returns up to k reserved inputs of the given group
+// (falling back to the anonymous group, then any group).
+func (d *Design) popFree(block, group string, k int, r *rng.R) []netlist.PinRef {
+	groups := d.free[block]
+	if groups == nil {
+		return nil
+	}
+	take := func(g string) []netlist.PinRef {
+		lst := groups[g]
+		if len(lst) == 0 {
+			return nil
+		}
+		if k > len(lst) {
+			k = len(lst)
+		}
+		out := append([]netlist.PinRef(nil), lst[len(lst)-k:]...)
+		groups[g] = lst[:len(lst)-k]
+		return out
+	}
+	if out := take(group); out != nil {
+		return out
+	}
+	if group != "" {
+		if out := take(""); out != nil {
+			return out
+		}
+	}
+	// Deterministic fallback order.
+	var names []string
+	for g := range groups {
+		names = append(names, g)
+	}
+	sort.Strings(names)
+	for _, g := range names {
+		if out := take(g); out != nil {
+			return out
+		}
+	}
+	return nil
+}
+
+func bundleAct(b floorplan.Bundle) float64 {
+	if b.Activity > 0 {
+		return b.Activity
+	}
+	return 0.12
+}

@@ -1,0 +1,224 @@
+// Package t2 synthesizes an OpenSPARC-T2-like design database: 46
+// floorplanned blocks (8 SPARC cores, 8 L2 data banks, 8 L2 tags, 8 L2 miss
+// buffers, the cache crossbar, the network interface unit, memory
+// controllers and control units) with per-block cell/macro budgets, internal
+// group structure (the CCX's PCX/CPX halves, the SPC's 14 FUBs) and the
+// chip-level wire bundles between blocks. The netlists are statistically
+// matched to the paper's Table 3 profile rather than logically equivalent to
+// the real T2 (DESIGN.md §2): what the study needs from the benchmark is its
+// block-statistics shape — net-power fractions, long-wire populations, macro
+// dominance and the crossbar's port-driven fragmentation.
+package t2
+
+import (
+	"fmt"
+
+	"fold3d/internal/floorplan"
+	"fold3d/internal/tech"
+)
+
+// Kind classifies a block.
+type Kind int
+
+const (
+	// KindSPC is a SPARC physical core.
+	KindSPC Kind = iota
+	// KindL2D is an L2 cache data bank (512KB as 32 x 16KB macros).
+	KindL2D
+	// KindL2T is an L2 cache tag array.
+	KindL2T
+	// KindL2B is an L2 miss buffer.
+	KindL2B
+	// KindCCX is the cache crossbar (PCX + CPX halves).
+	KindCCX
+	// KindNIU is a network-interface-unit block (MAC, RDP, TDS, RTX).
+	KindNIU
+	// KindCtl is a control/IO block (NCU, CCU, DMU, SII, SIO, MCU).
+	KindCtl
+)
+
+// GroupSpec is one internal instance group (FUB or crossbar half).
+type GroupSpec struct {
+	Name string
+	// Frac is the share of the block's cells in this group.
+	Frac float64
+	// Fold marks groups selected for second-level folding (SPC FUBs).
+	Fold bool
+}
+
+// BlockSpec characterizes one block for the generator.
+type BlockSpec struct {
+	Name   string
+	Kind   Kind
+	Cells  int // physical (unscaled) standard-cell count
+	Macros int // 16KB memory macro count
+	Clock  tech.ClockDomain
+	// Activity is the mean switching activity of the block's signal nets.
+	Activity float64
+	// Depth is the logic depth (levels) of the generated DAG.
+	Depth int
+	// Aspect is the preferred outline aspect ratio (W/H).
+	Aspect float64
+	// Groups partitions the cells; empty means one anonymous group.
+	Groups []GroupSpec
+	// CrossNets is the number of nets allowed to cross between groups when
+	// the block's groups are otherwise isolated (the CCX's PCX and CPX halves
+	// share nothing but clock and a few test signals — 4 nets in the paper).
+	CrossNets int
+	// CrossFrac is the fraction of sinks that may pick cross-group drivers
+	// when groups are loosely coupled (SPC FUBs).
+	CrossFrac float64
+}
+
+// SPCFUBs is the SPARC core's functional-unit-block structure: 14 FUBs, of
+// which the six large ones (paper Figure 3) are second-level folding
+// candidates.
+func SPCFUBs() []GroupSpec {
+	return []GroupSpec{
+		{Name: "exu0", Frac: 0.09, Fold: true},
+		{Name: "exu1", Frac: 0.09, Fold: true},
+		{Name: "fgu", Frac: 0.14, Fold: true},
+		{Name: "lsu", Frac: 0.13, Fold: true},
+		{Name: "tlu", Frac: 0.11, Fold: true},
+		{Name: "ifu_ftu", Frac: 0.10, Fold: true},
+		{Name: "ifu_cmu", Frac: 0.06},
+		{Name: "ifu_ibu", Frac: 0.05},
+		{Name: "mmu", Frac: 0.06},
+		{Name: "pku", Frac: 0.04},
+		{Name: "dec", Frac: 0.04},
+		{Name: "gkt", Frac: 0.03},
+		{Name: "pmu", Frac: 0.03},
+		{Name: "misc", Frac: 0.03},
+	}
+}
+
+// Blocks returns the 46-block T2 inventory (SerDes, eFuse and misc I/O are
+// already dropped, and the CCU's PLL is an ideal clock source, per §2.1).
+func Blocks() []BlockSpec {
+	var specs []BlockSpec
+	for i := 0; i < 8; i++ {
+		specs = append(specs, BlockSpec{
+			Name: fmt.Sprintf("SPC%d", i), Kind: KindSPC,
+			Cells: 550000, Macros: 6, Clock: tech.CPUClock,
+			Activity: 0.20, Depth: 14, Aspect: 1.25,
+			Groups: SPCFUBs(), CrossFrac: 0.15,
+		})
+	}
+	for i := 0; i < 8; i++ {
+		specs = append(specs, BlockSpec{
+			Name: fmt.Sprintf("L2D%d", i), Kind: KindL2D,
+			Cells: 60000, Macros: 32, Clock: tech.CPUClock,
+			Activity: 0.13, Depth: 8, Aspect: 0.88,
+			// The 512KB bank divides into four logical sub-banks of eight
+			// 16KB macros each (paper §4.4); folding places two sub-banks
+			// per die.
+			Groups: []GroupSpec{
+				{Name: "bank0", Frac: 0.22, Fold: true},
+				{Name: "bank1", Frac: 0.22, Fold: true},
+				{Name: "bank2", Frac: 0.22, Fold: true},
+				{Name: "bank3", Frac: 0.22, Fold: true},
+				{Name: "ctl", Frac: 0.12},
+			},
+			CrossFrac: 0.08,
+		})
+	}
+	for i := 0; i < 8; i++ {
+		specs = append(specs, BlockSpec{
+			Name: fmt.Sprintf("L2T%d", i), Kind: KindL2T,
+			Cells: 80000, Macros: 8, Clock: tech.CPUClock,
+			Activity: 0.16, Depth: 10, Aspect: 0.63,
+		})
+	}
+	for i := 0; i < 8; i++ {
+		specs = append(specs, BlockSpec{
+			Name: fmt.Sprintf("L2B%d", i), Kind: KindL2B,
+			Cells: 25000, Macros: 2, Clock: tech.CPUClock,
+			Activity: 0.12, Depth: 8, Aspect: 1.0,
+		})
+	}
+	specs = append(specs, BlockSpec{
+		Name: "CCX", Kind: KindCCX,
+		Cells: 340000, Macros: 0, Clock: tech.CPUClock,
+		Activity: 0.22, Depth: 8, Aspect: 3.0,
+		Groups: []GroupSpec{
+			{Name: "pcx", Frac: 0.48, Fold: true},
+			{Name: "cpx", Frac: 0.48, Fold: true},
+			{Name: "glue", Frac: 0.04},
+		},
+		CrossNets: 4, // clock and a few test signals only (paper §4.3)
+	})
+	niu := func(name string, cells int) BlockSpec {
+		return BlockSpec{
+			Name: name, Kind: KindNIU,
+			Cells: cells, Macros: 2, Clock: tech.IOClock,
+			Activity: 0.18, Depth: 10, Aspect: 1.4,
+		}
+	}
+	specs = append(specs,
+		niu("MAC", 280000),
+		niu("RDP", 130000),
+		niu("TDS", 100000),
+		niu("RTX", 90000),
+	)
+	ctl := func(name string, cells, macros int, clk tech.ClockDomain) BlockSpec {
+		return BlockSpec{
+			Name: name, Kind: KindCtl,
+			Cells: cells, Macros: macros, Clock: clk,
+			Activity: 0.12, Depth: 9, Aspect: 1.0,
+		}
+	}
+	specs = append(specs,
+		ctl("NCU", 60000, 0, tech.CPUClock),
+		ctl("CCU", 20000, 0, tech.CPUClock),
+		ctl("DMU", 70000, 0, tech.IOClock),
+		ctl("SII", 50000, 0, tech.IOClock),
+		ctl("SIO", 50000, 0, tech.IOClock),
+		ctl("MCU0", 45000, 2, tech.CPUClock),
+		ctl("MCU1", 45000, 2, tech.CPUClock),
+		ctl("MCU2", 45000, 2, tech.CPUClock),
+		ctl("MCU3", 45000, 2, tech.CPUClock),
+	)
+	return specs
+}
+
+// FoldedBlockTypes are the five block types the paper folds (§6.1).
+var FoldedBlockTypes = []string{"SPC", "CCX", "L2D", "L2T", "MAC"}
+
+// Bundles returns the chip-level wire bundles (physical wire counts). The
+// crossbar traffic is the backbone: each SPC exchanges ~300 wires with the
+// CCX (half into PCX, half out of CPX), and each L2 data bank likewise.
+func Bundles() []floorplan.Bundle {
+	var bs []floorplan.Bundle
+	add := func(a, b string, w int, ga, gb string, act float64) {
+		bs = append(bs, floorplan.Bundle{A: a, B: b, Width: w, GroupA: ga, GroupB: gb, Activity: act})
+	}
+	for i := 0; i < 8; i++ {
+		spc := fmt.Sprintf("SPC%d", i)
+		l2d := fmt.Sprintf("L2D%d", i)
+		l2t := fmt.Sprintf("L2T%d", i)
+		l2b := fmt.Sprintf("L2B%d", i)
+		mcu := fmt.Sprintf("MCU%d", i/2)
+		add(spc, "CCX", 150, "lsu", "pcx", 0.18)
+		add("CCX", spc, 150, "cpx", "ifu_ftu", 0.18)
+		add("CCX", l2d, 150, "pcx", "", 0.16)
+		add(l2d, "CCX", 150, "", "cpx", 0.16)
+		add(l2t, l2d, 120, "", "", 0.14)
+		add(l2t, l2b, 60, "", "", 0.10)
+		add(l2d, mcu, 100, "", "", 0.12)
+		add("NCU", spc, 20, "", "mmu", 0.08)
+	}
+	// Network interface unit: almost all MAC signals stay within the NIU
+	// cluster (paper §6.1).
+	add("MAC", "RTX", 200, "", "", 0.18)
+	add("MAC", "TDS", 200, "", "", 0.18)
+	add("RDP", "MAC", 200, "", "", 0.18)
+	add("TDS", "SIO", 80, "", "", 0.14)
+	add("SII", "RDP", 80, "", "", 0.14)
+	add("MAC", "NCU", 40, "", "", 0.08)
+	// Control fabric.
+	add("NCU", "DMU", 60, "", "", 0.08)
+	add("DMU", "SII", 60, "", "", 0.10)
+	add("SIO", "DMU", 60, "", "", 0.10)
+	add("CCU", "NCU", 16, "", "", 0.05)
+	return bs
+}

@@ -1,0 +1,304 @@
+package t2
+
+import (
+	"strings"
+	"testing"
+
+	"fold3d/internal/floorplan"
+	"fold3d/internal/netlist"
+	"fold3d/internal/tech"
+)
+
+func TestBlockInventory(t *testing.T) {
+	specs := Blocks()
+	if len(specs) != 46 {
+		t.Fatalf("block count = %d, want 46 (paper §2.1)", len(specs))
+	}
+	counts := map[string]int{}
+	var totalCells int
+	for _, s := range specs {
+		switch {
+		case strings.HasPrefix(s.Name, "SPC"):
+			counts["SPC"]++
+		case strings.HasPrefix(s.Name, "L2D"):
+			counts["L2D"]++
+		case strings.HasPrefix(s.Name, "L2T"):
+			counts["L2T"]++
+		case strings.HasPrefix(s.Name, "L2B"):
+			counts["L2B"]++
+		}
+		totalCells += s.Cells
+	}
+	for _, k := range []string{"SPC", "L2D", "L2T", "L2B"} {
+		if counts[k] != 8 {
+			t.Errorf("%s count = %d, want 8", k, counts[k])
+		}
+	}
+	// The T2 has ~500M transistors / ~7M cell instances; the inventory
+	// should land in that regime.
+	if totalCells < 5e6 || totalCells > 9e6 {
+		t.Errorf("total cells = %d, want ~7M", totalCells)
+	}
+}
+
+func TestSPCFUBs(t *testing.T) {
+	fubs := SPCFUBs()
+	if len(fubs) != 14 {
+		t.Fatalf("FUB count = %d, want 14 (paper §4.5)", len(fubs))
+	}
+	folded := 0
+	var frac float64
+	for _, f := range fubs {
+		if f.Fold {
+			folded++
+		}
+		frac += f.Frac
+	}
+	if folded != 6 {
+		t.Errorf("foldable FUBs = %d, want 6 (Figure 3)", folded)
+	}
+	if frac < 0.98 || frac > 1.02 {
+		t.Errorf("FUB fractions sum to %v", frac)
+	}
+}
+
+func TestBundlesReferenceKnownBlocks(t *testing.T) {
+	known := map[string]bool{}
+	for _, s := range Blocks() {
+		known[s.Name] = true
+	}
+	for _, b := range Bundles() {
+		if !known[b.A] || !known[b.B] {
+			t.Errorf("bundle %s references unknown block", b.Name())
+		}
+		if b.Width <= 0 {
+			t.Errorf("bundle %s has width %d", b.Name(), b.Width)
+		}
+	}
+}
+
+func TestGenerateValidity(t *testing.T) {
+	d, err := Generate(Config{Scale: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Blocks) != 46 {
+		t.Fatalf("generated %d blocks", len(d.Blocks))
+	}
+	for name, b := range d.Blocks {
+		if err := b.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", name, err)
+		}
+		if len(b.Cells) < 40 {
+			t.Errorf("%s has only %d cells", name, len(b.Cells))
+		}
+		if len(d.Levels[name]) != len(b.Cells) {
+			t.Errorf("%s level array mismatch", name)
+		}
+	}
+	// Macro counts as specified.
+	if len(d.Blocks["L2D0"].Macros) != 32 {
+		t.Errorf("L2D0 macros = %d, want 32 (512KB as 16KB banks)", len(d.Blocks["L2D0"].Macros))
+	}
+	if d.Blocks["SPC0"].MaxRouteLayer != 9 {
+		t.Error("SPC must route all nine metal layers (paper §2.2)")
+	}
+	if d.Blocks["CCX"].MaxRouteLayer != 7 {
+		t.Error("non-SPC blocks route up to M7")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{Scale: 1000, Seed: 9, Only: []string{"L2T0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Scale: 1000, Seed: 9, Only: []string{"L2T0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, bb := a.Blocks["L2T0"], b.Blocks["L2T0"]
+	if len(ba.Cells) != len(bb.Cells) || len(ba.Nets) != len(bb.Nets) {
+		t.Fatal("generation is not deterministic")
+	}
+	for i := range ba.Nets {
+		if ba.Nets[i].Name != bb.Nets[i].Name || len(ba.Nets[i].Sinks) != len(bb.Nets[i].Sinks) {
+			t.Fatal("net structure differs between runs")
+		}
+	}
+}
+
+func TestScaleChangesSize(t *testing.T) {
+	small, err := Generate(Config{Scale: 2000, Seed: 1, Only: []string{"CCX"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Generate(Config{Scale: 500, Seed: 1, Only: []string{"CCX"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(big.Blocks["CCX"].Cells) <= len(small.Blocks["CCX"].Cells) {
+		t.Error("smaller scale must give more cells")
+	}
+}
+
+func TestCCXGroupIsolation(t *testing.T) {
+	d, err := Generate(Config{Scale: 500, Seed: 3, Only: []string{"CCX"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := d.Blocks["CCX"]
+	groupOf := func(r netlist.PinRef) string {
+		switch r.Kind {
+		case netlist.KindCell:
+			return b.Cells[r.Idx].Group
+		case netlist.KindMacro:
+			return b.Macros[r.Idx].Group
+		}
+		return ""
+	}
+	cross := 0
+	for i := range b.Nets {
+		n := &b.Nets[i]
+		g := groupOf(n.Driver)
+		for _, s := range n.Sinks {
+			sg := groupOf(s)
+			if (g == "pcx" && sg == "cpx") || (g == "cpx" && sg == "pcx") {
+				cross++
+				break
+			}
+		}
+	}
+	// The paper's CCX needs only 4 signal TSVs: PCX and CPX share nothing
+	// but clock and a few test signals.
+	if cross > Blocks()[32].CrossNets+2 { // CCX spec
+		t.Errorf("pcx-cpx cross nets = %d, want <= %d", cross, Blocks()[32].CrossNets)
+	}
+}
+
+func TestGenerateBadScale(t *testing.T) {
+	if _, err := Generate(Config{Scale: 0}); err == nil {
+		t.Error("expected error for zero scale")
+	}
+}
+
+func TestRowsCoverAllBlocks(t *testing.T) {
+	for _, style := range []Style{Style2D, StyleCoreCache, StyleCoreCore, StyleFoldF2B, StyleFoldF2F} {
+		rows := Rows(style)
+		seen := map[string]bool{}
+		for die := 0; die < 2; die++ {
+			for _, r := range rows[die] {
+				for _, n := range r.Names {
+					if seen[n] {
+						t.Errorf("%s: block %s placed twice", style, n)
+					}
+					seen[n] = true
+				}
+			}
+		}
+		for _, s := range Blocks() {
+			if !seen[s.Name] {
+				t.Errorf("%s: block %s missing from the plan", style, s.Name)
+			}
+		}
+	}
+}
+
+func TestStyleProperties(t *testing.T) {
+	if Style2D.Is3D() || !StyleCoreCache.Is3D() {
+		t.Error("Is3D wrong")
+	}
+	if StyleCoreCache.Folded() || !StyleFoldF2F.Folded() {
+		t.Error("Folded wrong")
+	}
+	if !FoldedInStyle(StyleFoldF2B, "SPC3") || FoldedInStyle(StyleFoldF2B, "NCU") {
+		t.Error("FoldedInStyle wrong")
+	}
+	if FoldedInStyle(Style2D, "SPC3") {
+		t.Error("nothing folds in 2D")
+	}
+	for _, ty := range FoldedBlockTypes {
+		if ty != "SPC" && ty != "CCX" && ty != "L2D" && ty != "L2T" && ty != "MAC" {
+			t.Errorf("unexpected folded type %s", ty)
+		}
+	}
+}
+
+func TestConnectPortsWiresEverything(t *testing.T) {
+	d, err := Generate(Config{Scale: 1000, Seed: 5, Only: []string{"CCX", "NCU"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a tiny floorplan covering all blocks via spec shapes.
+	shapes := map[string]floorplan.Shape{}
+	for name := range d.Specs {
+		shapes[name] = floorplan.Shape{Name: name, W: 50, H: 40}
+	}
+	fp, err := floorplan.RowPlan(shapes, Rows(Style2D), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets, err := floorplan.AssignPorts(d.Blocks, fp, d.DrawnBundles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ConnectPorts(nets); err != nil {
+		t.Fatal(err)
+	}
+	// Every present-side port must now be wired into a net.
+	for _, name := range []string{"CCX", "NCU"} {
+		b := d.Blocks[name]
+		wired := map[int32]bool{}
+		for i := range b.Nets {
+			n := &b.Nets[i]
+			if n.Driver.Kind == netlist.KindPort {
+				wired[n.Driver.Idx] = true
+			}
+			for _, s := range n.Sinks {
+				if s.Kind == netlist.KindPort {
+					wired[s.Idx] = true
+				}
+			}
+		}
+		for i := range b.Ports {
+			if !wired[int32(i)] {
+				t.Errorf("%s port %s not wired", name, b.Ports[i].Name)
+			}
+		}
+		if err := b.Validate(); err != nil {
+			t.Errorf("%s invalid after hookup: %v", name, err)
+		}
+	}
+}
+
+func TestDrawnBundlesAndPortScale(t *testing.T) {
+	d, err := Generate(Config{Scale: 1000, Seed: 1, Only: []string{"NCU"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PortScale() <= 1 {
+		t.Errorf("PortScale = %v", d.PortScale())
+	}
+	for i, b := range d.DrawnBundles() {
+		if b.Width < 1 {
+			t.Errorf("drawn bundle %d width %d", i, b.Width)
+		}
+		if b.Width > d.Bundles[i].Width {
+			t.Error("drawn width exceeds physical width")
+		}
+	}
+	if d.DrawnPortCount("CCX") <= d.DrawnPortCount("NCU") {
+		t.Error("the crossbar must have the most ports")
+	}
+}
+
+func TestClockDomainsInSpecs(t *testing.T) {
+	for _, s := range Blocks() {
+		if s.Kind == KindNIU && s.Clock != tech.IOClock {
+			t.Errorf("%s: NIU blocks run on the IO clock", s.Name)
+		}
+		if s.Kind == KindSPC && s.Clock != tech.CPUClock {
+			t.Errorf("%s: cores run on the CPU clock", s.Name)
+		}
+	}
+}

@@ -1,0 +1,312 @@
+// Package thermal implements the steady-state thermal analysis the paper
+// defers to future work ("our future work will address thermal issues in
+// various 3D design styles with different bonding styles", §7): a
+// resistive-network model of the two-tier stack solved by Gauss-Seidel
+// relaxation. Each die is discretized into tiles; tiles couple laterally
+// through silicon, vertically through the bonding interface (whose
+// conductance depends on the bonding style and the TSV population — TSVs are
+// copper and conduct heat), and to ambient through the heat-sink path
+// attached to the top die's backside.
+//
+// The model reproduces the first-order 3D-IC thermal story: stacking doubles
+// the power density, the die far from the heat sink runs hotter, and F2F
+// bonding — which lacks the thermal TSVs of F2B — couples the tiers more
+// weakly to the sink.
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"fold3d/internal/extract"
+	"fold3d/internal/geom"
+	"fold3d/internal/netlist"
+	"fold3d/internal/power"
+	"fold3d/internal/tech"
+)
+
+// Params are the thermal constants of the stack. Conductances are per
+// physical µm² of tile area unless stated; temperatures are °C.
+type Params struct {
+	// AmbientC is the reference ambient/heatsink temperature.
+	AmbientC float64
+	// KSinkWPerM2K is the effective heat-transfer coefficient from the top
+	// die's backside through the heat spreader and sink.
+	KSinkWPerM2K float64
+	// KLateralWPerMK is silicon's lateral thermal conductivity.
+	KLateralWPerMK float64
+	// KBondBaseWPerM2K is the baseline conductance of the die-to-die bond
+	// (dielectric glue for F2B, face-to-face metal bond for F2F).
+	KBondBaseWPerM2K float64
+	// KTSVWPerK is the additional vertical conductance contributed by one
+	// TSV (copper cylinder through the bond).
+	KTSVWPerK float64
+	// KBoardWPerM2K is the leakage path from the bottom die through the
+	// package substrate to the board.
+	KBoardWPerM2K float64
+	// DieThicknessUm is the silicon thickness used for lateral spreading.
+	DieThicknessUm float64
+}
+
+// DefaultParams returns literature-typical constants for a thinned two-tier
+// 28nm stack with a standard forced-air heat sink.
+func DefaultParams() Params {
+	return Params{
+		AmbientC:         45,
+		KSinkWPerM2K:     18000, // sink + spreader + TIM, lumped
+		KLateralWPerMK:   120,   // silicon
+		KBondBaseWPerM2K: 9000,  // oxide/adhesive bond
+		KTSVWPerK:        2.4e-5,
+		KBoardWPerM2K:    1200,
+		DieThicknessUm:   50,
+	}
+}
+
+// Result is a solved temperature field.
+type Result struct {
+	// TMaxC and TAvgC summarize the whole stack.
+	TMaxC, TAvgC float64
+	// TMaxPerDie reports each tier's hottest tile.
+	TMaxPerDie [2]float64
+	// NX, NY are the tile grid dimensions; MapC[die][iy*NX+ix] is the tile
+	// temperature.
+	NX, NY int
+	MapC   [2][]float64
+	// Dies is 1 for a 2D design, 2 for a stack.
+	Dies int
+}
+
+// solve runs Gauss-Seidel on the tile network. pw[die][i] is the tile power
+// in watts (physical); tileArea is the physical tile area in m²; vertK[i] is
+// the die-to-die conductance per tile (W/K); dies is 1 or 2.
+func solve(pw [2][]float64, nx, ny, dies int, tileAreaM2 float64, vertK []float64, p Params) *Result {
+	n := nx * ny
+	t := [2][]float64{make([]float64, n), make([]float64, n)}
+	for d := 0; d < 2; d++ {
+		for i := range t[d] {
+			t[d][i] = p.AmbientC
+		}
+	}
+	// Conductances (W/K).
+	gSink := p.KSinkWPerM2K * tileAreaM2
+	gBoard := p.KBoardWPerM2K * tileAreaM2
+	// Lateral: k * A_cross / L = k * (edge * thickness) / edge = k * thickness.
+	gLat := p.KLateralWPerMK * (p.DieThicknessUm * 1e-6)
+
+	sinkDie := dies - 1 // the top die's backside carries the sink
+	for iter := 0; iter < 4000; iter++ {
+		var maxDelta float64
+		for d := 0; d < dies; d++ {
+			for iy := 0; iy < ny; iy++ {
+				for ix := 0; ix < nx; ix++ {
+					i := iy*nx + ix
+					var gSum, flow float64
+					// Lateral neighbors.
+					for _, nb := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+						jx, jy := ix+nb[0], iy+nb[1]
+						if jx < 0 || jx >= nx || jy < 0 || jy >= ny {
+							continue
+						}
+						j := jy*nx + jx
+						gSum += gLat
+						flow += gLat * t[d][j]
+					}
+					// Vertical coupling to the other die.
+					if dies == 2 {
+						o := 1 - d
+						gSum += vertK[i]
+						flow += vertK[i] * t[o][i]
+					}
+					// Ambient paths.
+					if d == sinkDie {
+						gSum += gSink
+						flow += gSink * p.AmbientC
+					}
+					if d == 0 {
+						gSum += gBoard
+						flow += gBoard * p.AmbientC
+					}
+					if gSum == 0 {
+						continue
+					}
+					nt := (flow + pw[d][i]) / gSum
+					if dl := math.Abs(nt - t[d][i]); dl > maxDelta {
+						maxDelta = dl
+					}
+					t[d][i] = nt
+				}
+			}
+		}
+		if maxDelta < 1e-4 {
+			break
+		}
+	}
+
+	res := &Result{NX: nx, NY: ny, MapC: t, Dies: dies, TMaxC: -1e18}
+	var sum float64
+	cnt := 0
+	for d := 0; d < dies; d++ {
+		res.TMaxPerDie[d] = -1e18
+		for _, v := range t[d] {
+			if v > res.TMaxC {
+				res.TMaxC = v
+			}
+			if v > res.TMaxPerDie[d] {
+				res.TMaxPerDie[d] = v
+			}
+			sum += v
+			cnt++
+		}
+	}
+	res.TAvgC = sum / float64(cnt)
+	return res
+}
+
+// AnalyzeBlock solves the temperature field of one implemented block. The
+// per-tile power comes from the block's cells, macros and nets at their
+// placed positions (physical watts: the scale model's multiplier applies).
+// bond selects the vertical-coupling model; the block's TSV pads contribute
+// thermal conductance under F2B.
+func AnalyzeBlock(b *netlist.Block, sm tech.ScaleModel, bond extract.Bonding, p Params) (*Result, error) {
+	dies := 1
+	if b.Is3D {
+		dies = 2
+	}
+	out := b.Outline[0]
+	if b.Is3D {
+		out = out.Union(b.Outline[1])
+	}
+	if out.Area() <= 0 {
+		return nil, fmt.Errorf("thermal: block %s has no outline", b.Name)
+	}
+	const nx, ny = 16, 16
+	grid, err := geom.NewGrid(out, nx, ny)
+	if err != nil {
+		return nil, fmt.Errorf("thermal: %v", err)
+	}
+
+	var pw [2][]float64
+	pw[0] = make([]float64, nx*ny)
+	pw[1] = make([]float64, nx*ny)
+	mult := sm.PowerMultiplier() * 1e-3 // mW -> W at physical magnitude
+	freq := b.Clock.FreqMHz()
+
+	add := func(pt geom.Point, die netlist.Die, mw float64) {
+		ix, iy := grid.BinAt(pt)
+		pw[die][iy*nx+ix] += mw * mult
+	}
+	for i := range b.Cells {
+		c := &b.Cells[i]
+		act := c.Activity
+		if act == 0 {
+			act = power.DefaultActivity
+		}
+		if c.IsClockBuf {
+			act = 2
+		}
+		mw := tech.DynamicPowerMW(c.Master.IntCap, act, freq) + c.Master.LeaknW*1e-6
+		add(c.Center(), c.Die, mw)
+	}
+	for i := range b.Macros {
+		m := &b.Macros[i]
+		act := m.Activity
+		if act == 0 {
+			act = 0.5
+		}
+		mw := m.Model.ReadEnergyFJ*act*freq*1e-6 + m.Model.LeakmW
+		add(m.Center(), m.Die, mw)
+	}
+	for i := range b.Nets {
+		n := &b.Nets[i]
+		act := n.Activity
+		if act == 0 {
+			act = power.DefaultActivity
+		}
+		mw := tech.DynamicPowerMW(n.WireCapfF, act, freq)
+		add(b.PinPos(n.Driver), b.PinDie(n.Driver), mw)
+	}
+
+	// Tile geometry at physical scale.
+	shrink := sm.LinearShrink()
+	dx, dy := grid.BinSize()
+	tileAreaM2 := (dx * shrink * 1e-6) * (dy * shrink * 1e-6)
+
+	// Vertical conductance per tile: bond baseline plus TSV copper (F2B).
+	vertK := make([]float64, nx*ny)
+	base := p.KBondBaseWPerM2K
+	if bond == extract.F2F {
+		// Metal-to-metal face bond conducts better than the F2B adhesive,
+		// but the stack loses the TSV thermal paths.
+		base *= 1.8
+	}
+	for i := range vertK {
+		vertK[i] = base * tileAreaM2
+	}
+	if bond == extract.F2B {
+		// Each physical TSV adds its copper conductance at its pad's tile.
+		perPad := math.Sqrt(sm.Scale) // one drawn pad stands for many vias
+		for _, pad := range b.TSVPads {
+			ix, iy := grid.BinAt(pad.Center())
+			vertK[iy*nx+ix] += p.KTSVWPerK * perPad
+		}
+	}
+	return solve(pw, nx, ny, dies, tileAreaM2, vertK, p), nil
+}
+
+// ChipPowerTile is one block's contribution to the chip-level thermal map.
+type ChipPowerTile struct {
+	Rect geom.Rect
+	Die  netlist.Die
+	// Both spreads the block's power over both dies (folded blocks).
+	Both bool
+	// PowerMW is the block's total power at report magnitude.
+	PowerMW float64
+}
+
+// AnalyzeChip solves the chip-level temperature field from per-block power
+// totals spread uniformly over each block's floorplan rectangle. outline is
+// the chip outline (drawn µm); dies is 1 or 2; tsvs is the physical TSV
+// population (vertical thermal paths under F2B).
+func AnalyzeChip(outline geom.Rect, tiles []ChipPowerTile, dies int, bond extract.Bonding, tsvs int, sm tech.ScaleModel, p Params) (*Result, error) {
+	if outline.Area() <= 0 {
+		return nil, fmt.Errorf("thermal: empty chip outline")
+	}
+	const nx, ny = 24, 24
+	grid, err := geom.NewGrid(outline, nx, ny)
+	if err != nil {
+		return nil, fmt.Errorf("thermal: %v", err)
+	}
+	var pw [2][]float64
+	pw[0] = make([]float64, nx*ny)
+	pw[1] = make([]float64, nx*ny)
+	for _, t := range tiles {
+		area := t.Rect.Area()
+		if area <= 0 {
+			continue
+		}
+		watts := t.PowerMW * 1e-3
+		grid.OverlapBins(t.Rect, func(ix, iy int, a float64) {
+			share := watts * a / area
+			if t.Both && dies == 2 {
+				pw[0][iy*nx+ix] += share / 2
+				pw[1][iy*nx+ix] += share / 2
+			} else {
+				pw[t.Die][iy*nx+ix] += share
+			}
+		})
+	}
+	shrink := sm.LinearShrink()
+	dx, dy := grid.BinSize()
+	tileAreaM2 := (dx * shrink * 1e-6) * (dy * shrink * 1e-6)
+
+	vertK := make([]float64, nx*ny)
+	base := p.KBondBaseWPerM2K
+	if bond == extract.F2F {
+		base *= 1.8
+	}
+	perTile := base*tileAreaM2 + p.KTSVWPerK*float64(tsvs)/float64(nx*ny)
+	for i := range vertK {
+		vertK[i] = perTile
+	}
+	return solve(pw, nx, ny, dies, tileAreaM2, vertK, p), nil
+}

@@ -1,0 +1,139 @@
+// Package fold3d is the public API of the fold3d library: a reproduction of
+// "On Enhancing Power Benefits in 3D ICs: Block Folding and Bonding Styles
+// Perspective" (Jung et al., DAC 2014) as a self-contained EDA stack in Go.
+//
+// The library builds a synthetic OpenSPARC-T2-class design, implements it
+// through a full RTL-to-GDSII-like flow (floorplanning, mixed-size 3D
+// placement, CTS, repeater insertion, sizing, dual-Vth, parasitic
+// extraction, STA, power analysis), and evaluates the paper's design styles:
+// 2D, 3D floorplanning (core/cache and core/core stacking), and block
+// folding under face-to-back (TSV) or face-to-face (F2F via) bonding.
+//
+// Quick start:
+//
+//	design, _ := fold3d.Generate(fold3d.Options{})
+//	fl := fold3d.NewFlow(design, fold3d.FlowConfig{})
+//	chip, _ := fl.BuildChip(fold3d.StyleFoldF2F)
+//	fmt.Println(chip.Power)
+//
+// The exp sub-API (Experiments) regenerates every table and figure of the
+// paper's evaluation; see EXPERIMENTS.md for the paper-vs-measured record.
+package fold3d
+
+import (
+	"fold3d/internal/core"
+	"fold3d/internal/exp"
+	"fold3d/internal/extract"
+	"fold3d/internal/flow"
+	"fold3d/internal/netlist"
+	"fold3d/internal/t2"
+	"fold3d/internal/tech"
+)
+
+// Design is the generated benchmark database (blocks, bundles, technology).
+type Design = t2.Design
+
+// Block is one gate-level block netlist with its implementation state.
+type Block = netlist.Block
+
+// Flow is the implementation engine.
+type Flow = flow.Flow
+
+// FlowConfig selects bonding style, dual-Vth and engine options.
+type FlowConfig = flow.Config
+
+// BlockResult and ChipResult carry the per-block / full-chip metrics.
+type BlockResult = flow.BlockResult
+
+// ChipResult is a full-chip implementation outcome.
+type ChipResult = flow.ChipResult
+
+// FoldOptions configures block folding (mode, groups, cut inflation).
+type FoldOptions = core.FoldOptions
+
+// Style is a full-chip design style (Figure 8 of the paper).
+type Style = t2.Style
+
+// Bonding selects the 3D via technology.
+type Bonding = extract.Bonding
+
+// Library is the 28nm-class technology library.
+type Library = tech.Library
+
+// The five design styles of the paper.
+const (
+	Style2D        = t2.Style2D
+	StyleCoreCache = t2.StyleCoreCache
+	StyleCoreCore  = t2.StyleCoreCore
+	StyleFoldF2B   = t2.StyleFoldF2B
+	StyleFoldF2F   = t2.StyleFoldF2F
+)
+
+// Bonding styles.
+const (
+	F2B = extract.F2B
+	F2F = extract.F2F
+)
+
+// Fold modes.
+const (
+	FoldNatural     = core.FoldNatural
+	FoldMinCut      = core.FoldMinCut
+	FoldSecondLevel = core.FoldSecondLevel
+)
+
+// Options parameterizes design generation.
+type Options struct {
+	// Scale is the netlist scale factor: one modeled cell per Scale
+	// physical cells. 0 selects the default (1000).
+	Scale float64
+	// Seed drives all randomness (default 42). Runs are bit-reproducible.
+	Seed uint64
+	// Only restricts generation to the named blocks (block-level studies).
+	Only []string
+}
+
+// Generate builds the synthetic OpenSPARC T2 design database.
+func Generate(opt Options) (*Design, error) {
+	cfg := t2.DefaultConfig()
+	if opt.Scale > 0 {
+		cfg.Scale = opt.Scale
+	}
+	if opt.Seed != 0 {
+		cfg.Seed = opt.Seed
+	}
+	cfg.Only = opt.Only
+	return t2.Generate(cfg)
+}
+
+// NewFlow binds a design to a flow configuration; pass the zero FlowConfig
+// for the defaults used throughout EXPERIMENTS.md.
+func NewFlow(d *Design, cfg FlowConfig) *Flow {
+	if cfg.Util == 0 {
+		cfg = flow.DefaultConfig()
+	}
+	return flow.New(d, cfg)
+}
+
+// DefaultFlowConfig returns the committed experiment defaults.
+func DefaultFlowConfig() FlowConfig { return flow.DefaultConfig() }
+
+// Fold splits a block across two dies in place (see FoldOptions).
+func Fold(b *Block, opt FoldOptions) (*core.FoldResult, error) {
+	return core.Fold(b, opt)
+}
+
+// Experiments exposes the table/figure harness of the paper's evaluation.
+type Experiments = exp.Config
+
+// NewExperiments returns the experiment configuration with defaults.
+func NewExperiments(scale float64, seed uint64) Experiments {
+	cfg := exp.DefaultConfig()
+	if scale > 0 {
+		cfg.Scale = scale
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	return cfg
+}

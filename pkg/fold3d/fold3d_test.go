@@ -1,0 +1,73 @@
+package fold3d
+
+import (
+	"testing"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	d, err := Generate(Options{Only: []string{"L2B0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := NewFlow(d, FlowConfig{})
+	b := d.Blocks["L2B0"]
+	r, err := fl.ImplementBlock(b, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Power.TotalMW <= 0 {
+		t.Error("no power report")
+	}
+}
+
+func TestPublicFold(t *testing.T) {
+	d, err := Generate(Options{Only: []string{"L2T0"}, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := d.Blocks["L2T0"]
+	res, err := Fold(b, FoldOptions{Mode: FoldMinCut, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CutNets == 0 {
+		t.Error("no cut nets")
+	}
+	if !b.Is3D {
+		t.Error("block not folded")
+	}
+}
+
+func TestStylesExported(t *testing.T) {
+	styles := []Style{Style2D, StyleCoreCache, StyleCoreCore, StyleFoldF2B, StyleFoldF2F}
+	seen := map[string]bool{}
+	for _, s := range styles {
+		if seen[s.String()] {
+			t.Errorf("duplicate style name %s", s)
+		}
+		seen[s.String()] = true
+	}
+	if F2B.String() == F2F.String() {
+		t.Error("bonding constants collide")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	cfg := NewExperiments(0, 0)
+	if cfg.Scale != 1000 || cfg.Seed != 42 {
+		t.Errorf("experiment defaults = %+v", cfg)
+	}
+	cfg = NewExperiments(500, 7)
+	if cfg.Scale != 500 || cfg.Seed != 7 {
+		t.Errorf("experiment overrides = %+v", cfg)
+	}
+	if DefaultFlowConfig().Util <= 0 {
+		t.Error("flow defaults empty")
+	}
+}
+
+func TestGenerateBadOptions(t *testing.T) {
+	if _, err := Generate(Options{Scale: 0.5}); err == nil {
+		t.Error("expected error for scale < 1")
+	}
+}
