@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"fold3d/internal/exp"
@@ -112,15 +113,17 @@ func main() {
 		}
 		fmt.Println(r)
 		if *svgdir != "" {
-			for name, content := range map[string]string{
-				"fig4-merged.v": r.Verilog, "fig4-merged.def": r.DEF,
-				"fig4-merged.lef": r.LEF, "fig4-nets3d.txt": r.Nets3D,
+			// A slice keeps the write and log order deterministic (a map
+			// literal here would randomize it).
+			for _, out := range []struct{ name, content string }{
+				{"fig4-merged.v", r.Verilog}, {"fig4-merged.def", r.DEF},
+				{"fig4-merged.lef", r.LEF}, {"fig4-nets3d.txt", r.Nets3D},
 			} {
-				path := filepath.Join(*svgdir, name)
+				path := filepath.Join(*svgdir, out.name)
 				if err := os.MkdirAll(*svgdir, 0o755); err != nil {
 					return err
 				}
-				if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				if err := os.WriteFile(path, []byte(out.content), 0o644); err != nil {
 					return err
 				}
 				fmt.Println("wrote", path)
@@ -163,8 +166,13 @@ func main() {
 			return err
 		}
 		fmt.Println(r)
-		for name, svg := range r.SVGs {
-			writeSVG("fig8-"+name, svg)
+		names := make([]string, 0, len(r.SVGs))
+		for name := range r.SVGs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			writeSVG("fig8-"+name, r.SVGs[name])
 		}
 		return nil
 	})

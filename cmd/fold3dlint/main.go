@@ -1,0 +1,75 @@
+// Command fold3dlint runs fold3d's in-tree static-analysis suite
+// (internal/lint) over the module and reports findings with file:line
+// positions. It exits 1 when any finding remains, so it can gate CI:
+//
+//	go run ./cmd/fold3dlint ./...
+//
+// Flags:
+//
+//	-checks determinism,mapiter   run a subset of the suite
+//	-list                         print the available checks and exit
+//
+// Intentional violations are silenced in place with
+// //lint:ignore <check> <reason> on (or directly above) the offending line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fold3d/internal/lint"
+)
+
+func main() {
+	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := flag.Bool("list", false, "list available checks and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fold3dlint [flags] [packages]\n\n"+
+			"Runs the fold3d static-analysis suite. Package patterns are module-relative\n"+
+			"(e.g. ./... or internal/place); with no patterns the whole module is linted.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, c := range lint.AllChecks() {
+			fmt.Printf("%-12s %s\n", c.Name, c.Doc)
+		}
+		return
+	}
+
+	checks := lint.AllChecks()
+	if *checksFlag != "" {
+		checks = checks[:0]
+		for _, name := range strings.Split(*checksFlag, ",") {
+			c := lint.CheckByName(strings.TrimSpace(name))
+			if c == nil {
+				fmt.Fprintf(os.Stderr, "fold3dlint: unknown check %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			checks = append(checks, c)
+		}
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fold3dlint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadModule(flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fold3dlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	findings := lint.Run(lint.DefaultConfig(), pkgs, checks)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "fold3dlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -151,8 +151,11 @@ func foldNatural(b *netlist.Block, opt FoldOptions) error {
 		restOrder = append(restOrder, ga{g, a})
 	}
 	sort.Slice(restOrder, func(i, j int) bool {
-		if restOrder[i].a != restOrder[j].a {
-			return restOrder[i].a > restOrder[j].a
+		if restOrder[i].a > restOrder[j].a {
+			return true
+		}
+		if restOrder[i].a < restOrder[j].a {
+			return false
 		}
 		return restOrder[i].g < restOrder[j].g
 	})
@@ -305,14 +308,17 @@ func foldSecondLevel(b *netlist.Block, opt FoldOptions) error {
 	for g, a := range groupArea {
 		order = append(order, ga{g, a})
 	}
-	// Deterministic heaviest-first.
-	for i := 0; i < len(order); i++ {
-		for j := i + 1; j < len(order); j++ {
-			if order[j].a > order[i].a || (order[j].a == order[i].a && order[j].g < order[i].g) {
-				order[i], order[j] = order[j], order[i]
-			}
+	// Deterministic heaviest-first; group name breaks area ties so the
+	// assignment cannot depend on map iteration order.
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].a > order[j].a {
+			return true
 		}
-	}
+		if order[i].a < order[j].a {
+			return false
+		}
+		return order[i].g < order[j].g
+	})
 	var area [2]float64
 	dieOf := make(map[string]netlist.Die)
 	for _, e := range order {

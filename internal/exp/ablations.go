@@ -60,6 +60,7 @@ func AblationMacroMode(cfg Config) (*MacroModeResult, error) {
 	return res, nil
 }
 
+// String renders the macro-handling ablation report.
 func (r *MacroModeResult) String() string {
 	return fmt.Sprintf(`== Ablation: macro holes vs demand-reduction in the 3D placer (%s) ==
 supply/demand holes (paper): legalization displacement %8.1f um, WL %8.1f um, power %8.1f mW
@@ -105,6 +106,7 @@ func AblationFoldingCriteria(cfg Config) (*CriteriaAblationResult, error) {
 	}, nil
 }
 
+// String renders the folding-criteria ablation report.
 func (r *CriteriaAblationResult) String() string {
 	return fmt.Sprintf(`== Ablation: folding criteria (fold a rejected block anyway) ==
 %s (fails criteria): power %+.1f%% vs 2D when folded
@@ -160,6 +162,7 @@ func AblationDualVth(cfg Config) (*DualVthResult, error) {
 	return res, nil
 }
 
+// String renders the dual-Vth ablation report.
 func (r *DualVthResult) String() string {
 	var sb strings.Builder
 	sb.WriteString("== Dual-Vth ablation (paper §6.2) ==\n")
@@ -209,6 +212,7 @@ func AblationTSVCoupling(cfg Config) (*TSVCouplingResult, error) {
 	return res, nil
 }
 
+// String renders the TSV-coupling ablation report.
 func (r *TSVCouplingResult) String() string {
 	return fmt.Sprintf(`== Ablation: TSV-to-wire coupling capacitance (paper §7 future work) ==
 %s folded with %d TSVs: power %.1f mW -> %.1f mW with coupling (%+.2f%%)
@@ -254,6 +258,7 @@ func AblationRSMT(cfg Config) (*RSMTResult, error) {
 	return res, nil
 }
 
+// String renders the Steiner-tree extraction ablation report.
 func (r *RSMTResult) String() string {
 	return fmt.Sprintf(`== Ablation: statistical vs rectilinear-Steiner wirelength (%s) ==
 statistical estimate: %8.1f um, %8.1f mW

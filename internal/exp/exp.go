@@ -6,6 +6,7 @@ package exp
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"fold3d/internal/core"
@@ -121,6 +122,7 @@ func (t *Table) Diff(metric string, col int) (float64, bool) {
 	return 0, false
 }
 
+// String renders the table with its title, header and aligned rows.
 func (t *Table) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "== %s ==\n", t.Title)
@@ -254,8 +256,16 @@ func Table3(cfg Config) ([]Table3Row, string, error) {
 		}
 		return name
 	}
+	// Sum in sorted block order: float += over map iteration order would
+	// vary the totals' last bits run to run.
+	blockNames := make([]string, 0, len(r.Blocks))
+	for name := range r.Blocks {
+		blockNames = append(blockNames, name)
+	}
+	sort.Strings(blockNames)
 	var system float64
-	for name, br := range r.Blocks {
+	for _, name := range blockNames {
+		br := r.Blocks[name]
 		ty := typeOf(name)
 		a := byType[ty]
 		if a == nil {
@@ -269,8 +279,16 @@ func Table3(cfg Config) ([]Table3Row, string, error) {
 		system += br.Power.TotalMW
 	}
 
+	// Iterate block types in sorted order: profile order reaches
+	// core.Score's ranking and must not depend on map iteration.
+	types := make([]string, 0, len(byType))
+	for ty := range byType {
+		types = append(types, ty)
+	}
+	sort.Strings(types)
 	var profiles []core.BlockProfile
-	for ty, a := range byType {
+	for _, ty := range types {
+		a := byType[ty]
 		profiles = append(profiles, core.BlockProfile{
 			Name:         ty,
 			Copies:       a.n,
@@ -327,6 +345,7 @@ func (fc *FoldCompare) fill() {
 	fc.PowerPct = pct(fc.R3D.Power.TotalMW, fc.R2D.Power.TotalMW)
 }
 
+// String renders the 2D-versus-folded comparison rows.
 func (fc *FoldCompare) String() string {
 	return fmt.Sprintf("%s fold (%s): footprint %+.1f%%, wirelength %+.1f%%, buffers %+.1f%%, power %+.1f%% (vias: %d TSV / %d F2F)",
 		fc.Block, fc.Bond, fc.FootprintPct, fc.WirelengthPct, fc.BuffersPct, fc.PowerPct,

@@ -65,6 +65,7 @@ func Figure4(cfg Config) (*Figure4Result, error) {
 	return res, nil
 }
 
+// String renders the merged-netlist handoff summary.
 func (r *Figure4Result) String() string {
 	return fmt.Sprintf(`== Figure 4: the "2D-like 3D design files" of the F2F via flow (%s) ==
 merged Verilog: %5d bytes (_die_top/_die_bot suffixed masters)

@@ -74,6 +74,7 @@ func Figure2(cfg Config) (*Figure2Result, error) {
 	return res, nil
 }
 
+// String renders the CCX 2D-versus-3D comparison report.
 func (r *Figure2Result) String() string {
 	var sb strings.Builder
 	sb.WriteString("== Figure 2: folding the CCX (PCX/CPX natural split) ==\n")
@@ -130,6 +131,7 @@ func Figure3(cfg Config) (*Figure3Result, error) {
 	return &Figure3Result{SecondLevel: sl, WholeFold: wf}, nil
 }
 
+// String renders the wirelength-distribution report.
 func (r *Figure3Result) String() string {
 	var sb strings.Builder
 	sb.WriteString("== Figure 3: second-level folding of a SPARC core ==\n")
@@ -194,6 +196,7 @@ func Figure5(cfg Config) (*Figure5Result, error) {
 	return res, nil
 }
 
+// String renders the L2T folding report.
 func (r *Figure5Result) String() string {
 	return fmt.Sprintf(`== Figure 5: F2F via placement by 3D net routing (%s) ==
 routed flow:      %d vias, max pile-up %d per gcell, overflow %d
@@ -252,6 +255,7 @@ func Figure6(cfg Config) (*Figure6Result, error) {
 	return res, nil
 }
 
+// String renders the per-block bonding-style comparison report.
 func (r *Figure6Result) String() string {
 	var sb strings.Builder
 	sb.WriteString("== Figure 6: bonding style impact on folded blocks ==\n")
@@ -339,6 +343,7 @@ func Figure7(cfg Config) (*Figure7Result, error) {
 	return res, nil
 }
 
+// String renders the power-breakdown report.
 func (r *Figure7Result) String() string {
 	var sb strings.Builder
 	sb.WriteString("== Figure 7: bonding style impact vs partition (L2T folding) ==\n")
@@ -385,6 +390,7 @@ func Figure8(cfg Config) (*Figure8Result, error) {
 	return res, nil
 }
 
+// String renders the chip-level design-style comparison report.
 func (r *Figure8Result) String() string {
 	var sb strings.Builder
 	sb.WriteString("== Figure 8: GDSII layouts of the five design styles ==\n")

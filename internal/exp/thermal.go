@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"fold3d/internal/extract"
@@ -44,8 +45,15 @@ func ThermalStudy(cfg Config) (*ThermalResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("exp: thermal %s: %v", st, err)
 		}
+		// Tile order feeds the solver's float accumulation; iterate block
+		// names sorted so the temperature field is bit-reproducible.
+		names := make([]string, 0, len(r.Blocks))
+		for name := range r.Blocks {
+			names = append(names, name)
+		}
+		sort.Strings(names)
 		var tiles []thermal.ChipPowerTile
-		for name, br := range r.Blocks {
+		for _, name := range names {
 			p, err := r.FP.Find(name)
 			if err != nil {
 				return nil, err
@@ -54,7 +62,7 @@ func ThermalStudy(cfg Config) (*ThermalResult, error) {
 				Rect:    p.Rect,
 				Die:     p.Die,
 				Both:    p.Both,
-				PowerMW: br.Power.TotalMW,
+				PowerMW: r.Blocks[name].Power.TotalMW,
 			})
 		}
 		dies := 1
@@ -85,6 +93,7 @@ func ThermalStudy(cfg Config) (*ThermalResult, error) {
 	return res, nil
 }
 
+// String renders the thermal study rows.
 func (r *ThermalResult) String() string {
 	var sb strings.Builder
 	sb.WriteString("== Thermal study (paper §7 future work) ==\n")

@@ -24,6 +24,7 @@ const (
 	F2F
 )
 
+// String names the bonding style (F2B or F2F).
 func (b Bonding) String() string {
 	if b == F2F {
 		return "F2F"

@@ -220,10 +220,19 @@ func PlanInterblockTSVs(fp *Floorplan, bundles []Bundle, opt PlanTSVArrayOptions
 
 // slideOutsideBlocks nudges r out of any overlapping block with the minimal
 // axis move, iterating a few times (channels are wide enough in practice).
+// Blocks are visited in sorted name order: each nudge depends on the ones
+// before it, so the visit order decides the final position and must not be
+// left to map iteration.
 func slideOutsideBlocks(fp *Floorplan, r geom.Rect) geom.Rect {
+	names := make([]string, 0, len(fp.Blocks))
+	for n := range fp.Blocks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
 	for iter := 0; iter < 8; iter++ {
 		moved := false
-		for _, p := range fp.Blocks {
+		for _, n := range names {
+			p := fp.Blocks[n]
 			ov, ok := r.Intersect(p.Rect)
 			if !ok {
 				continue
@@ -357,8 +366,11 @@ func edgePoints(rect geom.Rect, toward geom.Point, n int) []geom.Point {
 		}
 	}
 	sort.Slice(pts, func(i, j int) bool {
-		if pts[i].X != pts[j].X {
-			return pts[i].X < pts[j].X
+		if pts[i].X < pts[j].X {
+			return true
+		}
+		if pts[i].X > pts[j].X {
+			return false
 		}
 		return pts[i].Y < pts[j].Y
 	})

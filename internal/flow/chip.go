@@ -374,7 +374,15 @@ func (f *Flow) aggregate(res *ChipResult) {
 	s := &res.Stats
 	s.FootprintUm2 = res.FP.Outline.Area()
 	s.FootprintMM2 = s.FootprintUm2 * f.D.Cfg.Scale / 1e6
-	for _, br := range res.Blocks {
+	// Sorted iteration: float += is not associative, so summing in map
+	// order would vary the totals' last bits run to run.
+	names := make([]string, 0, len(res.Blocks))
+	for name := range res.Blocks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		br := res.Blocks[name]
 		s.WirelengthUm += br.Stats.Wirelength
 		s.NumCells += br.Stats.NumCells
 		s.NumBuffers += br.Stats.NumBuffers

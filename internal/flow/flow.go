@@ -243,13 +243,16 @@ func normalizePorts(b *netlist.Block) {
 	}
 	out := b.Outline[0]
 	sx, sy := 1.0, 1.0
+	scaled := false
 	if maxX > out.W() && maxX > 0 {
 		sx = out.W() / maxX
+		scaled = true
 	}
 	if maxY > out.H() && maxY > 0 {
 		sy = out.H() / maxY
+		scaled = true
 	}
-	if sx == 1 && sy == 1 {
+	if !scaled {
 		return
 	}
 	for i := range b.Ports {

@@ -34,6 +34,7 @@ func (p Point) ManhattanDist(q Point) float64 {
 	return math.Abs(p.X-q.X) + math.Abs(p.Y-q.Y)
 }
 
+// String formats the point as (x,y) in µm.
 func (p Point) String() string { return fmt.Sprintf("(%.3f,%.3f)", p.X, p.Y) }
 
 // Rect is an axis-aligned rectangle [Lo.X,Hi.X) x [Lo.Y,Hi.Y).
@@ -123,6 +124,7 @@ func (r Rect) Clamp(p Point) Point {
 	}
 }
 
+// String formats the rectangle as [lo hi].
 func (r Rect) String() string {
 	return fmt.Sprintf("[%s %s]", r.Lo, r.Hi)
 }
@@ -130,6 +132,7 @@ func (r Rect) String() string {
 // BoundingBox returns the bounding box of pts. It panics on an empty slice.
 func BoundingBox(pts []Point) Rect {
 	if len(pts) == 0 {
+		//lint:ignore apiguard empty input is a documented precondition violation, not a recoverable condition
 		panic("geom: BoundingBox of empty point set")
 	}
 	r := Rect{pts[0], pts[0]}

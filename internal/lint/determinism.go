@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// importedPath resolves ident to the import path of the package it names,
+// or "" when ident is not a package qualifier.
+func importedPath(p *Package, ident *ast.Ident) string {
+	if pn, ok := p.Info.Uses[ident].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// DeterminismCheck forbids ambient nondeterminism in algorithm packages.
+// Every stochastic decision in the flow must draw from internal/rng so that
+// a (design, seed) pair maps to exactly one result; math/rand has global
+// state, time.Now varies per run, and os.Getenv makes behavior depend on
+// the machine the experiment happens to run on.
+func DeterminismCheck() *Check {
+	return &Check{
+		Name: "determinism",
+		Doc:  "forbid math/rand, time.Now and os.Getenv in algorithm packages (use internal/rng)",
+		Run:  runDeterminism,
+	}
+}
+
+// forbiddenImports maps import paths to the reason they are banned.
+var forbiddenImports = map[string]string{
+	"math/rand":    "use the seeded fold3d/internal/rng generator instead",
+	"math/rand/v2": "use the seeded fold3d/internal/rng generator instead",
+}
+
+// forbiddenCalls maps package-qualified functions to the reason they are
+// banned. Keys are "importPath.Func".
+var forbiddenCalls = map[string]string{
+	"time.Now":  "wall-clock time makes runs irreproducible; thread timestamps in from the caller",
+	"os.Getenv": "environment lookups make results machine-dependent; pass configuration explicitly",
+}
+
+// isAlgoPackage reports whether path is one of the packages the determinism
+// policy covers.
+func (cfg *Config) isAlgoPackage(path string) bool {
+	for _, suf := range cfg.AlgoPackages {
+		if path == suf || strings.HasSuffix(path, "/"+suf) || strings.HasSuffix(path, suf) {
+			return true
+		}
+	}
+	return false
+}
+
+func runDeterminism(cfg *Config, p *Package) []Finding {
+	if !cfg.isAlgoPackage(p.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		// Imports of banned packages are findings regardless of use.
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, ok := forbiddenImports[path]; ok {
+				out = append(out, Finding{
+					Check:   "determinism",
+					Pos:     p.Fset.Position(imp.Pos()),
+					Message: fmt.Sprintf("import of %s in algorithm package: %s", path, why),
+				})
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			// Resolve the qualifier to a package name to survive import
+			// renaming and to skip same-named local variables.
+			pkgPath := importedPath(p, ident)
+			if pkgPath == "" {
+				return true
+			}
+			key := pkgPath + "." + sel.Sel.Name
+			if why, ok := forbiddenCalls[key]; ok {
+				out = append(out, Finding{
+					Check:   "determinism",
+					Pos:     p.Fset.Position(sel.Pos()),
+					Message: fmt.Sprintf("%s in algorithm package: %s", key, why),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}

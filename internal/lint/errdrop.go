@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDropCheck flags call statements that silently discard a returned
+// error: a bare `f()` or `defer f()` where f returns an error. A dropped
+// error in the flow usually means a stage failure (unplaceable cell,
+// missing library master) is papered over and the run produces plausible
+// but wrong numbers. Assigning to the blank identifier (`_ = f()`) remains
+// legal because it is a visible, greppable decision.
+//
+// Following the errcheck convention, fmt's Print/Fprint family is exempt
+// (best-effort diagnostics whose int/error results are conventionally
+// unused), as are writes to strings.Builder and bytes.Buffer, which are
+// documented never to fail.
+func ErrDropCheck() *Check {
+	return &Check{
+		Name: "errdrop",
+		Doc:  "flag call statements whose returned error is silently discarded",
+		Run:  runErrDrop,
+	}
+}
+
+func runErrDrop(cfg *Config, p *Package) []Finding {
+	var out []Finding
+	report := func(call *ast.CallExpr, deferred bool) {
+		if !returnsError(p, call) || exemptCall(p, call) {
+			return
+		}
+		what := "call discards its error result"
+		if deferred {
+			what = "deferred call discards its error result"
+		}
+		out = append(out, Finding{
+			Check:   "errdrop",
+			Pos:     p.Fset.Position(call.Pos()),
+			Message: what + "; handle it, or assign to _ to make the drop explicit",
+		})
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					report(call, false)
+				}
+			case *ast.DeferStmt:
+				report(st.Call, true)
+			case *ast.GoStmt:
+				report(st.Call, false)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// exemptCall reports whether call is on the conventional exclusion list:
+// fmt print helpers and never-failing buffer writes.
+func exemptCall(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok && importedPath(p, id) == "fmt" {
+		switch sel.Sel.Name {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return true
+		}
+	}
+	// Methods on *strings.Builder / *bytes.Buffer never return a non-nil
+	// error (documented contract).
+	if recv := p.Info.TypeOf(sel.X); recv != nil {
+		switch types.TypeString(recv, nil) {
+		case "*strings.Builder", "strings.Builder", "*bytes.Buffer", "bytes.Buffer":
+			return true
+		}
+	}
+	return false
+}
+
+// returnsError reports whether any result of call is of type error.
+func returnsError(p *Package, call *ast.CallExpr) bool {
+	t := p.Info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	switch rt := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < rt.Len(); i++ {
+			if isErrorType(rt.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(rt)
+	}
+}
+
+// errorIface is the universe error interface.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t implements the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmpCheck flags == and != between floating-point operands. Geometry
+// and timing code accumulates rounding error (placement coordinates, slack
+// arithmetic, wirelength sums), so exact equality is almost always a latent
+// bug; use an epsilon comparison (geom.AlmostEqual) instead.
+//
+// Two comparisons are exempt as exact by construction: both operands are
+// compile-time constants, or one operand is the literal 0. The zero
+// exemption covers the pervasive "field left at its zero value means use
+// the default" sentinel idiom (`if act == 0 { act = DefaultActivity }`) —
+// a float assigned 0 compares equal to 0 under IEEE-754, so the test is
+// reliable. Named sentinels (`arr[i] == unset`) are still flagged so the
+// sentinel's exactness is justified once, at an ignore directive.
+func FloatCmpCheck() *Check {
+	return &Check{
+		Name: "floatcmp",
+		Doc:  "flag ==/!= between floating-point operands (use epsilon comparison)",
+		Run:  runFloatCmp,
+	}
+}
+
+func runFloatCmp(cfg *Config, p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			lt, rt := p.Info.Types[be.X], p.Info.Types[be.Y]
+			if !isFloat(lt.Type) && !isFloat(rt.Type) {
+				return true
+			}
+			if lt.Value != nil && rt.Value != nil {
+				return true // constant fold: exact by definition
+			}
+			if isZeroLiteral(be.X) || isZeroLiteral(be.Y) {
+				return true // zero-value sentinel test: exact by construction
+			}
+			out = append(out, Finding{
+				Check: "floatcmp",
+				Pos:   p.Fset.Position(be.OpPos),
+				Message: "exact " + be.Op.String() + " comparison of floating-point values: " +
+					"rounding error makes this unreliable; compare with an epsilon or justify with //lint:ignore floatcmp",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// isZeroLiteral reports whether e is the literal constant 0 (possibly
+// parenthesized), as opposed to a named constant or computed value.
+func isZeroLiteral(e ast.Expr) bool {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	bl, ok := e.(*ast.BasicLit)
+	if !ok {
+		return false
+	}
+	switch bl.Value {
+	case "0", "0.0", "0.", ".0":
+		return true
+	}
+	return false
+}
+
+// isFloat reports whether t's underlying type is a floating-point kind.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,209 @@
+// Package lint is fold3d's in-tree static-analysis engine. It enforces the
+// repository's determinism and API-hygiene policy (DESIGN.md §Lint) using
+// only the standard library: go/parser builds ASTs, go/types resolves types
+// through a small in-module import resolver, and each check walks the typed
+// syntax reporting findings with file:line positions.
+//
+// The suite exists because the paper reproduction promises bit-identical
+// results for a given seed; a single unsorted map iteration feeding the
+// placer, partitioner or a report silently breaks that promise without
+// failing any test. fold3dlint turns the policy into a build gate.
+//
+// Intentional violations are silenced in place with a directive comment on
+// the offending line (or the line above it):
+//
+//	//lint:ignore <check> <reason>
+//
+// The reason is mandatory; an ignore without one is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by a check.
+type Finding struct {
+	// Check is the name of the check that produced the finding.
+	Check string
+	// Pos locates the finding (file, line, column).
+	Pos token.Position
+	// Message describes the problem and the expected fix.
+	Message string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+}
+
+// Check is a named analysis pass over one typed package.
+type Check struct {
+	// Name identifies the check in findings and ignore directives.
+	Name string
+	// Doc is a one-line description shown by the CLI.
+	Doc string
+	// Run inspects pkg and returns raw findings (ignore directives are
+	// applied by the engine, not by individual checks).
+	Run func(cfg *Config, pkg *Package) []Finding
+}
+
+// Config tunes check scoping. The zero value runs nothing useful; use
+// DefaultConfig for the repository policy.
+type Config struct {
+	// AlgoPackages lists import-path suffixes of algorithm packages in
+	// which the determinism check forbids ambient randomness and
+	// environment access.
+	AlgoPackages []string
+	// PanicAllow lists function names (rendered as pkgpath.Func or
+	// pkgpath.(*Type).Method) that may call panic. Functions whose name
+	// starts with "Must" are always allowed, per Go convention.
+	PanicAllow []string
+}
+
+// DefaultConfig returns the scoping policy enforced on the fold3d tree.
+func DefaultConfig() *Config {
+	return &Config{
+		AlgoPackages: []string{
+			"internal/core",
+			"internal/floorplan",
+			"internal/partition",
+			"internal/place",
+			"internal/route",
+			"internal/power",
+			"internal/sta",
+			"internal/thermal",
+			"internal/exp",
+		},
+		PanicAllow: []string{
+			// rng.Intn mirrors math/rand's documented contract.
+			"fold3d/internal/rng.(*R).Intn",
+		},
+	}
+}
+
+// AllChecks returns the full suite in a stable order.
+func AllChecks() []*Check {
+	return []*Check{
+		DeterminismCheck(),
+		MapIterCheck(),
+		FloatCmpCheck(),
+		ErrDropCheck(),
+		APIGuardCheck(),
+	}
+}
+
+// CheckByName returns the named check, or nil.
+func CheckByName(name string) *Check {
+	for _, c := range AllChecks() {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Run executes checks over pkgs, filters findings through //lint:ignore
+// directives, and returns the remainder sorted by position.
+func Run(cfg *Config, pkgs []*Package, checks []*Check) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		ig := collectIgnores(p)
+		for _, c := range checks {
+			for _, f := range c.Run(cfg, p) {
+				if ig.covers(f) {
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+		out = append(out, ig.malformed...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+// ignoreKey identifies the target of one ignore directive.
+type ignoreKey struct {
+	file  string
+	line  int
+	check string
+}
+
+// ignoreSet holds the parsed //lint:ignore directives of one package.
+type ignoreSet struct {
+	keys      map[ignoreKey]bool
+	malformed []Finding
+}
+
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s*(.*)$`)
+
+// collectIgnores parses every //lint:ignore directive in p. A directive
+// suppresses findings of the named check on its own line and on the line
+// immediately below it (the idiomatic "directive above the statement" form).
+func collectIgnores(p *Package) *ignoreSet {
+	ig := &ignoreSet{keys: map[ignoreKey]bool{}}
+	for _, file := range p.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				check, reason := m[1], strings.TrimSpace(m[2])
+				if reason == "" {
+					ig.malformed = append(ig.malformed, Finding{
+						Check:   "ignore",
+						Pos:     pos,
+						Message: fmt.Sprintf("lint:ignore %s directive is missing a reason", check),
+					})
+					continue
+				}
+				end := p.Fset.Position(c.End())
+				for line := pos.Line; line <= end.Line+1; line++ {
+					ig.keys[ignoreKey{pos.Filename, line, check}] = true
+				}
+			}
+		}
+	}
+	return ig
+}
+
+// covers reports whether f is suppressed by a directive.
+func (ig *ignoreSet) covers(f Finding) bool {
+	return ig.keys[ignoreKey{f.Pos.Filename, f.Pos.Line, f.Check}]
+}
+
+// funcBodies invokes fn on every function body in file: declarations and
+// literals, including literals nested inside other functions.
+func funcBodies(file *ast.File, fn func(name string, body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				fn(d.Name.Name, d.Body)
+			}
+		case *ast.FuncLit:
+			fn("func literal", d.Body)
+			// Return true so literals nested inside this one are visited.
+		}
+		return true
+	})
+}

@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the expectation regex from a // want `...` annotation.
+var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+// loadFixture loads testdata/src/<dir> under the given import path.
+func loadFixture(t *testing.T, dir, importPath string) (*Loader, *Package) {
+	t.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	p, err := l.LoadDir(filepath.Join("testdata", "src", dir), importPath)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	return l, p
+}
+
+// wantKey identifies one expected diagnostic.
+type wantKey struct {
+	file string
+	line int
+}
+
+// collectWants parses every want annotation in the fixture package.
+func collectWants(p *Package) map[wantKey][]string {
+	wants := map[wantKey][]string{}
+	for _, file := range p.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				k := wantKey{pos.Filename, pos.Line}
+				wants[k] = append(wants[k], m[1])
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture runs checks over the fixture and verifies findings match the
+// want annotations exactly (every want matched, every finding wanted).
+func checkFixture(t *testing.T, cfg *Config, p *Package, checks []*Check) {
+	t.Helper()
+	findings := Run(cfg, []*Package{p}, checks)
+	wants := collectWants(p)
+
+	matched := map[int]bool{} // finding index -> consumed
+	for k, patterns := range wants {
+		for _, pat := range patterns {
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("bad want regex %q: %v", pat, err)
+			}
+			found := false
+			for i, f := range findings {
+				if matched[i] || f.Pos.Filename != k.file || f.Pos.Line != k.line {
+					continue
+				}
+				if re.MatchString(f.Message) {
+					matched[i] = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s:%d: expected finding matching %q, got none", filepath.Base(k.file), k.line, pat)
+			}
+		}
+	}
+	for i, f := range findings {
+		if !matched[i] {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	_, p := loadFixture(t, "determinism", "fixture/determinism")
+	cfg := DefaultConfig()
+	cfg.AlgoPackages = append(cfg.AlgoPackages, "fixture/determinism")
+	checkFixture(t, cfg, p, []*Check{DeterminismCheck()})
+}
+
+func TestDeterminismSkipsNonAlgoPackages(t *testing.T) {
+	_, p := loadFixture(t, "determinism", "fixture/other")
+	fs := Run(DefaultConfig(), []*Package{p}, []*Check{DeterminismCheck()})
+	if len(fs) != 0 {
+		t.Errorf("determinism fired outside algorithm packages: %v", fs)
+	}
+}
+
+func TestMapIterFixture(t *testing.T) {
+	_, p := loadFixture(t, "mapiter", "fixture/mapiter")
+	checkFixture(t, DefaultConfig(), p, []*Check{MapIterCheck()})
+}
+
+func TestFloatCmpFixture(t *testing.T) {
+	_, p := loadFixture(t, "floatcmp", "fixture/floatcmp")
+	checkFixture(t, DefaultConfig(), p, []*Check{FloatCmpCheck()})
+}
+
+func TestErrDropFixture(t *testing.T) {
+	_, p := loadFixture(t, "errdrop", "fixture/errdrop")
+	checkFixture(t, DefaultConfig(), p, []*Check{ErrDropCheck()})
+}
+
+func TestAPIGuardFixture(t *testing.T) {
+	_, p := loadFixture(t, "apiguard", "fixture/internal/apiguard")
+	checkFixture(t, DefaultConfig(), p, []*Check{APIGuardCheck()})
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	_, p := loadFixture(t, "ignore", "fixture/internal/ignorefix")
+	findings := Run(DefaultConfig(), []*Package{p}, []*Check{FloatCmpCheck()})
+
+	// The two reasoned directives suppress their findings; the wrong-check
+	// and missing-reason cases survive, and the reasonless directive is
+	// itself reported.
+	var floatcmps, malformed int
+	for _, f := range findings {
+		switch f.Check {
+		case "floatcmp":
+			floatcmps++
+		case "ignore":
+			malformed++
+			if !strings.Contains(f.Message, "missing a reason") {
+				t.Errorf("unexpected ignore finding: %s", f)
+			}
+		default:
+			t.Errorf("unexpected check %q: %s", f.Check, f)
+		}
+	}
+	if floatcmps != 2 {
+		t.Errorf("got %d surviving floatcmp findings, want 2:\n%s", floatcmps, renderAll(findings))
+	}
+	if malformed != 1 {
+		t.Errorf("got %d malformed-directive findings, want 1:\n%s", malformed, renderAll(findings))
+	}
+}
+
+// renderAll formats findings for failure messages.
+func renderAll(fs []Finding) string {
+	var sb strings.Builder
+	for _, f := range fs {
+		fmt.Fprintf(&sb, "  %s\n", f)
+	}
+	return sb.String()
+}
+
+func TestCheckByName(t *testing.T) {
+	for _, c := range AllChecks() {
+		got := CheckByName(c.Name)
+		if got == nil || got.Name != c.Name {
+			t.Errorf("CheckByName(%q) = %v", c.Name, got)
+		}
+	}
+	if CheckByName("nope") != nil {
+		t.Errorf("CheckByName(nope) should be nil")
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Check: "floatcmp", Message: "boom"}
+	f.Pos.Filename = "x.go"
+	f.Pos.Line = 3
+	f.Pos.Column = 7
+	if got, want := f.String(), "x.go:3:7: [floatcmp] boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestMatchAny(t *testing.T) {
+	cases := []struct {
+		patterns []string
+		rel      string
+		want     bool
+	}{
+		{nil, "internal/place", true},
+		{[]string{"..."}, "internal/place", true},
+		{[]string{"./..."}, "internal/place", true},
+		{[]string{"internal/place"}, "internal/place", true},
+		{[]string{"internal/place"}, "internal/power", false},
+		{[]string{"internal/..."}, "internal/place", true},
+		{[]string{"internal/..."}, "cmd/fold3d", false},
+		{[]string{"cmd/..."}, "cmd/fold3d", true},
+	}
+	for _, c := range cases {
+		if got := matchAny(c.patterns, c.rel); got != c.want {
+			t.Errorf("matchAny(%v, %q) = %v, want %v", c.patterns, c.rel, got, c.want)
+		}
+	}
+}

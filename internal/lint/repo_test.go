@@ -1,0 +1,27 @@
+package lint
+
+import "testing"
+
+// TestRepoIsLintClean is the tier-1 gate: the full fold3d module must pass
+// every check of the suite. A failure here means either a genuine policy
+// violation (fix the code) or an intentional exception that needs a
+// //lint:ignore <check> <reason> directive at the site.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checking the whole module is not short")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.LoadModule(nil)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; module walk is broken", len(pkgs))
+	}
+	for _, f := range Run(DefaultConfig(), pkgs, AllChecks()) {
+		t.Errorf("%s", f)
+	}
+}

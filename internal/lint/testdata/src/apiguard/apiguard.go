@@ -1,0 +1,55 @@
+// Package apiguard is a lint fixture: undocumented exports and stray
+// panics. The fixture import path contains "internal/" so the check
+// applies.
+package apiguard
+
+// Documented is an exported, documented function: fine.
+func Documented() {}
+
+func Undocumented() {} // want `exported function Undocumented has no doc comment`
+
+// Widget is a documented exported type.
+type Widget struct{}
+
+type Gadget struct{} // want `exported type Gadget has no doc comment`
+
+// DoThing is documented but panics outside the allowlist.
+func DoThing() {
+	panic("boom") // want `panic in DoThing`
+}
+
+// MustThing panics, but Must-prefixed helpers are conventionally allowed.
+func MustThing() {
+	panic("boom")
+}
+
+// Limit is a documented exported constant.
+const Limit = 10
+
+const Budget = 20 // want `exported constant Budget has no doc comment`
+
+var Registry = map[string]int{} // want `exported variable Registry has no doc comment`
+
+// Grouped constants are covered by the declaration comment.
+const (
+	ModeA = iota
+	ModeB
+)
+
+// helper is unexported: no doc required, and its panic is still flagged.
+func helper() {
+	panic("internal") // want `panic in helper`
+}
+
+type stack []int
+
+// Push is an exported method name on an unexported type: not API surface,
+// no doc finding.
+func (s *stack) Push(v int) { *s = append(*s, v) }
+
+func (s *stack) Pop() int {
+	old := *s
+	v := old[len(old)-1]
+	*s = old[:len(old)-1]
+	return v
+}

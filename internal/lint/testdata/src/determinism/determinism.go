@@ -1,0 +1,41 @@
+// Package determinism is a lint fixture: ambient randomness and
+// environment access in an algorithm package.
+package determinism
+
+import (
+	"math/rand" // want `import of math/rand in algorithm package`
+	"os"
+	"time"
+)
+
+// Anneal draws randomness from the banned global generator.
+func Anneal() float64 {
+	return rand.Float64()
+}
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now in algorithm package`
+}
+
+// Tuning reads the environment.
+func Tuning() string {
+	return os.Getenv("FOLD3D_TUNING") // want `os\.Getenv in algorithm package`
+}
+
+// Elapsed uses time for arithmetic only, which is fine — only Now is banned.
+func Elapsed(d time.Duration) float64 {
+	return d.Seconds()
+}
+
+// now is a local function whose name collides with the banned selector; a
+// call through a non-package qualifier must not be flagged.
+type clock struct{}
+
+func (clock) Now() int64 { return 0 }
+
+// LocalNow calls a method named Now on a local type, not time.Now.
+func LocalNow() int64 {
+	var c clock
+	return c.Now()
+}

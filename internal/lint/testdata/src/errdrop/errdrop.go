@@ -1,0 +1,48 @@
+// Package errdrop is a lint fixture: silently discarded errors.
+package errdrop
+
+import (
+	"fmt"
+	"strings"
+)
+
+// mayFail returns only an error.
+func mayFail() error { return nil }
+
+// valueAndErr returns a value and an error.
+func valueAndErr() (int, error) { return 0, nil }
+
+// Drops discards errors in every banned position.
+func Drops() {
+	mayFail()         // want `call discards its error result`
+	valueAndErr()     // want `call discards its error result`
+	defer mayFail()   // want `deferred call discards its error result`
+	go valueAndErr()  // want `call discards its error result`
+	_ = mayFail()     // explicit discard: fine
+	_, _ = valueAndErr()
+}
+
+// Handles checks the error: fine.
+func Handles() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	n, err := valueAndErr()
+	_ = n
+	return err
+}
+
+// Exempt exercises the conventional exclusion list.
+func Exempt(sb *strings.Builder) {
+	fmt.Println("progress") // fmt print family: exempt
+	fmt.Printf("%d\n", 1)
+	fmt.Fprintf(sb, "%d\n", 2)
+	sb.WriteString("x") // strings.Builder never fails: exempt
+}
+
+// NoError calls a function with no error result: fine.
+func NoError() {
+	noErr()
+}
+
+func noErr() int { return 0 }

@@ -1,0 +1,56 @@
+// Package floatcmp is a lint fixture: exact floating-point comparisons.
+package floatcmp
+
+// Eps is the tolerance a correct comparison would use.
+const Eps = 1e-9
+
+// sentinel is a named float constant; comparing against it is flagged
+// (unlike the literal 0) so the exactness is justified at the site.
+const sentinel = -1e18
+
+// Equal compares two computed floats exactly.
+func Equal(a, b float64) bool {
+	return a == b // want `exact == comparison of floating-point values`
+}
+
+// NotEqual compares two computed floats exactly.
+func NotEqual(a, b float64) bool {
+	return a != b // want `exact != comparison of floating-point values`
+}
+
+// IsUnset compares against a named sentinel constant: flagged.
+func IsUnset(a float64) bool {
+	return a == sentinel // want `exact == comparison of floating-point values`
+}
+
+// ZeroGuard tests the zero-value sentinel idiom: exempt.
+func ZeroGuard(act float64) float64 {
+	if act == 0 {
+		act = 0.12
+	}
+	return act
+}
+
+// Ordered uses inequalities, which are fine.
+func Ordered(a, b float64) bool {
+	return a < b || a > b
+}
+
+// Ints compares integers: not a float comparison.
+func Ints(a, b int) bool {
+	return a == b
+}
+
+// ConstFold compares two untyped constants: exact by definition, exempt.
+func ConstFold() bool {
+	return 0.1+0.2 == 0.3
+}
+
+// Near is how the comparison should be written.
+func Near(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < Eps
+}

@@ -1,0 +1,27 @@
+// Package ignore is a lint fixture: the //lint:ignore directive.
+package ignore
+
+// ExactSentinel suppresses a floatcmp finding with a reasoned directive on
+// the preceding line.
+func ExactSentinel(a float64) bool {
+	//lint:ignore floatcmp the sentinel is assigned, never computed
+	return a == -1e18
+}
+
+// TrailingDirective suppresses with a same-line directive.
+func TrailingDirective(a, b float64) bool {
+	return a == b //lint:ignore floatcmp fixture demonstrates trailing form
+}
+
+// WrongCheck names a different check, so the floatcmp finding survives.
+func WrongCheck(a, b float64) bool {
+	//lint:ignore mapiter reason aimed at the wrong check
+	return a == b // want `exact == comparison of floating-point values`
+}
+
+// MissingReason has no justification: the directive itself is a finding
+// and suppresses nothing.
+func MissingReason(a, b float64) bool {
+	//lint:ignore floatcmp
+	return a == b // want `exact == comparison of floating-point values`
+}

@@ -24,6 +24,7 @@ const (
 	DieTop Die = 1
 )
 
+// String names the die for reports and layout dumps.
 func (d Die) String() string {
 	if d == DieTop {
 		return "top"
@@ -241,6 +242,7 @@ func (b *Block) PinPos(ref PinRef) geom.Point {
 	case KindPort:
 		return b.Ports[ref.Idx].Pos
 	}
+	//lint:ignore apiguard a bad pin kind is a corrupted-netlist invariant violation; these hot-path accessors have no error channel
 	panic(fmt.Sprintf("netlist: bad pin kind %d", ref.Kind))
 }
 
@@ -254,6 +256,7 @@ func (b *Block) PinDie(ref PinRef) Die {
 	case KindPort:
 		return b.Ports[ref.Idx].Die
 	}
+	//lint:ignore apiguard a bad pin kind is a corrupted-netlist invariant violation; these hot-path accessors have no error channel
 	panic(fmt.Sprintf("netlist: bad pin kind %d", ref.Kind))
 }
 
@@ -267,6 +270,7 @@ func (b *Block) PinCap(ref PinRef) float64 {
 	case KindPort:
 		return b.Ports[ref.Idx].CapfF
 	}
+	//lint:ignore apiguard a bad pin kind is a corrupted-netlist invariant violation; these hot-path accessors have no error channel
 	panic(fmt.Sprintf("netlist: bad pin kind %d", ref.Kind))
 }
 
@@ -281,6 +285,7 @@ func (b *Block) DriverR(ref PinRef) float64 {
 	case KindPort:
 		return 800 // chip-level net handoff driver
 	}
+	//lint:ignore apiguard a bad pin kind is a corrupted-netlist invariant violation; these hot-path accessors have no error channel
 	panic(fmt.Sprintf("netlist: bad pin kind %d", ref.Kind))
 }
 

@@ -368,8 +368,11 @@ func (o *Optimizer) buildFanoutTrees(b *netlist.Block, buf *tech.Cell, db *dieBu
 				sinks[i] = sk{s, b.PinPos(s)}
 			}
 			sort.Slice(sinks, func(i, j int) bool {
-				if sinks[i].pos.X != sinks[j].pos.X {
-					return sinks[i].pos.X < sinks[j].pos.X
+				if sinks[i].pos.X < sinks[j].pos.X {
+					return true
+				}
+				if sinks[i].pos.X > sinks[j].pos.X {
+					return false
 				}
 				return sinks[i].pos.Y < sinks[j].pos.Y
 			})

@@ -129,8 +129,11 @@ func (p *Placer) legalize(b *netlist.Block, d netlist.Die) error {
 	}
 	sort.Slice(ids, func(a, c int) bool {
 		ca, cc := &b.Cells[ids[a]], &b.Cells[ids[c]]
-		if ca.Pos.X != cc.Pos.X {
-			return ca.Pos.X < cc.Pos.X
+		if ca.Pos.X < cc.Pos.X {
+			return true
+		}
+		if ca.Pos.X > cc.Pos.X {
+			return false
 		}
 		return ca.Pos.Y < cc.Pos.Y
 	})

@@ -37,6 +37,7 @@ func (r *Report) Add(o Report) {
 	r.ClockMW += o.ClockMW
 }
 
+// String renders the power breakdown in mW.
 func (r Report) String() string {
 	return fmt.Sprintf("total %.3f mW (cell %.3f, net %.3f [wire %.3f pin %.3f], leak %.3f, clock %.3f)",
 		r.TotalMW, r.CellMW, r.NetMW, r.WireMW, r.PinMW, r.LeakageMW, r.ClockMW)

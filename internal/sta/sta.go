@@ -41,6 +41,27 @@ func (r *Report) Met() bool { return r.WNS >= 0 }
 // outside the block when a port has no explicit chip-level budget.
 const DefaultPortBudgetFraction = 0.30
 
+// unset marks an arrival time the forward pass has not computed yet; noReq
+// marks a required time with no constraining endpoint. Both are assigned
+// sentinels — never the result of timing arithmetic — so exact equality is
+// the correct membership test for them.
+const (
+	unset = -1e18
+	noReq = 1e18
+)
+
+// isUnset reports whether an arrival time still holds the unset sentinel.
+func isUnset(a float64) bool {
+	//lint:ignore floatcmp unset is an assigned sentinel, never computed; exact equality is the reliable "no arrival yet" test
+	return a == unset
+}
+
+// noRequired reports whether a required time still holds the noReq sentinel.
+func noRequired(r float64) bool {
+	//lint:ignore floatcmp noReq is an assigned sentinel, never computed; exact equality is the reliable "unconstrained endpoint" test
+	return r == noReq
+}
+
 // Analyze runs STA on b. The clock period comes from the block's domain; a
 // CTS-computed skew can be passed as uncertainty (subtracted from every
 // endpoint's required time).
@@ -140,7 +161,6 @@ func Analyze(b *netlist.Block, uncertaintyPS float64) (*Report, error) {
 	}
 
 	// Forward: arrival at every cell output.
-	const unset = -1e18
 	arr := make([]float64, nc)
 	for i := range arr {
 		arr[i] = unset
@@ -158,7 +178,7 @@ func Analyze(b *netlist.Block, uncertaintyPS float64) (*Report, error) {
 		switch n.Driver.Kind {
 		case netlist.KindCell:
 			src = arr[n.Driver.Idx]
-			if src == unset {
+			if isUnset(src) {
 				return unset
 			}
 		case netlist.KindMacro:
@@ -179,7 +199,7 @@ func Analyze(b *netlist.Block, uncertaintyPS float64) (*Report, error) {
 		latest := 0.0
 		for _, ni := range fanin[v] {
 			a := arrAtSink(ni, netlist.PinRef{Kind: netlist.KindCell, Idx: v})
-			if a == unset {
+			if isUnset(a) {
 				continue
 			}
 			if a > latest {
@@ -192,7 +212,7 @@ func Analyze(b *netlist.Block, uncertaintyPS float64) (*Report, error) {
 	// Endpoint slacks and backward required times.
 	req := make([]float64, nc)
 	for i := range req {
-		req[i] = 1e18
+		req[i] = noReq
 	}
 	rep := &Report{
 		CellSlack: make([]float64, nc),
@@ -202,7 +222,7 @@ func Analyze(b *netlist.Block, uncertaintyPS float64) (*Report, error) {
 	}
 	netReq := make([]float64, len(b.Nets))
 	for i := range netReq {
-		netReq[i] = 1e18
+		netReq[i] = noReq
 	}
 
 	// requiredAtSink returns the required arrival time at a sink pin.
@@ -224,7 +244,7 @@ func Analyze(b *netlist.Block, uncertaintyPS float64) (*Report, error) {
 			}
 			return period - budget - uncertaintyPS
 		}
-		return 1e18
+		return noReq
 	}
 
 	// Backward pass in reverse topological order, then sequential drivers.
@@ -245,7 +265,7 @@ func Analyze(b *netlist.Block, uncertaintyPS float64) (*Report, error) {
 			req[v] = b.Clock.PeriodPS() // dangling output: unconstrained
 			continue
 		}
-		r := 1e18
+		r := noReq
 		n := &b.Nets[dn]
 		for _, s := range n.Sinks {
 			rs := requiredAtSink(s) - wireDelay(b, n, s)
@@ -300,7 +320,7 @@ func Analyze(b *netlist.Block, uncertaintyPS float64) (*Report, error) {
 				continue
 			}
 			a := arrAtSink(int32(ni), s)
-			if a == unset {
+			if isUnset(a) {
 				continue
 			}
 			addEndpoint(requiredAtSink(s) - a)
@@ -312,7 +332,7 @@ func Analyze(b *netlist.Block, uncertaintyPS float64) (*Report, error) {
 
 	for i := range b.Cells {
 		rep.CellSlack[i] = req[i] - arr[i]
-		if arr[i] == unset {
+		if isUnset(arr[i]) {
 			rep.CellSlack[i] = period
 		}
 	}
@@ -326,7 +346,7 @@ func Analyze(b *netlist.Block, uncertaintyPS float64) (*Report, error) {
 		switch n.Driver.Kind {
 		case netlist.KindCell:
 			a = arr[n.Driver.Idx]
-			if a == unset {
+			if isUnset(a) {
 				a = 0
 			}
 		case netlist.KindMacro:
@@ -335,7 +355,7 @@ func Analyze(b *netlist.Block, uncertaintyPS float64) (*Report, error) {
 			a = DefaultPortBudgetFraction * period
 		}
 		rep.NetSlack[ni] = netReq[ni] - a
-		if netReq[ni] == 1e18 {
+		if noRequired(netReq[ni]) {
 			rep.NetSlack[ni] = period
 		}
 	}

@@ -26,6 +26,7 @@ const (
 	StyleFoldF2F
 )
 
+// String names the design style as the paper labels it.
 func (s Style) String() string {
 	switch s {
 	case Style2D:

@@ -104,6 +104,7 @@ const (
 	HVT
 )
 
+// String names the threshold-voltage class (RVT/HVT).
 func (v VthClass) String() string {
 	if v == HVT {
 		return "HVT"
@@ -121,6 +122,8 @@ const (
 // Family identifies a logic function in the library.
 type Family int
 
+// The characterized logic families: the combinational set the generator
+// instantiates, plus the DFF sequential.
 const (
 	INV Family = iota
 	BUF
@@ -135,6 +138,7 @@ const (
 
 var familyNames = [...]string{"INV", "BUF", "NAND2", "NOR2", "AOI22", "XOR2", "MUX2", "DFF"}
 
+// String names the logic family as it appears in master names.
 func (f Family) String() string {
 	if f < 0 || int(f) >= len(familyNames) {
 		return fmt.Sprintf("Family(%d)", int(f))
@@ -459,6 +463,7 @@ const (
 	IOClock
 )
 
+// String renders the clock domain with its frequency.
 func (c ClockDomain) String() string {
 	if c == IOClock {
 		return "IO"

@@ -1,0 +1,22 @@
+#!/bin/sh
+# check.sh — the pre-PR gate (see README "Static analysis: fold3dlint").
+#
+# Runs everything CI would: vet, build, race-enabled tests, and the repo's
+# own linter. Any failure stops the script and fails the gate.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> go run ./cmd/fold3dlint ./..."
+go run ./cmd/fold3dlint ./...
+
+echo "OK: all checks passed"
