@@ -10,9 +10,12 @@
 package fold3drepo
 
 import (
+	"context"
 	"testing"
 
 	"fold3d/internal/exp"
+	"fold3d/internal/flow"
+	"fold3d/internal/t2"
 )
 
 func cfg() exp.Config { return exp.DefaultConfig() }
@@ -31,7 +34,7 @@ func BenchmarkTable1Interconnect(b *testing.B) {
 // chips (paper Table 2) and reports the 3D power deltas.
 func BenchmarkTable2FloorplanBenefit(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := exp.Table2(cfg())
+		t, err := exp.Table2(context.Background(), cfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -51,7 +54,7 @@ func BenchmarkTable2FloorplanBenefit(b *testing.B) {
 // folding criteria.
 func BenchmarkTable3FoldingCriteria(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, _, err := exp.Table3(cfg())
+		rows, _, err := exp.Table3(context.Background(), cfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -70,7 +73,7 @@ func BenchmarkTable3FoldingCriteria(b *testing.B) {
 // BenchmarkTable4FoldL2D folds the memory-dominated L2 data bank.
 func BenchmarkTable4FoldL2D(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fc, err := exp.Table4(cfg())
+		fc, err := exp.Table4(context.Background(), cfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -84,7 +87,7 @@ func BenchmarkTable4FoldL2D(b *testing.B) {
 // Table 5): 2D vs 3D without folding vs 3D with folding (F2F).
 func BenchmarkTable5FullChip(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := exp.Table5(cfg())
+		t, err := exp.Table5(context.Background(), cfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -104,7 +107,7 @@ func BenchmarkTable5FullChip(b *testing.B) {
 // partitions with more TSVs.
 func BenchmarkFigure2FoldCCX(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Figure2(cfg())
+		r, err := exp.Figure2(context.Background(), cfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -117,7 +120,7 @@ func BenchmarkFigure2FoldCCX(b *testing.B) {
 // BenchmarkFigure3SecondLevelFold folds a SPARC core's FUBs individually.
 func BenchmarkFigure3SecondLevelFold(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Figure3(cfg())
+		r, err := exp.Figure3(context.Background(), cfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -130,7 +133,7 @@ func BenchmarkFigure3SecondLevelFold(b *testing.B) {
 // midpoint baseline.
 func BenchmarkFigure5F2FViaPlacement(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Figure5(cfg())
+		r, err := exp.Figure5(context.Background(), cfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -143,7 +146,7 @@ func BenchmarkFigure5F2FViaPlacement(b *testing.B) {
 // BenchmarkFigure6BondingFootprint compares F2B and F2F folds of L2T/L2D.
 func BenchmarkFigure6BondingFootprint(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Figure6(cfg())
+		r, err := exp.Figure6(context.Background(), cfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -162,7 +165,7 @@ func BenchmarkFigure6BondingFootprint(b *testing.B) {
 // BenchmarkFigure7BondingPower sweeps L2T partitions under both bondings.
 func BenchmarkFigure7BondingPower(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Figure7(cfg())
+		r, err := exp.Figure7(context.Background(), cfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -178,7 +181,7 @@ func BenchmarkFigure7BondingPower(b *testing.B) {
 // BenchmarkFigure8Layouts builds and renders all five design styles.
 func BenchmarkFigure8Layouts(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Figure8(cfg())
+		r, err := exp.Figure8(context.Background(), cfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -190,7 +193,7 @@ func BenchmarkFigure8Layouts(b *testing.B) {
 // §6.2: 9.5% on 2D, 11.4% on the folded 3D design).
 func BenchmarkDualVthAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := exp.AblationDualVth(cfg())
+		r, err := exp.AblationDualVth(context.Background(), cfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -210,7 +213,7 @@ func BenchmarkDualVthAblation(b *testing.B) {
 // Kraftwerk2-style demand reduction.
 func BenchmarkAblationMacroHoles(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := exp.AblationMacroMode(cfg())
+		r, err := exp.AblationMacroMode(context.Background(), cfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -222,7 +225,7 @@ func BenchmarkAblationMacroHoles(b *testing.B) {
 // BenchmarkAblationFoldingCriteria folds a criteria-rejected block anyway.
 func BenchmarkAblationFoldingCriteria(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := exp.AblationFoldingCriteria(cfg())
+		r, err := exp.AblationFoldingCriteria(context.Background(), cfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -235,7 +238,7 @@ func BenchmarkAblationFoldingCriteria(b *testing.B) {
 // comparison (paper §5.1's motivation).
 func BenchmarkAblationViaPlacement(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Figure5(cfg())
+		r, err := exp.Figure5(context.Background(), cfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -247,7 +250,7 @@ func BenchmarkAblationViaPlacement(b *testing.B) {
 // design styles.
 func BenchmarkThermalStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := exp.ThermalStudy(cfg())
+		r, err := exp.ThermalStudy(context.Background(), cfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -268,7 +271,7 @@ func BenchmarkThermalStudy(b *testing.B) {
 // coupling power penalty on a TSV-dense fold.
 func BenchmarkAblationTSVCoupling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := exp.AblationTSVCoupling(cfg())
+		r, err := exp.AblationTSVCoupling(context.Background(), cfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -279,7 +282,7 @@ func BenchmarkAblationTSVCoupling(b *testing.B) {
 // BenchmarkFigure4DesignFiles emits the §5.1 merged two-die design files.
 func BenchmarkFigure4DesignFiles(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Figure4(cfg())
+		r, err := exp.Figure4(context.Background(), cfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -292,7 +295,7 @@ func BenchmarkFigure4DesignFiles(b *testing.B) {
 // real rectilinear Steiner trees on the L2T implementation.
 func BenchmarkAblationRSMT(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := exp.AblationRSMT(cfg())
+		r, err := exp.AblationRSMT(context.Background(), cfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -300,3 +303,33 @@ func BenchmarkAblationRSMT(b *testing.B) {
 		b.ReportMetric(r.PowerPct, "rsmt_power_%")
 	}
 }
+
+// benchBuildChip builds the folded-F2B chip end to end at the given
+// worker count. The flow folds blocks in place, so each iteration
+// regenerates the design (like every exp generator does per style).
+func benchBuildChip(b *testing.B, workers int) {
+	b.Helper()
+	fcfg := flow.DefaultConfig()
+	fcfg.Workers = workers
+	for i := 0; i < b.N; i++ {
+		d, err := t2.Generate(t2.Config{Scale: 1000, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := flow.New(d, fcfg).BuildChipContext(context.Background(), t2.StyleFoldF2B)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Power.TotalMW <= 0 {
+			b.Fatal("no power report")
+		}
+	}
+}
+
+// BenchmarkBuildChipSequential is the Workers=1 baseline of the chip build.
+func BenchmarkBuildChipSequential(b *testing.B) { benchBuildChip(b, 1) }
+
+// BenchmarkBuildChipParallel fans the per-block implementation out across
+// one worker per CPU; compare against BenchmarkBuildChipSequential for the
+// speedup (results are byte-identical either way).
+func BenchmarkBuildChipParallel(b *testing.B) { benchBuildChip(b, 0) }

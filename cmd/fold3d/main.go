@@ -1,235 +1,124 @@
 // Command fold3d runs the paper's experiments: every table and figure of
 // "On Enhancing Power Benefits in 3D ICs" (DAC 2014) can be regenerated
-// individually or all at once.
+// individually or all at once. Experiments and the per-block flow inside
+// each chip build fan out across -workers; reports always print in the
+// same registry order with byte-identical content at any worker count.
 //
 // Usage:
 //
 //	fold3d -exp table2                 # one experiment
+//	fold3d -exp table3,table5          # a comma-separated subset
 //	fold3d -exp all -scale 1000        # everything
 //	fold3d -exp fig8 -svgdir ./out     # dump layout SVGs
+//	fold3d -exp all -workers 1         # force the sequential path
+//	fold3d -exp table5 -progress       # live per-block status on stderr
+//
+// Ctrl-C cancels the run promptly; partial results are discarded.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	"fold3d/internal/exp"
+	"fold3d/internal/flow"
 )
 
 func main() {
+	expNames := make([]string, 0, 18)
+	for _, g := range exp.Generators() {
+		expNames = append(expNames, g.Name)
+	}
 	var (
-		which  = flag.String("exp", "all", "experiment: table1|table2|table3|table4|table5|fig2|fig3|fig4|fig5|fig6|fig7|fig8|dualvth|macromode|criteria|thermal|coupling|rsmt|all")
-		scale  = flag.Float64("scale", 1000, "netlist scale factor (cells per modeled cell)")
-		seed   = flag.Uint64("seed", 42, "random seed")
-		svgdir = flag.String("svgdir", "", "directory to write layout SVGs (fig2, fig5, fig6, fig8)")
+		which    = flag.String("exp", "all", "experiment name(s), comma-separated: "+strings.Join(expNames, "|")+"|all")
+		scale    = flag.Float64("scale", 1000, "netlist scale factor (cells per modeled cell)")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		svgdir   = flag.String("svgdir", "", "directory to write layout SVGs and netlist artifacts")
+		workers  = flag.Int("workers", 0, "parallel workers across experiments and per chip build (0 = one per CPU, 1 = sequential)")
+		progress = flag.Bool("progress", false, "stream live per-block flow status to stderr")
 	)
 	flag.Parse()
 
-	cfg := exp.Config{Scale: *scale, Seed: *seed}
-	run := func(name string, fn func() error) {
-		if *which != "all" && *which != name {
-			return
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	cfg := exp.Config{Scale: *scale, Seed: *seed, Workers: *workers}
+	if *progress {
+		cfg.Progress = func(p flow.Progress) {
+			if p.Block != "" {
+				fmt.Fprintf(os.Stderr, "  [%s %d/%d] %s\n", p.Stage, p.Done, p.Total, p.Block)
+			} else {
+				fmt.Fprintf(os.Stderr, "  [%s]\n", p.Stage)
+			}
 		}
-		t0 := time.Now()
-		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "fold3d: %s: %v\n", name, err)
-			os.Exit(1)
-		}
-		fmt.Printf("[%s in %s]\n\n", name, time.Since(t0).Round(time.Millisecond))
 	}
-	writeSVG := func(name, svg string) {
-		if *svgdir == "" || svg == "" {
-			return
+
+	var names []string
+	if *which != "all" {
+		names = strings.Split(*which, ",")
+	}
+
+	t0 := time.Now()
+	// onDone streams each failure as it happens (the pool only returns the
+	// lowest-index error; later ones would be lost). reported tracks that,
+	// so the final error isn't printed twice. Callbacks are serialized.
+	reported := false
+	onDone := func(r *exp.Result, err error) {
+		switch {
+		case err != nil:
+			reported = true
+			fmt.Fprintf(os.Stderr, "fold3d: %v\n", err)
+		case *progress:
+			fmt.Fprintf(os.Stderr, "[%s done at %s]\n", r.Name, time.Since(t0).Round(time.Millisecond))
 		}
-		if err := os.MkdirAll(*svgdir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "fold3d:", err)
-			return
+	}
+	results, err := exp.RunAll(ctx, cfg, names, onDone)
+	for _, r := range results {
+		if r == nil {
+			continue
 		}
-		path := filepath.Join(*svgdir, name+".svg")
-		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+		fmt.Println(strings.TrimRight(r.Report, "\n"))
+		fmt.Printf("[%s]\n\n", r.Name)
+		if *svgdir != "" && len(r.Files) > 0 {
+			if werr := writeFiles(*svgdir, r.Files); werr != nil {
+				fmt.Fprintln(os.Stderr, "fold3d:", werr)
+				os.Exit(1)
+			}
+		}
+	}
+	if err != nil {
+		if !reported {
 			fmt.Fprintln(os.Stderr, "fold3d:", err)
-			return
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "fold3d: %d experiment(s) in %s\n", len(results), time.Since(t0).Round(time.Millisecond))
+}
+
+// writeFiles dumps a result's artifacts into dir in sorted-name order so
+// the "wrote ..." log is deterministic.
+func writeFiles(dir string, files map[string]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(files[name]), 0o644); err != nil {
+			return err
 		}
 		fmt.Println("wrote", path)
 	}
-
-	run("table1", func() error {
-		fmt.Println(exp.Table1())
-		return nil
-	})
-	run("table2", func() error {
-		t, err := exp.Table2(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(t)
-		return nil
-	})
-	run("table3", func() error {
-		_, report, err := exp.Table3(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(report)
-		return nil
-	})
-	run("table4", func() error {
-		fc, err := exp.Table4(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println("== Table 4: folding the L2 data bank ==")
-		fmt.Println(fc)
-		fmt.Println("paper: footprint -48.4%, WL -6.4%, buffers -33.5%, power -5.1% (memory-dominated)")
-		fmt.Println()
-		return nil
-	})
-	run("fig2", func() error {
-		r, err := exp.Figure2(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(r)
-		writeSVG("fig2-ccx-2d", r.SVG2D)
-		writeSVG("fig2-ccx-3d", r.SVG3D)
-		return nil
-	})
-	run("fig3", func() error {
-		r, err := exp.Figure3(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(r)
-		return nil
-	})
-	run("fig4", func() error {
-		r, err := exp.Figure4(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(r)
-		if *svgdir != "" {
-			// A slice keeps the write and log order deterministic (a map
-			// literal here would randomize it).
-			for _, out := range []struct{ name, content string }{
-				{"fig4-merged.v", r.Verilog}, {"fig4-merged.def", r.DEF},
-				{"fig4-merged.lef", r.LEF}, {"fig4-nets3d.txt", r.Nets3D},
-			} {
-				path := filepath.Join(*svgdir, out.name)
-				if err := os.MkdirAll(*svgdir, 0o755); err != nil {
-					return err
-				}
-				if err := os.WriteFile(path, []byte(out.content), 0o644); err != nil {
-					return err
-				}
-				fmt.Println("wrote", path)
-			}
-		}
-		return nil
-	})
-	run("fig5", func() error {
-		r, err := exp.Figure5(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(r)
-		writeSVG("fig5-l2t-f2f", r.SVG)
-		return nil
-	})
-	run("fig6", func() error {
-		r, err := exp.Figure6(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(r)
-		for _, row := range r.Rows {
-			writeSVG("fig6-"+row.Block+"-f2b", row.SVGF2B)
-			writeSVG("fig6-"+row.Block+"-f2f", row.SVGF2F)
-		}
-		return nil
-	})
-	run("fig7", func() error {
-		r, err := exp.Figure7(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(r)
-		return nil
-	})
-	run("fig8", func() error {
-		r, err := exp.Figure8(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(r)
-		names := make([]string, 0, len(r.SVGs))
-		for name := range r.SVGs {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, name := range names {
-			writeSVG("fig8-"+name, r.SVGs[name])
-		}
-		return nil
-	})
-	run("table5", func() error {
-		t, err := exp.Table5(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(t)
-		return nil
-	})
-	run("dualvth", func() error {
-		r, err := exp.AblationDualVth(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(r)
-		return nil
-	})
-	run("macromode", func() error {
-		r, err := exp.AblationMacroMode(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(r)
-		return nil
-	})
-	run("thermal", func() error {
-		r, err := exp.ThermalStudy(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(r)
-		return nil
-	})
-	run("coupling", func() error {
-		r, err := exp.AblationTSVCoupling(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(r)
-		return nil
-	})
-	run("rsmt", func() error {
-		r, err := exp.AblationRSMT(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(r)
-		return nil
-	})
-	run("criteria", func() error {
-		r, err := exp.AblationFoldingCriteria(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(r)
-		return nil
-	})
+	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"fold3d/internal/errs"
 	"fold3d/internal/netlist"
 	"fold3d/internal/partition"
 	"fold3d/internal/rng"
@@ -80,7 +81,7 @@ func Fold(b *netlist.Block, opt FoldOptions) (*FoldResult, error) {
 			return nil, err
 		}
 	default:
-		return nil, fmt.Errorf("core: unknown fold mode %d", opt.Mode)
+		return nil, fmt.Errorf("core: %w: unknown fold mode %d", errs.ErrBadOptions, opt.Mode)
 	}
 	b.Is3D = true
 	if opt.InflateCutTo > 0 {
@@ -101,7 +102,7 @@ func Fold(b *netlist.Block, opt FoldOptions) (*FoldResult, error) {
 // die.
 func foldNatural(b *netlist.Block, opt FoldOptions) error {
 	if len(opt.GroupDie) == 0 {
-		return fmt.Errorf("core: FoldNatural needs GroupDie for block %s", b.Name)
+		return fmt.Errorf("core: %w: FoldNatural needs GroupDie for block %s", errs.ErrBadOptions, b.Name)
 	}
 	var area [2]float64
 	assign := func(group string) (netlist.Die, bool) {
@@ -282,7 +283,7 @@ func foldMinCut(b *netlist.Block, opt FoldOptions, onlyGroups map[string]bool) e
 // whole, greedily packed onto dies to balance area.
 func foldSecondLevel(b *netlist.Block, opt FoldOptions) error {
 	if len(opt.FoldGroups) == 0 {
-		return fmt.Errorf("core: FoldSecondLevel needs FoldGroups for block %s", b.Name)
+		return fmt.Errorf("core: %w: FoldSecondLevel needs FoldGroups for block %s", errs.ErrBadOptions, b.Name)
 	}
 	folded := make(map[string]bool, len(opt.FoldGroups))
 	for _, g := range opt.FoldGroups {

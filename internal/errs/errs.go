@@ -1,0 +1,24 @@
+// Package errs defines the sentinel errors of the fold3d error contract.
+// They live in a leaf package so that every layer — generation (t2),
+// folding (core), the flow engine and the public pkg/fold3d surface — can
+// wrap them with %w without import cycles, and callers can classify any
+// failure with errors.Is regardless of which layer produced it.
+package errs
+
+import "errors"
+
+var (
+	// ErrUnknownBlock reports a reference to a block name that is not part
+	// of the design (an Only entry, a fold target, a floorplan lookup).
+	ErrUnknownBlock = errors.New("unknown block")
+
+	// ErrBadOptions reports an invalid configuration value (a scale below 1,
+	// a fold mode out of range, missing fold groups).
+	ErrBadOptions = errors.New("bad options")
+
+	// ErrCanceled reports that a run stopped because its context was
+	// canceled or timed out before the work completed. Errors wrapping it
+	// also wrap the context's own error, so errors.Is(err, context.Canceled)
+	// or errors.Is(err, context.DeadlineExceeded) hold as appropriate.
+	ErrCanceled = errors.New("run canceled")
+)

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -24,18 +25,18 @@ type MacroModeResult struct {
 }
 
 // AblationMacroMode places the macro-dominated L2D with both macro policies.
-func AblationMacroMode(cfg Config) (*MacroModeResult, error) {
+func AblationMacroMode(ctx context.Context, cfg Config) (*MacroModeResult, error) {
 	res := &MacroModeResult{Block: "L2D0"}
 	for _, mode := range []place.MacroMode{place.MacroHoles, place.MacroDemand} {
 		d, _, err := blockWithPorts(cfg, "L2D0")
 		if err != nil {
 			return nil, err
 		}
-		fcfg := flow.DefaultConfig()
+		fcfg := cfg.flowCfg()
 		fcfg.Place.Macro = mode
 		fl := flow.New(d, fcfg)
 		b := d.Blocks["L2D0"].Clone()
-		r, err := fl.ImplementBlock(b, d.Specs["L2D0"].Aspect)
+		r, err := fl.ImplementBlockContext(ctx, b, d.Specs["L2D0"].Aspect)
 		if err != nil {
 			return nil, fmt.Errorf("exp: macro mode %d: %v", mode, err)
 		}
@@ -82,14 +83,14 @@ type CriteriaAblationResult struct {
 }
 
 // AblationFoldingCriteria quantifies the value of the folding criteria.
-func AblationFoldingCriteria(cfg Config) (*CriteriaAblationResult, error) {
+func AblationFoldingCriteria(ctx context.Context, cfg Config) (*CriteriaAblationResult, error) {
 	fo := core.DefaultFoldOptions()
 	fo.Seed = cfg.Seed + 29
-	fail, err := foldBlock(cfg, "L2B0", extract.F2F, fo)
+	fail, err := foldBlock(ctx, cfg, "L2B0", extract.F2F, fo)
 	if err != nil {
 		return nil, err
 	}
-	pass, err := foldBlock(cfg, "CCX", extract.F2F, core.FoldOptions{
+	pass, err := foldBlock(ctx, cfg, "CCX", extract.F2F, core.FoldOptions{
 		Mode:     core.FoldNatural,
 		GroupDie: map[string]int{"pcx": 0, "cpx": 1},
 		Seed:     cfg.Seed + 29,
@@ -133,7 +134,7 @@ type DualVthRow struct {
 // AblationDualVth measures the dual-Vth saving on the 2D chip and the
 // folded-F2F chip (paper: 9.5% and 11.4% — 3D benefits more because its
 // extra slack converts to more HVT cells).
-func AblationDualVth(cfg Config) (*DualVthResult, error) {
+func AblationDualVth(ctx context.Context, cfg Config) (*DualVthResult, error) {
 	res := &DualVthResult{}
 	for _, st := range []t2.Style{t2.Style2D, t2.StyleFoldF2F} {
 		row := DualVthRow{Style: st}
@@ -142,10 +143,10 @@ func AblationDualVth(cfg Config) (*DualVthResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			fcfg := flow.DefaultConfig()
+			fcfg := cfg.flowCfg()
 			fcfg.UseHVT = hvt
 			fl := flow.New(d, fcfg)
-			r, err := fl.BuildChip(st)
+			r, err := fl.BuildChipContext(ctx, st)
 			if err != nil {
 				return nil, fmt.Errorf("exp: dualvth %s: %v", st, err)
 			}
@@ -186,14 +187,14 @@ type TSVCouplingResult struct {
 // AblationTSVCoupling folds the L2T with a dense partition under F2B and
 // measures the extra power once each wire near a TSV body pays its sidewall
 // coupling.
-func AblationTSVCoupling(cfg Config) (*TSVCouplingResult, error) {
+func AblationTSVCoupling(ctx context.Context, cfg Config) (*TSVCouplingResult, error) {
 	res := &TSVCouplingResult{Block: "L2T0"}
 	for i, coupling := range []bool{false, true} {
 		d, _, err := blockWithPorts(cfg, "L2T0")
 		if err != nil {
 			return nil, err
 		}
-		fcfg := flow.DefaultConfig()
+		fcfg := cfg.flowCfg()
 		fcfg.Bond = extract.F2B
 		fcfg.TSVCoupling = coupling
 		fl := flow.New(d, fcfg)
@@ -201,7 +202,7 @@ func AblationTSVCoupling(cfg Config) (*TSVCouplingResult, error) {
 		fo := core.DefaultFoldOptions()
 		fo.Seed = cfg.Seed + 31
 		fo.InflateCutTo = 60
-		r, _, err := fl.FoldAndImplement(b, fo, d.Specs["L2T0"].Aspect)
+		r, _, err := fl.FoldAndImplementContext(ctx, b, fo, d.Specs["L2T0"].Aspect)
 		if err != nil {
 			return nil, err
 		}
@@ -230,18 +231,18 @@ type RSMTResult struct {
 }
 
 // AblationRSMT implements the L2T both ways and reports the estimator gap.
-func AblationRSMT(cfg Config) (*RSMTResult, error) {
+func AblationRSMT(ctx context.Context, cfg Config) (*RSMTResult, error) {
 	res := &RSMTResult{Block: "L2T0"}
 	for _, rsmt := range []bool{false, true} {
 		d, _, err := blockWithPorts(cfg, "L2T0")
 		if err != nil {
 			return nil, err
 		}
-		fcfg := flow.DefaultConfig()
+		fcfg := cfg.flowCfg()
 		fcfg.UseRSMT = rsmt
 		fl := flow.New(d, fcfg)
 		b := d.Blocks["L2T0"].Clone()
-		r, err := fl.ImplementBlock(b, d.Specs["L2T0"].Aspect)
+		r, err := fl.ImplementBlockContext(ctx, b, d.Specs["L2T0"].Aspect)
 		if err != nil {
 			return nil, err
 		}

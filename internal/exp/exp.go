@@ -5,6 +5,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -23,11 +24,28 @@ type Config struct {
 	Scale float64
 	// Seed drives all randomness; experiments are bit-reproducible.
 	Seed uint64
+	// Workers bounds intra-chip parallelism of every flow the experiment
+	// runs (0 = one worker per CPU, 1 = strictly sequential). Results are
+	// byte-identical at any setting; see flow.Config.Workers.
+	Workers int
+	// Progress, when non-nil, receives live flow status events. Callbacks
+	// are serialized but their order is scheduler-dependent; results are
+	// unaffected.
+	Progress func(flow.Progress)
 }
 
 // DefaultConfig returns the scale and seed the committed EXPERIMENTS.md
 // numbers were produced with.
 func DefaultConfig() Config { return Config{Scale: 1000, Seed: 42} }
+
+// flowCfg returns the flow defaults carrying the experiment-level
+// parallelism and progress settings.
+func (c Config) flowCfg() flow.Config {
+	fc := flow.DefaultConfig()
+	fc.Workers = c.Workers
+	fc.Progress = c.Progress
+	return fc
+}
 
 func (c Config) t2cfg(only ...string) t2.Config {
 	if c.Scale == 0 {
@@ -53,7 +71,7 @@ func blockWithPorts(cfg Config, names ...string) (*t2.Design, *flow.Flow, error)
 	if err != nil {
 		return nil, nil, err
 	}
-	fl := flow.New(d, flow.DefaultConfig())
+	fl := flow.New(d, cfg.flowCfg())
 	shapes := make(map[string]floorplan.Shape, len(d.Specs))
 	for name, spec := range d.Specs {
 		w, h := fl.EstimateShape(spec, 1)
@@ -194,7 +212,7 @@ func chipTable(title string, cols []string, rs []*flow.ChipResult) *Table {
 
 // Table2 reproduces the 2D vs 3D block-level comparison (paper Table 2):
 // all three full-chip styles at 500MHz with the RVT-only library.
-func Table2(cfg Config) (*Table, error) {
+func Table2(ctx context.Context, cfg Config) (*Table, error) {
 	styles := []t2.Style{t2.Style2D, t2.StyleCoreCache, t2.StyleCoreCore}
 	var rs []*flow.ChipResult
 	for _, st := range styles {
@@ -202,8 +220,8 @@ func Table2(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		fl := flow.New(d, flow.DefaultConfig())
-		r, err := fl.BuildChip(st)
+		fl := flow.New(d, cfg.flowCfg())
+		r, err := fl.BuildChipContext(ctx, st)
 		if err != nil {
 			return nil, fmt.Errorf("exp: table2 %s: %v", st, err)
 		}
@@ -229,13 +247,13 @@ type Table3Row struct {
 
 // Table3 reproduces the folding-candidate selection profile (paper Table 3)
 // from the implemented 2D design, and runs the §4.1 criteria over it.
-func Table3(cfg Config) ([]Table3Row, string, error) {
+func Table3(ctx context.Context, cfg Config) ([]Table3Row, string, error) {
 	d, err := t2.Generate(cfg.t2cfg())
 	if err != nil {
 		return nil, "", err
 	}
-	fl := flow.New(d, flow.DefaultConfig())
-	r, err := fl.BuildChip(t2.Style2D)
+	fl := flow.New(d, cfg.flowCfg())
+	r, err := fl.BuildChipContext(ctx, t2.Style2D)
 	if err != nil {
 		return nil, "", err
 	}
@@ -354,7 +372,7 @@ func (fc *FoldCompare) String() string {
 
 // foldBlock implements one block 2D and folded under the given bond/options
 // and returns the comparison.
-func foldBlock(cfg Config, name string, bond extract.Bonding, fo core.FoldOptions) (*FoldCompare, error) {
+func foldBlock(ctx context.Context, cfg Config, name string, bond extract.Bonding, fo core.FoldOptions) (*FoldCompare, error) {
 	d, fl, err := blockWithPorts(cfg, name)
 	if err != nil {
 		return nil, err
@@ -363,16 +381,16 @@ func foldBlock(cfg Config, name string, bond extract.Bonding, fo core.FoldOption
 	aspect := d.Specs[name].Aspect
 
 	b2 := b.Clone()
-	r2, err := fl.ImplementBlock(b2, aspect)
+	r2, err := fl.ImplementBlockContext(ctx, b2, aspect)
 	if err != nil {
 		return nil, fmt.Errorf("exp: 2D %s: %v", name, err)
 	}
 
-	fcfg := flow.DefaultConfig()
+	fcfg := cfg.flowCfg()
 	fcfg.Bond = bond
 	fl3 := flow.New(d, fcfg)
 	b3 := b.Clone()
-	r3, fr, err := fl3.FoldAndImplement(b3, fo, aspect)
+	r3, fr, err := fl3.FoldAndImplementContext(ctx, b3, fo, aspect)
 	if err != nil {
 		return nil, fmt.Errorf("exp: folding %s: %v", name, err)
 	}
@@ -385,7 +403,7 @@ func foldBlock(cfg Config, name string, bond extract.Bonding, fo core.FoldOption
 // Table 4): two memory sub-banks land on each die with their logic; the
 // footprint halves but the power saving is small because the macros
 // dominate.
-func Table4(cfg Config) (*FoldCompare, error) {
+func Table4(ctx context.Context, cfg Config) (*FoldCompare, error) {
 	fo := core.FoldOptions{
 		Mode: core.FoldNatural,
 		GroupDie: map[string]int{
@@ -393,12 +411,12 @@ func Table4(cfg Config) (*FoldCompare, error) {
 		},
 		Seed: cfg.Seed + 7,
 	}
-	return foldBlock(cfg, "L2D0", extract.F2B, fo)
+	return foldBlock(ctx, cfg, "L2D0", extract.F2B, fo)
 }
 
 // Table5 reproduces the full-chip dual-Vth comparison (paper Table 5):
 // 2D vs 3D without folding (core/cache, F2B) vs 3D with folding (F2F).
-func Table5(cfg Config) (*Table, error) {
+func Table5(ctx context.Context, cfg Config) (*Table, error) {
 	styles := []t2.Style{t2.Style2D, t2.StyleCoreCache, t2.StyleFoldF2F}
 	var rs []*flow.ChipResult
 	for _, st := range styles {
@@ -406,10 +424,10 @@ func Table5(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		fcfg := flow.DefaultConfig()
+		fcfg := cfg.flowCfg()
 		fcfg.UseHVT = true
 		fl := flow.New(d, fcfg)
-		r, err := fl.BuildChip(st)
+		r, err := fl.BuildChipContext(ctx, st)
 		if err != nil {
 			return nil, fmt.Errorf("exp: table5 %s: %v", st, err)
 		}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -63,7 +64,7 @@ func TestTable4L2DFolding(t *testing.T) {
 	if testing.Short() {
 		t.Skip("block implementation")
 	}
-	fc, err := Table4(DefaultConfig())
+	fc, err := Table4(context.Background(), DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestFigure2CCXShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("block implementation sweep")
 	}
-	r, err := Figure2(DefaultConfig())
+	r, err := Figure2(context.Background(), DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestFigure7BondingShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("partition sweep")
 	}
-	r, err := Figure7(DefaultConfig())
+	r, err := Figure7(context.Background(), DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestFigure4DesignFiles(t *testing.T) {
 	if testing.Short() {
 		t.Skip("block implementation")
 	}
-	r, err := Figure4(DefaultConfig())
+	r, err := Figure4(context.Background(), DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestAblationTSVCouplingPenalty(t *testing.T) {
 	if testing.Short() {
 		t.Skip("block implementation")
 	}
-	r, err := AblationTSVCoupling(DefaultConfig())
+	r, err := AblationTSVCoupling(context.Background(), DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestThermalStudyShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-chip builds")
 	}
-	r, err := ThermalStudy(DefaultConfig())
+	r, err := ThermalStudy(context.Background(), DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

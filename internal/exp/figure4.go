@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -24,18 +25,18 @@ type Figure4Result struct {
 }
 
 // Figure4 produces the merged two-die design files for a folded L2T.
-func Figure4(cfg Config) (*Figure4Result, error) {
+func Figure4(ctx context.Context, cfg Config) (*Figure4Result, error) {
 	d, _, err := blockWithPorts(cfg, "L2T0")
 	if err != nil {
 		return nil, err
 	}
-	fcfg := flow.DefaultConfig()
+	fcfg := cfg.flowCfg()
 	fcfg.Bond = extract.F2F
 	fl := flow.New(d, fcfg)
 	b := d.Blocks["L2T0"].Clone()
 	fo := core.DefaultFoldOptions()
 	fo.Seed = cfg.Seed + 17
-	if _, _, err := fl.FoldAndImplement(b, fo, d.Specs["L2T0"].Aspect); err != nil {
+	if _, _, err := fl.FoldAndImplementContext(ctx, b, fo, d.Specs["L2T0"].Aspect); err != nil {
 		return nil, err
 	}
 

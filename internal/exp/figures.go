@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -35,13 +36,13 @@ type SweepPoint struct {
 // Figure2 folds the CCX naturally (PCX on one die, CPX on the other; only
 // the few cross signals need TSVs) and then sweeps forced partitions with
 // more 3D connections, reproducing the degradation from TSV area overhead.
-func Figure2(cfg Config) (*Figure2Result, error) {
+func Figure2(ctx context.Context, cfg Config) (*Figure2Result, error) {
 	natFo := core.FoldOptions{
 		Mode:     core.FoldNatural,
 		GroupDie: map[string]int{"pcx": 0, "cpx": 1},
 		Seed:     cfg.Seed + 11,
 	}
-	nat, err := foldBlock(cfg, "CCX", extract.F2B, natFo)
+	nat, err := foldBlock(ctx, cfg, "CCX", extract.F2B, natFo)
 	if err != nil {
 		return nil, err
 	}
@@ -60,7 +61,7 @@ func Figure2(cfg Config) (*Figure2Result, error) {
 	for _, target := range []int{15, 30, 60, 100} {
 		fo := natFo
 		fo.InflateCutTo = target
-		fc, err := foldBlock(cfg, "CCX", extract.F2B, fo)
+		fc, err := foldBlock(ctx, cfg, "CCX", extract.F2B, fo)
 		if err != nil {
 			return nil, err
 		}
@@ -106,7 +107,7 @@ type Figure3Result struct {
 // compares against the unfolded core; the paper reports -9.2% wirelength,
 // -10.8% buffers and -5.1% power vs the unfolded ("block-level") 3D SPC and
 // -21.2% power vs the 2D SPC.
-func Figure3(cfg Config) (*Figure3Result, error) {
+func Figure3(ctx context.Context, cfg Config) (*Figure3Result, error) {
 	var foldGroups []string
 	for _, g := range t2.SPCFUBs() {
 		if g.Fold {
@@ -118,13 +119,13 @@ func Figure3(cfg Config) (*Figure3Result, error) {
 		FoldGroups: foldGroups,
 		Seed:       cfg.Seed + 13,
 	}
-	sl, err := foldBlock(cfg, "SPC0", extract.F2F, slFo)
+	sl, err := foldBlock(ctx, cfg, "SPC0", extract.F2F, slFo)
 	if err != nil {
 		return nil, err
 	}
 	blockFo := core.DefaultFoldOptions()
 	blockFo.Seed = cfg.Seed + 13
-	wf, err := foldBlock(cfg, "SPC0", extract.F2F, blockFo)
+	wf, err := foldBlock(ctx, cfg, "SPC0", extract.F2F, blockFo)
 	if err != nil {
 		return nil, err
 	}
@@ -158,7 +159,7 @@ type Figure5Result struct {
 // Figure5 runs the F2F via placer on a folded L2T and contrasts it with the
 // midpoint baseline (the ablation the paper's §5.1 motivates: placement-
 // style algorithms are not adequate for F2F vias).
-func Figure5(cfg Config) (*Figure5Result, error) {
+func Figure5(ctx context.Context, cfg Config) (*Figure5Result, error) {
 	d, _, err := blockWithPorts(cfg, "L2T0")
 	if err != nil {
 		return nil, err
@@ -167,11 +168,11 @@ func Figure5(cfg Config) (*Figure5Result, error) {
 	fo := core.DefaultFoldOptions()
 	fo.Seed = cfg.Seed + 17
 
-	fcfg := flow.DefaultConfig()
+	fcfg := cfg.flowCfg()
 	fcfg.Bond = extract.F2F
 	fl := flow.New(d, fcfg)
 	b3 := b.Clone()
-	if _, _, err := fl.FoldAndImplement(b3, fo, d.Specs["L2T0"].Aspect); err != nil {
+	if _, _, err := fl.FoldAndImplementContext(ctx, b3, fo, d.Specs["L2T0"].Aspect); err != nil {
 		return nil, err
 	}
 	// Re-run the router on the final placement for its congestion stats.
@@ -228,16 +229,16 @@ type Figure6Row struct {
 
 // Figure6 folds L2T (logic+macros) and L2D (macro-dominated) in both bonding
 // styles.
-func Figure6(cfg Config) (*Figure6Result, error) {
+func Figure6(ctx context.Context, cfg Config) (*Figure6Result, error) {
 	res := &Figure6Result{}
 	for _, name := range []string{"L2T0", "L2D0"} {
 		fo := core.DefaultFoldOptions()
 		fo.Seed = cfg.Seed + 19
-		fb, err := foldBlock(cfg, name, extract.F2B, fo)
+		fb, err := foldBlock(ctx, cfg, name, extract.F2B, fo)
 		if err != nil {
 			return nil, err
 		}
-		ff, err := foldBlock(cfg, name, extract.F2F, fo)
+		ff, err := foldBlock(ctx, cfg, name, extract.F2F, fo)
 		if err != nil {
 			return nil, err
 		}
@@ -290,7 +291,7 @@ type Figure7Result struct {
 
 // Figure7 implements five L2T partitions with increasing 3D connection
 // counts in both bonding styles and reports power normalized to 2D.
-func Figure7(cfg Config) (*Figure7Result, error) {
+func Figure7(ctx context.Context, cfg Config) (*Figure7Result, error) {
 	d, fl, err := blockWithPorts(cfg, "L2T0")
 	if err != nil {
 		return nil, err
@@ -298,7 +299,7 @@ func Figure7(cfg Config) (*Figure7Result, error) {
 	b := d.Blocks["L2T0"]
 	aspect := d.Specs["L2T0"].Aspect
 	b2 := b.Clone()
-	r2, err := fl.ImplementBlock(b2, aspect)
+	r2, err := fl.ImplementBlockContext(ctx, b2, aspect)
 	if err != nil {
 		return nil, err
 	}
@@ -312,11 +313,11 @@ func Figure7(cfg Config) (*Figure7Result, error) {
 		fo.InflateCutTo = target
 		pt := Figure7Point{Partition: i + 1}
 		for _, bond := range []extract.Bonding{extract.F2B, extract.F2F} {
-			fcfg := flow.DefaultConfig()
+			fcfg := cfg.flowCfg()
 			fcfg.Bond = bond
 			fl3 := flow.New(d, fcfg)
 			b3 := b.Clone()
-			r3, _, err := fl3.FoldAndImplement(b3, fo, aspect)
+			r3, _, err := fl3.FoldAndImplementContext(ctx, b3, fo, aspect)
 			if err != nil {
 				return nil, fmt.Errorf("exp: figure7 partition %d %s: %v", i+1, bond, err)
 			}
@@ -366,17 +367,17 @@ type Figure8Result struct {
 
 // Figure8 builds all five styles and renders their layouts with the counts
 // the paper prints (footprint, via counts).
-func Figure8(cfg Config) (*Figure8Result, error) {
+func Figure8(ctx context.Context, cfg Config) (*Figure8Result, error) {
 	res := &Figure8Result{SVGs: map[string]string{}}
 	for _, st := range []t2.Style{t2.Style2D, t2.StyleCoreCache, t2.StyleCoreCore, t2.StyleFoldF2B, t2.StyleFoldF2F} {
 		d, err := t2.Generate(cfg.t2cfg())
 		if err != nil {
 			return nil, err
 		}
-		fl := flow.New(d, flow.DefaultConfig())
-		r, err := fl.BuildChip(st)
+		fl := flow.New(d, cfg.flowCfg())
+		r, err := fl.BuildChipContext(ctx, st)
 		if err != nil {
-			return nil, fmt.Errorf("exp: figure8 %s: %v", st, err)
+			return nil, fmt.Errorf("exp: figure8 %s: %w", st, err)
 		}
 		res.Styles = append(res.Styles, st)
 		res.Summaries = append(res.Summaries, fmt.Sprintf("%s: %s; %.1f mm2, %d inter-TSVs, %d intra vias (paper-eq %d)",

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"testing"
 
 	"fold3d/internal/core"
@@ -32,7 +33,7 @@ func TestScaleConsistency(t *testing.T) {
 	var pts []point
 	for _, scale := range []float64{1000, 500, 250} {
 		cfg := Config{Scale: scale, Seed: 7}
-		fc, err := foldBlock(cfg, "CCX", extract.F2B, fo)
+		fc, err := foldBlock(context.Background(), cfg, "CCX", extract.F2B, fo)
 		if err != nil {
 			t.Fatalf("scale %v: %v", scale, err)
 		}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -33,17 +34,17 @@ type ThermalResult struct {
 // footprint, so every 3D style runs hotter than 2D despite burning less
 // power; vertical coupling decides the rest — the F2F fold's full-face
 // metal bond beats the F2B fold's adhesive bond with sparse TSVs.
-func ThermalStudy(cfg Config) (*ThermalResult, error) {
+func ThermalStudy(ctx context.Context, cfg Config) (*ThermalResult, error) {
 	res := &ThermalResult{}
 	for _, st := range []t2.Style{t2.Style2D, t2.StyleCoreCache, t2.StyleFoldF2B, t2.StyleFoldF2F} {
 		d, err := t2.Generate(cfg.t2cfg())
 		if err != nil {
 			return nil, err
 		}
-		fl := flow.New(d, flow.DefaultConfig())
-		r, err := fl.BuildChip(st)
+		fl := flow.New(d, cfg.flowCfg())
+		r, err := fl.BuildChipContext(ctx, st)
 		if err != nil {
-			return nil, fmt.Errorf("exp: thermal %s: %v", st, err)
+			return nil, fmt.Errorf("exp: thermal %s: %w", st, err)
 		}
 		// Tile order feeds the solver's float accumulation; iterate block
 		// names sorted so the temperature field is bit-reproducible.

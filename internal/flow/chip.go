@@ -1,9 +1,11 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"fold3d/internal/core"
 	"fold3d/internal/extract"
@@ -11,6 +13,7 @@ import (
 	"fold3d/internal/geom"
 	"fold3d/internal/netlist"
 	"fold3d/internal/place"
+	"fold3d/internal/pool"
 	"fold3d/internal/power"
 	"fold3d/internal/t2"
 	"fold3d/internal/tech"
@@ -56,8 +59,20 @@ type ChipResult struct {
 
 // BuildChip implements the full T2 in the given design style. The flow's
 // bonding configuration is overridden by the style for folded designs
-// (StyleFoldF2F forces F2F).
+// (StyleFoldF2F forces F2F). It is BuildChipContext under
+// context.Background().
 func (f *Flow) BuildChip(style t2.Style) (*ChipResult, error) {
+	return f.BuildChipContext(context.Background(), style)
+}
+
+// BuildChipContext is BuildChip honoring ctx: per-block implementation
+// fans out across Cfg.Workers goroutines (0 = GOMAXPROCS, 1 = exact
+// sequential legacy path), cancellation is checked between stages of every
+// block, and Cfg.Progress receives live status. The result is byte-
+// identical for every worker count: each block draws randomness from its
+// own seeded stream and the aggregation reduces in sorted block-name
+// order, so the merge never depends on completion order.
+func (f *Flow) BuildChipContext(ctx context.Context, style t2.Style) (*ChipResult, error) {
 	cfg := f.Cfg
 	switch style {
 	case t2.StyleFoldF2F:
@@ -66,10 +81,10 @@ func (f *Flow) BuildChip(style t2.Style) (*ChipResult, error) {
 		cfg.Bond = extract.F2B
 	}
 	fl := New(f.D, cfg)
-	return fl.buildChip(style)
+	return fl.buildChip(ctx, style)
 }
 
-func (f *Flow) buildChip(style t2.Style) (*ChipResult, error) {
+func (f *Flow) buildChip(ctx context.Context, style t2.Style) (*ChipResult, error) {
 	d := f.D
 	if len(d.Blocks) != len(d.Specs) {
 		return nil, fmt.Errorf("flow: chip build needs the full design (have %d of %d blocks); generate without Only",
@@ -85,18 +100,22 @@ func (f *Flow) buildChip(style t2.Style) (*ChipResult, error) {
 		names0 = append(names0, name)
 	}
 	sort.Strings(names0)
-	for _, name := range names0 {
+	for i, name := range names0 {
+		if err := pool.Canceled(ctx); err != nil {
+			return nil, err
+		}
 		b := d.Blocks[name]
 		spec := d.Specs[name]
 		both := false
 		if t2.FoldedInStyle(style, name) {
 			if _, err := core.Fold(b, f.foldOptionsFor(name)); err != nil {
-				return nil, fmt.Errorf("flow: folding %s: %v", name, err)
+				return nil, fmt.Errorf("flow: folding %s: %w", name, err)
 			}
 			both = true
 		}
 		r := f.ShapeForBlock(b, spec.Aspect)
 		shapes[name] = floorplan.Shape{Name: name, W: r.W(), H: r.H(), Both: both}
+		f.progress(StageFold, name, i+1, len(names0))
 	}
 
 	// 2. User-defined row plan (the paper's Figure 8 arrangements).
@@ -152,8 +171,15 @@ func (f *Flow) buildChip(style t2.Style) (*ChipResult, error) {
 		return nil, err
 	}
 	f.budgetPorts(chipNets)
+	f.progress(StageFloorplan, "", 1, 1)
 
-	// 5. Implement every block.
+	// 5. Implement every block. The fan-out across Cfg.Workers is safe and
+	// bit-reproducible by construction: blocks are disjoint netlists, every
+	// shared input (design database, library, extractor config) is read-
+	// only during this stage, each block's stochastic engines are seeded
+	// from the flow seed independently of scheduling, and the merge below
+	// writes into per-index slots before the sorted-name reduce — so
+	// Workers=1 and Workers=N produce byte-identical chips.
 	res := &ChipResult{
 		Style:    style,
 		FP:       fp,
@@ -165,22 +191,39 @@ func (f *Flow) buildChip(style t2.Style) (*ChipResult, error) {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	for _, name := range names {
-		b := d.Blocks[name]
-		br, err := f.ImplementBlock(b, d.Specs[name].Aspect)
+	results := make([]*BlockResult, len(names))
+	var doneMu sync.Mutex
+	done := 0
+	err = pool.Run(ctx, f.Cfg.Workers, len(names), func(ctx context.Context, i int) error {
+		name := names[i]
+		br, err := f.ImplementBlockContext(ctx, d.Blocks[name], d.Specs[name].Aspect)
 		if err != nil {
-			return nil, fmt.Errorf("flow: implementing %s: %v", name, err)
+			return fmt.Errorf("flow: implementing %s: %w", name, err)
 		}
-		res.Blocks[name] = br
+		results[i] = br
+		doneMu.Lock()
+		done++
+		n := done
+		doneMu.Unlock()
+		f.progress(StageImplement, name, n, len(names))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		res.Blocks[name] = results[i]
 	}
 
 	// 6. Chip-level nets: lengths, power, repeaters.
 	if err := f.extractChipNets(res, style); err != nil {
 		return nil, err
 	}
+	f.progress(StageChipNets, "", 1, 1)
 
 	// 7. Aggregate.
 	f.aggregate(res)
+	f.progress(StageDone, "", len(names), len(names))
 	return res, nil
 }
 

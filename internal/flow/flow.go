@@ -8,18 +8,44 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sync"
 
 	"fold3d/internal/cts"
 	"fold3d/internal/extract"
 	"fold3d/internal/netlist"
 	"fold3d/internal/opt"
 	"fold3d/internal/place"
+	"fold3d/internal/pool"
 	"fold3d/internal/power"
 	"fold3d/internal/sta"
 	"fold3d/internal/t2"
 	"fold3d/internal/tech"
+)
+
+// Progress is one live status event of a chip or block build. Events fire
+// as work completes; under a parallel build their order across blocks is
+// scheduler-dependent (they report status, never results — results merge
+// deterministically regardless).
+type Progress struct {
+	// Stage names the build phase: "fold", "floorplan", "implement",
+	// "chip-nets" or "done".
+	Stage string
+	// Block is the block just processed (empty for chip-level stages).
+	Block string
+	// Done and Total count finished vs scheduled units in this stage.
+	Done, Total int
+}
+
+// Stage names reported through Config.Progress.
+const (
+	StageFold      = "fold"
+	StageFloorplan = "floorplan"
+	StageImplement = "implement"
+	StageChipNets  = "chip-nets"
+	StageDone      = "done"
 )
 
 // Config selects the design style and effort.
@@ -45,9 +71,51 @@ type Config struct {
 	Opt   opt.Options
 	CTS   cts.Options
 	Seed  uint64
+	// Workers bounds the chip-build fan-out: 0 selects GOMAXPROCS, 1 is the
+	// exact sequential legacy path, N>1 implements up to N blocks
+	// concurrently. Results are bit-identical for every value (each block
+	// draws from its own seeded RNG stream and the reduce runs in sorted
+	// block-name order), so Workers trades wall-clock only.
+	Workers int
+	// Progress, when non-nil, receives live status events (blocks done /
+	// total, current stage). Callbacks are serialized — they never run
+	// concurrently — but under a parallel build their order across blocks
+	// is scheduler-dependent.
+	Progress func(Progress)
 	// Trace, when non-nil, receives per-stage progress lines (stage name,
-	// block, WNS) — the flow's equivalent of a tool log.
+	// block, WNS) — the flow's equivalent of a tool log. Writes are
+	// serialized under the flow's mutex, so any io.Writer works.
 	Trace io.Writer
+}
+
+// WithDefaults fills every unset (zero) field of c from DefaultConfig,
+// field by field — a partial Config keeps what it sets. Fields whose zero
+// value is meaningful and equal to the default (Bond: F2B, UseHVT: false,
+// TSVCoupling, UseRSMT, Workers: 0 = GOMAXPROCS) pass through unchanged.
+func (c Config) WithDefaults() Config {
+	def := DefaultConfig()
+	if c.Util <= 0 {
+		c.Util = def.Util
+	}
+	if c.BufferAllowance <= 0 {
+		c.BufferAllowance = def.BufferAllowance
+	}
+	if c.MacroChannel <= 0 {
+		c.MacroChannel = def.MacroChannel
+	}
+	if c.Place == (place.Options{}) {
+		c.Place = def.Place
+	}
+	if c.Opt == (opt.Options{}) {
+		c.Opt = def.Opt
+	}
+	if c.CTS == (cts.Options{}) {
+		c.CTS = def.CTS
+	}
+	if c.Seed == 0 {
+		c.Seed = def.Seed
+	}
+	return c
 }
 
 // DefaultConfig returns the flow defaults used across the experiments.
@@ -69,13 +137,16 @@ type Flow struct {
 	D   *t2.Design
 	Cfg Config
 	Ex  *extract.Extractor
+	// mu serializes Trace writes and Progress callbacks across the chip
+	// build's worker pool.
+	mu *sync.Mutex
 }
 
-// New returns a flow over design d.
+// New returns a flow over design d. Unset (zero) config fields take the
+// defaults, field by field — see Config.WithDefaults; a partial Config
+// keeps every field it does set.
 func New(d *t2.Design, cfg Config) *Flow {
-	if cfg.Util <= 0 {
-		cfg = DefaultConfig()
-	}
+	cfg = cfg.WithDefaults()
 	ex := extract.New(d.Lib, d.Scale, cfg.Bond)
 	ex.TSVCoupling = cfg.TSVCoupling
 	ex.UseRSMT = cfg.UseRSMT
@@ -83,7 +154,19 @@ func New(d *t2.Design, cfg Config) *Flow {
 		D:   d,
 		Cfg: cfg,
 		Ex:  ex,
+		mu:  &sync.Mutex{},
 	}
+}
+
+// progress emits one status event when a Progress hook is configured.
+// Callbacks are serialized under the flow mutex.
+func (f *Flow) progress(stage, block string, done, total int) {
+	if f.Cfg.Progress == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.Cfg.Progress(Progress{Stage: stage, Block: block, Done: done, Total: total})
 }
 
 // BlockResult captures everything the experiments report per block.
@@ -103,10 +186,22 @@ type BlockResult struct {
 // folded/3D — the flow branches on b.Is3D). The block is modified in place;
 // callers wanting to compare styles clone the synthesized netlist first.
 // aspect is the outline aspect ratio used when the outline is not already
-// fixed by the chip floorplan.
+// fixed by the chip floorplan. It is ImplementBlockContext under
+// context.Background().
 func (f *Flow) ImplementBlock(b *netlist.Block, aspect float64) (*BlockResult, error) {
+	return f.ImplementBlockContext(context.Background(), b, aspect)
+}
+
+// ImplementBlockContext is ImplementBlock honoring ctx: the flow checks for
+// cancellation between stages (placement, extraction, CTS, optimization)
+// and returns an error wrapping errs.ErrCanceled and ctx.Err() when the
+// context dies mid-build.
+func (f *Flow) ImplementBlockContext(ctx context.Context, b *netlist.Block, aspect float64) (*BlockResult, error) {
+	if err := pool.Canceled(ctx); err != nil {
+		return nil, err
+	}
 	if b.Is3D {
-		return f.implement3D(b, aspect)
+		return f.implement3D(ctx, b, aspect)
 	}
 	if err := f.prepareOutline2D(b, aspect); err != nil {
 		return nil, err
@@ -116,7 +211,7 @@ func (f *Flow) ImplementBlock(b *netlist.Block, aspect float64) (*BlockResult, e
 	if err := placer.Place(b); err != nil {
 		return nil, fmt.Errorf("flow: placing %s: %v", b.Name, err)
 	}
-	return f.finishBlock(b, placer)
+	return f.finishBlock(ctx, b, placer)
 }
 
 // placeOptions derives per-run placer options.
@@ -130,12 +225,16 @@ func (f *Flow) placeOptions() place.Options {
 	return po
 }
 
-// trace logs one flow stage when tracing is enabled.
+// trace logs one flow stage when tracing is enabled. The write is
+// serialized under the flow mutex so parallel block builds interleave
+// whole lines, never bytes.
 func (f *Flow) trace(b *netlist.Block, stage string) {
 	if f.Cfg.Trace == nil {
 		return
 	}
 	rep, err := sta.Analyze(b, 0)
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if err != nil {
 		fmt.Fprintf(f.Cfg.Trace, "%-8s %-14s STA error: %v\n", b.Name, stage, err)
 		return
@@ -146,8 +245,12 @@ func (f *Flow) trace(b *netlist.Block, stage string) {
 
 // finishBlock runs the shared post-placement stages: extraction, repeater
 // insertion, CTS, legalization, timing closure, power recovery, optional
-// dual-Vth, and final analysis.
-func (f *Flow) finishBlock(b *netlist.Block, placer *place.Placer) (*BlockResult, error) {
+// dual-Vth, and final analysis. Cancellation is checked between stages so
+// a canceled chip build returns promptly instead of finishing the block.
+func (f *Flow) finishBlock(ctx context.Context, b *netlist.Block, placer *place.Placer) (*BlockResult, error) {
+	if err := pool.Canceled(ctx); err != nil {
+		return nil, err
+	}
 	if err := f.Ex.Extract(b); err != nil {
 		return nil, err
 	}
@@ -165,6 +268,9 @@ func (f *Flow) finishBlock(b *netlist.Block, placer *place.Placer) (*BlockResult
 		return nil, fmt.Errorf("flow: buffering %s: %v", b.Name, err)
 	}
 	f.trace(b, "buffered")
+	if err := pool.Canceled(ctx); err != nil {
+		return nil, err
+	}
 
 	ctsRes, err := cts.Run(b, f.D.Lib, f.D.Scale, f.Cfg.CTS)
 	if err != nil {
@@ -181,6 +287,9 @@ func (f *Flow) finishBlock(b *netlist.Block, placer *place.Placer) (*BlockResult
 		return nil, err
 	}
 	f.trace(b, "cts+legal")
+	if err := pool.Canceled(ctx); err != nil {
+		return nil, err
+	}
 
 	if _, err := o.FixTiming(b); err != nil {
 		return nil, fmt.Errorf("flow: timing opt on %s: %v", b.Name, err)
@@ -195,6 +304,9 @@ func (f *Flow) finishBlock(b *netlist.Block, placer *place.Placer) (*BlockResult
 		return nil, fmt.Errorf("flow: power opt on %s: %v", b.Name, err)
 	}
 	f.trace(b, "power-opt")
+	if err := pool.Canceled(ctx); err != nil {
+		return nil, err
+	}
 	swapped := 0
 	if f.Cfg.UseHVT {
 		swapped, err = o.SwapToHVT(b)

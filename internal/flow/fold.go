@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 
 	"fold3d/internal/core"
@@ -12,12 +13,18 @@ import (
 
 // FoldAndImplement folds block b (per the fold options) and runs the 3D
 // implementation under the flow's bonding style. b is modified in place.
+// It is FoldAndImplementContext under context.Background().
 func (f *Flow) FoldAndImplement(b *netlist.Block, fo core.FoldOptions, aspect float64) (*BlockResult, *core.FoldResult, error) {
+	return f.FoldAndImplementContext(context.Background(), b, fo, aspect)
+}
+
+// FoldAndImplementContext is FoldAndImplement honoring ctx.
+func (f *Flow) FoldAndImplementContext(ctx context.Context, b *netlist.Block, fo core.FoldOptions, aspect float64) (*BlockResult, *core.FoldResult, error) {
 	fr, err := core.Fold(b, fo)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("flow: folding %s: %w", b.Name, err)
 	}
-	br, err := f.ImplementBlock(b, aspect)
+	br, err := f.ImplementBlockContext(ctx, b, aspect)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -30,7 +37,7 @@ func (f *Flow) FoldAndImplement(b *netlist.Block, fo core.FoldOptions, aspect fl
 //	     plan TSV sites (outside macros), respread, legalize.
 //	F2F: size outlines with no via area, 3D place, legalize, then run the
 //	     paper's F2F via placer (3D net routing over the merged dies, §5.1).
-func (f *Flow) implement3D(b *netlist.Block, aspect float64) (*BlockResult, error) {
+func (f *Flow) implement3D(ctx context.Context, b *netlist.Block, aspect float64) (*BlockResult, error) {
 	// Under F2F bonding every metal layer is consumed by the block itself
 	// (F2F vias sit on top of M9), so the block may route all nine layers
 	// but becomes an over-the-block routing blockage at chip level (§6.1).
@@ -63,7 +70,7 @@ func (f *Flow) implement3D(b *netlist.Block, aspect float64) (*BlockResult, erro
 			return nil, fmt.Errorf("flow: F2F via placement on %s: %v", b.Name, err)
 		}
 	}
-	return f.finishBlock(b, placer)
+	return f.finishBlock(ctx, b, placer)
 }
 
 // tsvPadAllowance is the per-die outline area reserved for intra-block TSV

@@ -11,10 +11,10 @@ import (
 )
 
 // chipFingerprint builds the full chip in the given style from a fresh
-// generated design and renders everything the experiments report — chip
-// stats, power, per-block results, serialized Verilog and DEF, chip-net
-// routes — into one byte string.
-func chipFingerprint(t *testing.T, style t2.Style, seed uint64) string {
+// generated design with the given worker count and renders everything the
+// experiments report — chip stats, power, per-block results, serialized
+// Verilog and DEF, chip-net routes — into one byte string.
+func chipFingerprint(t *testing.T, style t2.Style, seed uint64, workers int) string {
 	t.Helper()
 	d, err := t2.Generate(t2.Config{Scale: 1000, Seed: seed})
 	if err != nil {
@@ -22,6 +22,7 @@ func chipFingerprint(t *testing.T, style t2.Style, seed uint64) string {
 	}
 	cfg := DefaultConfig()
 	cfg.Seed = seed
+	cfg.Workers = workers
 	fl := New(d, cfg)
 	r, err := fl.BuildChip(style)
 	if err != nil {
@@ -68,15 +69,15 @@ func TestSeedStability(t *testing.T) {
 	}
 	// The folded core/cache style exercises the most machinery:
 	// partitioning, 3D placement, TSV insertion and chip-level routing.
-	a := chipFingerprint(t, t2.StyleCoreCache, 42)
-	b := chipFingerprint(t, t2.StyleCoreCache, 42)
+	a := chipFingerprint(t, t2.StyleCoreCache, 42, 1)
+	b := chipFingerprint(t, t2.StyleCoreCache, 42, 1)
 	if a != b {
 		t.Fatalf("same seed produced different results:\n%s", firstDiff(a, b))
 	}
 
 	// And a different seed must actually change something, or the
 	// fingerprint is vacuous.
-	c := chipFingerprint(t, t2.StyleCoreCache, 43)
+	c := chipFingerprint(t, t2.StyleCoreCache, 43, 1)
 	if a == c {
 		t.Fatal("different seeds produced byte-identical results; fingerprint is not sensitive")
 	}

@@ -22,10 +22,16 @@ func importedPath(p *Package, ident *ast.Ident) string {
 // a (design, seed) pair maps to exactly one result; math/rand has global
 // state, time.Now varies per run, and os.Getenv makes behavior depend on
 // the machine the experiment happens to run on.
+//
+// The goroutine rule is stricter: bare go statements are flagged in every
+// package outside Config.GoroutineAllow, not just algorithm packages.
+// Ad-hoc goroutines race on completion order; concurrency must route
+// through the worker pool, whose indexed result slots and sorted merge
+// keep parallel runs byte-identical to sequential ones.
 func DeterminismCheck() *Check {
 	return &Check{
 		Name: "determinism",
-		Doc:  "forbid math/rand, time.Now and os.Getenv in algorithm packages (use internal/rng)",
+		Doc:  "forbid math/rand, time.Now, os.Getenv and unmanaged goroutines (use internal/rng, internal/pool)",
 		Run:  runDeterminism,
 	}
 }
@@ -46,7 +52,18 @@ var forbiddenCalls = map[string]string{
 // isAlgoPackage reports whether path is one of the packages the determinism
 // policy covers.
 func (cfg *Config) isAlgoPackage(path string) bool {
-	for _, suf := range cfg.AlgoPackages {
+	return matchesSuffix(path, cfg.AlgoPackages)
+}
+
+// allowsGoroutines reports whether path may contain bare go statements.
+func (cfg *Config) allowsGoroutines(path string) bool {
+	return matchesSuffix(path, cfg.GoroutineAllow)
+}
+
+// matchesSuffix reports whether path matches one of the import-path
+// suffixes.
+func matchesSuffix(path string, sufs []string) bool {
+	for _, suf := range sufs {
 		if path == suf || strings.HasSuffix(path, "/"+suf) || strings.HasSuffix(path, suf) {
 			return true
 		}
@@ -55,13 +72,19 @@ func (cfg *Config) isAlgoPackage(path string) bool {
 }
 
 func runDeterminism(cfg *Config, p *Package) []Finding {
-	if !cfg.isAlgoPackage(p.Path) {
+	algo := cfg.isAlgoPackage(p.Path)
+	goAllowed := cfg.allowsGoroutines(p.Path)
+	if !algo && goAllowed {
 		return nil
 	}
 	var out []Finding
 	for _, file := range p.Files {
-		// Imports of banned packages are findings regardless of use.
+		// Imports of banned packages are findings regardless of use, but
+		// only inside algorithm packages.
 		for _, imp := range file.Imports {
+			if !algo {
+				break
+			}
 			path, err := strconv.Unquote(imp.Path.Value)
 			if err != nil {
 				continue
@@ -75,6 +98,17 @@ func runDeterminism(cfg *Config, p *Package) []Finding {
 			}
 		}
 		ast.Inspect(file, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok && !goAllowed {
+				out = append(out, Finding{
+					Check:   "determinism",
+					Pos:     p.Fset.Position(g.Pos()),
+					Message: "bare go statement: route concurrency through fold3d/internal/pool so worker count, merge order and error selection stay deterministic",
+				})
+				return true
+			}
+			if !algo {
+				return true
+			}
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
 				return true

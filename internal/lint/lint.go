@@ -63,6 +63,11 @@ type Config struct {
 	// pkgpath.(*Type).Method) that may call panic. Functions whose name
 	// starts with "Must" are always allowed, per Go convention.
 	PanicAllow []string
+	// GoroutineAllow lists import-path suffixes of the packages permitted
+	// to start goroutines. Everywhere else a bare go statement is a
+	// determinism finding: ad-hoc concurrency bypasses the worker pool's
+	// deterministic merge and error selection.
+	GoroutineAllow []string
 }
 
 // DefaultConfig returns the scoping policy enforced on the fold3d tree.
@@ -78,10 +83,16 @@ func DefaultConfig() *Config {
 			"internal/sta",
 			"internal/thermal",
 			"internal/exp",
+			"internal/flow",
 		},
 		PanicAllow: []string{
 			// rng.Intn mirrors math/rand's documented contract.
 			"fold3d/internal/rng.(*R).Intn",
+		},
+		GoroutineAllow: []string{
+			// The worker pool is the one sanctioned goroutine spawner; its
+			// per-index result slots keep parallel runs byte-identical.
+			"internal/pool",
 		},
 	}
 }

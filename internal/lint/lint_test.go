@@ -95,10 +95,22 @@ func TestDeterminismFixture(t *testing.T) {
 }
 
 func TestDeterminismSkipsNonAlgoPackages(t *testing.T) {
+	// Outside algorithm packages the import/call rules are off, but the
+	// goroutine rule still applies: only the Spawn fixture line may fire.
 	_, p := loadFixture(t, "determinism", "fixture/other")
 	fs := Run(DefaultConfig(), []*Package{p}, []*Check{DeterminismCheck()})
+	if len(fs) != 1 || !strings.Contains(fs[0].Message, "bare go statement") {
+		t.Errorf("non-algo package: want only the goroutine finding, got %v", fs)
+	}
+}
+
+func TestDeterminismGoroutineAllow(t *testing.T) {
+	_, p := loadFixture(t, "determinism", "fixture/other")
+	cfg := DefaultConfig()
+	cfg.GoroutineAllow = append(cfg.GoroutineAllow, "fixture/other")
+	fs := Run(cfg, []*Package{p}, []*Check{DeterminismCheck()})
 	if len(fs) != 0 {
-		t.Errorf("determinism fired outside algorithm packages: %v", fs)
+		t.Errorf("sanctioned package still flagged: %v", fs)
 	}
 }
 

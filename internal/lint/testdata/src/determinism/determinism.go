@@ -28,6 +28,12 @@ func Elapsed(d time.Duration) float64 {
 	return d.Seconds()
 }
 
+// Spawn starts an unmanaged goroutine; concurrency must route through the
+// sanctioned worker pool.
+func Spawn(ch chan int) {
+	go func() { ch <- 1 }() // want `bare go statement`
+}
+
 // now is a local function whose name collides with the banned selector; a
 // call through a non-package qualifier must not be flagged.
 type clock struct{}

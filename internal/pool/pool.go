@@ -1,0 +1,121 @@
+// Package pool is the sanctioned worker-pool of the fold3d flow: the ONE
+// place in the module that may start goroutines (fold3dlint's determinism
+// check flags bare go statements everywhere else). It exists to keep
+// parallel execution compatible with the repo's bit-reproducibility promise:
+//
+//   - Tasks are identified by a dense index [0, n) and must write their
+//     results into per-index slots; the pool imposes no completion order, so
+//     correctness must never depend on one.
+//   - Error selection is deterministic: when several tasks fail, Run returns
+//     the error of the lowest-indexed failed task, regardless of which
+//     worker hit its error first.
+//   - Workers = 1 is the exact sequential legacy path — an inline loop on
+//     the caller's goroutine, no channels, no extra goroutines — so a
+//     sequential run is not merely "parallelism with one worker" but the
+//     same code shape the flow had before the pool existed.
+//
+// Cancellation: every task receives the context; between tasks the pool
+// stops dispatching as soon as the context is done and reports
+// errs.ErrCanceled (wrapping ctx.Err(), so errors.Is against
+// context.Canceled/DeadlineExceeded also holds).
+package pool
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"fold3d/internal/errs"
+)
+
+// Workers resolves a configured worker count: 0 (or negative) selects
+// runtime.GOMAXPROCS(0), anything else is returned as given.
+func Workers(configured int) int {
+	if configured <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return configured
+}
+
+// Canceled wraps ctx's error in the errs.ErrCanceled sentinel. It returns
+// nil when the context is still live.
+func Canceled(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", errs.ErrCanceled, err)
+	}
+	return nil
+}
+
+// Run executes task(ctx, i) for every i in [0, n) across workers
+// goroutines (see Workers for the 0 convention; 1 runs inline) and waits
+// for completion. The first error by task INDEX (not by wall-clock) is
+// returned; when the context is canceled before all tasks ran, Run returns
+// errs.ErrCanceled unless a lower-indexed task failed on its own.
+func Run(ctx context.Context, workers, n int, task func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return Canceled(ctx)
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Exact sequential legacy path: same goroutine, same order.
+		for i := 0; i < n; i++ {
+			if err := Canceled(ctx); err != nil {
+				return err
+			}
+			if err := task(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	taskErrs := make([]error, n) // per-index slots: merge is order-independent
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var failed sync.Once
+	stop := make(chan struct{}) // closed on first failure to drain quickly
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := task(ctx, i); err != nil {
+					taskErrs[i] = err
+					failed.Do(func() { close(stop) })
+				}
+			}
+		}()
+	}
+	canceled := false
+dispatch:
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			canceled = true
+			break
+		}
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			canceled = true
+			break dispatch
+		case <-stop:
+			break dispatch
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if taskErrs[i] != nil {
+			return taskErrs[i]
+		}
+	}
+	if canceled {
+		return Canceled(ctx)
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fold3d/internal/errs"
+)
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		n := 53
+		counts := make([]int32, n)
+		err := Run(context.Background(), workers, n, func(_ context.Context, i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunDeterministicErrorSelection(t *testing.T) {
+	// Indices 3 and 9 fail; regardless of completion order the error of the
+	// LOWEST index must be returned. Make the lower-indexed failure slow so
+	// a wall-clock-first policy would pick index 9.
+	for _, workers := range []int{1, 4} {
+		err := Run(context.Background(), workers, 12, func(_ context.Context, i int) error {
+			switch i {
+			case 3:
+				time.Sleep(20 * time.Millisecond)
+				return fmt.Errorf("task %d failed", i)
+			case 9:
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: expected an error", workers)
+		}
+		// Workers=1 stops at the first (lowest) failure by construction; the
+		// parallel path must agree whenever the lower index was dispatched.
+		if workers == 1 && err.Error() != "task 3 failed" {
+			t.Fatalf("sequential error = %v, want task 3", err)
+		}
+		if workers > 1 && err.Error() != "task 3 failed" && err.Error() != "task 9 failed" {
+			t.Fatalf("parallel error = %v, want a task error", err)
+		}
+	}
+}
+
+func TestRunLowestIndexWinsWhenBothRecorded(t *testing.T) {
+	// Force every failure to be recorded before Run returns: all four tasks
+	// rendezvous (4 workers, 4 tasks — each holds one), then fail together.
+	// The reported error must be index 0's even though completion order is
+	// scheduler-dependent.
+	const n = 4
+	arrived := make(chan struct{}, n)
+	start := make(chan struct{})
+	go func() {
+		for i := 0; i < n; i++ {
+			<-arrived
+		}
+		close(start)
+	}()
+	err := Run(context.Background(), n, n, func(_ context.Context, i int) error {
+		arrived <- struct{}{}
+		<-start
+		return fmt.Errorf("task %d failed", i)
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if err.Error() != "task 0 failed" {
+		t.Fatalf("error = %v, want task 0 (lowest index)", err)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	err := Run(ctx, 2, 1000, func(ctx context.Context, i int) error {
+		if atomic.AddInt32(&ran, 1) == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, errs.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, must also wrap context.Canceled", err)
+	}
+	if n := atomic.LoadInt32(&ran); n >= 1000 {
+		t.Fatalf("cancellation did not stop dispatch (ran %d tasks)", n)
+	}
+}
+
+func TestRunSequentialCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	err := Run(ctx, 1, 100, func(ctx context.Context, i int) error {
+		ran++
+		if ran == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, errs.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if ran != 5 {
+		t.Fatalf("ran %d tasks after cancel, want exactly 5", ran)
+	}
+}
+
+func TestRunAlreadyCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := int32(0)
+	for _, workers := range []int{1, 4} {
+		err := Run(ctx, workers, 10, func(ctx context.Context, i int) error {
+			atomic.AddInt32(&ran, 1)
+			return nil
+		})
+		if !errors.Is(err, errs.ErrCanceled) {
+			t.Fatalf("workers=%d: err = %v, want ErrCanceled", workers, err)
+		}
+	}
+	if ran != 0 {
+		t.Fatalf("%d tasks ran under a dead context", ran)
+	}
+}
+
+func TestRunDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	err := Run(ctx, 2, 1000, func(ctx context.Context, i int) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, errs.ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping DeadlineExceeded", err)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(1) != 1 || Workers(7) != 7 {
+		t.Error("explicit worker counts must pass through")
+	}
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Error("auto worker count must be at least 1")
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if err := Run(context.Background(), 4, 0, nil); err != nil {
+		t.Fatalf("empty run: %v", err)
+	}
+}

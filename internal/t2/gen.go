@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"fold3d/internal/errs"
 	"fold3d/internal/floorplan"
 	"fold3d/internal/netlist"
 	"fold3d/internal/rng"
@@ -83,10 +84,21 @@ func (d *Design) DrawnPortCount(block string) int {
 	return n
 }
 
-// Generate builds the design database at the configured scale.
+// Generate builds the design database at the configured scale. Errors wrap
+// errs.ErrBadOptions (scale below 1) and errs.ErrUnknownBlock (an Only
+// entry naming no T2 block) so callers can classify with errors.Is.
 func Generate(cfg Config) (*Design, error) {
 	if cfg.Scale < 1 {
-		return nil, fmt.Errorf("t2: scale must be >= 1, got %g", cfg.Scale)
+		return nil, fmt.Errorf("t2: %w: scale must be >= 1, got %g", errs.ErrBadOptions, cfg.Scale)
+	}
+	known := make(map[string]bool)
+	for _, spec := range Blocks() {
+		known[spec.Name] = true
+	}
+	for _, n := range cfg.Only {
+		if !known[n] {
+			return nil, fmt.Errorf("t2: %w: %q is not a T2 block", errs.ErrUnknownBlock, n)
+		}
 	}
 	sm, err := tech.NewScaleModel(cfg.Scale)
 	if err != nil {

@@ -12,22 +12,55 @@
 // Quick start:
 //
 //	design, _ := fold3d.Generate(fold3d.Options{})
-//	fl := fold3d.NewFlow(design, fold3d.FlowConfig{})
-//	chip, _ := fl.BuildChip(fold3d.StyleFoldF2F)
+//	chip, _ := fold3d.BuildChip(ctx, design, fold3d.FlowConfig{}, fold3d.StyleFoldF2F)
 //	fmt.Println(chip.Power)
+//
+// # Concurrency and determinism
+//
+// FlowConfig.Workers bounds the per-block fan-out of a chip build
+// (0 = one worker per CPU, 1 = strictly sequential). Results are
+// byte-identical at every worker count: each block is seeded independently
+// and per-block results are merged in sorted block-name order, never in
+// completion order. FlowConfig.Progress receives live status events;
+// callbacks are serialized but arrive in scheduler order.
+//
+// # Error contract
+//
+// Failures that stem from caller input match, via errors.Is, one of the
+// exported sentinels: ErrUnknownBlock (a name in Options.Only is not a T2
+// block), ErrBadOptions (out-of-range scale, malformed fold options), or
+// ErrCanceled (the context was canceled or timed out; such errors also
+// match context.Canceled / context.DeadlineExceeded). Everything else is
+// an internal invariant failure and carries a "flow:"/"t2:" prefix.
 //
 // The exp sub-API (Experiments) regenerates every table and figure of the
 // paper's evaluation; see EXPERIMENTS.md for the paper-vs-measured record.
 package fold3d
 
 import (
+	"context"
+
 	"fold3d/internal/core"
+	"fold3d/internal/errs"
 	"fold3d/internal/exp"
 	"fold3d/internal/extract"
 	"fold3d/internal/flow"
 	"fold3d/internal/netlist"
 	"fold3d/internal/t2"
 	"fold3d/internal/tech"
+)
+
+// Sentinel errors; test with errors.Is. See the package doc for the
+// full contract.
+var (
+	// ErrUnknownBlock reports a block or experiment name that does not
+	// exist in the T2 design database.
+	ErrUnknownBlock = errs.ErrUnknownBlock
+	// ErrBadOptions reports caller-supplied options that fail validation.
+	ErrBadOptions = errs.ErrBadOptions
+	// ErrCanceled reports a run cut short by context cancellation. Such
+	// errors also match the underlying context cause.
+	ErrCanceled = errs.ErrCanceled
 )
 
 // Design is the generated benchmark database (blocks, bundles, technology).
@@ -39,8 +72,24 @@ type Block = netlist.Block
 // Flow is the implementation engine.
 type Flow = flow.Flow
 
-// FlowConfig selects bonding style, dual-Vth and engine options.
+// FlowConfig selects bonding style, dual-Vth, worker count and engine
+// options. Zero fields are filled in field-by-field from
+// DefaultFlowConfig, so a partial config such as FlowConfig{Bond: F2F}
+// keeps every default except the bond style.
 type FlowConfig = flow.Config
+
+// Progress is one live status event of a running flow; see
+// FlowConfig.Progress.
+type Progress = flow.Progress
+
+// Flow progress stages, in the order a chip build emits them.
+const (
+	StageFold      = flow.StageFold
+	StageFloorplan = flow.StageFloorplan
+	StageImplement = flow.StageImplement
+	StageChipNets  = flow.StageChipNets
+	StageDone      = flow.StageDone
+)
 
 // BlockResult and ChipResult carry the per-block / full-chip metrics.
 type BlockResult = flow.BlockResult
@@ -85,34 +134,45 @@ const (
 // Options parameterizes design generation.
 type Options struct {
 	// Scale is the netlist scale factor: one modeled cell per Scale
-	// physical cells. 0 selects the default (1000).
+	// physical cells. 0 selects the default (1000); negative values are
+	// rejected with ErrBadOptions.
 	Scale float64
 	// Seed drives all randomness (default 42). Runs are bit-reproducible.
+	// A zero Seed means "use the default" unless SeedSet is true.
 	Seed uint64
-	// Only restricts generation to the named blocks (block-level studies).
+	// SeedSet forces Seed to be honored verbatim, making the zero seed
+	// reachable.
+	SeedSet bool
+	// Only restricts generation to the named blocks (block-level
+	// studies). Unknown names are rejected with ErrUnknownBlock.
 	Only []string
 }
 
 // Generate builds the synthetic OpenSPARC T2 design database.
 func Generate(opt Options) (*Design, error) {
 	cfg := t2.DefaultConfig()
-	if opt.Scale > 0 {
+	if opt.Scale != 0 {
 		cfg.Scale = opt.Scale
 	}
-	if opt.Seed != 0 {
+	if opt.SeedSet || opt.Seed != 0 {
 		cfg.Seed = opt.Seed
 	}
 	cfg.Only = opt.Only
 	return t2.Generate(cfg)
 }
 
-// NewFlow binds a design to a flow configuration; pass the zero FlowConfig
-// for the defaults used throughout EXPERIMENTS.md.
+// NewFlow binds a design to a flow configuration. Zero-valued fields are
+// filled in from DefaultFlowConfig, so partial configs work (see
+// FlowConfig).
 func NewFlow(d *Design, cfg FlowConfig) *Flow {
-	if cfg.Util == 0 {
-		cfg = flow.DefaultConfig()
-	}
 	return flow.New(d, cfg)
+}
+
+// BuildChip implements the full chip in the given style under ctx,
+// creating the flow from cfg (zero fields defaulted). It is the
+// one-call form of NewFlow(d, cfg).BuildChipContext(ctx, style).
+func BuildChip(ctx context.Context, d *Design, cfg FlowConfig, style Style) (*ChipResult, error) {
+	return flow.New(d, cfg).BuildChipContext(ctx, style)
 }
 
 // DefaultFlowConfig returns the committed experiment defaults.

@@ -1,6 +1,8 @@
 package fold3d
 
 import (
+	"context"
+	"errors"
 	"testing"
 )
 
@@ -69,5 +71,83 @@ func TestOptionsDefaults(t *testing.T) {
 func TestGenerateBadOptions(t *testing.T) {
 	if _, err := Generate(Options{Scale: 0.5}); err == nil {
 		t.Error("expected error for scale < 1")
+	}
+}
+
+func TestPartialFlowConfigMerges(t *testing.T) {
+	d, err := Generate(Options{Only: []string{"L2B0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := NewFlow(d, FlowConfig{Bond: F2F})
+	def := DefaultFlowConfig()
+	if fl.Cfg.Bond != F2F {
+		t.Errorf("Bond override lost: %v", fl.Cfg.Bond)
+	}
+	if fl.Cfg.Util != def.Util || fl.Cfg.Seed != def.Seed || fl.Cfg.Place != def.Place {
+		t.Errorf("partial config dropped defaults: %+v", fl.Cfg)
+	}
+	fl = NewFlow(d, FlowConfig{Workers: 3})
+	if fl.Cfg.Workers != 3 || fl.Cfg.Util != def.Util {
+		t.Errorf("Workers-only config mismerged: %+v", fl.Cfg)
+	}
+}
+
+func TestSeedSetMakesZeroSeedReachable(t *testing.T) {
+	d0, err := Generate(Options{Only: []string{"L2B0"}, SeedSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d0.Cfg.Seed; got != 0 {
+		t.Errorf("SeedSet zero seed = %d, want 0", got)
+	}
+	dDef, err := Generate(Options{Only: []string{"L2B0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dDef.Cfg.Seed; got != 42 {
+		t.Errorf("unset seed = %d, want default 42", got)
+	}
+}
+
+func TestErrorSentinels(t *testing.T) {
+	if _, err := Generate(Options{Only: []string{"NOPE"}}); !errors.Is(err, ErrUnknownBlock) {
+		t.Errorf("unknown Only block: got %v, want ErrUnknownBlock", err)
+	}
+	if _, err := Generate(Options{Scale: -3}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("negative scale: got %v, want ErrBadOptions", err)
+	}
+	if _, err := Fold(nil, FoldOptions{Mode: 99}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("bad fold mode: got %v, want ErrBadOptions", err)
+	}
+}
+
+func TestBuildChipCanceled(t *testing.T) {
+	d, err := Generate(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = BuildChip(ctx, d, FlowConfig{}, Style2D)
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("canceled build: got %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled build: %v does not match context.Canceled", err)
+	}
+}
+
+func TestBuildChipOneCall(t *testing.T) {
+	d, err := Generate(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := BuildChip(context.Background(), d, FlowConfig{Workers: 2}, Style2D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Power.TotalMW <= 0 || len(r.Blocks) == 0 {
+		t.Errorf("empty chip result: %+v", r)
 	}
 }

@@ -16,6 +16,13 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# The worker pool and the parallel chip build are where a data race would
+# hide; run their tests again under the race detector with extra workers
+# so the scheduler gets more chances to interleave them.
+echo "==> go test -race -count=2 -cpu=4 (pool + parallel flow)"
+go test -race -count=2 -cpu=4 ./internal/pool/
+go test -race -cpu=4 -run 'TestParallelFingerprintEquivalence|TestBuildChipCancellation|TestProgressEvents' ./internal/flow/
+
 echo "==> go run ./cmd/fold3dlint ./..."
 go run ./cmd/fold3dlint ./...
 
