@@ -23,6 +23,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -31,7 +33,13 @@ import (
 	"fold3d/internal/flow"
 )
 
+// main delegates to run so deferred profile writers fire before the process
+// exits (os.Exit skips defers).
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	expNames := make([]string, 0, 18)
 	for _, g := range exp.Generators() {
 		expNames = append(expNames, g.Name)
@@ -43,8 +51,35 @@ func main() {
 		svgdir   = flag.String("svgdir", "", "directory to write layout SVGs and netlist artifacts")
 		workers  = flag.Int("workers", 0, "parallel workers across experiments and per chip build (0 = one per CPU, 1 = sequential)")
 		progress = flag.Bool("progress", false, "stream live per-block flow status to stderr")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fold3d:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "fold3d:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "fold3d:", err)
+			}
+		}()
+	}
+	if *memprof != "" {
+		defer func() {
+			if err := writeMemProfile(*memprof); err != nil {
+				fmt.Fprintln(os.Stderr, "fold3d:", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -89,7 +124,7 @@ func main() {
 		if *svgdir != "" && len(r.Files) > 0 {
 			if werr := writeFiles(*svgdir, r.Files); werr != nil {
 				fmt.Fprintln(os.Stderr, "fold3d:", werr)
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
@@ -97,9 +132,25 @@ func main() {
 		if !reported {
 			fmt.Fprintln(os.Stderr, "fold3d:", err)
 		}
-		os.Exit(1)
+		return 1
 	}
 	fmt.Fprintf(os.Stderr, "fold3d: %d experiment(s) in %s\n", len(results), time.Since(t0).Round(time.Millisecond))
+	return 0
+}
+
+// writeMemProfile dumps the post-GC heap profile, so what it shows is live
+// retention rather than transient garbage.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		_ = f.Close() // the write error is the one worth reporting
+		return err
+	}
+	return f.Close()
 }
 
 // writeFiles dumps a result's artifacts into dir in sorted-name order so

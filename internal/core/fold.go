@@ -221,24 +221,36 @@ func foldMinCut(b *netlist.Block, opt FoldOptions, onlyGroups map[string]bool) e
 			return int32(nc+nm) + r.Idx
 		}
 	}
+	// One pin arena for every hyperedge instead of a slice per net; edges
+	// are never mutated after construction, so they can share storage.
+	totPins, nEdges := 0, 0
+	for i := range b.Nets {
+		if b.Nets[i].Kind == netlist.Signal {
+			totPins += len(b.Nets[i].Sinks) + 1
+			nEdges++
+		}
+	}
+	arena := make([]int32, 0, totPins)
+	h.Edges = make([][]int32, 0, nEdges)
+	h.EdgeWeight = make([]int, 0, nEdges)
 	for i := range b.Nets {
 		n := &b.Nets[i]
 		if n.Kind != netlist.Signal {
 			continue
 		}
-		nodes := make([]int32, 0, len(n.Sinks)+1)
-		nodes = append(nodes, ref2node(n.Driver))
+		start := len(arena)
+		arena = append(arena, ref2node(n.Driver))
 		w := 1
 		if n.Driver.Kind == netlist.KindMacro {
 			w = 4 // keep memory datapaths with their macro
 		}
 		for _, s := range n.Sinks {
-			nodes = append(nodes, ref2node(s))
+			arena = append(arena, ref2node(s))
 			if s.Kind == netlist.KindMacro {
 				w = 4
 			}
 		}
-		h.AddEdge(nodes, w)
+		h.AddEdge(arena[start:len(arena):len(arena)], w)
 	}
 	// Balance target: with pre-fixed nodes, aim for half of the FREE weight
 	// on each side on top of whatever is already fixed per die.

@@ -70,9 +70,11 @@ func New(lib *tech.Library, scale tech.ScaleModel, bond Bonding) *Extractor {
 // thresholds: below ~60µm a net stays on the thin local layers, below
 // ~600µm on the intermediate 2x layers, beyond that on the top 4x layers if
 // the block may use them (the paper gives only the SPC all nine layers; in
-// F2F designs every layer is consumed by the block itself).
-func (e *Extractor) layerFor(b *netlist.Block, drawnLen float64) int {
-	physLen := drawnLen * e.Scale.RCInflation()
+// F2F designs every layer is consumed by the block itself). inf is the
+// scale model's RC inflation, hoisted by the caller so one math.Pow serves
+// the whole net loop instead of three calls per net.
+func (e *Extractor) layerFor(b *netlist.Block, drawnLen, inf float64) int {
+	physLen := drawnLen * inf
 	switch {
 	case physLen < 60:
 		return 2
@@ -90,18 +92,23 @@ func (e *Extractor) layerFor(b *netlist.Block, drawnLen float64) int {
 // length over its pins, routed through its 3D via points if present (the
 // crossing splits the net into a per-die segment each).
 func NetLength(b *netlist.Block, n *netlist.Net) float64 {
-	return netLengthWith(b, n, geom.SteinerWL)
+	var buf []geom.Point
+	return netLengthWith(b, n, geom.SteinerWL, &buf)
 }
 
 // NetLengthRSMT is NetLength with a real rectilinear Steiner tree for small
 // nets (geom.RSMT falls back to the spanning tree beyond its pin bound).
 func NetLengthRSMT(b *netlist.Block, n *netlist.Net) float64 {
-	return netLengthWith(b, n, geom.RSMT)
+	var buf []geom.Point
+	return netLengthWith(b, n, geom.RSMT, &buf)
 }
 
-func netLengthWith(b *netlist.Block, n *netlist.Net, tree func([]geom.Point) float64) float64 {
+// netLengthWith computes the drawn length through tree, gathering via-free
+// nets' pins into *buf (caller scratch, overwritten per call).
+func netLengthWith(b *netlist.Block, n *netlist.Net, tree func([]geom.Point) float64, buf *[]geom.Point) float64 {
 	if len(n.Vias) == 0 {
-		return tree(b.NetPins(n))
+		*buf = b.AppendNetPins((*buf)[:0], n)
+		return tree(*buf)
 	}
 	// Per-die segments: pins of each die plus every via point.
 	var seg [2][]geom.Point
@@ -128,38 +135,71 @@ func netLengthWith(b *netlist.Block, n *netlist.Net, tree func([]geom.Point) flo
 	return wl
 }
 
+// extractNet fills RouteLen, Layer, WireCapfF and WireResOhm for one net.
+// inf is the hoisted RC inflation factor; the products keep the
+// wl*(perUm*inf) association of tech.WireCPerUm/WireRPerUm so a hoisted
+// extraction is bit-identical to the unhoisted one.
+func (e *Extractor) extractNet(b *netlist.Block, n *netlist.Net, inf float64, buf *[]geom.Point) error {
+	var wl float64
+	if e.UseRSMT {
+		wl = netLengthWith(b, n, geom.RSMT, buf)
+	} else {
+		wl = netLengthWith(b, n, geom.SteinerWL, buf)
+	}
+	n.RouteLen = wl
+	n.Layer = e.layerFor(b, wl, inf)
+	layer, err := e.Lib.Layer(n.Layer)
+	if err != nil {
+		return fmt.Errorf("extract: block %s net %s: %v", b.Name, n.Name, err)
+	}
+	n.WireCapfF = wl * (layer.CfFUm * inf)
+	n.WireResOhm = wl * (layer.ROhmUm * inf)
+	if n.Crossings > 0 {
+		switch e.Bond {
+		case F2B:
+			n.WireCapfF += float64(n.Crossings) * e.Lib.TSV.CfF
+			n.WireResOhm += float64(n.Crossings) * e.Lib.TSV.ROhm
+		case F2F:
+			n.WireCapfF += float64(n.Crossings) * e.Lib.F2F.CfF
+			n.WireResOhm += float64(n.Crossings) * e.Lib.F2F.ROhm
+		}
+	}
+	return nil
+}
+
 // Extract fills RouteLen, Layer, WireCapfF and WireResOhm for every net of
 // b. Die-crossing nets receive the via parasitics of the bonding style.
 func (e *Extractor) Extract(b *netlist.Block) error {
+	inf := e.Scale.RCInflation()
+	var buf []geom.Point // pin scratch local to this call; e is shared across workers
 	for i := range b.Nets {
-		n := &b.Nets[i]
-		var wl float64
-		if e.UseRSMT {
-			wl = NetLengthRSMT(b, n)
-		} else {
-			wl = NetLength(b, n)
-		}
-		n.RouteLen = wl
-		n.Layer = e.layerFor(b, wl)
-		layer, err := e.Lib.Layer(n.Layer)
-		if err != nil {
-			return fmt.Errorf("extract: block %s net %s: %v", b.Name, n.Name, err)
-		}
-		n.WireCapfF = wl * e.Scale.WireCPerUm(layer)
-		n.WireResOhm = wl * e.Scale.WireRPerUm(layer)
-		if n.Crossings > 0 {
-			switch e.Bond {
-			case F2B:
-				n.WireCapfF += float64(n.Crossings) * e.Lib.TSV.CfF
-				n.WireResOhm += float64(n.Crossings) * e.Lib.TSV.ROhm
-			case F2F:
-				n.WireCapfF += float64(n.Crossings) * e.Lib.F2F.CfF
-				n.WireResOhm += float64(n.Crossings) * e.Lib.F2F.ROhm
-			}
+		if err := e.extractNet(b, &b.Nets[i], inf, &buf); err != nil {
+			return err
 		}
 	}
 	if e.TSVCoupling && e.Bond == F2B && len(b.TSVPads) > 0 {
-		e.addTSVCoupling(b)
+		e.addTSVCoupling(b, &buf)
+	}
+	return nil
+}
+
+// Update re-extracts only the listed nets. Per-net extraction is a pure
+// function of that net's own pins, vias and the block's TSV pads, so
+// updating the nets a localized edit touched leaves every annotation
+// bit-identical to a full Extract — the contract the incremental timing
+// engine (sta.Engine) relies on. Duplicate indices are harmless.
+func (e *Extractor) Update(b *netlist.Block, nets []int32) error {
+	inf := e.Scale.RCInflation()
+	couple := e.TSVCoupling && e.Bond == F2B && len(b.TSVPads) > 0
+	var buf []geom.Point // pin scratch local to this call; e is shared across workers
+	for _, ni := range nets {
+		n := &b.Nets[ni]
+		if err := e.extractNet(b, n, inf, &buf); err != nil {
+			return err
+		}
+		if couple {
+			e.coupleNet(b, n, &buf)
+		}
 	}
 	return nil
 }
@@ -167,7 +207,7 @@ func (e *Extractor) Extract(b *netlist.Block) error {
 // addTSVCoupling charges each net for the TSV bodies its route passes: every
 // pad whose center falls inside the net's bounding box (expanded by one
 // drawn TSV pitch of routing slack) couples to the net.
-func (e *Extractor) addTSVCoupling(b *netlist.Block) {
+func (e *Extractor) addTSVCoupling(b *netlist.Block, buf *[]geom.Point) {
 	cc := e.CouplingfF
 	if cc == 0 {
 		cc = DefaultTSVCouplingfF
@@ -186,7 +226,8 @@ func (e *Extractor) addTSVCoupling(b *netlist.Block) {
 		if n.Kind != netlist.Signal || len(n.Sinks) == 0 {
 			continue
 		}
-		bb := geom.BoundingBox(b.NetPins(n)).Expand(slack)
+		*buf = b.AppendNetPins((*buf)[:0], n)
+		bb := geom.BoundingBox(*buf).Expand(slack)
 		near := 0
 		for _, c := range centers {
 			if bb.Contains(c) {
@@ -198,6 +239,32 @@ func (e *Extractor) addTSVCoupling(b *netlist.Block) {
 		}
 		n.WireCapfF += float64(near) * cc
 	}
+}
+
+// coupleNet is the per-net body of addTSVCoupling, used by Update: the same
+// pad scan in the same index order, so the coupling charge matches a full
+// pass exactly.
+func (e *Extractor) coupleNet(b *netlist.Block, n *netlist.Net, buf *[]geom.Point) {
+	if n.Kind != netlist.Signal || len(n.Sinks) == 0 {
+		return
+	}
+	cc := e.CouplingfF
+	if cc == 0 {
+		cc = DefaultTSVCouplingfF
+	}
+	slack := b.TSVPads[0].W()
+	*buf = b.AppendNetPins((*buf)[:0], n)
+	bb := geom.BoundingBox(*buf).Expand(slack)
+	near := 0
+	for _, pad := range b.TSVPads {
+		if bb.Contains(pad.Center()) {
+			near++
+			if near == maxCoupledTSVs {
+				break
+			}
+		}
+	}
+	n.WireCapfF += float64(near) * cc
 }
 
 // TotalLoad returns the full load capacitance seen by net n's driver: wire

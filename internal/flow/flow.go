@@ -286,6 +286,9 @@ func (f *Flow) finishBlock(ctx context.Context, b *netlist.Block, placer *place.
 	if err := f.Ex.Extract(b); err != nil {
 		return nil, err
 	}
+	// CTS and legalization edited the block outside the optimizer's mark
+	// API; drop its cached timing so the next analysis rebuilds.
+	o.InvalidateTiming()
 	f.trace(b, "cts+legal")
 	if err := pool.Canceled(ctx); err != nil {
 		return nil, err
@@ -315,10 +318,17 @@ func (f *Flow) finishBlock(ctx context.Context, b *netlist.Block, placer *place.
 		}
 		f.trace(b, "vth-opt")
 	}
-	if err := f.Ex.Extract(b); err != nil {
-		return nil, err
+	// The optimizer passes flush extraction after every geometry change, so
+	// parasitics are already current here and the final timing runs through
+	// the incremental engine. FullRecompute mode replays the historical
+	// full-extract + from-scratch STA instead; both produce byte-identical
+	// results (the fingerprint-equivalence test pins this down).
+	if f.Cfg.Opt.FullRecompute {
+		if err := f.Ex.Extract(b); err != nil {
+			return nil, err
+		}
 	}
-	timing, err := sta.Analyze(b, o.Skew)
+	timing, err := o.Timing(b)
 	if err != nil {
 		return nil, fmt.Errorf("flow: final STA on %s: %v", b.Name, err)
 	}

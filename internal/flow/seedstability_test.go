@@ -15,6 +15,12 @@ import (
 // experiments report — chip stats, power, per-block results, serialized
 // Verilog and DEF, chip-net routes — into one byte string.
 func chipFingerprint(t *testing.T, style t2.Style, seed uint64, workers int) string {
+	return chipFingerprintCfg(t, style, seed, workers, nil)
+}
+
+// chipFingerprintCfg is chipFingerprint with a config hook applied after
+// the defaults, for tests that flip flow options (e.g. Opt.FullRecompute).
+func chipFingerprintCfg(t *testing.T, style t2.Style, seed uint64, workers int, mut func(*Config)) string {
 	t.Helper()
 	d, err := t2.Generate(t2.Config{Scale: 1000, Seed: seed})
 	if err != nil {
@@ -23,6 +29,9 @@ func chipFingerprint(t *testing.T, style t2.Style, seed uint64, workers int) str
 	cfg := DefaultConfig()
 	cfg.Seed = seed
 	cfg.Workers = workers
+	if mut != nil {
+		mut(&cfg)
+	}
 	fl := New(d, cfg)
 	r, err := fl.BuildChip(style)
 	if err != nil {

@@ -23,14 +23,61 @@ func APIGuardCheck() *Check {
 }
 
 func runAPIGuard(cfg *Config, p *Package) []Finding {
-	if !strings.Contains(p.Path, "internal/") && !strings.Contains(p.Path, "pkg/") {
-		return nil
-	}
 	var out []Finding
+	// The sta.Engine rule is scoped by Config.STAEngineOnly, not by the
+	// internal/pkg path gate below, so fixtures and future layouts work.
+	if matchesSuffix(p.Path, cfg.STAEngineOnly) {
+		for _, file := range p.Files {
+			out = append(out, checkSTAEngine(p, file)...)
+		}
+	}
+	if !strings.Contains(p.Path, "internal/") && !strings.Contains(p.Path, "pkg/") {
+		return out
+	}
 	for _, file := range p.Files {
 		out = append(out, checkDocs(p, file)...)
 		out = append(out, checkPanics(cfg, p, file)...)
 	}
+	return out
+}
+
+// checkSTAEngine flags calls to the package-level sta.Analyze inside
+// packages restricted to the persistent engine. Engine methods (including
+// Engine.Analyze) are fine — the rule targets the one-shot wrapper, which
+// rebuilds the full timing graph on every call.
+func checkSTAEngine(p *Package, file *ast.File) []Finding {
+	var out []Finding
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var id *ast.Ident
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			id = fun.Sel
+		case *ast.Ident:
+			id = fun
+		default:
+			return true
+		}
+		fn, ok := p.Info.Uses[id].(*types.Func)
+		if !ok || fn.Name() != "Analyze" || fn.Pkg() == nil {
+			return true
+		}
+		if !strings.HasSuffix(fn.Pkg().Path(), "internal/sta") {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return true // a method, e.g. (*Engine).Analyze — allowed
+		}
+		out = append(out, Finding{
+			Check:   "apiguard",
+			Pos:     p.Fset.Position(call.Pos()),
+			Message: "one-shot sta.Analyze here rebuilds the timing graph from scratch; this package must reuse its persistent sta.Engine (MarkCellDirty/MarkNetDirty + Engine.Analyze)",
+		})
+		return true
+	})
 	return out
 }
 

@@ -68,6 +68,11 @@ type Config struct {
 	// determinism finding: ad-hoc concurrency bypasses the worker pool's
 	// deterministic merge and error selection.
 	GoroutineAllow []string
+	// STAEngineOnly lists import-path suffixes of packages that must run
+	// timing through a persistent sta.Engine: a bare sta.Analyze call there
+	// rebuilds the whole timing graph from scratch, silently discarding the
+	// cone-limited incremental path the optimizer loop depends on.
+	STAEngineOnly []string
 }
 
 // DefaultConfig returns the scoping policy enforced on the fold3d tree.
@@ -93,6 +98,11 @@ func DefaultConfig() *Config {
 			// The worker pool is the one sanctioned goroutine spawner; its
 			// per-index result slots keep parallel runs byte-identical.
 			"internal/pool",
+		},
+		STAEngineOnly: []string{
+			// The optimizer's analyze loop is the hot consumer of timing;
+			// it owns an Engine and must mark-and-update, never full-build.
+			"internal/opt",
 		},
 	}
 }

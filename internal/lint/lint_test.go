@@ -129,6 +129,24 @@ func TestErrDropFixture(t *testing.T) {
 	checkFixture(t, DefaultConfig(), p, []*Check{ErrDropCheck()})
 }
 
+func TestSTAEngineFixture(t *testing.T) {
+	_, p := loadFixture(t, "staengine", "fixture/staengine")
+	cfg := DefaultConfig()
+	cfg.STAEngineOnly = append(cfg.STAEngineOnly, "fixture/staengine")
+	checkFixture(t, cfg, p, []*Check{APIGuardCheck()})
+}
+
+func TestSTAEngineOffByDefaultElsewhere(t *testing.T) {
+	// Without the package on the STAEngineOnly list the same source is
+	// clean (the fixture path is outside internal/, so the doc/panic rules
+	// stay off too).
+	_, p := loadFixture(t, "staengine", "fixture/staengine-off")
+	fs := Run(DefaultConfig(), []*Package{p}, []*Check{APIGuardCheck()})
+	if len(fs) != 0 {
+		t.Errorf("unrestricted package flagged: %v", fs)
+	}
+}
+
 func TestAPIGuardFixture(t *testing.T) {
 	_, p := loadFixture(t, "apiguard", "fixture/internal/apiguard")
 	checkFixture(t, DefaultConfig(), p, []*Check{APIGuardCheck()})

@@ -230,6 +230,25 @@ func (b *Block) AddNet(n Net) int32 {
 	return int32(len(b.Nets) - 1)
 }
 
+// GrowCells reserves capacity for at least n more cells. Purely an
+// allocation hint for builders that know how many AddCell calls follow.
+func (b *Block) GrowCells(n int) {
+	if need := len(b.Cells) + n; need > cap(b.Cells) {
+		s := make([]Instance, len(b.Cells), need)
+		copy(s, b.Cells)
+		b.Cells = s
+	}
+}
+
+// GrowNets reserves capacity for at least n more nets; see GrowCells.
+func (b *Block) GrowNets(n int) {
+	if need := len(b.Nets) + n; need > cap(b.Nets) {
+		s := make([]Net, len(b.Nets), need)
+		copy(s, b.Nets)
+		b.Nets = s
+	}
+}
+
 // PinPos returns the physical location of a pin reference. Cell and macro
 // pins are approximated at the instance center (pin-level offsets are below
 // the fidelity the study needs); port pins are at the port location.
@@ -291,12 +310,18 @@ func (b *Block) DriverR(ref PinRef) float64 {
 
 // NetPins returns the positions of every pin of net n (driver first).
 func (b *Block) NetPins(n *Net) []geom.Point {
-	pts := make([]geom.Point, 0, len(n.Sinks)+1)
-	pts = append(pts, b.PinPos(n.Driver))
+	return b.AppendNetPins(make([]geom.Point, 0, len(n.Sinks)+1), n)
+}
+
+// AppendNetPins appends the positions of every pin of net n (driver first)
+// to dst and returns the extended slice — NetPins with a caller-owned
+// buffer, for loops hot enough that the per-net allocation shows up.
+func (b *Block) AppendNetPins(dst []geom.Point, n *Net) []geom.Point {
+	dst = append(dst, b.PinPos(n.Driver))
 	for _, s := range n.Sinks {
-		pts = append(pts, b.PinPos(s))
+		dst = append(dst, b.PinPos(s))
 	}
-	return pts
+	return dst
 }
 
 // NetIs3D reports whether net n spans both dies.

@@ -1,0 +1,256 @@
+package opt
+
+import (
+	"fmt"
+	"testing"
+
+	"fold3d/internal/extract"
+	"fold3d/internal/geom"
+	"fold3d/internal/netlist"
+	"fold3d/internal/rng"
+	"fold3d/internal/sta"
+	"fold3d/internal/tech"
+)
+
+// randomDAG builds a random layered netlist: an input port, a rank of
+// launching DFFs, a few ranks of combinational gates with random fan-in
+// and fan-out across ranks, and a capturing DFF rank plus an output port.
+// One net carries a die crossing so the TSV parasitics path is exercised.
+func randomDAG(t *testing.T, lib *tech.Library, r *rng.R) *netlist.Block {
+	t.Helper()
+	b := netlist.NewBlock("rnd", tech.CPUClock)
+	span := 300 + r.Range(0, 200)
+	b.Outline[0] = geom.NewRect(0, 0, span, 120)
+	fams := []tech.Family{tech.INV, tech.BUF, tech.NAND2, tech.NOR2, tech.AOI22}
+
+	cell := func(name string, fam tech.Family, drive int, x, y float64) int32 {
+		return b.AddCell(netlist.Instance{
+			Name:   name,
+			Master: lib.MustCell(fam, drive, tech.RVT),
+			Pos:    geom.Point{X: x, Y: y},
+		})
+	}
+	ref := func(ci int32) netlist.PinRef { return netlist.PinRef{Kind: netlist.KindCell, Idx: ci} }
+
+	// Launch rank.
+	nLaunch := 2 + r.Intn(3)
+	var prev []int32
+	for i := 0; i < nLaunch; i++ {
+		prev = append(prev, cell(fmt.Sprintf("lff%d", i), tech.DFF, 2, 2, 4+10*float64(i)))
+	}
+	pin := b.AddPort(netlist.Port{Name: "in", Pos: geom.Point{X: 0, Y: 60}, CapfF: 2})
+	pout := b.AddPort(netlist.Port{Name: "out", Pos: geom.Point{X: span, Y: 60}, Budget: 150})
+
+	// Combinational ranks: each gate picks a random driver from the
+	// previous rank; each driver's net fans out to every gate that chose it.
+	ranks := 3 + r.Intn(3)
+	netC := 0
+	for rank := 0; rank < ranks; rank++ {
+		x := span * float64(rank+1) / float64(ranks+2)
+		width := 2 + r.Intn(4)
+		var cur []int32
+		sinksOf := make([][]netlist.PinRef, len(prev))
+		for g := 0; g < width; g++ {
+			fam := fams[r.Intn(len(fams))]
+			ci := cell(fmt.Sprintf("g%d_%d", rank, g), fam, []int{2, 4}[r.Intn(2)], x, 4+12*float64(g)+r.Range(0, 6))
+			cur = append(cur, ci)
+			sinksOf[r.Intn(len(prev))] = append(sinksOf[r.Intn(len(prev))], ref(ci))
+		}
+		for di, sinks := range sinksOf {
+			if len(sinks) == 0 {
+				continue
+			}
+			netC++
+			n := netlist.Net{
+				Name:   fmt.Sprintf("n%d", netC),
+				Kind:   netlist.Signal,
+				Driver: ref(prev[di]),
+				Sinks:  sinks,
+			}
+			if rank == 1 && di == 0 {
+				n.Crossings = 1 // one TSV-crossing net per block
+			}
+			b.AddNet(n)
+		}
+		// Drivers nobody picked still need their output hooked somewhere:
+		// give them the first gate of the new rank as a sink.
+		for di := range prev {
+			if len(sinksOf[di]) == 0 {
+				netC++
+				b.AddNet(netlist.Net{
+					Name:   fmt.Sprintf("n%d", netC),
+					Kind:   netlist.Signal,
+					Driver: ref(prev[di]),
+					Sinks:  []netlist.PinRef{ref(cur[0])},
+				})
+			}
+		}
+		prev = cur
+	}
+
+	// Capture rank: every remaining driver lands on a DFF; one also feeds
+	// the output port, and the input port feeds the first rank-0 gate's
+	// DFF replacement path via a dedicated capture DFF.
+	for i, ci := range prev {
+		cff := cell(fmt.Sprintf("cff%d", i), tech.DFF, 2, span-4, 4+10*float64(i))
+		sinks := []netlist.PinRef{{Kind: netlist.KindCell, Idx: cff}}
+		if i == 0 {
+			sinks = append(sinks, netlist.PinRef{Kind: netlist.KindPort, Idx: pout})
+		}
+		netC++
+		b.AddNet(netlist.Net{
+			Name:   fmt.Sprintf("cap%d", netC),
+			Kind:   netlist.Signal,
+			Driver: ref(ci),
+			Sinks:  sinks,
+		})
+	}
+	pff := cell("pff", tech.DFF, 2, 6, 80)
+	b.AddNet(netlist.Net{
+		Name:   "pin",
+		Kind:   netlist.Signal,
+		Driver: netlist.PinRef{Kind: netlist.KindPort, Idx: pin},
+		Sinks:  []netlist.PinRef{{Kind: netlist.KindCell, Idx: pff}},
+	})
+	netC++
+	b.AddNet(netlist.Net{
+		Name:   fmt.Sprintf("pfo%d", netC),
+		Kind:   netlist.Signal,
+		Driver: ref(pff),
+		Sinks:  []netlist.PinRef{ref(prev[r.Intn(len(prev))])},
+	})
+	return b
+}
+
+// assertSameReport compares two timing reports with exact float equality —
+// the engine's contract is bit-identical results, not approximate ones.
+func assertSameReport(t *testing.T, step int, got, want *sta.Report) {
+	t.Helper()
+	if got.WNS != want.WNS || got.TNS != want.TNS || got.Endpoints != want.Endpoints || got.Failing != want.Failing {
+		t.Fatalf("step %d: summary diverged: got WNS=%v TNS=%v end=%d fail=%d, want WNS=%v TNS=%v end=%d fail=%d",
+			step, got.WNS, got.TNS, got.Endpoints, got.Failing, want.WNS, want.TNS, want.Endpoints, want.Failing)
+	}
+	if len(got.CellSlack) != len(want.CellSlack) || len(got.NetSlack) != len(want.NetSlack) {
+		t.Fatalf("step %d: slack array lengths diverged", step)
+	}
+	for i := range got.CellSlack {
+		if got.CellSlack[i] != want.CellSlack[i] {
+			t.Fatalf("step %d: CellSlack[%d] = %v, want %v", step, i, got.CellSlack[i], want.CellSlack[i])
+		}
+		if got.ArrOut[i] != want.ArrOut[i] {
+			t.Fatalf("step %d: ArrOut[%d] = %v, want %v", step, i, got.ArrOut[i], want.ArrOut[i])
+		}
+	}
+	for i := range got.NetSlack {
+		if got.NetSlack[i] != want.NetSlack[i] {
+			t.Fatalf("step %d: NetSlack[%d] = %v, want %v", step, i, got.NetSlack[i], want.NetSlack[i])
+		}
+	}
+}
+
+// TestIncrementalFullEquivalence drives random edit sequences — gate
+// resizes, Vth swaps, repeater insertions — through the persistent
+// incremental engine and, independently, through a from-scratch
+// extract+Analyze on a clone, asserting float-exact equality of every
+// produced number after every edit. This is the exactness invariant of
+// DESIGN.md §10 under adversarial random traffic.
+func TestIncrementalFullEquivalence(t *testing.T) {
+	lib := tech.NewLibrary()
+	sm, err := tech.NewScaleModel(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			r := rng.New(seed)
+			ex := extract.New(lib, sm, extract.F2B)
+			b := randomDAG(t, lib, r)
+			if err := ex.Extract(b); err != nil {
+				t.Fatal(err)
+			}
+			skew := r.Range(0, 25)
+			o := New(lib, ex, DefaultOptions())
+			o.Skew = skew
+			eng := o.engineFor(b)
+
+			check := func(step int) {
+				t.Helper()
+				got, err := eng.Analyze(skew)
+				if err != nil {
+					t.Fatalf("step %d: incremental: %v", step, err)
+				}
+				clone := b.Clone()
+				exRef := extract.New(lib, sm, extract.F2B)
+				if err := exRef.Extract(clone); err != nil {
+					t.Fatalf("step %d: reference extract: %v", step, err)
+				}
+				for ni := range b.Nets {
+					n, m := &b.Nets[ni], &clone.Nets[ni]
+					if n.RouteLen != m.RouteLen || n.Layer != m.Layer || n.WireCapfF != m.WireCapfF || n.WireResOhm != m.WireResOhm {
+						t.Fatalf("step %d: net %s parasitics diverged from full extraction: %+v vs %+v", step, n.Name, n, m)
+					}
+				}
+				want, err := sta.Analyze(clone, skew)
+				if err != nil {
+					t.Fatalf("step %d: reference STA: %v", step, err)
+				}
+				assertSameReport(t, step, got, want)
+			}
+			check(0)
+
+			buf := lib.MustCell(tech.BUF, 4, tech.RVT)
+			for step := 1; step <= 40; step++ {
+				switch r.Intn(5) {
+				case 0, 1: // resize a random cell up or down
+					ci := int32(r.Intn(len(b.Cells)))
+					c := &b.Cells[ci]
+					drive := tech.NextDriveUp(c.Master.Drive)
+					if r.Bool(0.5) {
+						drive = tech.NextDriveDown(c.Master.Drive)
+					}
+					if drive == 0 {
+						continue
+					}
+					m, err := lib.Resize(c.Master, drive)
+					if err != nil {
+						t.Fatal(err)
+					}
+					c.Master = m
+					o.beginResizePass(b)
+					o.resized[ci] = true
+					eng.MarkCellDirty(ci)
+					if err := o.flushResizes(b, eng); err != nil {
+						t.Fatal(err)
+					}
+				case 2, 3: // Vth swap — no geometry change, marks only
+					ci := int32(r.Intn(len(b.Cells)))
+					c := &b.Cells[ci]
+					vth := tech.HVT
+					if c.Master.Vth == tech.HVT {
+						vth = tech.RVT
+					}
+					m, err := lib.SwapVth(c.Master, vth)
+					if err != nil {
+						t.Fatal(err)
+					}
+					c.Master = m
+					eng.MarkCellDirty(ci)
+				case 4: // repeater insertion — structural, engine rebuilds
+					ni := int32(r.Intn(len(b.Nets)))
+					if b.Nets[ni].Kind != netlist.Signal || len(b.Nets[ni].Sinks) == 0 {
+						continue
+					}
+					var touched []int32
+					if err := o.insertChain(b, ni, 1+r.Intn(2), buf, &touched); err != nil {
+						t.Fatal(err)
+					}
+					if err := o.reExtract(b, &touched); err != nil {
+						t.Fatal(err)
+					}
+				}
+				check(step)
+			}
+		})
+	}
+}

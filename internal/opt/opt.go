@@ -55,6 +55,12 @@ type Options struct {
 	// commercial flows insert more aggressively than the delay-optimal
 	// spacing to also fix slew, so the default is below 1.
 	SpacingFactor float64
+	// FullRecompute disables incremental timing and extraction: every
+	// analysis rebuilds the timing graph from scratch and every resize
+	// flush re-extracts the whole block, reproducing the pre-incremental
+	// flow step for step. Results are bit-identical either way — the
+	// equivalence and fingerprint tests use this mode as the reference.
+	FullRecompute bool
 }
 
 // DefaultOptions returns the flow defaults.
@@ -69,14 +75,135 @@ type Optimizer struct {
 	Opt   Options
 	Skew  float64 // CTS uncertainty passed to STA
 	nameC int
+
+	eng       *sta.Engine  // persistent incremental timing engine
+	resized   []bool       // per-pass scratch: cells whose geometry changed
+	dirtyNets []int32      // per-flush scratch: nets needing re-extraction
+	pins      []geom.Point // pin-position scratch for HPWL checks
+}
+
+// hpwl is geom.HPWL over the net's pins through the optimizer's scratch
+// buffer, avoiding the per-net NetPins allocation in the repair loops.
+func (o *Optimizer) hpwl(b *netlist.Block, n *netlist.Net) float64 {
+	o.pins = b.AppendNetPins(o.pins[:0], n)
+	return geom.HPWL(o.pins)
 }
 
 // New returns an optimizer bound to a library and extractor.
 func New(lib *tech.Library, ex *extract.Extractor, opt Options) *Optimizer {
 	if opt.BufferDrive == 0 {
+		fullRecompute := opt.FullRecompute
 		opt = DefaultOptions()
+		opt.FullRecompute = fullRecompute
 	}
 	return &Optimizer{Lib: lib, Ex: ex, Opt: opt}
+}
+
+// engineFor returns the persistent timing engine bound to b, creating or
+// rebinding it when the optimizer moves to a different block.
+func (o *Optimizer) engineFor(b *netlist.Block) *sta.Engine {
+	if o.eng == nil || o.eng.Block() != b {
+		o.eng = sta.NewEngine(b)
+	}
+	return o.eng
+}
+
+// analyzeAt runs timing at an explicit uncertainty through the persistent
+// engine (a full rebuild per call in FullRecompute mode).
+func (o *Optimizer) analyzeAt(b *netlist.Block, uncertaintyPS float64) (*sta.Report, error) {
+	eng := o.engineFor(b)
+	if o.Opt.FullRecompute {
+		eng.InvalidateTopology()
+	}
+	return eng.Analyze(uncertaintyPS)
+}
+
+// analyze runs timing at the optimizer's CTS skew.
+func (o *Optimizer) analyze(b *netlist.Block) (*sta.Report, error) {
+	return o.analyzeAt(b, o.Skew)
+}
+
+// Timing returns b's current timing through the optimizer's persistent
+// incremental engine, reusing cached propagation when only marked edits
+// happened since the last call. The Report and its slices are owned by the
+// engine and valid until the next timing call on this optimizer.
+func (o *Optimizer) Timing(b *netlist.Block) (*sta.Report, error) {
+	return o.analyze(b)
+}
+
+// InvalidateTiming drops the engine's cached timing state. Callers must
+// invoke it after editing the block outside the optimizer's passes —
+// placement legalization, manual re-extraction — so the next timing call
+// rebuilds instead of trusting stale arrays.
+func (o *Optimizer) InvalidateTiming() {
+	if o.eng != nil {
+		o.eng.InvalidateTopology()
+	}
+}
+
+// beginResizePass resets the per-pass resized-cell flags.
+func (o *Optimizer) beginResizePass(b *netlist.Block) {
+	if cap(o.resized) < len(b.Cells) {
+		o.resized = make([]bool, len(b.Cells))
+		return
+	}
+	o.resized = o.resized[:len(b.Cells)]
+	for i := range o.resized {
+		o.resized[i] = false
+	}
+}
+
+// flushResizes re-extracts every net touching a cell flagged in o.resized
+// and hands the dirty sets to the engine. One scan over the pin lists
+// replaces the full-block extraction of the non-incremental flow;
+// bit-identical because extraction is a pure per-net function and only the
+// flagged cells' pins moved. Clock nets touching a resized sink are
+// re-extracted too (their wirelength feeds CTS and power) even though the
+// timing graph ignores them.
+func (o *Optimizer) flushResizes(b *netlist.Block, eng *sta.Engine) error {
+	nets := o.dirtyNets[:0]
+	for ni := range b.Nets {
+		n := &b.Nets[ni]
+		touched := n.Driver.Kind == netlist.KindCell && o.resized[n.Driver.Idx]
+		if !touched {
+			for _, s := range n.Sinks {
+				if s.Kind == netlist.KindCell && o.resized[s.Idx] {
+					touched = true
+					break
+				}
+			}
+		}
+		if touched {
+			nets = append(nets, int32(ni))
+		}
+	}
+	o.dirtyNets = nets
+	if o.Opt.FullRecompute {
+		return o.Ex.Extract(b)
+	}
+	if err := o.Ex.Update(b, nets); err != nil {
+		return err
+	}
+	for _, ni := range nets {
+		if b.Nets[ni].Kind == netlist.Signal {
+			eng.MarkNetDirty(ni)
+		}
+	}
+	return nil
+}
+
+// reExtract flushes the structurally-touched net list accumulated by the
+// repeater passes: a full extraction in FullRecompute mode, a dirty-net
+// Update otherwise. The engine needs no marks here — the cell/net counts
+// changed, so its next Analyze rebuilds from scratch anyway.
+func (o *Optimizer) reExtract(b *netlist.Block, touched *[]int32) error {
+	if o.Opt.FullRecompute {
+		*touched = (*touched)[:0]
+		return o.Ex.Extract(b)
+	}
+	err := o.Ex.Update(b, *touched)
+	*touched = (*touched)[:0]
+	return err
 }
 
 // OptimalBufferSpacing returns the classic repeater spacing in drawn µm for
@@ -118,14 +245,22 @@ func (o *Optimizer) BufferLongNets(b *netlist.Block) (int, error) {
 	}
 
 	// A single budget account covers fanout trees (charged first — they are
-	// mandatory for timing) and the length/load chains.
+	// mandatory for timing) and the length/load chains. touched accumulates
+	// the nets each structural edit rewired or created, so the incremental
+	// path re-extracts only those.
+	// Repeater insertion grows the cell and net lists by up to a few tens
+	// of percent; reserving headroom once avoids repeated growth copies of
+	// the (large) backing arrays mid-pass.
+	b.GrowCells(len(b.Cells)/4 + 16)
+	b.GrowNets(len(b.Nets)/4 + 16)
 	db := newDieBudget(o.Opt, buf.Area())
-	inserted, err := o.buildFanoutTrees(b, buf, db)
+	var touched []int32
+	inserted, err := o.buildFanoutTrees(b, buf, db, &touched)
 	if err != nil {
 		return inserted, err
 	}
 	if inserted > 0 {
-		if err := o.Ex.Extract(b); err != nil {
+		if err := o.reExtract(b, &touched); err != nil {
 			return inserted, err
 		}
 	}
@@ -137,7 +272,7 @@ func (o *Optimizer) BufferLongNets(b *netlist.Block) (int, error) {
 	if needSlack == 0 {
 		needSlack = 260
 	}
-	rep, err := sta.Analyze(b, 0)
+	rep, err := o.analyzeAt(b, 0)
 	if err != nil {
 		return inserted, err
 	}
@@ -164,8 +299,8 @@ func (o *Optimizer) BufferLongNets(b *netlist.Block) (int, error) {
 		// Multi-sink spans are repaired by spatial splitting (a buffer per
 		// sink cluster, recursively); the resulting long two-pin legs and
 		// plain two-pin nets get classic repeater chains.
-		if len(b.Nets[ni].Sinks) > 1 && geom.HPWL(b.NetPins(&b.Nets[ni])) > 1.5*spacing {
-			k, err := o.splitSpatially(b, int32(ni), spacing, buf, db)
+		if len(b.Nets[ni].Sinks) > 1 && o.hpwl(b, &b.Nets[ni]) > 1.5*spacing {
+			k, err := o.splitSpatially(b, int32(ni), spacing, buf, db, &touched)
 			if err != nil {
 				return inserted, err
 			}
@@ -187,12 +322,12 @@ func (o *Optimizer) BufferLongNets(b *netlist.Block) (int, error) {
 		if k == 0 {
 			continue
 		}
-		if err := o.insertChain(b, int32(ni), k, buf); err != nil {
+		if err := o.insertChain(b, int32(ni), k, buf, &touched); err != nil {
 			return inserted, err
 		}
 		inserted += k
 	}
-	if err := o.Ex.Extract(b); err != nil {
+	if err := o.reExtract(b, &touched); err != nil {
 		return inserted, err
 	}
 	return inserted, nil
@@ -201,8 +336,9 @@ func (o *Optimizer) BufferLongNets(b *netlist.Block) (int, error) {
 // splitSpatially repairs a spread multi-sink net: sinks are divided into
 // two position clusters, each cluster gets a driving buffer at its centroid
 // (so the trunk becomes two point-to-point legs), recursing while a cluster
-// still spans more than the repeater spacing. Returns buffers added.
-func (o *Optimizer) splitSpatially(b *netlist.Block, ni int32, spacing float64, buf *tech.Cell, db *dieBudget) (int, error) {
+// still spans more than the repeater spacing. Returns buffers added; every
+// net it rewires or creates is appended to touched.
+func (o *Optimizer) splitSpatially(b *netlist.Block, ni int32, spacing float64, buf *tech.Cell, db *dieBudget, touched *[]int32) (int, error) {
 	added := 0
 	// Work list of nets to consider; children are appended as created, with
 	// bounded recursion depth — each level halves the sink spread, and past
@@ -217,7 +353,7 @@ func (o *Optimizer) splitSpatially(b *netlist.Block, ni int32, spacing float64, 
 		depth := work[0].depth
 		work = work[1:]
 		n := &b.Nets[cur]
-		if depth > 2 || len(n.Sinks) < 2 || geom.HPWL(b.NetPins(n)) <= 1.5*spacing {
+		if depth > 2 || len(n.Sinks) < 2 || o.hpwl(b, n) <= 1.5*spacing {
 			continue
 		}
 		drvDie := b.PinDie(n.Driver)
@@ -272,17 +408,19 @@ func (o *Optimizer) splitSpatially(b *netlist.Block, ni int32, spacing float64, 
 				Activity: act,
 			})
 			newSinks = append(newSinks, bufRef)
+			*touched = append(*touched, child)
 			work = append(work, witem{child, depth + 1})
 			added++
 		}
 		if len(newSinks) > 0 {
 			b.Nets[cur].Sinks = newSinks
+			*touched = append(*touched, cur)
 		}
 		// Long legs from the driver to the cluster buffers get chains.
-		if k := int(geom.HPWL(b.NetPins(&b.Nets[cur])) / spacing); k > 0 {
+		if k := int(o.hpwl(b, &b.Nets[cur]) / spacing); k > 0 {
 			k = db.take(b.PinDie(b.Nets[cur].Driver), minInt(k, 8))
 			if k > 0 {
-				if err := o.insertChain(b, cur, k, buf); err != nil {
+				if err := o.insertChain(b, cur, k, buf, touched); err != nil {
 					return added, err
 				}
 				added += k
@@ -340,8 +478,9 @@ func (db *dieBudget) take(d netlist.Die, k int) int {
 // a driving buffer at its centroid, and the original driver drives the
 // cluster buffers (recursively, if there are many clusters). Insertion stops
 // when the die budget runs out; any sinks not yet clustered stay on the
-// original net. Returns the number of buffers added.
-func (o *Optimizer) buildFanoutTrees(b *netlist.Block, buf *tech.Cell, db *dieBudget) (int, error) {
+// original net. Returns the number of buffers added; every net it rewires
+// or creates is appended to touched.
+func (o *Optimizer) buildFanoutTrees(b *netlist.Block, buf *tech.Cell, db *dieBudget, touched *[]int32) (int, error) {
 	maxFo := o.Opt.MaxFanout
 	if maxFo <= 1 {
 		maxFo = 10
@@ -410,17 +549,19 @@ func (o *Optimizer) buildFanoutTrees(b *netlist.Block, buf *tech.Cell, db *dieBu
 				for i, s := range cluster {
 					refs[i] = s.ref
 				}
-				b.AddNet(netlist.Net{
+				child := b.AddNet(netlist.Net{
 					Name:     fmt.Sprintf("%s_f%d", b.Nets[ni].Name, o.nameC),
 					Kind:     netlist.Signal,
 					Driver:   bufRef,
 					Sinks:    refs,
 					Activity: act,
 				})
+				*touched = append(*touched, child)
 				newSinks = append(newSinks, bufRef)
 				added++
 			}
 			b.Nets[ni].Sinks = newSinks
+			*touched = append(*touched, int32(ni))
 			if exhausted {
 				break
 			}
@@ -432,8 +573,9 @@ func (o *Optimizer) buildFanoutTrees(b *netlist.Block, buf *tech.Cell, db *dieBu
 // insertChain splits net ni with k repeaters. The original net keeps the
 // driver and gets the first repeater as its only sink; the last new net
 // takes over the original sinks (and the original 3D via points, so the
-// crossing stays accounted).
-func (o *Optimizer) insertChain(b *netlist.Block, ni int32, k int, buf *tech.Cell) error {
+// crossing stays accounted). Every net it rewires or creates is appended
+// to touched.
+func (o *Optimizer) insertChain(b *netlist.Block, ni int32, k int, buf *tech.Cell, touched *[]int32) error {
 	n := &b.Nets[ni]
 	from := b.PinPos(n.Driver)
 	to := sinksCentroid(b, n)
@@ -462,18 +604,20 @@ func (o *Optimizer) insertChain(b *netlist.Block, ni int32, k int, buf *tech.Cel
 			n.Sinks = []netlist.PinRef{bufRef}
 			n.Vias = nil
 			n.Crossings = 0
+			*touched = append(*touched, ni)
 		} else {
-			b.AddNet(netlist.Net{
+			link := b.AddNet(netlist.Net{
 				Name:     fmt.Sprintf("%s_r%d", b.Nets[ni].Name, i),
 				Kind:     netlist.Signal,
 				Driver:   prevDriver,
 				Sinks:    []netlist.PinRef{bufRef},
 				Activity: act,
 			})
+			*touched = append(*touched, link)
 		}
 		prevDriver = bufRef
 	}
-	b.AddNet(netlist.Net{
+	last := b.AddNet(netlist.Net{
 		Name:      fmt.Sprintf("%s_rl", b.Nets[ni].Name),
 		Kind:      netlist.Signal,
 		Driver:    prevDriver,
@@ -482,6 +626,7 @@ func (o *Optimizer) insertChain(b *netlist.Block, ni int32, k int, buf *tech.Cel
 		Vias:      origVias,
 		Crossings: origCross,
 	})
+	*touched = append(*touched, last)
 	return nil
 }
 
@@ -496,20 +641,21 @@ func sinksCentroid(b *netlist.Block, n *netlist.Net) geom.Point {
 }
 
 // FixTiming upsizes cells on failing paths until timing is met or no move
-// helps. Returns the final timing report.
+// helps. Returns the final timing report (engine-owned; see Timing).
 func (o *Optimizer) FixTiming(b *netlist.Block) (*sta.Report, error) {
+	eng := o.engineFor(b)
 	var rep *sta.Report
 	var err error
 	for pass := 0; pass < o.Opt.SizePasses; pass++ {
-		rep, err = sta.Analyze(b, o.Skew)
+		rep, err = o.analyze(b)
 		if err != nil {
 			return nil, err
 		}
 		if rep.Met() {
 			return rep, nil
 		}
-		fanin := buildFanin(b)
-		driverNet := buildDriverNet(b)
+		driverNet := eng.DriverNets()
+		o.beginResizePass(b)
 		moves := 0
 		for i := range b.Cells {
 			c := &b.Cells[i]
@@ -527,20 +673,22 @@ func (o *Optimizer) FixTiming(b *netlist.Block) (*sta.Report, error) {
 			// Upsizing helps only load-dominated stages; it costs input cap
 			// upstream. Accept when the stage gain beats the upstream loss.
 			gain := o.stageDelta(b, driverNet, int32(i), c.Master, bigger)
-			loss := o.upstreamDelta(b, fanin, int32(i), c.Master, bigger)
+			loss := o.upstreamDelta(b, eng, int32(i), c.Master, bigger)
 			if gain+loss < 0 { // any net improvement
 				c.Master = bigger
+				o.resized[i] = true
+				eng.MarkCellDirty(int32(i))
 				moves++
 			}
 		}
 		if moves == 0 {
 			break
 		}
-		if err := o.Ex.Extract(b); err != nil {
+		if err := o.flushResizes(b, eng); err != nil {
 			return nil, err
 		}
 	}
-	return sta.Analyze(b, o.Skew)
+	return o.analyze(b)
 }
 
 // pathShare is the assumed number of cells sharing a path's slack during
@@ -558,13 +706,14 @@ func (o *Optimizer) RecoverPower(b *netlist.Block) (int, error) {
 		margin = o.Opt.SlackMargin
 	}
 	total := 0
+	eng := o.engineFor(b)
 	for pass := 0; pass < o.Opt.SizePasses; pass++ {
-		rep, err := sta.Analyze(b, o.Skew)
+		rep, err := o.analyze(b)
 		if err != nil {
 			return total, err
 		}
-		fanin := buildFanin(b)
-		driverNet := buildDriverNet(b)
+		driverNet := eng.DriverNets()
+		o.beginResizePass(b)
 		slack := append([]float64(nil), rep.CellSlack...)
 		moves := 0
 		for i := range b.Cells {
@@ -581,7 +730,7 @@ func (o *Optimizer) RecoverPower(b *netlist.Block) (int, error) {
 				return total, err
 			}
 			dSelf := o.stageDelta(b, driverNet, int32(i), c.Master, smaller)
-			dUp := o.upstreamDelta(b, fanin, int32(i), c.Master, smaller)
+			dUp := o.upstreamDelta(b, eng, int32(i), c.Master, smaller)
 			cost := dSelf + dUp // dUp is negative: smaller input cap helps upstream
 			// Slack budgeting: the cell's worst slack is shared with the
 			// other cells on its path, each of which may also claim a move
@@ -591,6 +740,8 @@ func (o *Optimizer) RecoverPower(b *netlist.Block) (int, error) {
 			if cost <= 0 || cost <= budget {
 				c.Master = smaller
 				slack[i] -= cost * pathShare
+				o.resized[i] = true
+				eng.MarkCellDirty(int32(i))
 				moves++
 			}
 		}
@@ -598,7 +749,7 @@ func (o *Optimizer) RecoverPower(b *netlist.Block) (int, error) {
 		if moves == 0 {
 			break
 		}
-		if err := o.Ex.Extract(b); err != nil {
+		if err := o.flushResizes(b, eng); err != nil {
 			return total, err
 		}
 	}
@@ -609,12 +760,13 @@ func (o *Optimizer) RecoverPower(b *netlist.Block) (int, error) {
 // stage-delay penalty. Clock buffers stay RVT. Returns the swap count.
 func (o *Optimizer) SwapToHVT(b *netlist.Block) (int, error) {
 	total := 0
+	eng := o.engineFor(b)
 	for pass := 0; pass < o.Opt.SizePasses; pass++ {
-		rep, err := sta.Analyze(b, o.Skew)
+		rep, err := o.analyze(b)
 		if err != nil {
 			return total, err
 		}
-		driverNet := buildDriverNet(b)
+		driverNet := eng.DriverNets()
 		slack := append([]float64(nil), rep.CellSlack...)
 		moves := 0
 		for i := range b.Cells {
@@ -631,6 +783,7 @@ func (o *Optimizer) SwapToHVT(b *netlist.Block) (int, error) {
 			if cost <= budget {
 				c.Master = hvt
 				slack[i] -= cost * pathShare
+				eng.MarkCellDirty(int32(i))
 				moves++
 			}
 		}
@@ -638,7 +791,8 @@ func (o *Optimizer) SwapToHVT(b *netlist.Block) (int, error) {
 		if moves == 0 {
 			break
 		}
-		// Vth swaps do not change geometry or caps; no re-extract needed.
+		// Vth swaps do not change geometry or caps; no re-extract needed —
+		// the engine re-propagates from the marked cells alone.
 	}
 	return total, nil
 }
@@ -659,28 +813,13 @@ func (o *Optimizer) stageDelta(b *netlist.Block, driverNet []int32, ci int32, ol
 	return d
 }
 
-// buildDriverNet maps each cell index to the signal net it drives (-1 if
-// none).
-func buildDriverNet(b *netlist.Block) []int32 {
-	dn := make([]int32, len(b.Cells))
-	for i := range dn {
-		dn[i] = -1
-	}
-	for ni := range b.Nets {
-		n := &b.Nets[ni]
-		if n.Kind == netlist.Signal && n.Driver.Kind == netlist.KindCell {
-			dn[n.Driver.Idx] = int32(ni)
-		}
-	}
-	return dn
-}
-
 // upstreamDelta estimates the delay change (ps) induced on the worst
-// upstream stage by the input-cap change of resizing cell ci.
-func (o *Optimizer) upstreamDelta(b *netlist.Block, fanin map[int32][]int32, ci int32, oldM, newM *tech.Cell) float64 {
+// upstream stage by the input-cap change of resizing cell ci, reading the
+// fanin adjacency the engine already maintains.
+func (o *Optimizer) upstreamDelta(b *netlist.Block, eng *sta.Engine, ci int32, oldM, newM *tech.Cell) float64 {
 	dCap := float64(oldM.Fam.NumInputs()) * (newM.InCapfF - oldM.InCapfF)
 	var worst float64
-	for _, ni := range fanin[ci] {
+	for _, ni := range eng.FaninNets(ci) {
 		n := &b.Nets[ni]
 		d := b.DriverR(n.Driver) * dCap * 1e-3
 		if math.Abs(d) > math.Abs(worst) {
@@ -688,21 +827,4 @@ func (o *Optimizer) upstreamDelta(b *netlist.Block, fanin map[int32][]int32, ci 
 		}
 	}
 	return worst
-}
-
-// buildFanin maps each cell to the signal nets feeding it.
-func buildFanin(b *netlist.Block) map[int32][]int32 {
-	fanin := make(map[int32][]int32)
-	for ni := range b.Nets {
-		n := &b.Nets[ni]
-		if n.Kind != netlist.Signal {
-			continue
-		}
-		for _, s := range n.Sinks {
-			if s.Kind == netlist.KindCell {
-				fanin[s.Idx] = append(fanin[s.Idx], int32(ni))
-			}
-		}
-	}
-	return fanin
 }

@@ -7,6 +7,7 @@ package partition
 
 import (
 	"fmt"
+	"strconv"
 
 	"fold3d/internal/rng"
 )
@@ -88,36 +89,95 @@ func Bipartition(h *Hypergraph, opt Options) (*Result, error) {
 	}
 	r := rng.New(opt.Seed)
 
-	// Precompute node -> incident edges and the gain bound (sum of incident
-	// edge weights caps |gain|).
-	inc := make([][]int32, n)
-	maxGain := 1
+	// Materialize edge weights (nil means all-1) so the inner loops index a
+	// slice instead of branching through edgeWeight.
+	ew := h.EdgeWeight
+	if ew == nil {
+		ew = make([]int, len(h.Edges))
+		for i := range ew {
+			ew[i] = 1
+		}
+	}
+
+	// Precompute node -> incident edges in CSR form (same per-node edge
+	// order an append-per-node build would give) and the gain bound (sum of
+	// incident edge weights caps |gain|).
+	incOff := make([]int32, n+1)
 	for e, nodes := range h.Edges {
 		for _, v := range nodes {
 			if int(v) < 0 || int(v) >= n {
 				return nil, fmt.Errorf("partition: edge %d references node %d of %d", e, v, n)
 			}
-			inc[v] = append(inc[v], int32(e))
+			incOff[v+1]++
 		}
 	}
 	for v := 0; v < n; v++ {
+		incOff[v+1] += incOff[v]
+	}
+	incEdges := make([]int32, incOff[n])
+	cur := make([]int32, n)
+	copy(cur, incOff[:n])
+	for e, nodes := range h.Edges {
+		for _, v := range nodes {
+			incEdges[cur[v]] = int32(e)
+			cur[v]++
+		}
+	}
+	maxGain := 1
+	for v := 0; v < n; v++ {
 		g := 0
-		for _, e := range inc[v] {
-			g += h.edgeWeight(int(e))
+		for _, e := range incEdges[incOff[v]:incOff[v+1]] {
+			g += ew[e]
 		}
 		if g > maxGain {
 			maxGain = g
 		}
 	}
 
+	// Scratch shared across restarts and passes: the gain buckets, the
+	// per-edge side counts and the move sequence are rebuilt from scratch
+	// logically, but reuse one allocation.
+	sc := &fmScratch{
+		bk:      newBuckets(n, maxGain),
+		cnt:     make([][2]int32, len(h.Edges)),
+		visited: make([]int32, n),
+		delta:   make([]int, n),
+	}
+
 	var best *Result
 	for restart := 0; restart < opt.Restarts; restart++ {
-		res := runFM(h, inc, maxGain, opt, r.Split(fmt.Sprintf("restart%d", restart)))
+		res := runFM(h, incOff, incEdges, ew, opt, sc, r.Split("restart"+strconv.Itoa(restart)))
 		if best == nil || res.CutCost < best.CutCost {
 			best = res
 		}
 	}
 	return best, nil
+}
+
+// fmScratch holds the allocations runFM reuses across restarts and passes.
+type fmScratch struct {
+	bk      *buckets
+	cnt     [][2]int32
+	seq     []int32
+	visited []int32 // per-move neighbor dedup epochs
+	epoch   int32
+	delta   []int   // per-move accumulated gain deltas
+	nbrs    []int32 // per-move neighbors in first-occurrence order
+	perm    []int   // initial-partition shuffle scratch
+}
+
+// edgeContrib is the contribution of one edge to the gain of a pin on the
+// side with population ct (other side co): +w if moving the pin uncuts the
+// edge, -w if it newly cuts it.
+func edgeContrib(ct, co int32, w int) int {
+	g := 0
+	if ct == 1 && co > 0 {
+		g += w
+	}
+	if co == 0 {
+		g -= w
+	}
+	return g
 }
 
 func (h *Hypergraph) edgeWeight(e int) int {
@@ -153,6 +213,15 @@ func newBuckets(n, maxGain int) *buckets {
 		b.head[i] = -1
 	}
 	return b
+}
+
+// reset restores the buckets to the freshly-allocated empty state.
+func (b *buckets) reset() {
+	for i := range b.head {
+		b.head[i] = -1
+	}
+	clear(b.in)
+	b.maxIdx = -1
 }
 
 func (b *buckets) insert(v int32, gain int) {
@@ -224,7 +293,7 @@ func (b *buckets) popBest(feasible func(v int32) bool) int32 {
 }
 
 // runFM performs one multi-pass FM descent from a random balanced start.
-func runFM(h *Hypergraph, inc [][]int32, maxGain int, opt Options, r *rng.R) *Result {
+func runFM(h *Hypergraph, incOff, incEdges []int32, ew []int, opt Options, sc *fmScratch, r *rng.R) *Result {
 	n := len(h.NodeWeight)
 	side := make([]int8, n)
 	var total float64
@@ -244,7 +313,8 @@ func runFM(h *Hypergraph, inc [][]int32, maxGain int, opt Options, r *rng.R) *Re
 			w0 += h.NodeWeight[i]
 		}
 	}
-	for _, v := range r.Perm(n) {
+	sc.perm = r.PermInto(sc.perm[:0], n)
+	for _, v := range sc.perm {
 		if h.Fixed[v] != -1 {
 			continue
 		}
@@ -257,8 +327,9 @@ func runFM(h *Hypergraph, inc [][]int32, maxGain int, opt Options, r *rng.R) *Re
 	lo := (opt.Target - opt.BalanceTol) * total
 	hi := (opt.Target + opt.BalanceTol) * total
 
-	// Per-edge side population counts.
-	cnt := make([][2]int32, len(h.Edges))
+	// Per-edge side population counts (scratch reused across restarts).
+	cnt := sc.cnt
+	clear(cnt)
 	for e, nodes := range h.Edges {
 		for _, v := range nodes {
 			cnt[e][side[v]]++
@@ -268,12 +339,13 @@ func runFM(h *Hypergraph, inc [][]int32, maxGain int, opt Options, r *rng.R) *Re
 	gain := func(v int32) int {
 		g := 0
 		s := side[v]
-		for _, e := range inc[v] {
-			w := h.edgeWeight(int(e))
-			if cnt[e][s] == 1 && cnt[e][1-s] > 0 {
+		for _, e := range incEdges[incOff[v]:incOff[v+1]] {
+			w := ew[e]
+			c := &cnt[e]
+			if c[s] == 1 && c[1-s] > 0 {
 				g += w // moving v uncuts e
 			}
-			if cnt[e][1-s] == 0 {
+			if c[1-s] == 0 {
 				g -= w // moving v newly cuts e
 			}
 		}
@@ -282,7 +354,7 @@ func runFM(h *Hypergraph, inc [][]int32, maxGain int, opt Options, r *rng.R) *Re
 
 	applyMove := func(v int32) {
 		s := side[v]
-		for _, e := range inc[v] {
+		for _, e := range incEdges[incOff[v]:incOff[v+1]] {
 			cnt[e][s]--
 			cnt[e][1-s]++
 		}
@@ -295,7 +367,8 @@ func runFM(h *Hypergraph, inc [][]int32, maxGain int, opt Options, r *rng.R) *Re
 	}
 
 	for pass := 0; pass < opt.MaxPasses; pass++ {
-		bk := newBuckets(n, maxGain)
+		bk := sc.bk
+		bk.reset()
 		for v := 0; v < n; v++ {
 			if h.Fixed[v] == -1 {
 				bk.insert(int32(v), gain(int32(v)))
@@ -311,7 +384,7 @@ func runFM(h *Hypergraph, inc [][]int32, maxGain int, opt Options, r *rng.R) *Re
 			return nw0 >= lo && nw0 <= hi
 		}
 
-		var seq []int32
+		seq := sc.seq[:0]
 		cum, bestCum, bestAt := 0, 0, -1
 		for {
 			v := bk.popBest(feasible)
@@ -324,12 +397,56 @@ func runFM(h *Hypergraph, inc [][]int32, maxGain int, opt Options, r *rng.R) *Re
 			if cum > bestCum {
 				bestCum, bestAt = cum, len(seq)-1
 			}
-			// Refresh gains of still-unlocked neighbors.
-			for _, e := range inc[v] {
+			// Refresh gains of still-unlocked neighbors by this move's
+			// per-edge gain deltas. For an in-bucket node bk.gainOf always
+			// equals its current gain (it is refreshed on every neighbor
+			// move), so one accumulated delta per neighbor reproduces the
+			// full recompute — same values, same first-occurrence update
+			// order, at a fraction of the cost.
+			sc.epoch++
+			nbrs := sc.nbrs[:0]
+			to := side[v] // applyMove already flipped v
+			// v's duplicate incidences in one edge sit adjacently in the
+			// CSR list (they were appended during that edge's scan), so a
+			// run length m gives the edge's full count shift at once.
+			for ie := incOff[v]; ie < incOff[v+1]; {
+				e := incEdges[ie]
+				m := int32(1)
+				for ie+m < incOff[v+1] && incEdges[ie+m] == e {
+					m++
+				}
+				ie += m
+				w := ew[e]
+				c := &cnt[e]
+				a0, a1 := c[0], c[1]
+				b0, b1 := a0, a1 // counts before the move
+				if to == 1 {
+					b0 += m
+					b1 -= m
+				} else {
+					b0 -= m
+					b1 += m
+				}
+				d0 := edgeContrib(a0, a1, w) - edgeContrib(b0, b1, w)
+				d1 := edgeContrib(a1, a0, w) - edgeContrib(b1, b0, w)
 				for _, u := range h.Edges[e] {
-					if bk.in[u] {
-						bk.update(u, gain(u))
+					d := d0
+					if side[u] == 1 {
+						d = d1
 					}
+					if sc.visited[u] != sc.epoch {
+						sc.visited[u] = sc.epoch
+						sc.delta[u] = d
+						nbrs = append(nbrs, u)
+					} else {
+						sc.delta[u] += d
+					}
+				}
+			}
+			sc.nbrs = nbrs
+			for _, u := range nbrs {
+				if d := sc.delta[u]; d != 0 && bk.in[u] {
+					bk.update(u, bk.gainOf[u]+d)
 				}
 			}
 			// Early exit: long negative streaks rarely recover and the
@@ -338,6 +455,7 @@ func runFM(h *Hypergraph, inc [][]int32, maxGain int, opt Options, r *rng.R) *Re
 				break
 			}
 		}
+		sc.seq = seq // keep the grown backing array for the next pass
 		// Roll back moves after the best prefix.
 		for i := len(seq) - 1; i > bestAt; i-- {
 			applyMove(seq[i])

@@ -3,7 +3,7 @@ package place
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"fold3d/internal/geom"
 	"fold3d/internal/netlist"
@@ -37,15 +37,39 @@ type row struct {
 	segs []segment
 }
 
+// rowScratch holds the buffers buildRows fills: row headers, one shared
+// segment arena (each row's segs is a capacity-clipped window into it, so a
+// row that later splice-grows reallocates privately), the blockage list and
+// the subtract ping-pong buffers. Reused across legalization passes.
+type rowScratch struct {
+	rows       []row
+	arena      []segment
+	blockages  []geom.Rect
+	free, next []segment
+	rowOff     []int32 // CSR: candidate blockages per row
+	rowBlk     []int32
+}
+
+// grownI32 resizes *s to n zeroed elements, reusing capacity.
+func grownI32(s *[]int32, n int) []int32 {
+	if cap(*s) < n {
+		*s = make([]int32, n)
+		return *s
+	}
+	v := (*s)[:n]
+	clear(v)
+	return v
+}
+
 // buildRows constructs the placement rows of die d with macro, fixed-cell
-// and TSV-pad blockages cut out.
-func buildRows(b *netlist.Block, d netlist.Die) ([]row, error) {
+// and TSV-pad blockages cut out, reusing sc's allocations.
+func buildRows(b *netlist.Block, d netlist.Die, sc *rowScratch) ([]row, error) {
 	out := b.Outline[d]
 	nRows := int(out.H() / tech.CellHeight)
 	if nRows <= 0 {
 		return nil, fmt.Errorf("place: outline of %s die %s shorter than a cell row", b.Name, d)
 	}
-	var blockages []geom.Rect
+	blockages := sc.blockages[:0]
 	for i := range b.Macros {
 		if b.Macros[i].Die == d {
 			blockages = append(blockages, b.Macros[i].Rect())
@@ -58,16 +82,65 @@ func buildRows(b *netlist.Block, d netlist.Die) ([]row, error) {
 		}
 	}
 	blockages = append(blockages, b.TSVPads...)
-	rows := make([]row, nRows)
+	sc.blockages = blockages
+
+	// Bucket blockages by the rows they can touch (CSR over a conservative
+	// ±1-row span) so each row scans only its own candidates instead of the
+	// whole list; the exact Overlaps test below still decides membership,
+	// so the computed rows are identical to a full scan.
+	off := grownI32(&sc.rowOff, nRows+1)
+	spanOf := func(blk geom.Rect) (int, int) {
+		r0 := int((blk.Lo.Y-out.Lo.Y)/tech.CellHeight) - 1
+		r1 := int((blk.Hi.Y-out.Lo.Y)/tech.CellHeight) + 1
+		if r0 < 0 {
+			r0 = 0
+		}
+		if r1 >= nRows {
+			r1 = nRows - 1
+		}
+		return r0, r1
+	}
+	for _, blk := range blockages {
+		r0, r1 := spanOf(blk)
+		for r := r0; r <= r1; r++ {
+			off[r+1]++
+		}
+	}
+	for r := 0; r < nRows; r++ {
+		off[r+1] += off[r]
+	}
+	rowBlk := sc.rowBlk
+	if cap(rowBlk) < int(off[nRows]) {
+		rowBlk = make([]int32, off[nRows])
+		sc.rowBlk = rowBlk
+	} else {
+		rowBlk = rowBlk[:off[nRows]]
+	}
+	for bi, blk := range blockages {
+		r0, r1 := spanOf(blk)
+		for r := r0; r <= r1; r++ {
+			rowBlk[off[r]] = int32(bi)
+			off[r]++
+		}
+	}
+	for r := nRows; r > 0; r-- {
+		off[r] = off[r-1]
+	}
+	off[0] = 0
+
+	rows := sc.rows[:0]
+	arena := sc.arena[:0]
+	free, next := sc.free, sc.next
 	for r := 0; r < nRows; r++ {
 		y := out.Lo.Y + float64(r)*tech.CellHeight
 		rowRect := geom.NewRect(out.Lo.X, y, out.Hi.X, y+tech.CellHeight)
-		free := []segment{{x0: out.Lo.X, x1: out.Hi.X}}
-		for _, blk := range blockages {
+		free = append(free[:0], segment{x0: out.Lo.X, x1: out.Hi.X})
+		for _, bi := range rowBlk[off[r]:off[r+1]] {
+			blk := blockages[bi]
 			if !blk.Overlaps(rowRect) {
 				continue
 			}
-			var next []segment
+			next = next[:0]
 			for _, s := range free {
 				// Subtract [blk.Lo.X, blk.Hi.X] from [s.x0, s.x1].
 				if blk.Hi.X <= s.x0 || blk.Lo.X >= s.x1 {
@@ -81,10 +154,13 @@ func buildRows(b *netlist.Block, d netlist.Die) ([]row, error) {
 					next = append(next, segment{x0: blk.Hi.X, x1: s.x1})
 				}
 			}
-			free = next
+			free, next = next, free
 		}
-		rows[r] = row{y: y, segs: free}
+		start := len(arena)
+		arena = append(arena, free...)
+		rows = append(rows, row{y: y, segs: arena[start:len(arena):len(arena)]})
 	}
+	sc.rows, sc.arena, sc.free, sc.next = rows, arena, free, next
 	return rows, nil
 }
 
@@ -92,7 +168,8 @@ func buildRows(b *netlist.Block, d netlist.Die) ([]row, error) {
 // the summed width of free row segments wide enough to host a cell,
 // excluding macro, fixed-cell and TSV-pad blockages.
 func FreeRowArea(b *netlist.Block, d netlist.Die) (float64, error) {
-	rows, err := buildRows(b, d)
+	var sc rowScratch
+	rows, err := buildRows(b, d, &sc)
 	if err != nil {
 		return 0, err
 	}
@@ -113,30 +190,36 @@ func FreeRowArea(b *netlist.Block, d netlist.Die) (float64, error) {
 // cells are processed in x order and each takes the cheapest feasible slot).
 func (p *Placer) legalize(b *netlist.Block, d netlist.Die) error {
 	out := b.Outline[d]
-	rows, err := buildRows(b, d)
+	rows, err := buildRows(b, d, &p.rowsSc)
 	if err != nil {
 		return err
 	}
 	nRows := len(rows)
 
-	// Collect movable cells of this die, sorted by desired x then y.
-	var ids []int
+	// Collect movable cells of this die, sorted by desired x then y
+	// (index as final tiebreak, so the order is a total one).
+	ids := p.ids[:0]
 	for i := range b.Cells {
 		c := &b.Cells[i]
 		if c.Die == d && !c.Fixed {
-			ids = append(ids, i)
+			ids = append(ids, int32(i))
 		}
 	}
-	sort.Slice(ids, func(a, c int) bool {
-		ca, cc := &b.Cells[ids[a]], &b.Cells[ids[c]]
-		if ca.Pos.X < cc.Pos.X {
-			return true
+	slices.SortFunc(ids, func(a, c int32) int {
+		ca, cc := &b.Cells[a], &b.Cells[c]
+		switch {
+		case ca.Pos.X < cc.Pos.X:
+			return -1
+		case ca.Pos.X > cc.Pos.X:
+			return 1
+		case ca.Pos.Y < cc.Pos.Y:
+			return -1
+		case ca.Pos.Y > cc.Pos.Y:
+			return 1
 		}
-		if ca.Pos.X > cc.Pos.X {
-			return false
-		}
-		return ca.Pos.Y < cc.Pos.Y
+		return int(a - c)
 	})
+	p.ids = ids
 
 	for _, i := range ids {
 		c := &b.Cells[i]
@@ -156,12 +239,16 @@ func (p *Placer) legalize(b *netlist.Block, d netlist.Die) error {
 		// Search rows outward from the desired row; stop once row distance
 		// alone exceeds the best cost found.
 		for off := 0; off < nRows; off++ {
-			cand := []int{rDes - off, rDes + off}
+			nCand := 2
 			if off == 0 {
-				cand = cand[:1]
+				nCand = 1
 			}
 			progress := false
-			for _, rIdx := range cand {
+			for ci := 0; ci < nCand; ci++ {
+				rIdx := rDes - off
+				if ci == 1 {
+					rIdx = rDes + off
+				}
 				if rIdx < 0 || rIdx >= nRows {
 					continue
 				}
@@ -175,7 +262,14 @@ func (p *Placer) legalize(b *netlist.Block, d netlist.Die) error {
 					if s.x1-s.x0 < w {
 						continue
 					}
-					x := math.Max(s.x0, math.Min(desired.X, s.x1-w))
+					// x = max(s.x0, min(desired.X, s.x1-w)), branch form.
+					x := desired.X
+					if hi := s.x1 - w; x > hi {
+						x = hi
+					}
+					if x < s.x0 {
+						x = s.x0
+					}
 					cost := math.Abs(x-desired.X) + dy
 					if cost < bestCost {
 						bestCost, bestRow, bestSeg, bestX = cost, rIdx, sIdx, x
@@ -189,18 +283,32 @@ func (p *Placer) legalize(b *netlist.Block, d netlist.Die) error {
 		if bestRow < 0 {
 			return fmt.Errorf("place: no legal slot for cell %s in %s die %s (outline too small)", c.Name, b.Name, d)
 		}
-		// Split the chosen segment around the placed cell.
+		// Split the chosen segment around the placed cell, splicing the
+		// replacement pieces in place (no temporary slice).
 		segs := rows[bestRow].segs
 		seg := segs[bestSeg]
 		c.Pos = geom.Point{X: bestX, Y: rows[bestRow].y}
-		var repl []segment
+		var repl [2]segment
+		nRepl := 0
 		if bestX-seg.x0 > 1e-9 {
-			repl = append(repl, segment{x0: seg.x0, x1: bestX})
+			repl[nRepl] = segment{x0: seg.x0, x1: bestX}
+			nRepl++
 		}
 		if seg.x1-(bestX+w) > 1e-9 {
-			repl = append(repl, segment{x0: bestX + w, x1: seg.x1})
+			repl[nRepl] = segment{x0: bestX + w, x1: seg.x1}
+			nRepl++
 		}
-		rows[bestRow].segs = append(segs[:bestSeg], append(repl, segs[bestSeg+1:]...)...)
+		switch nRepl {
+		case 1:
+			segs[bestSeg] = repl[0]
+		case 0:
+			rows[bestRow].segs = append(segs[:bestSeg], segs[bestSeg+1:]...)
+		case 2:
+			segs = append(segs, segment{})
+			copy(segs[bestSeg+2:], segs[bestSeg+1:])
+			segs[bestSeg], segs[bestSeg+1] = repl[0], repl[1]
+			rows[bestRow].segs = segs
+		}
 
 		disp := math.Abs(bestX-desired.X) + math.Abs(rows[bestRow].y-desired.Y)
 		p.legalStats.TotalDisp += disp

@@ -12,7 +12,6 @@ package place
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"fold3d/internal/geom"
 	"fold3d/internal/netlist"
@@ -60,6 +59,17 @@ func DefaultOptions() Options {
 type Placer struct {
 	opt        Options
 	legalStats LegalStats
+
+	// Scratch reused across placement passes. Contents are fully
+	// rewritten on every use; sharing one Placer between goroutines is
+	// not supported (the flow builds one Placer per block).
+	wlX, wlY, wlW      []float64 // wirelengthPass centroid accumulators
+	laneOf             []int32   // spreadPass: lane of each cell
+	laneOff, laneCells []int32   // spreadPass: CSR cells-per-lane buckets
+	demand, supply     []float64 // shift1D per-lane densities
+	cumD, cumS         []float64 // shift1D cumulative distributions
+	ids                []int32   // legalize cell-order scratch
+	rowsSc             rowScratch
 }
 
 // New returns a Placer with the given options.
@@ -156,11 +166,35 @@ func (p *Placer) seedPositions(b *netlist.Block, r *rng.R) {
 	}
 }
 
-func clampCell(out geom.Rect, c *netlist.Instance) geom.Point {
-	return geom.Point{
-		X: math.Min(math.Max(c.Pos.X, out.Lo.X), out.Hi.X-c.Master.Width),
-		Y: math.Min(math.Max(c.Pos.Y, out.Lo.Y), out.Hi.Y-tech.CellHeight),
+// resetF64 returns a zeroed length-n float64 slice backed by *s, growing
+// the backing array only when capacity runs out.
+func resetF64(s *[]float64, n int) []float64 {
+	if cap(*s) < n {
+		*s = make([]float64, n)
+		return *s
 	}
+	v := (*s)[:n]
+	clear(v)
+	return v
+}
+
+func clampCell(out geom.Rect, c *netlist.Instance) geom.Point {
+	// Branch form of min(max(v, lo), hi); math.Min/Max don't inline and
+	// this is the hottest little function of the placer.
+	x, y := c.Pos.X, c.Pos.Y
+	if x < out.Lo.X {
+		x = out.Lo.X
+	}
+	if hi := out.Hi.X - c.Master.Width; x > hi {
+		x = hi
+	}
+	if y < out.Lo.Y {
+		y = out.Lo.Y
+	}
+	if hi := out.Hi.Y - tech.CellHeight; y > hi {
+		y = hi
+	}
+	return geom.Point{X: x, Y: y}
 }
 
 // wirelengthPass moves every movable cell toward the weighted centroid of
@@ -170,44 +204,45 @@ func clampCell(out geom.Rect, c *netlist.Instance) geom.Point {
 // the move.
 func (p *Placer) wirelengthPass(b *netlist.Block, lambda float64) {
 	n := len(b.Cells)
-	sumX := make([]float64, n)
-	sumY := make([]float64, n)
-	sumW := make([]float64, n)
+	sumX := resetF64(&p.wlX, n)
+	sumY := resetF64(&p.wlY, n)
+	sumW := resetF64(&p.wlW, n)
 
 	for ni := range b.Nets {
 		net := &b.Nets[ni]
-		pins := make([]netlist.PinRef, 0, len(net.Sinks)+1)
-		pins = append(pins, net.Driver)
-		pins = append(pins, net.Sinks...)
-		if len(pins) < 2 {
+		if len(net.Sinks) == 0 {
 			continue
 		}
 		// Star model: every pin attracts toward the net centroid with
-		// weight 1/(k-1).
-		var cx, cy float64
-		for _, pr := range pins {
+		// weight 1/(k-1). Pins visit in driver-then-sinks order, the same
+		// order a combined pin slice would give, so the sums are
+		// bit-identical to the materialized version.
+		pt := b.PinPos(net.Driver)
+		cx, cy := pt.X, pt.Y
+		for _, pr := range net.Sinks {
 			pt := b.PinPos(pr)
 			cx += pt.X
 			cy += pt.Y
 		}
-		k := float64(len(pins))
+		k := float64(len(net.Sinks) + 1)
 		cx /= k
 		cy /= k
 		w := 1.0 / (k - 1)
 		if net.Kind == netlist.Clock {
 			w *= 0.25 // clock nets are CTS's problem; don't let them clump logic
 		}
-		for _, pr := range pins {
-			if pr.Kind != netlist.KindCell {
-				continue
-			}
-			c := &b.Cells[pr.Idx]
-			if c.Fixed {
-				continue
-			}
-			sumX[pr.Idx] += w * cx
-			sumY[pr.Idx] += w * cy
+		wcx, wcy := w*cx, w*cy
+		if pr := net.Driver; pr.Kind == netlist.KindCell && !b.Cells[pr.Idx].Fixed {
+			sumX[pr.Idx] += wcx
+			sumY[pr.Idx] += wcy
 			sumW[pr.Idx] += w
+		}
+		for _, pr := range net.Sinks {
+			if pr.Kind == netlist.KindCell && !b.Cells[pr.Idx].Fixed {
+				sumX[pr.Idx] += wcx
+				sumY[pr.Idx] += wcy
+				sumW[pr.Idx] += w
+			}
 		}
 	}
 
@@ -315,43 +350,97 @@ func (p *Placer) buildDensityGrid(b *netlist.Block, d netlist.Die) (*densityGrid
 // for the L2D memory-bank folding.
 func (p *Placer) spreadPass(b *netlist.Block, d netlist.Die, dg *densityGrid) {
 	g := dg.grid
-	// --- X direction: per bin row ---
+	// --- X direction: per bin row. Row membership depends only on Y,
+	// which the X shifts leave untouched, so one bucketing serves every
+	// lane of the sweep. ---
+	p.bucketLanes(b, d, g, true)
 	for iy := 0; iy < g.NY; iy++ {
 		p.shift1D(b, d, g, dg, iy, true)
 	}
-	// --- Y direction: per bin column ---
+	// --- Y direction: per bin column (re-bucketed — the X sweep moved
+	// cells across columns) ---
+	p.bucketLanes(b, d, g, false)
 	for ix := 0; ix < g.NX; ix++ {
 		p.shift1D(b, d, g, dg, ix, false)
 	}
 }
 
+// bucketLanes groups the movable cells of die d by bin row (horiz=true) or
+// bin column (horiz=false) into the laneOff/laneCells CSR scratch. Cells
+// keep index order within each lane — the same visit order the previous
+// scan-all-cells-per-lane implementation produced — so the per-bin demand
+// sums and per-cell shifts of shift1D stay bit-identical.
+func (p *Placer) bucketLanes(b *netlist.Block, d netlist.Die, g *geom.Grid, horiz bool) {
+	lanes := g.NY
+	if !horiz {
+		lanes = g.NX
+	}
+	if cap(p.laneOff) < lanes+1 {
+		p.laneOff = make([]int32, lanes+1)
+	}
+	off := p.laneOff[:lanes+1]
+	clear(off)
+	if cap(p.laneOf) < len(b.Cells) {
+		p.laneOf = make([]int32, len(b.Cells))
+		p.laneCells = make([]int32, len(b.Cells))
+	}
+	laneOf := p.laneOf[:len(b.Cells)]
+	for i := range b.Cells {
+		c := &b.Cells[i]
+		if c.Die != d || c.Fixed {
+			laneOf[i] = -1
+			continue
+		}
+		ix, iy := g.BinAt(c.Center())
+		lane := iy
+		if !horiz {
+			lane = ix
+		}
+		laneOf[i] = int32(lane)
+		off[lane+1]++
+	}
+	for k := 0; k < lanes; k++ {
+		off[k+1] += off[k]
+	}
+	// Fill using off[lane] as a moving cursor, then shift the array back
+	// one slot so off[lane] is the lane's start offset again.
+	cells := p.laneCells[:len(b.Cells)]
+	for i, lane := range laneOf {
+		if lane < 0 {
+			continue
+		}
+		cells[off[lane]] = int32(i)
+		off[lane]++
+	}
+	for k := lanes; k > 0; k-- {
+		off[k] = off[k-1]
+	}
+	off[0] = 0
+}
+
 // shift1D remaps the coordinate of the cells in one bin row (horiz=true) or
-// column (horiz=false) so demand matches supply cumulatively.
+// column (horiz=false) so demand matches supply cumulatively. The lane's
+// cells come from the CSR buckets a preceding bucketLanes call built.
 func (p *Placer) shift1D(b *netlist.Block, d netlist.Die, g *geom.Grid, dg *densityGrid, lane int, horiz bool) {
+	cells := p.laneCells[p.laneOff[lane]:p.laneOff[lane+1]]
+	if len(cells) == 0 {
+		return
+	}
 	n := g.NX
 	if !horiz {
 		n = g.NY
 	}
-	demand := make([]float64, n)
-	supply := make([]float64, n)
-	var cells []int
+	demand := resetF64(&p.demand, n)
+	supply := resetF64(&p.supply, n)
 
-	for i := range b.Cells {
-		c := &b.Cells[i]
-		if c.Die != d || c.Fixed {
-			continue
-		}
+	for _, ci := range cells {
+		c := &b.Cells[ci]
 		ix, iy := g.BinAt(c.Center())
-		if horiz && iy == lane {
+		if horiz {
 			demand[ix] += c.Master.Area()
-			cells = append(cells, i)
-		} else if !horiz && ix == lane {
+		} else {
 			demand[iy] += c.Master.Area()
-			cells = append(cells, i)
 		}
-	}
-	if len(cells) == 0 {
-		return
 	}
 	for k := 0; k < n; k++ {
 		var idx int
@@ -364,8 +453,8 @@ func (p *Placer) shift1D(b *netlist.Block, d netlist.Die, g *geom.Grid, dg *dens
 	}
 
 	// Cumulative distributions along the lane.
-	cumD := make([]float64, n+1)
-	cumS := make([]float64, n+1)
+	cumD := resetF64(&p.cumD, n+1)
+	cumS := resetF64(&p.cumS, n+1)
 	for k := 0; k < n; k++ {
 		cumD[k+1] = cumD[k] + demand[k]
 		cumS[k+1] = cumS[k] + supply[k]
@@ -382,9 +471,18 @@ func (p *Placer) shift1D(b *netlist.Block, d netlist.Die, g *geom.Grid, dg *dens
 		_, binSz = g.BinSize()
 	}
 
-	// Map a coordinate through: u = demand CDF at coord (scaled), then find
-	// coord' where supply CDF reaches u * totS/totD.
-	remap := func(coord float64) float64 {
+	// Map each cell's coordinate through: u = demand CDF at coord (scaled),
+	// then find coord' where supply CDF reaches u * totS/totD. The mapping
+	// body lives in the loop (it is the hottest path of the placer).
+	const alpha = 0.55 // damping of the shift
+	out := b.Outline[d]
+	for _, i := range cells {
+		c := &b.Cells[i]
+		ctr := c.Center()
+		coord := ctr.X
+		if !horiz {
+			coord = ctr.Y
+		}
 		f := (coord - lo) / binSz
 		k := int(f)
 		if k < 0 {
@@ -395,8 +493,17 @@ func (p *Placer) shift1D(b *netlist.Block, d netlist.Die, g *geom.Grid, dg *dens
 		}
 		frac := f - float64(k)
 		u := (cumD[k] + frac*demand[k]) / totD * totS
-		// Invert supply CDF.
-		j := sort.Search(n, func(j int) bool { return cumS[j+1] >= u }) // first bin whose cum reaches u
+		// Invert supply CDF: first bin whose cum reaches u (inline binary
+		// search, same probe sequence sort.Search would take).
+		j, jh := 0, n
+		for j < jh {
+			mid := int(uint(j+jh) >> 1)
+			if cumS[mid+1] >= u {
+				jh = mid
+			} else {
+				j = mid + 1
+			}
+		}
 		if j >= n {
 			j = n - 1
 		}
@@ -410,21 +517,13 @@ func (p *Placer) shift1D(b *netlist.Block, d netlist.Die, g *geom.Grid, dg *dens
 		if t > 1 {
 			t = 1
 		}
-		return lo + (float64(j)+t)*binSz
-	}
-
-	const alpha = 0.55 // damping of the shift
-	for _, i := range cells {
-		c := &b.Cells[i]
-		ctr := c.Center()
+		mapped := lo + (float64(j)+t)*binSz
 		if horiz {
-			nx := remap(ctr.X)
-			c.Pos.X += alpha * (nx - ctr.X)
+			c.Pos.X += alpha * (mapped - ctr.X)
 		} else {
-			ny := remap(ctr.Y)
-			c.Pos.Y += alpha * (ny - ctr.Y)
+			c.Pos.Y += alpha * (mapped - ctr.Y)
 		}
-		c.Pos = clampCell(b.Outline[d], c)
+		c.Pos = clampCell(out, c)
 	}
 }
 

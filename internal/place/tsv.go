@@ -106,13 +106,14 @@ func PlanTSVs(b *netlist.Block, opt TSVPlanOptions) error {
 		span float64
 	}
 	var cands []cand
+	var pins []geom.Point
 	for i := range b.Nets {
 		n := &b.Nets[i]
 		if n.Kind != netlist.Signal || !b.NetIs3D(n) {
 			continue
 		}
 		want := crossingPoint(b, n)
-		pins := b.NetPins(n)
+		pins = b.AppendNetPins(pins[:0], n)
 		cands = append(cands, cand{net: i, want: want, span: geom.HPWL(pins)})
 	}
 	sort.Slice(cands, func(a, c int) bool { return cands[a].span > cands[c].span })

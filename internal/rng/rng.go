@@ -71,13 +71,21 @@ func (r *R) Norm(mean, stddev float64) float64 {
 
 // Perm returns a random permutation of [0, n) (Fisher-Yates).
 func (r *R) Perm(n int) []int {
-	p := make([]int, n)
-	for i := range p {
-		p[i] = i
+	return r.PermInto(make([]int, 0, n), n)
+}
+
+// PermInto appends a random permutation of [0, n) to p and returns it,
+// reusing p's capacity. It consumes exactly the same draws as Perm, so the
+// two are interchangeable without perturbing downstream randomness.
+func (r *R) PermInto(p []int, n int) []int {
+	base := len(p)
+	for i := 0; i < n; i++ {
+		p = append(p, i)
 	}
+	q := p[base:]
 	for i := n - 1; i > 0; i-- {
 		j := r.Intn(i + 1)
-		p[i], p[j] = p[j], p[i]
+		q[i], q[j] = q[j], q[i]
 	}
 	return p
 }

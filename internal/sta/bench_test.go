@@ -1,0 +1,101 @@
+package sta
+
+import (
+	"fmt"
+	"testing"
+
+	"fold3d/internal/geom"
+	"fold3d/internal/netlist"
+	"fold3d/internal/tech"
+)
+
+// benchBlock builds a synthetic layered pipeline — a launch rank of DFFs,
+// stages ranks of NAND2 gates wired to the same column and a neighbor of
+// the next rank, and a capture DFF rank — with hand-assigned wire
+// parasitics, so the benchmark measures pure STA without an extractor.
+func benchBlock(stages, width int) (*netlist.Block, *tech.Library) {
+	lib := tech.NewLibrary()
+	b := netlist.NewBlock("bench", tech.CPUClock)
+	b.Outline[0] = geom.NewRect(0, 0, 1000, 1000)
+	ref := func(ci int32) netlist.PinRef { return netlist.PinRef{Kind: netlist.KindCell, Idx: ci} }
+	addNet := func(name string, d int32, sinks ...netlist.PinRef) {
+		b.AddNet(netlist.Net{
+			Name:       name,
+			Kind:       netlist.Signal,
+			Driver:     ref(d),
+			Sinks:      sinks,
+			WireCapfF:  4.5,
+			WireResOhm: 180,
+		})
+	}
+	prev := make([]int32, width)
+	for i := range prev {
+		prev[i] = b.AddCell(netlist.Instance{
+			Name:   fmt.Sprintf("lff%d", i),
+			Master: lib.MustCell(tech.DFF, 2, tech.RVT),
+		})
+	}
+	cur := make([]int32, width)
+	for s := 0; s < stages; s++ {
+		for i := 0; i < width; i++ {
+			cur[i] = b.AddCell(netlist.Instance{
+				Name:   fmt.Sprintf("g%d_%d", s, i),
+				Master: lib.MustCell(tech.NAND2, 2, tech.RVT),
+			})
+		}
+		for i := 0; i < width; i++ {
+			addNet(fmt.Sprintf("n%d_%d", s, i), prev[i], ref(cur[i]), ref(cur[(i+1)%width]))
+		}
+		prev, cur = cur, prev
+	}
+	for i := 0; i < width; i++ {
+		cff := b.AddCell(netlist.Instance{
+			Name:   fmt.Sprintf("cff%d", i),
+			Master: lib.MustCell(tech.DFF, 2, tech.RVT),
+		})
+		addNet(fmt.Sprintf("cap%d", i), prev[i], netlist.PinRef{Kind: netlist.KindCell, Idx: cff})
+	}
+	return b, lib
+}
+
+// BenchmarkSTAFull is the from-scratch baseline: one complete Analyze —
+// adjacency build, levelization, both propagations — per iteration.
+func BenchmarkSTAFull(bm *testing.B) {
+	b, _ := benchBlock(100, 100)
+	bm.ReportAllocs()
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		if _, err := Analyze(b, 0); err != nil {
+			bm.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSTAIncremental measures the optimizer-loop pattern: one cell's
+// master swapped per iteration, then a cone-limited re-propagation through
+// the persistent engine. Same block, same floats, a fraction of the work.
+func BenchmarkSTAIncremental(bm *testing.B) {
+	b, lib := benchBlock(100, 100)
+	eng := NewEngine(b)
+	if _, err := eng.Analyze(0); err != nil {
+		bm.Fatal(err)
+	}
+	hi := lib.MustCell(tech.NAND2, 4, tech.RVT)
+	lo := lib.MustCell(tech.NAND2, 2, tech.RVT)
+	// A gate halfway down the pipeline: its fanout cone spans half the
+	// ranks, a pessimistic stand-in for typical sizing edits.
+	ci := int32(len(b.Cells) / 2)
+	bm.ReportAllocs()
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		if i%2 == 0 {
+			b.Cells[ci].Master = hi
+		} else {
+			b.Cells[ci].Master = lo
+		}
+		eng.MarkCellDirty(ci)
+		if _, err := eng.Analyze(0); err != nil {
+			bm.Fatal(err)
+		}
+	}
+}

@@ -9,10 +9,7 @@
 package sta
 
 import (
-	"fmt"
-
 	"fold3d/internal/netlist"
-	"fold3d/internal/tech"
 )
 
 // Report is the outcome of one timing run.
@@ -64,302 +61,12 @@ func noRequired(r float64) bool {
 
 // Analyze runs STA on b. The clock period comes from the block's domain; a
 // CTS-computed skew can be passed as uncertainty (subtracted from every
-// endpoint's required time).
+// endpoint's required time). It is a one-shot convenience over Engine: a
+// fresh engine's full build, discarded afterwards. Loops that analyze the
+// same block repeatedly should hold a NewEngine and mark dirty sets
+// instead; both paths produce bit-identical reports.
 func Analyze(b *netlist.Block, uncertaintyPS float64) (*Report, error) {
-	period := b.Clock.PeriodPS()
-	nc := len(b.Cells)
-
-	// driverNet[i] = net driven by cell i (-1 if none, e.g. sink-only DFF
-	// feeding only ports is still a driver; unconnected outputs allowed).
-	driverNet := make([]int32, nc)
-	for i := range driverNet {
-		driverNet[i] = -1
-	}
-	// fanin[i] = signal nets feeding cell i's inputs.
-	fanin := make([][]int32, nc)
-	for ni := range b.Nets {
-		n := &b.Nets[ni]
-		if n.Kind != netlist.Signal {
-			continue
-		}
-		if n.Driver.Kind == netlist.KindCell {
-			driverNet[n.Driver.Idx] = int32(ni)
-		}
-		for _, s := range n.Sinks {
-			if s.Kind == netlist.KindCell {
-				fanin[s.Idx] = append(fanin[s.Idx], int32(ni))
-			}
-		}
-	}
-
-	// Stage delays. cellDelay[i]: input-to-output delay of cell i driving
-	// its net. wireDelay(n, s): net n's Elmore delay to sink s.
-	cellDelay := make([]float64, nc)
-	for i := range b.Cells {
-		m := b.Cells[i].Master
-		var load float64
-		if dn := driverNet[i]; dn >= 0 {
-			wire, pins := totalLoad(b, &b.Nets[dn])
-			load = wire + pins
-		}
-		cellDelay[i] = m.Intr + m.DriveR*load*1e-3 // Ω*fF = 1e-3 ps
-		if m.Fam == tech.DFF {
-			cellDelay[i] += m.ClkQ
-		}
-	}
-
-	// Topological order over combinational cells (Kahn). Sequential cells
-	// and macros are both launch and capture boundaries, so edges do not
-	// propagate through them.
-	indeg := make([]int, nc)
-	for i := range b.Cells {
-		if b.Cells[i].Master.Fam.IsSequential() {
-			continue // DFFs launch; their inputs are endpoints
-		}
-		for _, ni := range fanin[i] {
-			n := &b.Nets[ni]
-			if n.Driver.Kind == netlist.KindCell && !b.Cells[n.Driver.Idx].Master.Fam.IsSequential() {
-				indeg[i]++
-			}
-		}
-	}
-	queue := make([]int32, 0, nc)
-	for i := 0; i < nc; i++ {
-		if !b.Cells[i].Master.Fam.IsSequential() && indeg[i] == 0 {
-			queue = append(queue, int32(i))
-		}
-	}
-	var order []int32
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		order = append(order, v)
-		if dn := driverNet[v]; dn >= 0 {
-			for _, s := range b.Nets[dn].Sinks {
-				if s.Kind != netlist.KindCell {
-					continue
-				}
-				u := s.Idx
-				if b.Cells[u].Master.Fam.IsSequential() {
-					continue
-				}
-				indeg[u]--
-				if indeg[u] == 0 {
-					queue = append(queue, u)
-				}
-			}
-		}
-	}
-	comb := 0
-	for i := range b.Cells {
-		if !b.Cells[i].Master.Fam.IsSequential() {
-			comb++
-		}
-	}
-	if len(order) != comb {
-		return nil, fmt.Errorf("sta: block %s has a combinational cycle (%d of %d cells ordered)", b.Name, len(order), comb)
-	}
-
-	// Forward: arrival at every cell output.
-	arr := make([]float64, nc)
-	for i := range arr {
-		arr[i] = unset
-	}
-	// Launch at sequential cells.
-	for i := range b.Cells {
-		if b.Cells[i].Master.Fam.IsSequential() {
-			arr[i] = cellDelay[i] // clock arrival 0 + clk->q (+ load delay)
-		}
-	}
-	// arrAtSink computes the arrival at a sink pin of net ni.
-	arrAtSink := func(ni int32, s netlist.PinRef) float64 {
-		n := &b.Nets[ni]
-		var src float64
-		switch n.Driver.Kind {
-		case netlist.KindCell:
-			src = arr[n.Driver.Idx]
-			if isUnset(src) {
-				return unset
-			}
-		case netlist.KindMacro:
-			src = b.Macros[n.Driver.Idx].Model.AccessPS
-		case netlist.KindPort:
-			p := &b.Ports[n.Driver.Idx]
-			src = p.Budget
-			if src == 0 {
-				src = DefaultPortBudgetFraction * period
-			}
-			// Port driver delay into the net.
-			wire, pins := totalLoad(b, n)
-			src += b.DriverR(n.Driver) * (wire + pins) * 1e-3
-		}
-		return src + wireDelay(b, n, s)
-	}
-	for _, v := range order {
-		latest := 0.0
-		for _, ni := range fanin[v] {
-			a := arrAtSink(ni, netlist.PinRef{Kind: netlist.KindCell, Idx: v})
-			if isUnset(a) {
-				continue
-			}
-			if a > latest {
-				latest = a
-			}
-		}
-		arr[v] = latest + cellDelay[v]
-	}
-
-	// Endpoint slacks and backward required times.
-	req := make([]float64, nc)
-	for i := range req {
-		req[i] = noReq
-	}
-	rep := &Report{
-		CellSlack: make([]float64, nc),
-		NetSlack:  make([]float64, len(b.Nets)),
-		ArrOut:    arr,
-		WNS:       1e18,
-	}
-	netReq := make([]float64, len(b.Nets))
-	for i := range netReq {
-		netReq[i] = noReq
-	}
-
-	// requiredAtSink returns the required arrival time at a sink pin.
-	requiredAtSink := func(s netlist.PinRef) float64 {
-		switch s.Kind {
-		case netlist.KindCell:
-			c := &b.Cells[s.Idx]
-			if c.Master.Fam.IsSequential() {
-				return period - c.Master.Setup - uncertaintyPS
-			}
-			return req[s.Idx] - cellDelay[s.Idx]
-		case netlist.KindMacro:
-			return period - b.Macros[s.Idx].Model.SetupPS - uncertaintyPS
-		case netlist.KindPort:
-			p := &b.Ports[s.Idx]
-			budget := p.Budget
-			if budget == 0 {
-				budget = DefaultPortBudgetFraction * period
-			}
-			return period - budget - uncertaintyPS
-		}
-		return noReq
-	}
-
-	// Backward pass in reverse topological order, then sequential drivers.
-	addEndpoint := func(slack float64) {
-		rep.Endpoints++
-		if slack < 0 {
-			rep.Failing++
-			rep.TNS += slack
-		}
-		if slack < rep.WNS {
-			rep.WNS = slack
-		}
-	}
-	for i := len(order) - 1; i >= 0; i-- {
-		v := order[i]
-		dn := driverNet[v]
-		if dn < 0 {
-			req[v] = b.Clock.PeriodPS() // dangling output: unconstrained
-			continue
-		}
-		r := noReq
-		n := &b.Nets[dn]
-		for _, s := range n.Sinks {
-			rs := requiredAtSink(s) - wireDelay(b, n, s)
-			if rs < r {
-				r = rs
-			}
-		}
-		req[v] = r
-		if r < netReq[dn] {
-			netReq[dn] = r
-		}
-	}
-	// Sequential and macro/port-driven nets' required times.
-	for ni := range b.Nets {
-		n := &b.Nets[ni]
-		if n.Kind != netlist.Signal {
-			continue
-		}
-		if n.Driver.Kind == netlist.KindCell && !b.Cells[n.Driver.Idx].Master.Fam.IsSequential() {
-			continue
-		}
-		r := 1e18
-		for _, s := range n.Sinks {
-			rs := requiredAtSink(s) - wireDelay(b, n, s)
-			if rs < r {
-				r = rs
-			}
-		}
-		netReq[ni] = r
-		if n.Driver.Kind == netlist.KindCell {
-			if r < req[n.Driver.Idx] {
-				req[n.Driver.Idx] = r
-			}
-		}
-	}
-
-	// Endpoint accounting: every sequential/macro/port sink is an endpoint.
-	for ni := range b.Nets {
-		n := &b.Nets[ni]
-		if n.Kind != netlist.Signal {
-			continue
-		}
-		for _, s := range n.Sinks {
-			isEnd := false
-			switch s.Kind {
-			case netlist.KindCell:
-				isEnd = b.Cells[s.Idx].Master.Fam.IsSequential()
-			case netlist.KindMacro, netlist.KindPort:
-				isEnd = true
-			}
-			if !isEnd {
-				continue
-			}
-			a := arrAtSink(int32(ni), s)
-			if isUnset(a) {
-				continue
-			}
-			addEndpoint(requiredAtSink(s) - a)
-		}
-	}
-	if rep.Endpoints == 0 {
-		rep.WNS = period
-	}
-
-	for i := range b.Cells {
-		rep.CellSlack[i] = req[i] - arr[i]
-		if isUnset(arr[i]) {
-			rep.CellSlack[i] = period
-		}
-	}
-	for ni := range b.Nets {
-		n := &b.Nets[ni]
-		if n.Kind != netlist.Signal {
-			rep.NetSlack[ni] = period
-			continue
-		}
-		var a float64
-		switch n.Driver.Kind {
-		case netlist.KindCell:
-			a = arr[n.Driver.Idx]
-			if isUnset(a) {
-				a = 0
-			}
-		case netlist.KindMacro:
-			a = b.Macros[n.Driver.Idx].Model.AccessPS
-		case netlist.KindPort:
-			a = DefaultPortBudgetFraction * period
-		}
-		rep.NetSlack[ni] = netReq[ni] - a
-		if noRequired(netReq[ni]) {
-			rep.NetSlack[ni] = period
-		}
-	}
-	return rep, nil
+	return NewEngine(b).Analyze(uncertaintyPS)
 }
 
 // wireDelay returns the Elmore delay in ps from net n's driver to sink s:

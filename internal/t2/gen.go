@@ -225,7 +225,11 @@ func (d *Design) generateBlock(spec BlockSpec, need map[string]int, r *rng.R) (*
 		groups = []GroupSpec{{Name: "", Frac: 1}}
 	}
 
-	// Cell creation with group and level assignment.
+	// Cell creation with group and level assignment. Reserve the planned
+	// counts up front: nets are created lazily one per driving pin, so the
+	// cell count (plus macro/port slack) bounds them well.
+	b.GrowCells(n + 8)
+	b.GrowNets(n + 8)
 	levels := make([]int16, 0, n)
 	type glKey struct {
 		g int

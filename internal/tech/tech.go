@@ -171,6 +171,9 @@ func (f Family) NumInputs() int {
 // Drives enumerates the drive strengths available for every family.
 var Drives = []int{1, 2, 4, 8, 16}
 
+// maxDrive bounds the dense master index in Library.
+const maxDrive = 16
+
 // Cell is one library cell: a (family, drive, vth) master with its physical
 // and electrical characterization.
 type Cell struct {
@@ -216,18 +219,15 @@ var familyBases = map[Family]familyBase{
 // Library is the set of characterized cells plus macro and 3D interconnect
 // models. Build one with NewLibrary.
 type Library struct {
-	cells   map[string]*Cell
-	byKey   map[cellKey]*Cell
+	cells map[string]*Cell
+	// byKey is a dense (family, drive, vth) index: the optimizer resolves
+	// masters in its inner resize loops, and an array probe is far cheaper
+	// than hashing a struct key. Uncharacterized slots stay nil.
+	byKey   [numFamilies][maxDrive + 1][2]*Cell
 	Metal   []MetalLayer
 	TSV     TSV
 	F2F     F2FVia
 	MacroKB MacroModel
-}
-
-type cellKey struct {
-	fam   Family
-	drive int
-	vth   VthClass
 }
 
 // NewLibrary characterizes the full 28nm-class library: every family at
@@ -236,7 +236,6 @@ type cellKey struct {
 func NewLibrary() *Library {
 	lib := &Library{
 		cells:   make(map[string]*Cell),
-		byKey:   make(map[cellKey]*Cell),
 		Metal:   MetalStack(),
 		TSV:     DefaultTSV(),
 		F2F:     DefaultF2FVia(),
@@ -274,7 +273,7 @@ func NewLibrary() *Library {
 				}
 				c.Name = fmt.Sprintf("%s_X%d_%s", fam, d, vth)
 				lib.cells[c.Name] = c
-				lib.byKey[cellKey{fam, d, vth}] = c
+				lib.byKey[fam][d][vth] = c
 			}
 		}
 	}
@@ -284,8 +283,11 @@ func NewLibrary() *Library {
 // Cell returns the master for (family, drive, vth). It returns an error for
 // an uncharacterized drive strength.
 func (l *Library) Cell(fam Family, drive int, vth VthClass) (*Cell, error) {
-	c, ok := l.byKey[cellKey{fam, drive, vth}]
-	if !ok {
+	if fam < 0 || fam >= numFamilies || drive < 0 || drive > maxDrive || vth < 0 || vth > HVT {
+		return nil, fmt.Errorf("tech: no cell %s_X%d_%s in library", fam, drive, vth)
+	}
+	c := l.byKey[fam][drive][vth]
+	if c == nil {
 		return nil, fmt.Errorf("tech: no cell %s_X%d_%s in library", fam, drive, vth)
 	}
 	return c, nil

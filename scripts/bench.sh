@@ -1,0 +1,78 @@
+#!/bin/sh
+# bench.sh — record the PR 3 performance numbers (see README "Performance").
+#
+# Runs the full-chip build benchmarks and the incremental-STA benchmarks,
+# takes the per-benchmark median over -count runs (this class of machine
+# shows ±8% run-to-run noise, so a single run is not trustworthy), and
+# writes BENCH_PR3.json next to this script's repo root: the frozen
+# pre-PR-3 baseline plus the numbers just measured, so the 2x acceptance
+# ratio is auditable from the file alone.
+#
+# Usage: scripts/bench.sh [count]   (default 5 runs per benchmark)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+COUNT="${1:-5}"
+OUT="BENCH_PR3.json"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+echo "==> go test -bench BuildChip (chip build, $COUNT runs each)" >&2
+go test -run '^$' -bench 'BenchmarkBuildChip' -benchmem -benchtime 4x \
+	-count "$COUNT" . | tee -a "$TMP" >&2
+
+echo "==> go test -bench STA ./internal/sta/ (timing engine, $COUNT runs each)" >&2
+go test -run '^$' -bench 'BenchmarkSTA' -benchmem \
+	-count "$COUNT" ./internal/sta/ | tee -a "$TMP" >&2
+
+# Reduce the raw `go test -bench` lines to one JSON object per benchmark,
+# taking the median ns/op and the matching B/op and allocs/op.
+awk '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	n[name]++
+	ns[name, n[name]] = $3
+	bytes[name] = $5
+	allocs[name] = $7
+}
+function median(name,    cnt, i, j, tmp, arr) {
+	cnt = n[name]
+	for (i = 1; i <= cnt; i++) arr[i] = ns[name, i] + 0
+	for (i = 1; i <= cnt; i++)
+		for (j = i + 1; j <= cnt; j++)
+			if (arr[j] < arr[i]) { tmp = arr[i]; arr[i] = arr[j]; arr[j] = tmp }
+	if (cnt % 2) return arr[(cnt + 1) / 2]
+	return (arr[cnt / 2] + arr[cnt / 2 + 1]) / 2
+}
+END {
+	printf "{\n"
+	printf "  \"comment\": \"PR 3 incremental timing engine: medians over %d runs; baseline_pre_pr3 frozen at the commit before this PR\",\n", n["BenchmarkBuildChipSequential"]
+	printf "  \"baseline_pre_pr3\": {\n"
+	printf "    \"BenchmarkBuildChipSequential\": {\"ns_op\": 342531830, \"bytes_op\": 136648424, \"allocs_op\": 1583395},\n"
+	printf "    \"BenchmarkBuildChipParallel\":   {\"ns_op\": 356274834, \"bytes_op\": 136648256, \"allocs_op\": 1583393},\n"
+	printf "    \"BenchmarkSTAFull\":             {\"ns_op\": 1346832}\n"
+	printf "  },\n"
+	printf "  \"current\": {\n"
+	first = 1
+	order = "BenchmarkBuildChipSequential BenchmarkBuildChipParallel BenchmarkSTAFull BenchmarkSTAIncremental"
+	split(order, names, " ")
+	for (i = 1; i in names; i++) {
+		name = names[i]
+		if (!(name in n)) continue
+		if (!first) printf ",\n"
+		first = 0
+		printf "    \"%s\": {\"ns_op\": %d, \"bytes_op\": %s, \"allocs_op\": %s}", \
+			name, median(name), bytes[name], allocs[name]
+	}
+	printf "\n  },\n"
+	seq = median("BenchmarkBuildChipSequential")
+	if (seq > 0)
+		printf "  \"speedup_sequential_vs_baseline\": %.2f\n", 342531830 / seq
+	printf "}\n"
+}
+' "$TMP" > "$OUT"
+
+echo "==> wrote $OUT" >&2
+cat "$OUT"

@@ -23,6 +23,12 @@ echo "==> go test -race -count=2 -cpu=4 (pool + parallel flow)"
 go test -race -count=2 -cpu=4 ./internal/pool/
 go test -race -cpu=4 -run 'TestParallelFingerprintEquivalence|TestBuildChipCancellation|TestProgressEvents' ./internal/flow/
 
+# The incremental timing engine must stay bit-identical to a full rebuild;
+# re-run the equivalence property test under the race detector so a data
+# race in the engine's cached state can't masquerade as a float diff.
+echo "==> go test -race (incremental STA equivalence)"
+go test -race -run 'TestIncrementalFullEquivalence' ./internal/opt/
+
 echo "==> go run ./cmd/fold3dlint ./..."
 go run ./cmd/fold3dlint ./...
 
