@@ -15,6 +15,7 @@ import (
 
 	"fold3d/internal/exp"
 	"fold3d/internal/flow"
+	"fold3d/internal/pipeline"
 	"fold3d/internal/t2"
 )
 
@@ -324,6 +325,57 @@ func benchBuildChip(b *testing.B, workers int) {
 			b.Fatal("no power report")
 		}
 	}
+}
+
+// runAllNames is the BenchmarkRunAll experiment subset: together these
+// three generators implement chips in all five design styles (table2: 2D,
+// core/cache, core/core; table5: 2D, core/core, fold-F2F; fig8: all five),
+// with heavy overlap — exactly the workload the shared artifact cache is
+// built for.
+var runAllNames = []string{"table2", "table5", "fig8"}
+
+// benchRunAllOnce runs the RunAll subset against the given cache.
+func benchRunAllOnce(b *testing.B, cache *pipeline.Cache) {
+	b.Helper()
+	c := exp.DefaultConfig()
+	c.Cache = cache
+	results, err := exp.RunAll(context.Background(), c, runAllNames, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(results) != len(runAllNames) {
+		b.Fatalf("got %d results, want %d", len(results), len(runAllNames))
+	}
+}
+
+// BenchmarkRunAllCold is the no-reuse baseline: every iteration gets a
+// fresh cache, so each RunAll only benefits from the sharing inside its own
+// run (as a first-ever invocation would).
+func BenchmarkRunAllCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchRunAllOnce(b, pipeline.NewCache(pipeline.CacheOptions{}))
+	}
+}
+
+// BenchmarkRunAllShared measures the steady state of a shared artifact
+// cache: the cache is warmed once outside the timer, then every timed
+// iteration restores each block instead of re-implementing it. Compare
+// against BenchmarkRunAllCold for the reuse win (acceptance floor: 1.3x);
+// results are byte-identical either way (TestCacheEquivalence).
+func BenchmarkRunAllShared(b *testing.B) {
+	cache := pipeline.NewCache(pipeline.CacheOptions{})
+	benchRunAllOnce(b, cache)
+	stores := cache.Stats().Stores
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchRunAllOnce(b, cache)
+	}
+	b.StopTimer()
+	st := cache.Stats()
+	if st.Stores != stores {
+		b.Fatalf("warm iterations recomputed %d blocks", st.Stores-stores)
+	}
+	b.ReportMetric(float64(st.Hits)/float64(b.N), "restores/op")
 }
 
 // BenchmarkBuildChipSequential is the Workers=1 baseline of the chip build.

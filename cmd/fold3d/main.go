@@ -6,12 +6,15 @@
 //
 // Usage:
 //
+//	fold3d -list                       # print the experiment registry
 //	fold3d -exp table2                 # one experiment
 //	fold3d -exp table3,table5          # a comma-separated subset
 //	fold3d -exp all -scale 1000        # everything
 //	fold3d -exp fig8 -svgdir ./out     # dump layout SVGs
 //	fold3d -exp all -workers 1         # force the sequential path
 //	fold3d -exp table5 -progress       # live per-block status on stderr
+//	fold3d -exp all -cachedir ./cache  # spill block artifacts to disk
+//	fold3d -exp all -cachestats        # print cache hit/miss counters
 //
 // Ctrl-C cancels the run promptly; partial results are discarded.
 package main
@@ -20,6 +23,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -31,6 +35,7 @@ import (
 
 	"fold3d/internal/exp"
 	"fold3d/internal/flow"
+	"fold3d/internal/pipeline"
 )
 
 // main delegates to run so deferred profile writers fire before the process
@@ -45,16 +50,24 @@ func run() int {
 		expNames = append(expNames, g.Name)
 	}
 	var (
-		which    = flag.String("exp", "all", "experiment name(s), comma-separated: "+strings.Join(expNames, "|")+"|all")
-		scale    = flag.Float64("scale", 1000, "netlist scale factor (cells per modeled cell)")
-		seed     = flag.Uint64("seed", 42, "random seed")
-		svgdir   = flag.String("svgdir", "", "directory to write layout SVGs and netlist artifacts")
-		workers  = flag.Int("workers", 0, "parallel workers across experiments and per chip build (0 = one per CPU, 1 = sequential)")
-		progress = flag.Bool("progress", false, "stream live per-block flow status to stderr")
-		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprof  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		which      = flag.String("exp", "all", "experiment name(s), comma-separated: "+strings.Join(expNames, "|")+"|all")
+		list       = flag.Bool("list", false, "print the experiment registry (sorted) and exit")
+		scale      = flag.Float64("scale", 1000, "netlist scale factor (cells per modeled cell)")
+		seed       = flag.Uint64("seed", 42, "random seed")
+		svgdir     = flag.String("svgdir", "", "directory to write layout SVGs and netlist artifacts")
+		workers    = flag.Int("workers", 0, "parallel workers across experiments and per chip build (0 = one per CPU, 1 = sequential)")
+		progress   = flag.Bool("progress", false, "stream live per-block flow status to stderr")
+		cachedir   = flag.String("cachedir", "", "spill the block-artifact cache to this directory (warm-starts later runs)")
+		cachestats = flag.Bool("cachestats", false, "print artifact-cache hit/miss counters to stderr on exit")
+		cpuprof    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof    = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *list {
+		listExperiments(os.Stdout)
+		return 0
+	}
 
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
@@ -85,6 +98,14 @@ func run() int {
 	defer stop()
 
 	cfg := exp.Config{Scale: *scale, Seed: *seed, Workers: *workers}
+	// RunAll would create a memory-only cache itself; build it here so the
+	// disk spill and the -cachestats report see the same instance.
+	cfg.Cache = pipeline.NewCache(pipeline.CacheOptions{Dir: *cachedir})
+	if *cachestats {
+		defer func() {
+			fmt.Fprintf(os.Stderr, "fold3d: cache %s\n", cfg.Cache.Stats())
+		}()
+	}
 	if *progress {
 		cfg.Progress = func(p flow.Progress) {
 			if p.Block != "" {
@@ -136,6 +157,16 @@ func run() int {
 	}
 	fmt.Fprintf(os.Stderr, "fold3d: %d experiment(s) in %s\n", len(results), time.Since(t0).Round(time.Millisecond))
 	return 0
+}
+
+// listExperiments prints the registry sorted by name, one "name\tdoc" line
+// each, so scripts can discover the valid -exp values.
+func listExperiments(w io.Writer) {
+	gens := exp.Generators()
+	sort.Slice(gens, func(i, j int) bool { return gens[i].Name < gens[j].Name })
+	for _, g := range gens {
+		fmt.Fprintf(w, "%-10s %s\n", g.Name, g.Doc)
+	}
 }
 
 // writeMemProfile dumps the post-GC heap profile, so what it shows is live

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"bufio"
+	"sort"
+	"strings"
+	"testing"
+
+	"fold3d/internal/exp"
+)
+
+// TestListExperimentsSorted pins the -list contract: one line per
+// registered experiment, sorted by name, each carrying its doc string.
+func TestListExperimentsSorted(t *testing.T) {
+	var sb strings.Builder
+	listExperiments(&sb)
+
+	var names []string
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 {
+			t.Fatalf("line %q lacks a doc string", sc.Text())
+		}
+		names = append(names, fields[0])
+	}
+	if len(names) != len(exp.Generators()) {
+		t.Fatalf("listed %d experiments, registry has %d", len(names), len(exp.Generators()))
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("-list output is not sorted: %v", names)
+	}
+	for _, g := range exp.Generators() {
+		if !strings.Contains(sb.String(), g.Name) {
+			t.Errorf("-list output missing %q", g.Name)
+		}
+	}
+}

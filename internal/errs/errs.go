@@ -21,4 +21,15 @@ var (
 	// also wrap the context's own error, so errors.Is(err, context.Canceled)
 	// or errors.Is(err, context.DeadlineExceeded) hold as appropriate.
 	ErrCanceled = errors.New("run canceled")
+
+	// ErrUnknownExperiment reports a request for an experiment name that is
+	// not in the exp registry (a -exp flag typo, a stale script).
+	ErrUnknownExperiment = errors.New("unknown experiment")
+
+	// ErrCacheCorrupt reports an on-disk artifact cache entry that failed
+	// its header or checksum validation. It is always recoverable: the
+	// cache treats the entry as a miss and the flow recomputes the
+	// artifact, so callers see it only through cache statistics unless they
+	// probe the disk layer directly.
+	ErrCacheCorrupt = errors.New("cache entry corrupt")
 )

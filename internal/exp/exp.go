@@ -14,6 +14,7 @@ import (
 	"fold3d/internal/extract"
 	"fold3d/internal/floorplan"
 	"fold3d/internal/flow"
+	"fold3d/internal/pipeline"
 	"fold3d/internal/t2"
 	"fold3d/internal/tech"
 )
@@ -32,6 +33,13 @@ type Config struct {
 	// are serialized but their order is scheduler-dependent; results are
 	// unaffected.
 	Progress func(flow.Progress)
+	// Cache, when non-nil, is the shared block-artifact cache handed to
+	// every flow the experiments run, so identical block implementations —
+	// the same style rebuilt by another experiment, or a style-invariant
+	// block — are computed once and restored byte-identically thereafter.
+	// RunAll fills this with a fresh in-memory cache when nil; set it
+	// explicitly to share across RunAll calls or to enable the disk spill.
+	Cache *pipeline.Cache
 }
 
 // DefaultConfig returns the scale and seed the committed EXPERIMENTS.md
@@ -44,6 +52,7 @@ func (c Config) flowCfg() flow.Config {
 	fc := flow.DefaultConfig()
 	fc.Workers = c.Workers
 	fc.Progress = c.Progress
+	fc.Cache = c.Cache
 	return fc
 }
 

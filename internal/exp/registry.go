@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"fold3d/internal/errs"
+	"fold3d/internal/pipeline"
 	"fold3d/internal/pool"
 )
 
@@ -225,10 +226,18 @@ func RunAll(ctx context.Context, cfg Config, names []string, onDone func(*Result
 		for _, name := range names {
 			g, ok := ByName(name)
 			if !ok {
-				return nil, fmt.Errorf("exp: %w: no experiment %q", errs.ErrBadOptions, name)
+				return nil, fmt.Errorf("exp: %w: no experiment %q", errs.ErrUnknownExperiment, name)
 			}
 			gens = append(gens, g)
 		}
+	}
+	// One artifact cache across every generator: the tables and figures
+	// re-implement the same chips under the same styles over and over
+	// (table2's 2D chip is fig8's 2D chip, table3 and table5 rebuild all
+	// five styles), so sharing turns those rebuilds into cache restores.
+	// Callers wanting cross-RunAll sharing or the disk spill pass their own.
+	if cfg.Cache == nil {
+		cfg.Cache = pipeline.NewCache(pipeline.CacheOptions{})
 	}
 	results := make([]*Result, len(gens))
 	var mu sync.Mutex

@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"fold3d/internal/errs"
+)
+
+// canonicalOrder is the committed registry order: the paper's report order
+// (tables, then figures, then ablations and future-work studies). Reports
+// print in this order at any worker count, so reordering the registry is a
+// user-visible output change and must be deliberate.
+var canonicalOrder = []string{
+	"table1", "table2", "table3", "table4", "table5",
+	"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+	"dualvth", "macromode", "criteria", "thermal", "coupling", "rsmt",
+}
+
+func TestGeneratorsCanonicalOrder(t *testing.T) {
+	gens := Generators()
+	if len(gens) != len(canonicalOrder) {
+		t.Fatalf("registry has %d generators, want %d", len(gens), len(canonicalOrder))
+	}
+	for i, g := range gens {
+		if g.Name != canonicalOrder[i] {
+			t.Errorf("generators[%d] = %q, want %q", i, g.Name, canonicalOrder[i])
+		}
+	}
+}
+
+func TestGeneratorsReturnsCopy(t *testing.T) {
+	a := Generators()
+	a[0].Name = "clobbered"
+	if b := Generators(); b[0].Name != canonicalOrder[0] {
+		t.Fatalf("mutating the returned slice leaked into the registry: %q", b[0].Name)
+	}
+}
+
+func TestGeneratorsHaveDocsAndRun(t *testing.T) {
+	for _, g := range Generators() {
+		if g.Doc == "" {
+			t.Errorf("generator %q has an empty Doc", g.Name)
+		}
+		if g.Run == nil {
+			t.Errorf("generator %q has a nil Run", g.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range canonicalOrder {
+		g, ok := ByName(name)
+		if !ok || g.Name != name {
+			t.Errorf("ByName(%q) = %q, %v", name, g.Name, ok)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName(nope) should miss")
+	}
+}
+
+func TestRunAllUnknownExperiment(t *testing.T) {
+	_, err := RunAll(context.Background(), DefaultConfig(), []string{"table2", "bogus"}, nil)
+	if err == nil {
+		t.Fatal("RunAll with a bad name must fail")
+	}
+	if !errors.Is(err, errs.ErrUnknownExperiment) {
+		t.Errorf("error %v does not match ErrUnknownExperiment", err)
+	}
+	if got := err.Error(); got != `exp: unknown experiment: no experiment "bogus"` {
+		t.Errorf("error text = %q", got)
+	}
+}
+
+// TestRunAllSharesCache pins the RunAll cache contract: a nil cfg.Cache is
+// replaced by a fresh shared cache, and a caller-supplied cache is used as
+// is (table1 is pure, so this stays cheap — the point is the wiring, the
+// cross-experiment reuse itself is covered by TestCacheCrossStyleReuse).
+func TestRunAllSharesCache(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Cache != nil {
+		t.Fatal("DefaultConfig should not pre-bind a cache")
+	}
+	res, err := RunAll(context.Background(), cfg, []string{"table1"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0] == nil || res[0].Name != "table1" {
+		t.Fatalf("results = %+v", res)
+	}
+}

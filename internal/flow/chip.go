@@ -12,6 +12,7 @@ import (
 	"fold3d/internal/floorplan"
 	"fold3d/internal/geom"
 	"fold3d/internal/netlist"
+	"fold3d/internal/pipeline"
 	"fold3d/internal/place"
 	"fold3d/internal/pool"
 	"fold3d/internal/power"
@@ -84,62 +85,105 @@ func (f *Flow) BuildChipContext(ctx context.Context, style t2.Style) (*ChipResul
 	return fl.buildChip(ctx, style)
 }
 
+// chipState carries one full-chip build through its stage plan: folding,
+// floorplanning, block implementation, chip-net extraction, aggregation.
+// Like implState, its stage* methods are registered into a pipeline.Plan
+// and invoked only by the executor; the chip plan itself runs uncached (its
+// own work is cheap), while the per-block plans inside stageImplement carry
+// the artifact cache.
+type chipState struct {
+	f     *Flow
+	style t2.Style
+
+	names []string // sorted block names — the deterministic iteration order
+	fp    *floorplan.Floorplan
+	res   *ChipResult
+}
+
 func (f *Flow) buildChip(ctx context.Context, style t2.Style) (*ChipResult, error) {
 	d := f.D
 	if len(d.Blocks) != len(d.Specs) {
 		return nil, fmt.Errorf("flow: chip build needs the full design (have %d of %d blocks); generate without Only",
 			len(d.Blocks), len(d.Specs))
 	}
-
-	// 1. Fold the folded blocks first (partitioning needs no geometry),
-	// then derive every block's shape from its actual content so the fixed
-	// floorplan shapes and the block implementations agree by construction.
-	shapes := make(map[string]floorplan.Shape, len(d.Specs))
-	names0 := make([]string, 0, len(d.Blocks))
+	st := &chipState{f: f, style: style}
 	for name := range d.Blocks {
-		names0 = append(names0, name)
+		st.names = append(st.names, name)
 	}
-	sort.Strings(names0)
-	for i, name := range names0 {
+	sort.Strings(st.names)
+
+	p := pipeline.NewPlan("chip:" + style.String())
+	// Chip stages run uncached, so no Key material is declared: the block
+	// plans inside stageImplement fingerprint everything that matters.
+	p.MustAdd(pipeline.Stage{Name: "fold", Run: st.stageFold})
+	p.MustAdd(pipeline.Stage{Name: "floorplan", After: []string{"fold"}, Run: st.stageFloorplan})
+	p.MustAdd(pipeline.Stage{Name: "implement", After: []string{"floorplan"}, Run: st.stageImplement})
+	p.MustAdd(pipeline.Stage{Name: "chip-nets", After: []string{"implement"}, Run: st.stageChipNets})
+	p.MustAdd(pipeline.Stage{Name: "aggregate", After: []string{"chip-nets"}, Run: st.stageAggregate})
+
+	var ex pipeline.Executor
+	if err := ex.Run(ctx, p, nil); err != nil {
+		return nil, err
+	}
+	return st.res, nil
+}
+
+// stageFold folds the folded blocks first (partitioning needs no geometry),
+// then derives every block's shape from its actual content so the fixed
+// floorplan shapes and the block implementations agree by construction.
+func (st *chipState) stageFold(ctx context.Context) error {
+	f, d, style := st.f, st.f.D, st.style
+	for i, name := range st.names {
 		if err := pool.Canceled(ctx); err != nil {
-			return nil, err
+			return err
 		}
 		b := d.Blocks[name]
-		spec := d.Specs[name]
-		both := false
 		if t2.FoldedInStyle(style, name) {
 			if _, err := core.Fold(b, f.foldOptionsFor(name)); err != nil {
-				return nil, fmt.Errorf("flow: folding %s: %w", name, err)
+				return fmt.Errorf("flow: folding %s: %w", name, err)
 			}
-			both = true
 		}
-		r := f.ShapeForBlock(b, spec.Aspect)
-		shapes[name] = floorplan.Shape{Name: name, W: r.W(), H: r.H(), Both: both}
-		f.progress(StageFold, name, i+1, len(names0))
+		f.progress(StageFold, name, i+1, len(st.names))
 	}
+	return nil
+}
 
-	// 2. User-defined row plan (the paper's Figure 8 arrangements).
-	channel := f.chipChannel()
-	fp, err := floorplan.RowPlan(shapes, t2.Rows(style), channel)
+// stageFloorplan runs the user-defined row plan (the paper's Figure 8
+// arrangements), plans inter-block TSV arrays for die-crossing bundles (F2B
+// stacks), fixes block outlines and ports from the floorplan, and computes
+// chip-level net geometry with the port timing budgets it implies — the
+// paper derives block I/O constraints from chip-level 3D STA (§2.2): a
+// port's budget is the cycle time spent outside the block, so the shorter
+// inter-block wires of 3D stacks hand every block more internal slack,
+// which the optimizer converts to smaller and higher-Vth cells.
+func (st *chipState) stageFloorplan(ctx context.Context) error {
+	f, d, style := st.f, st.f.D, st.style
+	shapes := make(map[string]floorplan.Shape, len(d.Specs))
+	for _, name := range st.names {
+		b := d.Blocks[name]
+		r := f.ShapeForBlock(b, d.Specs[name].Aspect)
+		shapes[name] = floorplan.Shape{Name: name, W: r.W(), H: r.H(),
+			Both: t2.FoldedInStyle(style, name)}
+	}
+	fp, err := floorplan.RowPlan(shapes, t2.Rows(style), f.chipChannel())
 	if err != nil {
-		return nil, fmt.Errorf("flow: %s floorplan: %v", style, err)
+		return fmt.Errorf("flow: %s floorplan: %v", style, err)
 	}
+	st.fp = fp
 
-	// 3. Inter-block TSV arrays for die-crossing bundles (F2B stacks).
 	if style.Is3D() {
 		tsvOpt := place.DefaultTSVPlanOptions(d.Cfg.Scale)
 		err := floorplan.PlanInterblockTSVs(fp, d.Bundles,
 			floorplan.PlanTSVArrayOptions{PitchDrawn: tsvOpt.DrawnPitch()})
 		if err != nil {
-			return nil, fmt.Errorf("flow: TSV arrays: %v", err)
+			return fmt.Errorf("flow: TSV arrays: %v", err)
 		}
 	}
 
-	// 4. Block outlines from the floorplan, ports from the bundles, hookup.
 	for name, b := range d.Blocks {
 		p, err := fp.Find(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		local := geom.NewRect(0, 0, p.Rect.W(), p.Rect.H())
 		b.Outline[0] = local
@@ -149,52 +193,50 @@ func (f *Flow) buildChip(ctx context.Context, style t2.Style) (*ChipResult, erro
 	}
 	chipNets, err := floorplan.AssignPorts(d.Blocks, fp, d.DrawnBundles())
 	if err != nil {
-		return nil, fmt.Errorf("flow: port assignment: %v", err)
+		return fmt.Errorf("flow: port assignment: %v", err)
 	}
 	if err := d.ConnectPorts(chipNets); err != nil {
-		return nil, err
+		return err
 	}
 	// Folded blocks' ports follow the crossbar half / FUB they connect to.
-	for _, name := range names0 {
+	for _, name := range st.names {
 		if t2.FoldedInStyle(style, name) {
 			core.MovePortsWithLogic(d.Blocks[name])
 		}
 	}
 
-	// 4b. Chip-level net geometry and the port timing budgets it implies —
-	// the paper derives block I/O constraints from chip-level 3D STA
-	// (§2.2): a port's budget is the cycle time spent outside the block, so
-	// the shorter inter-block wires of 3D stacks hand every block more
-	// internal slack, which the optimizer converts to smaller and
-	// higher-Vth cells.
 	if err := f.routeChipNets(fp, chipNets, style); err != nil {
-		return nil, err
+		return err
 	}
 	f.budgetPorts(chipNets)
-	f.progress(StageFloorplan, "", 1, 1)
-
-	// 5. Implement every block. The fan-out across Cfg.Workers is safe and
-	// bit-reproducible by construction: blocks are disjoint netlists, every
-	// shared input (design database, library, extractor config) is read-
-	// only during this stage, each block's stochastic engines are seeded
-	// from the flow seed independently of scheduling, and the merge below
-	// writes into per-index slots before the sorted-name reduce — so
-	// Workers=1 and Workers=N produce byte-identical chips.
-	res := &ChipResult{
+	st.res = &ChipResult{
 		Style:    style,
 		FP:       fp,
 		Blocks:   make(map[string]*BlockResult, len(d.Blocks)),
 		ChipNets: chipNets,
 	}
-	names := make([]string, 0, len(d.Blocks))
-	for name := range d.Blocks {
-		names = append(names, name)
-	}
-	sort.Strings(names)
+	f.progress(StageFloorplan, "", 1, 1)
+	return nil
+}
+
+// stageImplement implements every block. The fan-out across Cfg.Workers is
+// safe and bit-reproducible by construction: blocks are disjoint netlists,
+// every shared input (design database, library, extractor config) is read-
+// only during this stage, each block's stochastic engines are seeded from
+// the flow seed independently of scheduling, and the merge below writes
+// into per-index slots before the sorted-name reduce — so Workers=1 and
+// Workers=N produce byte-identical chips. Each block runs its own stage
+// plan against the shared artifact cache (Cfg.Cache), so a block whose
+// input state matches a previous build — the same style rebuilt in another
+// experiment, or an unfolded block whose geometry agrees across styles —
+// restores instead of recomputing.
+func (st *chipState) stageImplement(ctx context.Context) error {
+	f, d := st.f, st.f.D
+	names := st.names
 	results := make([]*BlockResult, len(names))
 	var doneMu sync.Mutex
 	done := 0
-	err = pool.Run(ctx, f.Cfg.Workers, len(names), func(ctx context.Context, i int) error {
+	err := pool.Run(ctx, f.Cfg.Workers, len(names), func(ctx context.Context, i int) error {
 		name := names[i]
 		br, err := f.ImplementBlockContext(ctx, d.Blocks[name], d.Specs[name].Aspect)
 		if err != nil {
@@ -209,22 +251,28 @@ func (f *Flow) buildChip(ctx context.Context, style t2.Style) (*ChipResult, erro
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for i, name := range names {
-		res.Blocks[name] = results[i]
+		st.res.Blocks[name] = results[i]
 	}
+	return nil
+}
 
-	// 6. Chip-level nets: lengths, power, repeaters.
-	if err := f.extractChipNets(res, style); err != nil {
-		return nil, err
+// stageChipNets computes chip-level net lengths, power and repeaters.
+func (st *chipState) stageChipNets(ctx context.Context) error {
+	if err := st.f.extractChipNets(st.res, st.style); err != nil {
+		return err
 	}
-	f.progress(StageChipNets, "", 1, 1)
+	st.f.progress(StageChipNets, "", 1, 1)
+	return nil
+}
 
-	// 7. Aggregate.
-	f.aggregate(res)
-	f.progress(StageDone, "", len(names), len(names))
-	return res, nil
+// stageAggregate fills the chip-level stats and power totals.
+func (st *chipState) stageAggregate(ctx context.Context) error {
+	st.f.aggregate(st.res)
+	st.f.progress(StageDone, "", len(st.names), len(st.names))
+	return nil
 }
 
 // foldOptionsFor picks the paper's fold mode per block type: the CCX folds

@@ -17,8 +17,8 @@ import (
 	"fold3d/internal/extract"
 	"fold3d/internal/netlist"
 	"fold3d/internal/opt"
+	"fold3d/internal/pipeline"
 	"fold3d/internal/place"
-	"fold3d/internal/pool"
 	"fold3d/internal/power"
 	"fold3d/internal/sta"
 	"fold3d/internal/t2"
@@ -86,6 +86,14 @@ type Config struct {
 	// block, WNS) — the flow's equivalent of a tool log. Writes are
 	// serialized under the flow's mutex, so any io.Writer works.
 	Trace io.Writer
+	// Cache, when non-nil, is the content-addressed artifact cache consulted
+	// per block implementation: a block whose complete input state (netlist,
+	// outline, ports and budgets, seed, configuration) fingerprints equal to
+	// a previous build restores that build's result instead of recomputing —
+	// byte-identically, so results never depend on cache temperature. Share
+	// one cache across flows (it is safe for concurrent use) to reuse work
+	// across styles and experiments; see pipeline.NewCache.
+	Cache *pipeline.Cache
 }
 
 // WithDefaults fills every unset (zero) field of c from DefaultConfig,
@@ -192,26 +200,28 @@ func (f *Flow) ImplementBlock(b *netlist.Block, aspect float64) (*BlockResult, e
 	return f.ImplementBlockContext(context.Background(), b, aspect)
 }
 
-// ImplementBlockContext is ImplementBlock honoring ctx: the flow checks for
-// cancellation between stages (placement, extraction, CTS, optimization)
-// and returns an error wrapping errs.ErrCanceled and ctx.Err() when the
-// context dies mid-build.
+// ImplementBlockContext is ImplementBlock honoring ctx: the pipeline
+// executor checks for cancellation between stages (placement, extraction,
+// CTS, optimization) and returns an error wrapping errs.ErrCanceled and
+// ctx.Err() when the context dies mid-build.
+//
+// The block runs through its stage plan (see implState.blockPlan): outline
+// prep, placement, 3D via insertion, extraction, repeater insertion, CTS,
+// legalization, timing and power optimization, Vth swapping, and sign-off
+// analysis, each a registered pipeline stage. With Cfg.Cache set, the plan
+// fingerprint is looked up first and a hit restores the previous result
+// byte-identically without running any stage.
 func (f *Flow) ImplementBlockContext(ctx context.Context, b *netlist.Block, aspect float64) (*BlockResult, error) {
-	if err := pool.Canceled(ctx); err != nil {
+	st := &implState{f: f, b: b, aspect: aspect}
+	ex := pipeline.Executor{Cache: f.Cfg.Cache}
+	var spec *pipeline.ArtifactSpec
+	if f.Cfg.Cache != nil {
+		spec = st.artifactSpec()
+	}
+	if err := ex.Run(ctx, st.blockPlan(), spec); err != nil {
 		return nil, err
 	}
-	if b.Is3D {
-		return f.implement3D(ctx, b, aspect)
-	}
-	if err := f.prepareOutline2D(b, aspect); err != nil {
-		return nil, err
-	}
-	normalizePorts(b)
-	placer := place.New(f.placeOptions())
-	if err := placer.Place(b); err != nil {
-		return nil, fmt.Errorf("flow: placing %s: %v", b.Name, err)
-	}
-	return f.finishBlock(ctx, b, placer)
+	return st.res, nil
 }
 
 // placeOptions derives per-run placer options.
@@ -241,108 +251,6 @@ func (f *Flow) trace(b *netlist.Block, stage string) {
 	}
 	fmt.Fprintf(f.Cfg.Trace, "%-8s %-14s WNS %8.1f TNS %10.0f fail %d/%d cells %d\n",
 		b.Name, stage, rep.WNS, rep.TNS, rep.Failing, rep.Endpoints, len(b.Cells))
-}
-
-// finishBlock runs the shared post-placement stages: extraction, repeater
-// insertion, CTS, legalization, timing closure, power recovery, optional
-// dual-Vth, and final analysis. Cancellation is checked between stages so
-// a canceled chip build returns promptly instead of finishing the block.
-func (f *Flow) finishBlock(ctx context.Context, b *netlist.Block, placer *place.Placer) (*BlockResult, error) {
-	if err := pool.Canceled(ctx); err != nil {
-		return nil, err
-	}
-	if err := f.Ex.Extract(b); err != nil {
-		return nil, err
-	}
-	optCfg := f.Cfg.Opt
-	if b.Is3D {
-		optCfg.AreaBudgetDie = f.repeaterBudgetPerDie(b)
-	} else {
-		optCfg.AreaBudget = f.repeaterBudget(b)
-	}
-	o := opt.New(f.D.Lib, f.Ex, optCfg)
-
-	f.trace(b, "placed")
-	reps, err := o.BufferLongNets(b)
-	if err != nil {
-		return nil, fmt.Errorf("flow: buffering %s: %v", b.Name, err)
-	}
-	f.trace(b, "buffered")
-	if err := pool.Canceled(ctx); err != nil {
-		return nil, err
-	}
-
-	ctsRes, err := cts.Run(b, f.D.Lib, f.D.Scale, f.Cfg.CTS)
-	if err != nil {
-		return nil, fmt.Errorf("flow: CTS on %s: %v", b.Name, err)
-	}
-	o.Skew = ctsRes.SkewPS
-
-	// Legalize the repeaters and clock buffers that were dropped at ideal
-	// locations.
-	if err := placer.LegalizeAll(b); err != nil {
-		return nil, fmt.Errorf("flow: post-CTS legalization of %s: %v", b.Name, err)
-	}
-	if err := f.Ex.Extract(b); err != nil {
-		return nil, err
-	}
-	// CTS and legalization edited the block outside the optimizer's mark
-	// API; drop its cached timing so the next analysis rebuilds.
-	o.InvalidateTiming()
-	f.trace(b, "cts+legal")
-	if err := pool.Canceled(ctx); err != nil {
-		return nil, err
-	}
-
-	if _, err := o.FixTiming(b); err != nil {
-		return nil, fmt.Errorf("flow: timing opt on %s: %v", b.Name, err)
-	}
-	f.trace(b, "timing-opt")
-	// Two-tier slack allocation for power recovery: downsizing stops at its
-	// guard-banded floor (DownsizeMargin), which deliberately strands slack
-	// that the cheaper Vth swaps then convert to leakage savings down to the
-	// tighter SlackMargin — mirroring how sign-off flows stage sizing and
-	// multi-Vth optimization.
-	if _, err := o.RecoverPower(b); err != nil {
-		return nil, fmt.Errorf("flow: power opt on %s: %v", b.Name, err)
-	}
-	f.trace(b, "power-opt")
-	if err := pool.Canceled(ctx); err != nil {
-		return nil, err
-	}
-	swapped := 0
-	if f.Cfg.UseHVT {
-		swapped, err = o.SwapToHVT(b)
-		if err != nil {
-			return nil, fmt.Errorf("flow: Vth opt on %s: %v", b.Name, err)
-		}
-		f.trace(b, "vth-opt")
-	}
-	// The optimizer passes flush extraction after every geometry change, so
-	// parasitics are already current here and the final timing runs through
-	// the incremental engine. FullRecompute mode replays the historical
-	// full-extract + from-scratch STA instead; both produce byte-identical
-	// results (the fingerprint-equivalence test pins this down).
-	if f.Cfg.Opt.FullRecompute {
-		if err := f.Ex.Extract(b); err != nil {
-			return nil, err
-		}
-	}
-	timing, err := o.Timing(b)
-	if err != nil {
-		return nil, fmt.Errorf("flow: final STA on %s: %v", b.Name, err)
-	}
-
-	res := &BlockResult{
-		Block:             b,
-		Stats:             netlist.CollectStats(b, f.D.Scale.LongWireThreshold()),
-		Power:             power.Analyze(b, f.D.Scale),
-		Timing:            timing,
-		CTS:               ctsRes,
-		RepeatersInserted: reps,
-		HVTSwapped:        swapped,
-	}
-	return res, nil
 }
 
 // normalizePorts rescales port locations proportionally into the block

@@ -8,7 +8,6 @@ import (
 	"fold3d/internal/extract"
 	"fold3d/internal/netlist"
 	"fold3d/internal/place"
-	"fold3d/internal/route"
 )
 
 // FoldAndImplement folds block b (per the fold options) and runs the 3D
@@ -29,48 +28,6 @@ func (f *Flow) FoldAndImplementContext(ctx context.Context, b *netlist.Block, fo
 		return nil, nil, err
 	}
 	return br, fr, nil
-}
-
-// implement3D implements a folded (two-die) block:
-//
-//	F2B: size outlines with TSV-pad area, 3D global place with ideal vias,
-//	     plan TSV sites (outside macros), respread, legalize.
-//	F2F: size outlines with no via area, 3D place, legalize, then run the
-//	     paper's F2F via placer (3D net routing over the merged dies, §5.1).
-func (f *Flow) implement3D(ctx context.Context, b *netlist.Block, aspect float64) (*BlockResult, error) {
-	// Under F2F bonding every metal layer is consumed by the block itself
-	// (F2F vias sit on top of M9), so the block may route all nine layers
-	// but becomes an over-the-block routing blockage at chip level (§6.1).
-	if f.Cfg.Bond == extract.F2F {
-		b.MaxRouteLayer = 9
-	}
-
-	tsvOpt := place.DefaultTSVPlanOptions(f.D.Cfg.Scale)
-	if err := f.prepareOutline3D(b, aspect, f.tsvPadAllowance(b)); err != nil {
-		return nil, err
-	}
-	normalizePorts(b)
-
-	placer := place.New(f.placeOptions())
-	if err := placer.Place(b); err != nil {
-		return nil, fmt.Errorf("flow: 3D placing %s: %v", b.Name, err)
-	}
-
-	switch f.Cfg.Bond {
-	case extract.F2B:
-		if err := place.PlanTSVs(b, tsvOpt); err != nil {
-			return nil, fmt.Errorf("flow: TSV planning %s: %v", b.Name, err)
-		}
-		// TSV pads claim placement area: evict overlapping cells.
-		if err := placer.LegalizeAll(b); err != nil {
-			return nil, fmt.Errorf("flow: post-TSV legalization of %s: %v", b.Name, err)
-		}
-	case extract.F2F:
-		if _, err := route.PlaceF2FVias(b, route.DefaultOptions()); err != nil {
-			return nil, fmt.Errorf("flow: F2F via placement on %s: %v", b.Name, err)
-		}
-	}
-	return f.finishBlock(ctx, b, placer)
 }
 
 // tsvPadAllowance is the per-die outline area reserved for intra-block TSV

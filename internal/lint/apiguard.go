@@ -31,6 +31,11 @@ func runAPIGuard(cfg *Config, p *Package) []Finding {
 			out = append(out, checkSTAEngine(p, file)...)
 		}
 	}
+	if matchesSuffix(p.Path, cfg.PipelineOnly) {
+		for _, file := range p.Files {
+			out = append(out, checkPipelineOnly(p, file)...)
+		}
+	}
 	if !strings.Contains(p.Path, "internal/") && !strings.Contains(p.Path, "pkg/") {
 		return out
 	}
@@ -79,6 +84,54 @@ func checkSTAEngine(p *Package, file *ast.File) []Finding {
 		return true
 	})
 	return out
+}
+
+// checkPipelineOnly flags direct calls to same-package stage entry points
+// (functions and methods named stage*) in packages restricted to the
+// pipeline executor. Referencing a stage as a method value — how stages are
+// registered into a pipeline.Plan — is fine; invoking one directly bypasses
+// the stage DAG, its cancellation checks, and the cache's fingerprinting of
+// stage inputs.
+func checkPipelineOnly(p *Package, file *ast.File) []Finding {
+	var out []Finding
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var id *ast.Ident
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			id = fun.Sel
+		case *ast.Ident:
+			id = fun
+		default:
+			return true
+		}
+		fn, ok := p.Info.Uses[id].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != p.Path {
+			return true
+		}
+		if !isStageName(fn.Name()) {
+			return true
+		}
+		out = append(out, Finding{
+			Check:   "apiguard",
+			Pos:     p.Fset.Position(call.Pos()),
+			Message: fmt.Sprintf("direct call to pipeline stage %s: stages run only through the pipeline executor (register into a pipeline.Plan)", fn.Name()),
+		})
+		return true
+	})
+	return out
+}
+
+// isStageName reports whether name follows the stage entry-point naming
+// convention: "stage" followed by a capitalized phase name (stagePlace,
+// stageExtract). A bare "stage..." word like "stageless" is not a stage.
+func isStageName(name string) bool {
+	const prefix = "stage"
+	return strings.HasPrefix(name, prefix) && len(name) > len(prefix) &&
+		name[len(prefix)] >= 'A' && name[len(prefix)] <= 'Z'
 }
 
 // checkDocs flags exported top-level declarations without doc comments.

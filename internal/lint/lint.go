@@ -73,6 +73,14 @@ type Config struct {
 	// rebuilds the whole timing graph from scratch, silently discarding the
 	// cone-limited incremental path the optimizer loop depends on.
 	STAEngineOnly []string
+	// PipelineOnly lists import-path suffixes of packages whose stage*
+	// functions are pipeline stage entry points: they may only be
+	// registered into a pipeline.Plan and invoked by the pipeline
+	// executor, never called directly by other code in the package. A
+	// direct call bypasses the stage DAG — it skips the cancellation
+	// checks, invalidates the plan's input fingerprinting, and lets stages
+	// grow hidden dependencies the artifact cache cannot see.
+	PipelineOnly []string
 }
 
 // DefaultConfig returns the scoping policy enforced on the fold3d tree.
@@ -103,6 +111,12 @@ func DefaultConfig() *Config {
 			// The optimizer's analyze loop is the hot consumer of timing;
 			// it owns an Engine and must mark-and-update, never full-build.
 			"internal/opt",
+		},
+		PipelineOnly: []string{
+			// The flow's phases are registered pipeline stages; only the
+			// pipeline executor may invoke them, so the stage DAG and the
+			// artifact-cache fingerprints stay honest.
+			"internal/flow",
 		},
 	}
 }

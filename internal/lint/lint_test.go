@@ -147,6 +147,24 @@ func TestSTAEngineOffByDefaultElsewhere(t *testing.T) {
 	}
 }
 
+func TestPipelineOnlyFixture(t *testing.T) {
+	_, p := loadFixture(t, "pipeline", "fixture/pipeline")
+	cfg := DefaultConfig()
+	cfg.PipelineOnly = append(cfg.PipelineOnly, "fixture/pipeline")
+	checkFixture(t, cfg, p, []*Check{APIGuardCheck()})
+}
+
+func TestPipelineOnlyOffByDefaultElsewhere(t *testing.T) {
+	// Without the package on the PipelineOnly list the same source is clean
+	// (the fixture path is outside internal/, so the doc/panic rules stay
+	// off too).
+	_, p := loadFixture(t, "pipeline", "fixture/pipeline-off")
+	fs := Run(DefaultConfig(), []*Package{p}, []*Check{APIGuardCheck()})
+	if len(fs) != 0 {
+		t.Errorf("unrestricted package flagged: %v", fs)
+	}
+}
+
 func TestAPIGuardFixture(t *testing.T) {
 	_, p := loadFixture(t, "apiguard", "fixture/internal/apiguard")
 	checkFixture(t, DefaultConfig(), p, []*Check{APIGuardCheck()})

@@ -1,0 +1,301 @@
+package pipeline
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"fold3d/internal/errs"
+)
+
+// Fingerprint is a hex-encoded SHA-256 content hash. Equal fingerprints mean
+// byte-identical artifacts under the pipeline's determinism contract.
+type Fingerprint string
+
+// Hasher accumulates typed key material into a content hash. All writes are
+// length-framed by type tag so that e.g. Str("ab"), Str("c") and Str("a"),
+// Str("bc") hash differently.
+type Hasher struct {
+	buf bytes.Buffer
+}
+
+// NewHasher returns an empty hasher.
+func NewHasher() *Hasher { return &Hasher{} }
+
+func (h *Hasher) write(tag byte, payload []byte) {
+	h.buf.WriteByte(tag)
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(payload)))
+	h.buf.Write(n[:])
+	h.buf.Write(payload)
+}
+
+// Str mixes a string into the hash.
+func (h *Hasher) Str(s string) { h.write('s', []byte(s)) }
+
+// Int mixes a signed integer into the hash.
+func (h *Hasher) Int(v int) { h.Uint(uint64(int64(v))) }
+
+// Uint mixes an unsigned integer into the hash.
+func (h *Hasher) Uint(v uint64) {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], v)
+	h.write('u', n[:])
+}
+
+// Bool mixes a boolean into the hash.
+func (h *Hasher) Bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	h.write('b', []byte{b})
+}
+
+// F64 mixes a float64 into the hash by exact bit pattern (no decimal
+// formatting, so -0 and 0 or two NaN payloads stay distinguishable and no
+// rounding can alias two different values).
+func (h *Hasher) F64(v float64) {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], math.Float64bits(v))
+	h.write('f', n[:])
+}
+
+// Sum finalizes and returns the fingerprint. The hasher remains usable;
+// further writes extend the same key material.
+func (h *Hasher) Sum() Fingerprint {
+	sum := sha256.Sum256(h.buf.Bytes())
+	return Fingerprint(hex.EncodeToString(sum[:]))
+}
+
+// Artifact is a cacheable result. CloneArtifact must return a deep copy
+// sharing no mutable state with the receiver; the cache clones on both Put
+// and Get so entries can never alias live flow state.
+type Artifact interface {
+	CloneArtifact() Artifact
+}
+
+// Codec serializes artifacts for the on-disk spill. Kind and Version are
+// written into the entry header and must match on read; bumping Version
+// invalidates (as misses, not errors) every older on-disk entry of that
+// kind.
+type Codec struct {
+	Kind    string
+	Version int
+	Encode  func(Artifact) ([]byte, error)
+	Decode  func([]byte) (Artifact, error)
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits     int // artifact served from memory
+	DiskHits int // artifact served from the on-disk spill
+	Misses   int // lookups that found nothing usable
+	Stores   int // artifacts written into the cache
+	Corrupt  int // on-disk entries rejected by header/checksum validation
+	Entries  int // artifacts currently held in memory
+}
+
+// String renders the snapshot in the one-line form used by -cachestats.
+func (s Stats) String() string {
+	return fmt.Sprintf("hits=%d disk_hits=%d misses=%d stores=%d corrupt=%d entries=%d",
+		s.Hits, s.DiskHits, s.Misses, s.Stores, s.Corrupt, s.Entries)
+}
+
+// CacheOptions configures a Cache.
+type CacheOptions struct {
+	// Dir, when non-empty, enables the on-disk spill: every Put with a
+	// codec also writes a versioned, checksummed file under Dir, and a
+	// memory miss falls back to reading it. The directory is created on
+	// first use and is safe to share across processes (entries are written
+	// atomically via rename).
+	Dir string
+}
+
+// Cache is a content-addressed artifact store, safe for concurrent use.
+// Keys are plan fingerprints; values are deep clones of the artifacts.
+type Cache struct {
+	dir string
+
+	mu      sync.Mutex
+	entries map[string]Artifact
+	stats   Stats
+}
+
+// NewCache returns an empty cache.
+func NewCache(opts CacheOptions) *Cache {
+	return &Cache{dir: opts.Dir, entries: map[string]Artifact{}}
+}
+
+// Get looks the key up in memory, then (with a codec and a spill dir) on
+// disk. The returned artifact is a fresh clone owned by the caller. A
+// corrupt disk entry counts as a miss.
+func (c *Cache) Get(key string, codec *Codec) (Artifact, bool) {
+	c.mu.Lock()
+	if art, ok := c.entries[key]; ok {
+		c.stats.Hits++
+		c.mu.Unlock()
+		return art.CloneArtifact(), true
+	}
+	c.mu.Unlock()
+
+	if c.dir != "" && codec != nil {
+		art, err := readDiskEntry(c.entryPath(key), codec)
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if err == nil {
+			c.stats.DiskHits++
+			// Promote to memory so the next Get is cheap; keep our own clone
+			// since the caller gets the decoded value.
+			c.entries[key] = art.CloneArtifact()
+			c.stats.Entries = len(c.entries)
+			return art, true
+		}
+		if isCorrupt(err) {
+			c.stats.Corrupt++
+		}
+		c.stats.Misses++
+		return nil, false
+	}
+
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
+	return nil, false
+}
+
+// Put stores a deep clone of the artifact and, with a codec and a spill
+// dir, writes the disk entry. Disk write failures are swallowed: the memory
+// entry is already in place and the spill is an optimization, not a
+// durability promise.
+func (c *Cache) Put(key string, art Artifact, codec *Codec) {
+	clone := art.CloneArtifact()
+	c.mu.Lock()
+	c.entries[key] = clone
+	c.stats.Stores++
+	c.stats.Entries = len(c.entries)
+	c.mu.Unlock()
+
+	if c.dir != "" && codec != nil {
+		_ = writeDiskEntry(c.entryPath(key), clone, codec)
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	return s
+}
+
+// Len reports the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+func (c *Cache) entryPath(key string) string {
+	// Keys are hex fingerprints, safe as filenames; shard by prefix so a
+	// large cache does not put thousands of files in one directory.
+	if len(key) > 2 {
+		return filepath.Join(c.dir, key[:2], key[2:]+".f3dc")
+	}
+	return filepath.Join(c.dir, key+".f3dc")
+}
+
+// Disk entry layout:
+//
+//	magic "F3DC" | u32 schema | u32 codec version | u16 kind len | kind |
+//	32-byte SHA-256 of payload | payload
+//
+// Everything before the payload is the header; any mismatch or a checksum
+// failure yields an error wrapping errs.ErrCacheCorrupt (version skew is a
+// plain miss — old entries after an upgrade are expected, not corruption).
+var diskMagic = []byte("F3DC")
+
+func writeDiskEntry(path string, art Artifact, codec *Codec) error {
+	payload, err := codec.Encode(art)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	buf.Write(diskMagic)
+	var n4 [4]byte
+	binary.LittleEndian.PutUint32(n4[:], uint32(SchemaVersion))
+	buf.Write(n4[:])
+	binary.LittleEndian.PutUint32(n4[:], uint32(codec.Version))
+	buf.Write(n4[:])
+	var n2 [2]byte
+	binary.LittleEndian.PutUint16(n2[:], uint16(len(codec.Kind)))
+	buf.Write(n2[:])
+	buf.WriteString(codec.Kind)
+	sum := sha256.Sum256(payload)
+	buf.Write(sum[:])
+	buf.Write(payload)
+
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// errVersionSkew distinguishes "entry from another schema/codec version"
+// (an expected miss) from corruption (counted in stats).
+var errVersionSkew = fmt.Errorf("pipeline: cache entry version skew")
+
+func readDiskEntry(path string, codec *Codec) (Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err // plain miss: no entry on disk
+	}
+	corrupt := func(what string) error {
+		return fmt.Errorf("pipeline: %s: %s: %w", path, what, errs.ErrCacheCorrupt)
+	}
+	if len(data) < len(diskMagic)+4+4+2 {
+		return nil, corrupt("truncated header")
+	}
+	if !bytes.Equal(data[:4], diskMagic) {
+		return nil, corrupt("bad magic")
+	}
+	schema := binary.LittleEndian.Uint32(data[4:8])
+	cver := binary.LittleEndian.Uint32(data[8:12])
+	klen := int(binary.LittleEndian.Uint16(data[12:14]))
+	if len(data) < 14+klen+sha256.Size {
+		return nil, corrupt("truncated header")
+	}
+	kind := string(data[14 : 14+klen])
+	if schema != SchemaVersion || cver != uint32(codec.Version) {
+		return nil, errVersionSkew
+	}
+	if kind != codec.Kind {
+		return nil, corrupt(fmt.Sprintf("codec kind %q, want %q", kind, codec.Kind))
+	}
+	sumOff := 14 + klen
+	payload := data[sumOff+sha256.Size:]
+	want := data[sumOff : sumOff+sha256.Size]
+	got := sha256.Sum256(payload)
+	if !bytes.Equal(got[:], want) {
+		return nil, corrupt("payload checksum mismatch")
+	}
+	art, err := codec.Decode(payload)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %s: decode: %v: %w", path, err, errs.ErrCacheCorrupt)
+	}
+	return art, nil
+}
+
+func isCorrupt(err error) bool { return errors.Is(err, errs.ErrCacheCorrupt) }

@@ -1,0 +1,335 @@
+package pipeline
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fold3d/internal/errs"
+)
+
+// testArtifact is a minimal Artifact for cache tests.
+type testArtifact struct {
+	Vals []int
+}
+
+func (a *testArtifact) CloneArtifact() Artifact {
+	return &testArtifact{Vals: append([]int(nil), a.Vals...)}
+}
+
+func testCodec() *Codec {
+	return &Codec{
+		Kind:    "test",
+		Version: 1,
+		Encode:  func(a Artifact) ([]byte, error) { return json.Marshal(a.(*testArtifact)) },
+		Decode: func(b []byte) (Artifact, error) {
+			var a testArtifact
+			if err := json.Unmarshal(b, &a); err != nil {
+				return nil, err
+			}
+			return &a, nil
+		},
+	}
+}
+
+func TestHasherFraming(t *testing.T) {
+	a := NewHasher()
+	a.Str("ab")
+	a.Str("c")
+	b := NewHasher()
+	b.Str("a")
+	b.Str("bc")
+	if a.Sum() == b.Sum() {
+		t.Fatal("length framing broken: (ab)(c) hashed equal to (a)(bc)")
+	}
+	c := NewHasher()
+	c.F64(0)
+	d := NewHasher()
+	d.F64(math.Copysign(0, -1))
+	if c.Sum() == d.Sum() {
+		t.Fatal("F64 should distinguish 0 from -0 (bit-exact hashing)")
+	}
+	e := NewHasher()
+	e.Int(-1)
+	f := NewHasher()
+	f.Uint(^uint64(0))
+	g := NewHasher()
+	g.Bool(true)
+	if e.Sum() != f.Sum() {
+		t.Fatal("Int(-1) and Uint(max) should agree (two's complement)")
+	}
+	if g.Sum() == e.Sum() {
+		t.Fatal("Bool and Int collide")
+	}
+}
+
+// buildPlan makes a three-stage chain plan A -> B -> C with a key knob on B.
+func buildPlan(input string, bKnob float64, ran *[]string) *Plan {
+	p := NewPlan("t")
+	p.SetInput(Fingerprint(input))
+	run := func(name string) func(context.Context) error {
+		return func(context.Context) error {
+			if ran != nil {
+				*ran = append(*ran, name)
+			}
+			return nil
+		}
+	}
+	p.MustAdd(Stage{Name: "a", Run: run("a")})
+	p.MustAdd(Stage{Name: "b", After: []string{"a"}, Key: func(h *Hasher) { h.F64(bKnob) }, Run: run("b")})
+	p.MustAdd(Stage{Name: "c", After: []string{"b"}, Run: run("c")})
+	return p
+}
+
+func TestPlanFingerprintStability(t *testing.T) {
+	fp1 := buildPlan("in", 1.5, nil).Fingerprint()
+	fp2 := buildPlan("in", 1.5, nil).Fingerprint()
+	if fp1 != fp2 {
+		t.Fatalf("same plan, different fingerprints: %s vs %s", fp1, fp2)
+	}
+	if fp3 := buildPlan("other", 1.5, nil).Fingerprint(); fp3 == fp1 {
+		t.Fatal("input change did not change fingerprint")
+	}
+	if fp4 := buildPlan("in", 2.5, nil).Fingerprint(); fp4 == fp1 {
+		t.Fatal("stage key change did not change fingerprint")
+	}
+}
+
+func TestPlanAddValidation(t *testing.T) {
+	p := NewPlan("v")
+	noop := func(context.Context) error { return nil }
+	if err := p.Add(Stage{Name: "", Run: noop}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := p.Add(Stage{Name: "x"}); err == nil {
+		t.Error("nil Run accepted")
+	}
+	if err := p.Add(Stage{Name: "x", After: []string{"ghost"}, Run: noop}); err == nil {
+		t.Error("unregistered dependency accepted")
+	}
+	if err := p.Add(Stage{Name: "x", Run: noop}); err != nil {
+		t.Errorf("valid stage rejected: %v", err)
+	}
+	if err := p.Add(Stage{Name: "x", Run: noop}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if got := p.Stages(); len(got) != 1 || got[0] != "x" {
+		t.Errorf("Stages() = %v, want [x]", got)
+	}
+}
+
+func TestExecutorRunsStagesInOrder(t *testing.T) {
+	var ran []string
+	p := buildPlan("in", 0, &ran)
+	var ex Executor
+	if err := ex.Run(context.Background(), p, nil); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(ran) != "[a b c]" {
+		t.Fatalf("ran %v, want [a b c]", ran)
+	}
+}
+
+func TestExecutorStageError(t *testing.T) {
+	boom := errors.New("boom")
+	p := NewPlan("e")
+	p.MustAdd(Stage{Name: "a", Run: func(context.Context) error { return boom }})
+	ran := false
+	p.MustAdd(Stage{Name: "b", After: []string{"a"}, Run: func(context.Context) error { ran = true; return nil }})
+	var ex Executor
+	if err := ex.Run(context.Background(), p, nil); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if ran {
+		t.Fatal("stage after failing stage still ran")
+	}
+}
+
+func TestExecutorCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran []string
+	p := buildPlan("in", 0, &ran)
+	var ex Executor
+	err := ex.Run(ctx, p, nil)
+	if !errors.Is(err, errs.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if len(ran) != 0 {
+		t.Fatalf("stages ran after cancellation: %v", ran)
+	}
+}
+
+func TestExecutorCacheHitSkipsStages(t *testing.T) {
+	cache := NewCache(CacheOptions{})
+	spec := func(out *testArtifact) *ArtifactSpec {
+		return &ArtifactSpec{
+			Capture: func() (Artifact, error) { return out, nil },
+			Restore: func(a Artifact) error { *out = *a.(*testArtifact); return nil },
+		}
+	}
+	var ran []string
+	art := &testArtifact{Vals: []int{0}}
+	p := buildPlan("in", 0, &ran)
+	p.stages[0].Run = func(context.Context) error { ran = append(ran, "a"); art.Vals[0] = 42; return nil }
+	ex := Executor{Cache: cache}
+	if err := ex.Run(context.Background(), p, spec(art)); err != nil {
+		t.Fatal(err)
+	}
+	if len(ran) != 3 || art.Vals[0] != 42 {
+		t.Fatalf("cold run: ran=%v art=%v", ran, art)
+	}
+
+	ran = nil
+	art2 := &testArtifact{Vals: []int{0}}
+	p2 := buildPlan("in", 0, &ran)
+	p2.stages[0].Run = func(context.Context) error { ran = append(ran, "a"); art2.Vals[0] = 42; return nil }
+	if err := ex.Run(context.Background(), p2, spec(art2)); err != nil {
+		t.Fatal(err)
+	}
+	if len(ran) != 0 {
+		t.Fatalf("warm run executed stages: %v", ran)
+	}
+	if art2.Vals[0] != 42 {
+		t.Fatalf("restore did not install artifact: %v", art2)
+	}
+	st := cache.Stats()
+	if st.Hits != 1 || st.Stores != 1 {
+		t.Fatalf("stats = %+v, want 1 hit 1 store", st)
+	}
+
+	// Mutating the restored artifact must not leak into the cache.
+	art2.Vals[0] = 7
+	art3 := &testArtifact{Vals: []int{0}}
+	p3 := buildPlan("in", 0, nil)
+	if err := ex.Run(context.Background(), p3, spec(art3)); err != nil {
+		t.Fatal(err)
+	}
+	if art3.Vals[0] != 42 {
+		t.Fatalf("cache entry aliased a restored artifact: %v", art3)
+	}
+}
+
+func TestExecutorRestoreFailureRecomputes(t *testing.T) {
+	cache := NewCache(CacheOptions{})
+	art := &testArtifact{Vals: []int{1}}
+	p := buildPlan("in", 0, nil)
+	ex := Executor{Cache: cache}
+	ok := &ArtifactSpec{
+		Capture: func() (Artifact, error) { return art, nil },
+		Restore: func(Artifact) error { return nil },
+	}
+	if err := ex.Run(context.Background(), p, ok); err != nil {
+		t.Fatal(err)
+	}
+	var ran []string
+	p2 := buildPlan("in", 0, &ran)
+	bad := &ArtifactSpec{
+		Capture: func() (Artifact, error) { return art, nil },
+		Restore: func(Artifact) error { return errors.New("shape mismatch") },
+	}
+	if err := ex.Run(context.Background(), p2, bad); err != nil {
+		t.Fatal(err)
+	}
+	if len(ran) != 3 {
+		t.Fatalf("restore failure should recompute all stages, ran %v", ran)
+	}
+}
+
+func TestCacheDiskSpillRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	codec := testCodec()
+	c1 := NewCache(CacheOptions{Dir: dir})
+	c1.Put("aabbcc", &testArtifact{Vals: []int{1, 2, 3}}, codec)
+
+	// A fresh cache over the same dir serves the entry from disk.
+	c2 := NewCache(CacheOptions{Dir: dir})
+	got, ok := c2.Get("aabbcc", codec)
+	if !ok {
+		t.Fatal("disk entry not found")
+	}
+	if v := got.(*testArtifact).Vals; len(v) != 3 || v[2] != 3 {
+		t.Fatalf("round trip mangled artifact: %v", v)
+	}
+	st := c2.Stats()
+	if st.DiskHits != 1 || st.Hits != 0 {
+		t.Fatalf("stats = %+v, want exactly one disk hit", st)
+	}
+	// The disk hit promotes to memory.
+	if _, ok := c2.Get("aabbcc", codec); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if st := c2.Stats(); st.Hits != 1 {
+		t.Fatalf("stats after promotion = %+v, want one memory hit", st)
+	}
+}
+
+func TestCacheCorruptEntryFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	codec := testCodec()
+	c := NewCache(CacheOptions{Dir: dir})
+	c.Put("deadbeef", &testArtifact{Vals: []int{9}}, codec)
+
+	// Flip a payload byte on disk.
+	path := filepath.Join(dir, "de", "adbeef.f3dc")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := NewCache(CacheOptions{Dir: dir})
+	if _, ok := fresh.Get("deadbeef", codec); ok {
+		t.Fatal("corrupt entry served")
+	}
+	st := fresh.Stats()
+	if st.Corrupt != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want corrupt=1 misses=1", st)
+	}
+
+	// readDiskEntry reports the sentinel for direct probes.
+	if _, err := readDiskEntry(path, codec); !errors.Is(err, errs.ErrCacheCorrupt) {
+		t.Fatalf("err = %v, want ErrCacheCorrupt", err)
+	}
+}
+
+func TestCacheVersionSkewIsMissNotCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	codec := testCodec()
+	c := NewCache(CacheOptions{Dir: dir})
+	c.Put("cafe01", &testArtifact{Vals: []int{1}}, codec)
+
+	newer := testCodec()
+	newer.Version = 2
+	fresh := NewCache(CacheOptions{Dir: dir})
+	if _, ok := fresh.Get("cafe01", newer); ok {
+		t.Fatal("entry from older codec version served")
+	}
+	st := fresh.Stats()
+	if st.Corrupt != 0 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want a clean miss (corrupt=0)", st)
+	}
+}
+
+func TestCacheMemoryOnlyWithoutDir(t *testing.T) {
+	c := NewCache(CacheOptions{})
+	c.Put("k", &testArtifact{Vals: []int{5}}, testCodec())
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	if _, ok := c.Get("missing", nil); ok {
+		t.Fatal("phantom hit")
+	}
+	got, ok := c.Get("k", nil)
+	if !ok || got.(*testArtifact).Vals[0] != 5 {
+		t.Fatalf("memory get failed: %v %v", got, ok)
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"fold3d/internal/extract"
 	"fold3d/internal/flow"
 	"fold3d/internal/netlist"
+	"fold3d/internal/pipeline"
 	"fold3d/internal/t2"
 	"fold3d/internal/tech"
 )
@@ -61,6 +62,14 @@ var (
 	// ErrCanceled reports a run cut short by context cancellation. Such
 	// errors also match the underlying context cause.
 	ErrCanceled = errs.ErrCanceled
+	// ErrUnknownExperiment reports an experiment name absent from the
+	// registry (Experiments.Names lists the valid ones).
+	ErrUnknownExperiment = errs.ErrUnknownExperiment
+	// ErrCacheCorrupt reports an on-disk artifact-cache entry that failed
+	// its checksum or header validation. The cache treats such entries as
+	// misses and recomputes, so callers normally never see this sentinel;
+	// it surfaces only through CacheStats.Corrupt diagnostics.
+	ErrCacheCorrupt = errs.ErrCacheCorrupt
 )
 
 // Design is the generated benchmark database (blocks, bundles, technology).
@@ -181,6 +190,25 @@ func DefaultFlowConfig() FlowConfig { return flow.DefaultConfig() }
 // Fold splits a block across two dies in place (see FoldOptions).
 func Fold(b *Block, opt FoldOptions) (*core.FoldResult, error) {
 	return core.Fold(b, opt)
+}
+
+// ArtifactCache is the content-addressed block-artifact cache. Attach one
+// to FlowConfig.Cache (or Experiments.Cache) to reuse implemented blocks
+// across chip builds; restored results are byte-identical to recomputation.
+// A single cache is safe to share between concurrent flows.
+type ArtifactCache = pipeline.Cache
+
+// CacheOptions configures an ArtifactCache; a non-empty Dir spills
+// artifacts to disk so later processes can warm-start.
+type CacheOptions = pipeline.CacheOptions
+
+// CacheStats is an ArtifactCache hit/miss snapshot.
+type CacheStats = pipeline.Stats
+
+// NewArtifactCache creates an empty artifact cache. With a zero
+// CacheOptions the cache is memory-only.
+func NewArtifactCache(opt CacheOptions) *ArtifactCache {
+	return pipeline.NewCache(opt)
 }
 
 // Experiments exposes the table/figure harness of the paper's evaluation.

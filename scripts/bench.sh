@@ -1,12 +1,13 @@
 #!/bin/sh
-# bench.sh — record the PR 3 performance numbers (see README "Performance").
+# bench.sh — record the PR 4 performance numbers (see README "Performance").
 #
-# Runs the full-chip build benchmarks and the incremental-STA benchmarks,
-# takes the per-benchmark median over -count runs (this class of machine
-# shows ±8% run-to-run noise, so a single run is not trustworthy), and
-# writes BENCH_PR3.json next to this script's repo root: the frozen
-# pre-PR-3 baseline plus the numbers just measured, so the 2x acceptance
-# ratio is auditable from the file alone.
+# Runs the experiment-harness benchmarks with and without a shared artifact
+# cache plus the full-chip build benchmarks, takes the per-benchmark median
+# over -count runs (this class of machine shows ±8% run-to-run noise, so a
+# single run is not trustworthy), and writes BENCH_PR4.json at the repo
+# root: the cold-vs-shared RunAll medians and their ratio, so the 1.3x
+# acceptance floor is auditable from the file alone. BENCH_PR3.json is the
+# frozen PR 3 record and is not rewritten.
 #
 # Usage: scripts/bench.sh [count]   (default 5 runs per benchmark)
 set -eu
@@ -14,31 +15,36 @@ set -eu
 cd "$(dirname "$0")/.."
 
 COUNT="${1:-5}"
-OUT="BENCH_PR3.json"
+OUT="BENCH_PR4.json"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
-echo "==> go test -bench BuildChip (chip build, $COUNT runs each)" >&2
-go test -run '^$' -bench 'BenchmarkBuildChip' -benchmem -benchtime 4x \
+echo "==> go test -bench RunAll (experiment harness, cold vs shared cache, $COUNT runs each)" >&2
+go test -run '^$' -bench 'BenchmarkRunAll(Cold|Shared)$' -benchtime 1x \
 	-count "$COUNT" . | tee -a "$TMP" >&2
 
-echo "==> go test -bench STA ./internal/sta/ (timing engine, $COUNT runs each)" >&2
-go test -run '^$' -bench 'BenchmarkSTA' -benchmem \
-	-count "$COUNT" ./internal/sta/ | tee -a "$TMP" >&2
+echo "==> go test -bench BuildChip (chip build, $COUNT runs each)" >&2
+go test -run '^$' -bench 'BenchmarkBuildChip' -benchtime 4x \
+	-count "$COUNT" . | tee -a "$TMP" >&2
 
 # Reduce the raw `go test -bench` lines to one JSON object per benchmark,
-# taking the median ns/op and the matching B/op and allocs/op.
+# taking the median ns/op (located by its unit label, so extra custom
+# metric columns cannot shift the parse).
 awk '
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
-	n[name]++
-	ns[name, n[name]] = $3
-	bytes[name] = $5
-	allocs[name] = $7
+	for (i = 3; i <= NF; i++) {
+		if ($i == "ns/op") {
+			n[name]++
+			ns[name, n[name]] = $(i - 1)
+			break
+		}
+	}
 }
 function median(name,    cnt, i, j, tmp, arr) {
 	cnt = n[name]
+	if (cnt == 0) return 0
 	for (i = 1; i <= cnt; i++) arr[i] = ns[name, i] + 0
 	for (i = 1; i <= cnt; i++)
 		for (j = i + 1; j <= cnt; j++)
@@ -48,28 +54,23 @@ function median(name,    cnt, i, j, tmp, arr) {
 }
 END {
 	printf "{\n"
-	printf "  \"comment\": \"PR 3 incremental timing engine: medians over %d runs; baseline_pre_pr3 frozen at the commit before this PR\",\n", n["BenchmarkBuildChipSequential"]
-	printf "  \"baseline_pre_pr3\": {\n"
-	printf "    \"BenchmarkBuildChipSequential\": {\"ns_op\": 342531830, \"bytes_op\": 136648424, \"allocs_op\": 1583395},\n"
-	printf "    \"BenchmarkBuildChipParallel\":   {\"ns_op\": 356274834, \"bytes_op\": 136648256, \"allocs_op\": 1583393},\n"
-	printf "    \"BenchmarkSTAFull\":             {\"ns_op\": 1346832}\n"
-	printf "  },\n"
+	printf "  \"comment\": \"PR 4 stage-graph flow + artifact cache: medians over %d runs; RunAll covers table2+table5+fig8 (all five styles); acceptance floor shared>=1.3x cold\",\n", n["BenchmarkRunAllCold"]
 	printf "  \"current\": {\n"
 	first = 1
-	order = "BenchmarkBuildChipSequential BenchmarkBuildChipParallel BenchmarkSTAFull BenchmarkSTAIncremental"
+	order = "BenchmarkRunAllCold BenchmarkRunAllShared BenchmarkBuildChipSequential BenchmarkBuildChipParallel"
 	split(order, names, " ")
 	for (i = 1; i in names; i++) {
 		name = names[i]
 		if (!(name in n)) continue
 		if (!first) printf ",\n"
 		first = 0
-		printf "    \"%s\": {\"ns_op\": %d, \"bytes_op\": %s, \"allocs_op\": %s}", \
-			name, median(name), bytes[name], allocs[name]
+		printf "    \"%s\": {\"ns_op\": %d}", name, median(name)
 	}
 	printf "\n  },\n"
-	seq = median("BenchmarkBuildChipSequential")
-	if (seq > 0)
-		printf "  \"speedup_sequential_vs_baseline\": %.2f\n", 342531830 / seq
+	cold = median("BenchmarkRunAllCold")
+	shared = median("BenchmarkRunAllShared")
+	if (shared > 0)
+		printf "  \"speedup_shared_vs_cold\": %.2f\n", cold / shared
 	printf "}\n"
 }
 ' "$TMP" > "$OUT"

@@ -29,7 +29,26 @@ go test -race -cpu=4 -run 'TestParallelFingerprintEquivalence|TestBuildChipCance
 echo "==> go test -race (incremental STA equivalence)"
 go test -race -run 'TestIncrementalFullEquivalence' ./internal/opt/
 
+# Cache hits must be byte-identical to recomputation. The full style x seed
+# matrix already ran under -race above (go test -race ./...); re-run the
+# heaviest style with extra CPUs so the shared cache sees more goroutine
+# interleavings, plus the disk-spill and cross-style reuse properties.
+echo "==> go test -race -cpu=4 (artifact-cache equivalence)"
+go test -race -cpu=4 \
+	-run 'TestCacheEquivalence/fold-F2F|TestCacheDiskEquivalence|TestCacheCrossStyleReuse' \
+	./internal/flow/
+
+# fold3dlint includes the PipelineOnly rule: flow stages may only run
+# through the pipeline executor, never by direct call.
 echo "==> go run ./cmd/fold3dlint ./..."
 go run ./cmd/fold3dlint ./...
+
+# Every PR appends one line to CHANGES.md; a PR that ships without its
+# entry leaves the next session blind to what is already done.
+echo "==> CHANGES.md entry"
+grep -q '^PR 4:' CHANGES.md || {
+	echo "check.sh: CHANGES.md has no 'PR 4:' entry" >&2
+	exit 1
+}
 
 echo "OK: all checks passed"
