@@ -1,0 +1,114 @@
+// Command fold3dd serves the fold3d experiment flow over HTTP: clients
+// enqueue experiment runs as jobs, poll or stream their progress, and
+// scrape service metrics. One process owns one artifact cache, so every
+// job — concurrent or sequential — warms the next.
+//
+// Usage:
+//
+//	fold3dd                            # serve on :8080
+//	fold3dd -addr 127.0.0.1:0          # any free port (printed on startup)
+//	fold3dd -jobs 4 -queue 128         # four concurrent jobs, deeper queue
+//	fold3dd -cachedir ./cache          # spill block artifacts to disk
+//	fold3dd -cachestats                # print cache counters on exit
+//
+// API: POST /v1/jobs, GET /v1/jobs, GET /v1/jobs/{id},
+// GET /v1/jobs/{id}/events (NDJSON), GET /metrics, GET /healthz — see the
+// README's Serving section for curl examples.
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: the queue closes,
+// in-flight jobs finish as canceled, event streams terminate, and the
+// listener drains before the process exits. A second signal kills the
+// process immediately (signal.NotifyContext unregisters after the first).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fold3d/internal/jobs"
+	"fold3d/internal/pipeline"
+	"fold3d/internal/server"
+)
+
+// main delegates to run so defers fire before the process exits.
+func main() {
+	os.Exit(run(os.Args[1:], nil))
+}
+
+// run is the testable daemon body. args are the command-line arguments
+// after the program name; ready, when non-nil, is called with the bound
+// listen address once the daemon accepts connections (the smoke test uses
+// it to discover a :0 port).
+func run(args []string, ready func(addr string)) int {
+	fs := flag.NewFlagSet("fold3dd", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free one)")
+		jobWorkers = fs.Int("jobs", 2, "number of concurrently running jobs")
+		queueDepth = fs.Int("queue", 64, "number of jobs allowed to wait in the queue")
+		cachedir   = fs.String("cachedir", "", "spill the block-artifact cache to this directory (warm-starts later runs)")
+		cachestats = fs.Bool("cachestats", false, "print artifact-cache hit/miss counters to stderr on exit")
+		drain      = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for canceling jobs and closing streams")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cache := pipeline.NewCache(pipeline.CacheOptions{Dir: *cachedir})
+	mgr := jobs.NewManager(jobs.Options{
+		Workers:    *jobWorkers,
+		QueueDepth: *queueDepth,
+		Cache:      cache,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fold3dd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "fold3dd: serving on %s\n", ln.Addr())
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{Handler: server.New(mgr)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }() // sanctioned: the accept loop of the server exemption
+
+	code := 0
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "fold3dd: shutting down")
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "fold3dd: serve: %v\n", err)
+		code = 1
+	}
+
+	// Drain order matters: close the manager first so every job reaches a
+	// terminal state and event streams end, then shut the listener down so
+	// those final responses flush. Both share one drain budget.
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := mgr.Close(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "fold3dd: %v\n", err)
+		code = 1
+	}
+	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "fold3dd: shutdown: %v\n", err)
+		code = 1
+	}
+	if *cachestats {
+		fmt.Fprintf(os.Stderr, "fold3dd: cache %s\n", mgr.CacheStats())
+	}
+	return code
+}

@@ -23,8 +23,18 @@ var (
 	ErrCanceled = errors.New("run canceled")
 
 	// ErrUnknownExperiment reports a request for an experiment name that is
-	// not in the exp registry (a -exp flag typo, a stale script).
+	// not in the exp registry (a -exp flag typo, a stale script, a bad
+	// job-request body).
 	ErrUnknownExperiment = errors.New("unknown experiment")
+
+	// ErrBadRequest reports caller-supplied input that failed validation
+	// before any work started: malformed option values, an unparseable job
+	// body, an unknown experiment name. It exists so that transport layers
+	// (the fold3dd HTTP daemon) can map failures to client-error statuses
+	// with errors.Is instead of string matching; validation errors wrap it
+	// alongside the more specific sentinel (ErrBadOptions,
+	// ErrUnknownExperiment) when one applies.
+	ErrBadRequest = errors.New("bad request")
 
 	// ErrCacheCorrupt reports an on-disk artifact cache entry that failed
 	// its header or checksum validation. It is always recoverable: the

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"fold3d/internal/core"
+	"fold3d/internal/errs"
 	"fold3d/internal/extract"
 	"fold3d/internal/floorplan"
 	"fold3d/internal/flow"
@@ -45,6 +46,36 @@ type Config struct {
 // DefaultConfig returns the scale and seed the committed EXPERIMENTS.md
 // numbers were produced with.
 func DefaultConfig() Config { return Config{Scale: 1000, Seed: 42} }
+
+// Validate checks the caller-controlled configuration fields before any
+// work starts. Failures wrap errs.ErrBadRequest (and errs.ErrBadOptions,
+// the historical sentinel for out-of-range values), so transport layers
+// can classify them with errors.Is and map them to client errors.
+func (c Config) Validate() error {
+	if c.Scale != 0 && c.Scale < 1 {
+		return fmt.Errorf("exp: %w: %w: scale must be >= 1 (0 selects the default), got %g",
+			errs.ErrBadRequest, errs.ErrBadOptions, c.Scale)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("exp: %w: %w: workers must be >= 0 (0 selects one per CPU), got %d",
+			errs.ErrBadRequest, errs.ErrBadOptions, c.Workers)
+	}
+	return nil
+}
+
+// ValidateNames checks that every name is a registered experiment. The
+// first unknown name is reported wrapping both errs.ErrBadRequest and
+// errs.ErrUnknownExperiment, so callers can classify the failure at either
+// granularity. A nil or empty list (meaning "all experiments") is valid.
+func ValidateNames(names []string) error {
+	for _, name := range names {
+		if _, ok := ByName(name); !ok {
+			return fmt.Errorf("exp: %w: %w: no experiment %q",
+				errs.ErrBadRequest, errs.ErrUnknownExperiment, name)
+		}
+	}
+	return nil
+}
 
 // flowCfg returns the flow defaults carrying the experiment-level
 // parallelism and progress settings.

@@ -6,7 +6,7 @@ import (
 	"sort"
 	"sync"
 
-	"fold3d/internal/errs"
+	"fold3d/internal/flow"
 	"fold3d/internal/pipeline"
 	"fold3d/internal/pool"
 )
@@ -217,17 +217,28 @@ func ByName(name string) (Generator, bool) {
 // scheduler-dependent, the returned slice is not. On error the
 // lowest-registry-index failure is returned along with every result
 // that did complete (failed or skipped slots are nil).
+//
+// Configuration and names are validated up front (Config.Validate,
+// ValidateNames): a bad scale, negative worker count or unknown experiment
+// name fails before any generator runs, with an error wrapping
+// errs.ErrBadRequest. Progress callbacks are serialized across the whole
+// fan-out — never concurrent, even when several generators run flows at
+// once — and each event carries the name of the generator that produced it
+// in Progress.Experiment.
 func RunAll(ctx context.Context, cfg Config, names []string, onDone func(*Result, error)) ([]*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ValidateNames(names); err != nil {
+		return nil, err
+	}
 	var gens []Generator
 	if len(names) == 0 {
 		gens = Generators()
 	} else {
 		gens = make([]Generator, 0, len(names))
 		for _, name := range names {
-			g, ok := ByName(name)
-			if !ok {
-				return nil, fmt.Errorf("exp: %w: no experiment %q", errs.ErrUnknownExperiment, name)
-			}
+			g, _ := ByName(name)
 			gens = append(gens, g)
 		}
 	}
@@ -239,10 +250,30 @@ func RunAll(ctx context.Context, cfg Config, names []string, onDone func(*Result
 	if cfg.Cache == nil {
 		cfg.Cache = pipeline.NewCache(pipeline.CacheOptions{})
 	}
+	// Serialize progress callbacks across generators under one mutex (each
+	// flow only serializes its own events; concurrent generators each carry
+	// their own flow) and tag every event with its generator name, so a
+	// consumer multiplexing the stream — the fold3dd job event feed, the
+	// -progress stderr log — can attribute events without guessing.
+	user := cfg.Progress
+	var pmu sync.Mutex
+	progressFor := func(name string) func(flow.Progress) {
+		if user == nil {
+			return nil
+		}
+		return func(p flow.Progress) {
+			pmu.Lock()
+			defer pmu.Unlock()
+			p.Experiment = name
+			user(p)
+		}
+	}
 	results := make([]*Result, len(gens))
 	var mu sync.Mutex
 	err := pool.Run(ctx, cfg.Workers, len(gens), func(ctx context.Context, i int) error {
-		r, err := gens[i].Run(ctx, cfg)
+		gcfg := cfg
+		gcfg.Progress = progressFor(gens[i].Name)
+		r, err := gens[i].Run(ctx, gcfg)
 		if err != nil {
 			err = fmt.Errorf("exp: %s: %w", gens[i].Name, err)
 		} else {

@@ -69,8 +69,59 @@ func TestRunAllUnknownExperiment(t *testing.T) {
 	if !errors.Is(err, errs.ErrUnknownExperiment) {
 		t.Errorf("error %v does not match ErrUnknownExperiment", err)
 	}
-	if got := err.Error(); got != `exp: unknown experiment: no experiment "bogus"` {
+	if !errors.Is(err, errs.ErrBadRequest) {
+		t.Errorf("error %v does not match ErrBadRequest", err)
+	}
+	if got := err.Error(); got != `exp: bad request: unknown experiment: no experiment "bogus"` {
 		t.Errorf("error text = %q", got)
+	}
+}
+
+// TestConfigValidate pins the option-validation contract: out-of-range
+// values fail fast wrapping both ErrBadRequest (transport classification)
+// and ErrBadOptions (the historical sentinel), and the zero values that
+// mean "use the default" stay valid.
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero config", Config{}, true},
+		{"defaults", DefaultConfig(), true},
+		{"explicit scale", Config{Scale: 500}, true},
+		{"scale below 1", Config{Scale: 0.5}, false},
+		{"negative scale", Config{Scale: -3}, false},
+		{"negative workers", Config{Workers: -1}, false},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: Validate() = %v, want nil", c.name, err)
+		}
+		if !c.ok {
+			if err == nil {
+				t.Errorf("%s: Validate() = nil, want error", c.name)
+				continue
+			}
+			if !errors.Is(err, errs.ErrBadRequest) || !errors.Is(err, errs.ErrBadOptions) {
+				t.Errorf("%s: error %v must match ErrBadRequest and ErrBadOptions", c.name, err)
+			}
+		}
+	}
+}
+
+// TestRunAllValidatesConfig checks that RunAll rejects a bad configuration
+// before running any generator.
+func TestRunAllValidatesConfig(t *testing.T) {
+	ran := false
+	_, err := RunAll(context.Background(), Config{Workers: -2}, []string{"table1"},
+		func(*Result, error) { ran = true })
+	if !errors.Is(err, errs.ErrBadRequest) {
+		t.Fatalf("RunAll with workers=-2: err = %v, want ErrBadRequest", err)
+	}
+	if ran {
+		t.Error("a generator ran despite failed validation")
 	}
 }
 

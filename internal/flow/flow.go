@@ -37,6 +37,11 @@ type Progress struct {
 	Block string
 	// Done and Total count finished vs scheduled units in this stage.
 	Done, Total int
+	// Experiment names the harness-level run this event belongs to. A flow
+	// never sets it — within one flow there is nothing to distinguish — but
+	// multiplexers that drive several flows through one callback (exp.RunAll,
+	// the fold3dd job event stream) tag each event with its source here.
+	Experiment string
 }
 
 // Stage names reported through Config.Progress.

@@ -106,6 +106,12 @@ func DefaultConfig() *Config {
 			// The worker pool is the one sanctioned goroutine spawner; its
 			// per-index result slots keep parallel runs byte-identical.
 			"internal/pool",
+			// The server exemption (DESIGN.md §12): the fold3dd job
+			// scheduler and the daemon's accept loop are long-lived service
+			// goroutines above the determinism boundary — results flow only
+			// through exp.RunAll, which stays on the pool.
+			"internal/jobs",
+			"cmd/fold3dd",
 		},
 		STAEngineOnly: []string{
 			// The optimizer's analyze loop is the hot consumer of timing;

@@ -114,6 +114,24 @@ func TestDeterminismGoroutineAllow(t *testing.T) {
 	}
 }
 
+func TestServerExemptFlaggedElsewhere(t *testing.T) {
+	// The scheduler/accept-loop goroutine shapes of the fold3dd daemon are
+	// ordinary findings in a package that is not on the allow list.
+	_, p := loadFixture(t, "serverexempt", "fixture/serverexempt")
+	checkFixture(t, DefaultConfig(), p, []*Check{DeterminismCheck()})
+}
+
+func TestServerExemptSanctionedPackages(t *testing.T) {
+	// The same source is clean under the import paths the repo policy
+	// exempts: the jobs scheduler and the daemon binary.
+	for _, path := range []string{"fold3d/internal/jobs", "fold3d/cmd/fold3dd"} {
+		_, p := loadFixture(t, "serverexempt", path)
+		if fs := Run(DefaultConfig(), []*Package{p}, []*Check{DeterminismCheck()}); len(fs) != 0 {
+			t.Errorf("%s: server exemption not honored: %v", path, fs)
+		}
+	}
+}
+
 func TestMapIterFixture(t *testing.T) {
 	_, p := loadFixture(t, "mapiter", "fixture/mapiter")
 	checkFixture(t, DefaultConfig(), p, []*Check{MapIterCheck()})

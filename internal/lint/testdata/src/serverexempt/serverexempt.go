@@ -1,0 +1,20 @@
+// Package serverexempt is a lint fixture for the server goroutine
+// exemption: scheduler-style goroutines that are findings in an ordinary
+// package but sanctioned when the package is on the GoroutineAllow list
+// (the repo policy lists internal/jobs and cmd/fold3dd).
+package serverexempt
+
+// Serve mimics the daemon's worker/accept-loop shape: a long-lived
+// goroutine draining a channel.
+func Serve(queue chan func()) {
+	go func() { // want `bare go statement`
+		for job := range queue {
+			job()
+		}
+	}()
+}
+
+// Drain mimics the shutdown waiter.
+func Drain(done chan struct{}) {
+	go close(done) // want `bare go statement`
+}

@@ -105,8 +105,19 @@ type Stats struct {
 
 // String renders the snapshot in the one-line form used by -cachestats.
 func (s Stats) String() string {
-	return fmt.Sprintf("hits=%d disk_hits=%d misses=%d stores=%d corrupt=%d entries=%d",
-		s.Hits, s.DiskHits, s.Misses, s.Stores, s.Corrupt, s.Entries)
+	return fmt.Sprintf("hits=%d disk_hits=%d misses=%d stores=%d corrupt=%d entries=%d hit_ratio=%.3f",
+		s.Hits, s.DiskHits, s.Misses, s.Stores, s.Corrupt, s.Entries, s.HitRatio())
+}
+
+// HitRatio returns the fraction of lookups served from the cache (memory
+// or disk) over all lookups, 0 when nothing has been looked up yet. It is
+// the headline effectiveness number the fold3dd /metrics endpoint exports.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.DiskHits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.DiskHits) / float64(total)
 }
 
 // CacheOptions configures a Cache.

@@ -8,9 +8,11 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"fold3d/internal/errs"
+	"fold3d/internal/pool"
 )
 
 // testArtifact is a minimal Artifact for cache tests.
@@ -331,5 +333,47 @@ func TestCacheMemoryOnlyWithoutDir(t *testing.T) {
 	got, ok := c.Get("k", nil)
 	if !ok || got.(*testArtifact).Vals[0] != 5 {
 		t.Fatalf("memory get failed: %v %v", got, ok)
+	}
+}
+
+// TestStatsHitRatio pins the HitRatio accessor: hits from memory and disk
+// both count, the empty snapshot reads 0 (not NaN), and the String form
+// carries the ratio for the -cachestats report.
+func TestStatsHitRatio(t *testing.T) {
+	if r := (Stats{}).HitRatio(); r != 0 {
+		t.Errorf("empty HitRatio = %v, want 0", r)
+	}
+	s := Stats{Hits: 3, DiskHits: 1, Misses: 4}
+	if r := s.HitRatio(); r != 0.5 {
+		t.Errorf("HitRatio = %v, want 0.5", r)
+	}
+	if got := s.String(); !strings.Contains(got, "hit_ratio=0.500") {
+		t.Errorf("String() = %q, want it to carry hit_ratio=0.500", got)
+	}
+}
+
+// TestCacheStatsSnapshotUnderLoad drives concurrent Put/Get/Stats through
+// the race detector: Stats must snapshot under the cache lock, never
+// observe torn counters, and end exactly consistent with the operations
+// performed.
+func TestCacheStatsSnapshotUnderLoad(t *testing.T) {
+	c := NewCache(CacheOptions{})
+	const n = 64
+	err := pool.Run(context.Background(), 8, n, func(_ context.Context, i int) error {
+		key := fmt.Sprintf("k%d", i%8)
+		c.Put(key, &testArtifact{Vals: []int{i}}, nil)
+		c.Get(key, nil)
+		st := c.Stats()
+		if st.Hits < 0 || st.Stores < 0 || st.Entries < 0 || st.Entries > n {
+			return fmt.Errorf("torn snapshot: %+v", st)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Stores != n || st.Hits != n || st.Entries != 8 {
+		t.Fatalf("final stats = %+v, want stores=%d hits=%d entries=8", st, n, n)
 	}
 }

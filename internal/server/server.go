@@ -1,0 +1,241 @@
+// Package server is the HTTP transport of the fold3dd daemon: a thin,
+// goroutine-free layer that maps the REST surface onto a jobs.Manager.
+//
+//	POST /v1/jobs            enqueue a jobs.Request        → 202 + job info
+//	GET  /v1/jobs            list jobs in submission order → 200 + info array
+//	GET  /v1/jobs/{id}       job status and result         → 200 + job info
+//	GET  /v1/jobs/{id}/events  live NDJSON event stream    → 200 + one JSON
+//	                           object per line, streamed until terminal
+//	GET  /metrics            service counters              → Prometheus text
+//	GET  /healthz            readiness                     → 200, 503 draining
+//
+// Errors map by sentinel, not by string: validation failures wrap
+// errs.ErrBadRequest → 400, unknown IDs wrap jobs.ErrUnknownJob → 404, and
+// admission failures (jobs.ErrQueueFull, jobs.ErrShutdown) → 503. Every
+// error body is a JSON object {"error": "..."}.
+//
+// The package spawns no goroutines: streaming handlers block on the job's
+// notify channel and the request context, so the daemon's only long-lived
+// goroutines stay inside the jobs scheduler.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"fold3d/internal/errs"
+	"fold3d/internal/jobs"
+)
+
+// Server routes the fold3dd HTTP API onto a jobs.Manager.
+type Server struct {
+	mgr *jobs.Manager
+	mux *http.ServeMux
+}
+
+// New builds the server for a manager. The caller retains ownership of the
+// manager and its lifecycle (the server never closes it).
+func New(mgr *jobs.Manager) *Server {
+	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// statusOf maps an error to its HTTP status by sentinel.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, errs.ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, jobs.ErrUnknownJob):
+		return http.StatusNotFound
+	case errors.Is(err, jobs.ErrQueueFull), errors.Is(err, jobs.ErrShutdown):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeError emits the JSON error body with the sentinel-mapped status.
+func writeError(w http.ResponseWriter, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(statusOf(err))
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// writeJSON emits one JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// maxBodyBytes bounds the request body; experiment requests are a few
+// hundred bytes of knobs, so 1 MiB is generous.
+const maxBodyBytes = 1 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobs.Request
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("server: %w: decoding request body: %v", errs.ErrBadRequest, err))
+		return
+	}
+	j, err := s.mgr.Submit(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Info())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.Infos())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Info())
+}
+
+// handleEvents streams the job's events as NDJSON: first a replay of
+// everything recorded so far (from ?from=N onward, default 0), then a live
+// follow until the job reaches a terminal state or the client goes away.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		from, err = strconv.Atoi(q)
+		if err != nil || from < 0 {
+			writeError(w, fmt.Errorf("server: %w: from=%q is not a non-negative integer", errs.ErrBadRequest, q))
+			return
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		events, more, terminal := j.EventsSince(from)
+		for _, ev := range events {
+			if err := enc.Encode(ev); err != nil {
+				return // client gone
+			}
+		}
+		from += len(events)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-more:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.mgr.Closed() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics renders the manager snapshot in the Prometheus text
+// exposition format. Output order is deterministic: fixed counter layout,
+// stages sorted by name (jobs.Metrics guarantees the sort).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	writeMetrics(w, s.mgr.Metrics())
+}
+
+// fnum formats a float the way Prometheus text expects (shortest exact
+// decimal, no exponent surprises for the bucket bounds in use).
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// writeMetrics renders one snapshot. Split from the handler so tests and
+// the daemon's shutdown summary can render without an HTTP round trip.
+func writeMetrics(w io.Writer, mt jobs.Metrics) {
+	var b strings.Builder
+
+	b.WriteString("# HELP fold3dd_jobs_gauge Jobs currently in a non-terminal state.\n")
+	b.WriteString("# TYPE fold3dd_jobs_gauge gauge\n")
+	fmt.Fprintf(&b, "fold3dd_jobs_gauge{state=\"queued\"} %d\n", mt.Queued)
+	fmt.Fprintf(&b, "fold3dd_jobs_gauge{state=\"running\"} %d\n", mt.Running)
+
+	b.WriteString("# HELP fold3dd_jobs_total Jobs that reached each terminal state.\n")
+	b.WriteString("# TYPE fold3dd_jobs_total counter\n")
+	fmt.Fprintf(&b, "fold3dd_jobs_total{state=\"done\"} %d\n", mt.Done)
+	fmt.Fprintf(&b, "fold3dd_jobs_total{state=\"failed\"} %d\n", mt.Failed)
+	fmt.Fprintf(&b, "fold3dd_jobs_total{state=\"canceled\"} %d\n", mt.Canceled)
+
+	b.WriteString("# HELP fold3dd_jobs_submitted_total Jobs accepted by Submit.\n")
+	b.WriteString("# TYPE fold3dd_jobs_submitted_total counter\n")
+	fmt.Fprintf(&b, "fold3dd_jobs_submitted_total %d\n", mt.Submitted)
+
+	b.WriteString("# HELP fold3dd_cache_lookups_total Artifact cache lookups by outcome.\n")
+	b.WriteString("# TYPE fold3dd_cache_lookups_total counter\n")
+	fmt.Fprintf(&b, "fold3dd_cache_lookups_total{outcome=\"hit\"} %d\n", mt.Cache.Hits)
+	fmt.Fprintf(&b, "fold3dd_cache_lookups_total{outcome=\"disk_hit\"} %d\n", mt.Cache.DiskHits)
+	fmt.Fprintf(&b, "fold3dd_cache_lookups_total{outcome=\"miss\"} %d\n", mt.Cache.Misses)
+
+	b.WriteString("# HELP fold3dd_cache_stores_total Artifacts written into the cache.\n")
+	b.WriteString("# TYPE fold3dd_cache_stores_total counter\n")
+	fmt.Fprintf(&b, "fold3dd_cache_stores_total %d\n", mt.Cache.Stores)
+
+	b.WriteString("# HELP fold3dd_cache_corrupt_total On-disk entries rejected by validation.\n")
+	b.WriteString("# TYPE fold3dd_cache_corrupt_total counter\n")
+	fmt.Fprintf(&b, "fold3dd_cache_corrupt_total %d\n", mt.Cache.Corrupt)
+
+	b.WriteString("# HELP fold3dd_cache_entries In-memory cache entries.\n")
+	b.WriteString("# TYPE fold3dd_cache_entries gauge\n")
+	fmt.Fprintf(&b, "fold3dd_cache_entries %d\n", mt.Cache.Entries)
+
+	b.WriteString("# HELP fold3dd_cache_hit_ratio Fraction of lookups served from the cache.\n")
+	b.WriteString("# TYPE fold3dd_cache_hit_ratio gauge\n")
+	fmt.Fprintf(&b, "fold3dd_cache_hit_ratio %s\n", fnum(mt.Cache.HitRatio()))
+
+	b.WriteString("# HELP fold3dd_stage_latency_seconds Flow stage latency by stage name.\n")
+	b.WriteString("# TYPE fold3dd_stage_latency_seconds histogram\n")
+	for _, sl := range mt.Stages {
+		for i, bound := range sl.Bounds {
+			fmt.Fprintf(&b, "fold3dd_stage_latency_seconds_bucket{stage=%q,le=%q} %d\n",
+				sl.Stage, fnum(bound), sl.CumCounts[i])
+		}
+		fmt.Fprintf(&b, "fold3dd_stage_latency_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", sl.Stage, sl.Count)
+		fmt.Fprintf(&b, "fold3dd_stage_latency_seconds_sum{stage=%q} %s\n", sl.Stage, fnum(sl.SumSeconds))
+		fmt.Fprintf(&b, "fold3dd_stage_latency_seconds_count{stage=%q} %d\n", sl.Stage, sl.Count)
+	}
+
+	_, _ = io.WriteString(w, b.String())
+}

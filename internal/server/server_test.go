@@ -1,0 +1,539 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fold3d/internal/jobs"
+)
+
+// newTestServer boots a manager + server pair on an httptest listener and
+// tears both down (manager drained first) when the test ends.
+func newTestServer(t *testing.T, opts jobs.Options) (*httptest.Server, *jobs.Manager) {
+	t.Helper()
+	mgr := jobs.NewManager(opts)
+	ts := httptest.NewServer(New(mgr))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if err := mgr.Close(ctx); err != nil {
+			t.Errorf("manager drain: %v", err)
+		}
+	})
+	return ts, mgr
+}
+
+// postJob submits a request body and decodes the job info from the 202.
+func postJob(t *testing.T, ts *httptest.Server, body string) jobs.Info {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var e map[string]string
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("POST /v1/jobs = %d (%s), want 202", resp.StatusCode, e["error"])
+	}
+	var info jobs.Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+// getJSON fetches a URL and decodes the JSON body into out, returning the
+// status code.
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decode: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// pollDone polls the status endpoint until the job is terminal.
+func pollDone(t *testing.T, ts *httptest.Server, id string) jobs.Info {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		var info jobs.Info
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+id, &info); code != http.StatusOK {
+			t.Fatalf("GET /v1/jobs/%s = %d, want 200", id, code)
+		}
+		if info.State.Terminal() {
+			return info
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %s", id, info.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestLifecycle walks the happy path over HTTP: enqueue, poll to done,
+// check the result payload, and see the job in the listing.
+func TestLifecycle(t *testing.T) {
+	ts, _ := newTestServer(t, jobs.Options{})
+
+	info := postJob(t, ts, `{"experiments":["table1"]}`)
+	if info.ID == "" || info.State != jobs.StateQueued && info.State != jobs.StateRunning && info.State != jobs.StateDone {
+		t.Fatalf("submit info = %+v", info)
+	}
+	if info.Request.Scale != 1000 || info.Request.Seed != 42 {
+		t.Errorf("request not normalized in response: %+v", info.Request)
+	}
+
+	final := pollDone(t, ts, info.ID)
+	if final.State != jobs.StateDone {
+		t.Fatalf("final state = %s (%s), want done", final.State, final.Error)
+	}
+	if final.Result == nil || final.Result.Fingerprint == "" {
+		t.Fatal("done job has no fingerprint")
+	}
+	if len(final.Result.Experiments) != 1 || !strings.Contains(final.Result.Experiments[0].Report, "Table 1") {
+		t.Errorf("unexpected result payload: %+v", final.Result)
+	}
+
+	var list []jobs.Info
+	if code := getJSON(t, ts.URL+"/v1/jobs", &list); code != http.StatusOK {
+		t.Fatalf("GET /v1/jobs = %d", code)
+	}
+	if len(list) != 1 || list[0].ID != info.ID {
+		t.Errorf("job listing = %+v", list)
+	}
+}
+
+// TestClientErrors is the 4xx table: malformed bodies and bad requests map
+// to 400, unknown IDs to 404, all with JSON error bodies.
+func TestClientErrors(t *testing.T) {
+	ts, _ := newTestServer(t, jobs.Options{})
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		want   int
+	}{
+		{"malformed json", "POST", "/v1/jobs", `{"experiments":`, http.StatusBadRequest},
+		{"unknown field", "POST", "/v1/jobs", `{"experiment":"table1"}`, http.StatusBadRequest},
+		{"unknown experiment", "POST", "/v1/jobs", `{"experiments":["bogus"]}`, http.StatusBadRequest},
+		{"bad scale", "POST", "/v1/jobs", `{"scale":0.5}`, http.StatusBadRequest},
+		{"negative workers", "POST", "/v1/jobs", `{"workers":-1}`, http.StatusBadRequest},
+		{"unknown job", "GET", "/v1/jobs/job-999999", "", http.StatusNotFound},
+		{"unknown job events", "GET", "/v1/jobs/job-999999/events", "", http.StatusNotFound},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			req, err := http.NewRequest(c.method, ts.URL+c.path, strings.NewReader(c.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != c.want {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, c.want)
+			}
+			var e map[string]string
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e["error"] == "" {
+				t.Errorf("error body missing: %v %v", e, err)
+			}
+		})
+	}
+
+	// A bad ?from= on a real job is also a 400.
+	info := postJob(t, ts, `{"experiments":["table1"]}`)
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + info.ID + "/events?from=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad from = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestEventStreamNDJSON consumes the live stream of a chip-building job and
+// checks NDJSON framing and ordering: one JSON object per line, dense Seq
+// from 0, queued→running first, terminal state last.
+func TestEventStreamNDJSON(t *testing.T) {
+	ts, _ := newTestServer(t, jobs.Options{})
+	info := postJob(t, ts, `{"experiments":["table2"],"scale":5000}`)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + info.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+
+	var events []jobs.Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev jobs.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d is not JSON: %v: %q", len(events), err, sc.Text())
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(events) < 3 {
+		t.Fatalf("got %d events", len(events))
+	}
+	for i, ev := range events {
+		if ev.Seq != i {
+			t.Fatalf("events[%d].Seq = %d: stream reordered or gapped", i, ev.Seq)
+		}
+	}
+	if events[0].State != jobs.StateQueued || events[1].State != jobs.StateRunning {
+		t.Errorf("stream prefix = %+v %+v, want queued then running", events[0], events[1])
+	}
+	last := events[len(events)-1]
+	if last.Kind != "state" || !last.State.Terminal() {
+		t.Errorf("stream did not end on a terminal state: %+v", last)
+	}
+	if last.State == jobs.StateDone && last.Fingerprint == "" {
+		t.Error("done event lacks fingerprint")
+	}
+	progress := 0
+	for _, ev := range events {
+		if ev.Kind == "progress" {
+			progress++
+			if ev.Experiment != "table2" {
+				t.Errorf("progress event lacks experiment tag: %+v", ev)
+			}
+		}
+	}
+	if progress == 0 {
+		t.Error("chip build streamed no progress events")
+	}
+
+	// Resume mid-stream: ?from=N replays exactly the suffix of a finished job.
+	from := len(events) - 2
+	resp2, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/events?from=%d", ts.URL, info.ID, from))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var tail []jobs.Event
+	sc2 := bufio.NewScanner(resp2.Body)
+	for sc2.Scan() {
+		var ev jobs.Event
+		if err := json.Unmarshal(sc2.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		tail = append(tail, ev)
+	}
+	if len(tail) != 2 || tail[0].Seq != from {
+		t.Errorf("resumed stream = %+v, want 2 events from seq %d", tail, from)
+	}
+}
+
+// TestDeterministicFingerprints is the acceptance gate: the same request
+// body must yield byte-identical result fingerprints whether it runs cold
+// (fresh manager), warm (rerun against the shared cache), or as four
+// simultaneous jobs racing each other.
+func TestDeterministicFingerprints(t *testing.T) {
+	const body = `{"experiments":["table4"]}`
+
+	// Cold reference on its own manager.
+	ref := func() string {
+		ts, _ := newTestServer(t, jobs.Options{})
+		info := pollDone(t, ts, postJob(t, ts, body).ID)
+		if info.State != jobs.StateDone {
+			t.Fatalf("cold job %s: %s", info.State, info.Error)
+		}
+		return info.Result.Fingerprint
+	}()
+
+	ts, mgr := newTestServer(t, jobs.Options{Workers: 4})
+
+	// Four simultaneous jobs against one shared cache.
+	var wg sync.WaitGroup
+	ids := make([]string, 4)
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids[i] = postJob(t, ts, body).ID
+		}(i)
+	}
+	wg.Wait()
+	for _, id := range ids {
+		info := pollDone(t, ts, id)
+		if info.State != jobs.StateDone {
+			t.Fatalf("concurrent job %s: %s", info.State, info.Error)
+		}
+		if info.Result.Fingerprint != ref {
+			t.Errorf("concurrent fingerprint %s != cold %s", info.Result.Fingerprint, ref)
+		}
+	}
+
+	// Warm rerun on the now-populated cache.
+	info := pollDone(t, ts, postJob(t, ts, body).ID)
+	if info.Result.Fingerprint != ref {
+		t.Errorf("warm fingerprint %s != cold %s", info.Result.Fingerprint, ref)
+	}
+	if st := mgr.CacheStats(); st.Hits == 0 {
+		t.Errorf("shared cache saw no hits across 5 identical jobs: %+v", st)
+	}
+}
+
+// TestGracefulShutdownDrains closes the manager mid-flight and checks that
+// every job terminalizes, the server reports draining, and no scheduler
+// goroutines leak.
+func TestGracefulShutdownDrains(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	mgr := jobs.NewManager(jobs.Options{Workers: 1})
+	ts := httptest.NewServer(New(mgr))
+	defer ts.Close()
+
+	var ids []string
+	for i := 0; i < 4; i++ {
+		ids = append(ids, postJob(t, ts, `{"experiments":["table2"]}`).ID)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := mgr.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Every job reached a terminal state; the API still serves their status.
+	canceled := 0
+	for _, id := range ids {
+		var info jobs.Info
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+id, &info); code != http.StatusOK {
+			t.Fatalf("GET after shutdown = %d", code)
+		}
+		if !info.State.Terminal() {
+			t.Errorf("job %s not terminal after drain: %s", id, info.State)
+		}
+		if info.State == jobs.StateCanceled {
+			canceled++
+		}
+	}
+	if canceled == 0 {
+		t.Error("immediate shutdown canceled nothing")
+	}
+
+	// New submissions bounce with 503, and /healthz flips to draining.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit after shutdown = %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz after shutdown = %d, want 503", resp.StatusCode)
+	}
+
+	// The scheduler goroutines are gone. Allow slack for runtime and
+	// httptest helper goroutines, but catch a leaked worker set.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines: %d before, %d after drain\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestQueueFullOverHTTP checks the 503 + error body on queue overflow.
+func TestQueueFullOverHTTP(t *testing.T) {
+	ts, _ := newTestServer(t, jobs.Options{Workers: 1, QueueDepth: 1})
+
+	first := postJob(t, ts, `{"experiments":["table2"]}`)
+	// Wait for the worker to pick the first job up so the queue is empty.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var info jobs.Info
+		getJSON(t, ts.URL+"/v1/jobs/"+first.ID, &info)
+		if info.State != jobs.StateQueued {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	postJob(t, ts, `{"experiments":["table1"]}`) // fills the queue
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(`{"experiments":["table1"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("overflow submit = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestHealthzAndMetrics scrapes both operational endpoints after a job and
+// checks the Prometheus exposition essentials.
+func TestHealthzAndMetrics(t *testing.T) {
+	ts, _ := newTestServer(t, jobs.Options{})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := readAll(resp)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz = %d %q", resp.StatusCode, body)
+	}
+
+	pollDone(t, ts, postJob(t, ts, `{"experiments":["table2"],"scale":5000}`).ID)
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := readAll(resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics = %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		`fold3dd_jobs_total{state="done"} 1`,
+		`fold3dd_jobs_submitted_total 1`,
+		"fold3dd_cache_hit_ratio ",
+		"fold3dd_cache_stores_total ",
+		`fold3dd_stage_latency_seconds_bucket{stage=`,
+		`le="+Inf"`,
+		"fold3dd_stage_latency_seconds_count{stage=",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	// Histogram TYPE line present exactly once; bucket lines are cumulative
+	// (spot-checked in the jobs package, framing checked here).
+	if strings.Count(text, "# TYPE fold3dd_stage_latency_seconds histogram") != 1 {
+		t.Error("histogram TYPE line missing or duplicated")
+	}
+}
+
+func readAll(resp *http.Response) (string, error) {
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			if err.Error() == "EOF" {
+				return sb.String(), nil
+			}
+			return sb.String(), err
+		}
+	}
+}
+
+// BenchmarkServerJobsCold measures end-to-end jobs/sec through the HTTP
+// surface with a fresh manager (and so a cold cache) per iteration.
+func BenchmarkServerJobsCold(b *testing.B) {
+	body := `{"experiments":["table4"]}`
+	for i := 0; i < b.N; i++ {
+		mgr := jobs.NewManager(jobs.Options{Workers: 2})
+		ts := httptest.NewServer(New(mgr))
+		benchOneJob(b, ts, body)
+		ts.Close()
+		_ = mgr.Close(context.Background())
+	}
+}
+
+// BenchmarkServerJobsShared measures jobs/sec against one long-lived
+// manager whose artifact cache is warm after the first iteration.
+func BenchmarkServerJobsShared(b *testing.B) {
+	mgr := jobs.NewManager(jobs.Options{Workers: 2})
+	ts := httptest.NewServer(New(mgr))
+	defer func() {
+		ts.Close()
+		_ = mgr.Close(context.Background())
+	}()
+	body := `{"experiments":["table4"]}`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchOneJob(b, ts, body)
+	}
+}
+
+func benchOneJob(b *testing.B, ts *httptest.Server, body string) {
+	b.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var info jobs.Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b.Fatalf("submit = %d", resp.StatusCode)
+	}
+	// Follow the event stream to termination: cheaper than polling and it
+	// exercises the streaming path under benchmark load.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + info.ID + "/events")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var last jobs.Event
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			b.Fatal(err)
+		}
+	}
+	resp.Body.Close()
+	if last.State != jobs.StateDone {
+		b.Fatalf("job ended %s (%s)", last.State, last.Error)
+	}
+	if last.Fingerprint == "" {
+		b.Fatal("no fingerprint")
+	}
+}

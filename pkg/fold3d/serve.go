@@ -1,0 +1,97 @@
+// The serving surface of the public API: the fold3dd job queue and its
+// HTTP transport, re-exported so embedders can run the daemon's machinery
+// in their own process (custom listeners, extra routes, shared caches)
+// without importing internal packages.
+//
+// Quick start:
+//
+//	mgr := fold3d.NewJobManager(fold3d.JobManagerOptions{})
+//	defer mgr.Close(context.Background())
+//	http.ListenAndServe(":8080", fold3d.NewJobHandler(mgr))
+//
+// Determinism extends through the queue: a job's result fingerprint is a
+// pure function of its normalized JobRequest, byte-identical whether the
+// job ran cold, against a warm cache, or concurrently with other jobs.
+
+package fold3d
+
+import (
+	"net/http"
+
+	"fold3d/internal/errs"
+	"fold3d/internal/jobs"
+	"fold3d/internal/server"
+)
+
+// Job-queue sentinel errors; test with errors.Is.
+var (
+	// ErrBadRequest reports caller-supplied input rejected by validation
+	// before any work started. Every validation failure (bad options,
+	// unknown experiment names) matches it, so transports can map the whole
+	// class to one client-error status.
+	ErrBadRequest = errs.ErrBadRequest
+	// ErrQueueFull reports a submission rejected because the bounded job
+	// queue had no free slot; retry later.
+	ErrQueueFull = jobs.ErrQueueFull
+	// ErrShutdown reports a submission after the manager began draining.
+	ErrShutdown = jobs.ErrShutdown
+	// ErrUnknownJob reports a lookup of a job ID the manager never issued.
+	ErrUnknownJob = jobs.ErrUnknownJob
+)
+
+// JobRequest is one job submission: experiments to run and their knobs.
+// The zero value requests every experiment at the committed defaults.
+type JobRequest = jobs.Request
+
+// JobState is a job lifecycle state: queued → running → done | failed |
+// canceled.
+type JobState = jobs.State
+
+// The job lifecycle states.
+const (
+	JobQueued   = jobs.StateQueued
+	JobRunning  = jobs.StateRunning
+	JobDone     = jobs.StateDone
+	JobFailed   = jobs.StateFailed
+	JobCanceled = jobs.StateCanceled
+)
+
+// Job is one queued or running experiment request; all methods are safe
+// for concurrent use.
+type Job = jobs.Job
+
+// JobInfo is a point-in-time snapshot of a job (state, request, result).
+type JobInfo = jobs.Info
+
+// JobResult is a completed job's output with its content fingerprint.
+type JobResult = jobs.Result
+
+// JobEvent is one line of a job's event stream: a lifecycle transition or
+// a flow progress update, densely sequence-numbered for lossless resume.
+type JobEvent = jobs.Event
+
+// JobManager owns the job queue: admission, the bounded scheduler, job
+// state and service metrics.
+type JobManager = jobs.Manager
+
+// JobManagerOptions configures a JobManager (scheduler width, queue depth,
+// shared artifact cache).
+type JobManagerOptions = jobs.Options
+
+// JobMetrics is a JobManager service-counter snapshot (job gauges and
+// totals, cache effectiveness, per-stage latency histograms).
+type JobMetrics = jobs.Metrics
+
+// NewJobManager starts a job manager. Close it to drain: in-flight jobs
+// finish as canceled (matching ErrCanceled) and every job reaches a
+// terminal state.
+func NewJobManager(opts JobManagerOptions) *JobManager {
+	return jobs.NewManager(opts)
+}
+
+// NewJobHandler returns the fold3dd HTTP API (POST /v1/jobs, job status,
+// NDJSON event streams, /metrics, /healthz) bound to the manager. The
+// caller keeps ownership of the manager's lifecycle.
+func NewJobHandler(mgr *JobManager) http.Handler {
+	return server.New(mgr)
+}

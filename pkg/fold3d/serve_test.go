@@ -1,0 +1,85 @@
+package fold3d
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestJobQuickstart exercises the serving surface exactly as the package
+// doc advertises it: a manager, the handler, one job over HTTP.
+func TestJobQuickstart(t *testing.T) {
+	mgr := NewJobManager(JobManagerOptions{})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if err := mgr.Close(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	}()
+	ts := httptest.NewServer(NewJobHandler(mgr))
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"experiments":["table1"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+
+	j, err := mgr.Get(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatal("job never finished")
+	}
+	final := j.Info()
+	if final.State != JobDone || final.Result == nil || final.Result.Fingerprint == "" {
+		t.Fatalf("job ended %s (%s)", final.State, final.Error)
+	}
+}
+
+// TestJobSentinels pins the errors.Is surface of the queue.
+func TestJobSentinels(t *testing.T) {
+	mgr := NewJobManager(JobManagerOptions{})
+	defer mgr.Close(context.Background())
+
+	if _, err := mgr.Submit(JobRequest{Experiments: []string{"bogus"}}); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("unknown experiment err %v does not match ErrBadRequest", err)
+	}
+	if _, err := mgr.Submit(JobRequest{Scale: -1}); !errors.Is(err, ErrBadOptions) || !errors.Is(err, ErrBadRequest) {
+		t.Errorf("bad scale err %v misses a sentinel", err)
+	}
+	if _, err := mgr.Get("job-000099"); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("unknown job err %v does not match ErrUnknownJob", err)
+	}
+}
+
+// TestJobStates pins the exported state constants and Terminal.
+func TestJobStates(t *testing.T) {
+	for _, s := range []JobState{JobDone, JobFailed, JobCanceled} {
+		if !s.Terminal() {
+			t.Errorf("%s should be terminal", s)
+		}
+	}
+	for _, s := range []JobState{JobQueued, JobRunning} {
+		if s.Terminal() {
+			t.Errorf("%s should not be terminal", s)
+		}
+	}
+}

@@ -1,13 +1,14 @@
 #!/bin/sh
-# bench.sh — record the PR 4 performance numbers (see README "Performance").
+# bench.sh — record the PR 5 performance numbers (see README "Performance").
 #
-# Runs the experiment-harness benchmarks with and without a shared artifact
-# cache plus the full-chip build benchmarks, takes the per-benchmark median
-# over -count runs (this class of machine shows ±8% run-to-run noise, so a
-# single run is not trustworthy), and writes BENCH_PR4.json at the repo
-# root: the cold-vs-shared RunAll medians and their ratio, so the 1.3x
-# acceptance floor is auditable from the file alone. BENCH_PR3.json is the
-# frozen PR 3 record and is not rewritten.
+# Runs the fold3dd server-throughput benchmarks (one job end to end over
+# HTTP, cold manager per iteration vs one long-lived manager whose artifact
+# cache warms after the first job) plus the experiment-harness cold/shared
+# pair, takes per-benchmark medians over -count runs (this class of machine
+# shows ±8% run-to-run noise), and writes BENCH_PR5.json at the repo root:
+# jobs/sec cold vs shared and their ratio, so the cache benefit through the
+# HTTP surface is auditable from the file alone. BENCH_PR3.json and
+# BENCH_PR4.json are frozen records of earlier PRs and are not rewritten.
 #
 # Usage: scripts/bench.sh [count]   (default 5 runs per benchmark)
 set -eu
@@ -15,16 +16,16 @@ set -eu
 cd "$(dirname "$0")/.."
 
 COUNT="${1:-5}"
-OUT="BENCH_PR4.json"
+OUT="BENCH_PR5.json"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
+echo "==> go test -bench ServerJobs (fold3dd HTTP throughput, cold vs shared cache, $COUNT runs each)" >&2
+go test -run '^$' -bench 'BenchmarkServerJobs(Cold|Shared)$' -benchtime 5x \
+	-count "$COUNT" ./internal/server/ | tee -a "$TMP" >&2
+
 echo "==> go test -bench RunAll (experiment harness, cold vs shared cache, $COUNT runs each)" >&2
 go test -run '^$' -bench 'BenchmarkRunAll(Cold|Shared)$' -benchtime 1x \
-	-count "$COUNT" . | tee -a "$TMP" >&2
-
-echo "==> go test -bench BuildChip (chip build, $COUNT runs each)" >&2
-go test -run '^$' -bench 'BenchmarkBuildChip' -benchtime 4x \
 	-count "$COUNT" . | tee -a "$TMP" >&2
 
 # Reduce the raw `go test -bench` lines to one JSON object per benchmark,
@@ -54,23 +55,30 @@ function median(name,    cnt, i, j, tmp, arr) {
 }
 END {
 	printf "{\n"
-	printf "  \"comment\": \"PR 4 stage-graph flow + artifact cache: medians over %d runs; RunAll covers table2+table5+fig8 (all five styles); acceptance floor shared>=1.3x cold\",\n", n["BenchmarkRunAllCold"]
+	printf "  \"comment\": \"PR 5 fold3dd job-queue daemon: medians over %d runs; ServerJobs runs one table4 job end to end over HTTP (submit + NDJSON event stream), cold = fresh manager per job, shared = one manager whose artifact cache stays warm\",\n", n["BenchmarkServerJobsCold"]
 	printf "  \"current\": {\n"
 	first = 1
-	order = "BenchmarkRunAllCold BenchmarkRunAllShared BenchmarkBuildChipSequential BenchmarkBuildChipParallel"
+	order = "BenchmarkServerJobsCold BenchmarkServerJobsShared BenchmarkRunAllCold BenchmarkRunAllShared"
 	split(order, names, " ")
 	for (i = 1; i in names; i++) {
 		name = names[i]
 		if (!(name in n)) continue
 		if (!first) printf ",\n"
 		first = 0
-		printf "    \"%s\": {\"ns_op\": %d}", name, median(name)
+		printf "    \"%s\": {\"ns_op\": %d", name, median(name)
+		if (name ~ /^BenchmarkServerJobs/)
+			printf ", \"jobs_per_sec\": %.1f", 1e9 / median(name)
+		printf "}"
 	}
 	printf "\n  },\n"
+	cold = median("BenchmarkServerJobsCold")
+	shared = median("BenchmarkServerJobsShared")
+	if (shared > 0)
+		printf "  \"server_speedup_shared_vs_cold\": %.2f,\n", cold / shared
 	cold = median("BenchmarkRunAllCold")
 	shared = median("BenchmarkRunAllShared")
 	if (shared > 0)
-		printf "  \"speedup_shared_vs_cold\": %.2f\n", cold / shared
+		printf "  \"runall_speedup_shared_vs_cold\": %.2f\n", cold / shared
 	printf "}\n"
 }
 ' "$TMP" > "$OUT"

@@ -38,6 +38,59 @@ go test -race -cpu=4 \
 	-run 'TestCacheEquivalence/fold-F2F|TestCacheDiskEquivalence|TestCacheCrossStyleReuse' \
 	./internal/flow/
 
+# The fold3dd server is the one sanctioned home of long-lived goroutines
+# (scheduler workers, accept loop); re-run its suites under the race
+# detector with extra CPUs so admission, event streams and shutdown drain
+# interleave more aggressively.
+echo "==> go test -race -cpu=4 (fold3dd job queue + HTTP server + daemon)"
+go test -race -cpu=4 -count=2 ./internal/jobs/ ./internal/server/ ./cmd/fold3dd/
+
+# Daemon smoke test: boot the real binary on a random port, run one small
+# job end to end over HTTP, scrape /metrics, and require a graceful
+# SIGTERM exit.
+echo "==> fold3dd smoke (boot, one job, scrape /metrics)"
+SMOKEDIR="$(mktemp -d)"
+SMOKEPID=""
+cleanup_smoke() {
+	[ -n "$SMOKEPID" ] && kill "$SMOKEPID" 2>/dev/null
+	rm -rf "$SMOKEDIR"
+}
+trap cleanup_smoke EXIT
+go build -o "$SMOKEDIR/fold3dd" ./cmd/fold3dd
+"$SMOKEDIR/fold3dd" -addr 127.0.0.1:0 2>"$SMOKEDIR/log" &
+SMOKEPID=$!
+ADDR=""
+i=0
+while [ "$i" -lt 100 ]; do
+	ADDR="$(sed -n 's/^fold3dd: serving on //p' "$SMOKEDIR/log")"
+	[ -n "$ADDR" ] && break
+	i=$((i + 1))
+	sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "check.sh: fold3dd never bound a port" >&2; exit 1; }
+ID="$(curl -sf -X POST "http://$ADDR/v1/jobs" -d '{"experiments":["table4"]}' |
+	sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+[ -n "$ID" ] || { echo "check.sh: fold3dd rejected the smoke job" >&2; exit 1; }
+STATE=""
+i=0
+while [ "$i" -lt 300 ]; do
+	STATE="$(curl -sf "http://$ADDR/v1/jobs/$ID" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')"
+	case "$STATE" in done | failed | canceled) break ;; esac
+	i=$((i + 1))
+	sleep 0.1
+done
+[ "$STATE" = done ] || { echo "check.sh: smoke job ended in state '$STATE'" >&2; exit 1; }
+curl -sf "http://$ADDR/metrics" | grep -q 'fold3dd_jobs_total{state="done"} 1' || {
+	echo "check.sh: /metrics did not count the smoke job" >&2
+	exit 1
+}
+kill "$SMOKEPID"
+if ! wait "$SMOKEPID"; then
+	echo "check.sh: fold3dd did not exit cleanly on SIGTERM" >&2
+	exit 1
+fi
+SMOKEPID=""
+
 # fold3dlint includes the PipelineOnly rule: flow stages may only run
 # through the pipeline executor, never by direct call.
 echo "==> go run ./cmd/fold3dlint ./..."
@@ -46,8 +99,8 @@ go run ./cmd/fold3dlint ./...
 # Every PR appends one line to CHANGES.md; a PR that ships without its
 # entry leaves the next session blind to what is already done.
 echo "==> CHANGES.md entry"
-grep -q '^PR 4:' CHANGES.md || {
-	echo "check.sh: CHANGES.md has no 'PR 4:' entry" >&2
+grep -q '^PR 5:' CHANGES.md || {
+	echo "check.sh: CHANGES.md has no 'PR 5:' entry" >&2
 	exit 1
 }
 
