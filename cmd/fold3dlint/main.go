@@ -8,12 +8,15 @@
 //
 //	-checks determinism,mapiter   run a subset of the suite
 //	-list                         print the available checks and exit
+//	-json                         machine-readable report on stdout
+//	-timing                       per-check wall time on stderr
 //
 // Intentional violations are silenced in place with
 // //lint:ignore <check> <reason> on (or directly above) the offending line.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,9 +25,28 @@ import (
 	"fold3d/internal/lint"
 )
 
+// jsonFinding is one finding in -json output.
+type jsonFinding struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Message string `json:"message"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Packages   int            `json:"packages"`
+	Findings   []jsonFinding  `json:"findings"`
+	LoadErrors []string       `json:"load_errors,omitempty"`
+	TimingMS   map[string]int `json:"timing_ms"`
+}
+
 func main() {
 	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	list := flag.Bool("list", false, "list available checks and exit")
+	jsonOut := flag.Bool("json", false, "write the report as JSON on stdout")
+	timing := flag.Bool("timing", false, "report per-check wall time on stderr")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fold3dlint [flags] [packages]\n\n"+
 			"Runs the fold3d static-analysis suite. Package patterns are module-relative\n"+
@@ -63,13 +85,52 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fold3dlint: %v\n", err)
 		os.Exit(2)
 	}
+	loadErrs := loader.Errors()
 
-	findings := lint.Run(lint.DefaultConfig(), pkgs, checks)
-	for _, f := range findings {
-		fmt.Println(f)
+	findings, timings := lint.RunTimed(lint.DefaultConfig(), pkgs, checks)
+
+	if *jsonOut {
+		rep := jsonReport{
+			Packages:   len(pkgs),
+			Findings:   []jsonFinding{},
+			LoadErrors: loadErrs,
+			TimingMS:   map[string]int{},
+		}
+		for _, f := range findings {
+			rep.Findings = append(rep.Findings, jsonFinding{
+				Check:   f.Check,
+				File:    f.Pos.Filename,
+				Line:    f.Pos.Line,
+				Column:  f.Pos.Column,
+				Message: f.Message,
+			})
+		}
+		for _, tm := range timings {
+			rep.TimingMS[tm.Check] = int(tm.Elapsed.Milliseconds())
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "fold3dlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, e := range loadErrs {
+			fmt.Fprintf(os.Stderr, "fold3dlint: skipped: %s\n", e)
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "fold3dlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+	if *timing {
+		for _, tm := range timings {
+			fmt.Fprintf(os.Stderr, "%-12s %8.1fms\n", tm.Check, float64(tm.Elapsed.Microseconds())/1000)
+		}
+	}
+	if len(findings) > 0 || len(loadErrs) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "fold3dlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		}
 		os.Exit(1)
 	}
 }

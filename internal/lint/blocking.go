@@ -1,0 +1,335 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fold3d/internal/lint/cfg"
+	"fold3d/internal/lint/dataflow"
+)
+
+// This file is the shared infrastructure of the dataflow checks (ctxflow,
+// lockbalance, nondetflow): classification of blocking operations, and
+// enumeration of every function body in a package — declarations and
+// literals — with its control-flow graph.
+
+// blockOp is one potentially blocking operation found in a CFG block node.
+type blockOp struct {
+	// pos anchors the finding.
+	pos token.Pos
+	// desc names the operation for the finding message ("channel send",
+	// "sync.WaitGroup.Wait", ...).
+	desc string
+	// sel is non-nil when the op is a whole select statement (classified as
+	// a unit; its comm statements are never ops of their own).
+	sel *ast.SelectStmt
+	// call is non-nil when the op is a blocking call.
+	call *ast.CallExpr
+}
+
+// blockInfo classifies the blocking surface of one package: which
+// statements can park the goroutine, which selects are nonblocking, and
+// which in-package functions block transitively (so calling one is itself a
+// blocking operation).
+type blockInfo struct {
+	p *Package
+	// comm marks select comm statements: their send/receive is governed by
+	// the enclosing select, which is classified as a whole.
+	comm map[ast.Stmt]bool
+	// blockingFns marks in-package functions that can block without being
+	// interruptible by a context of their own.
+	blockingFns map[*types.Func]bool
+}
+
+// newBlockInfo indexes the package's selects and computes the in-package
+// blocking-function summaries to a fixpoint.
+func newBlockInfo(p *Package) *blockInfo {
+	bi := &blockInfo{p: p, comm: map[ast.Stmt]bool{}, blockingFns: map[*types.Func]bool{}}
+	var decls []*ast.FuncDecl
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if x.Body != nil {
+					decls = append(decls, x)
+				}
+			case *ast.SelectStmt:
+				for _, c := range x.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+						bi.comm[cc.Comm] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	// Propagate "can block" through in-package call edges. The decl slice is
+	// in file order, so the fixpoint iteration is deterministic.
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range decls {
+			obj, _ := p.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil || bi.blockingFns[obj] {
+				continue
+			}
+			if bi.fnBlocks(fd) {
+				bi.blockingFns[obj] = true
+				changed = true
+			}
+		}
+	}
+	return bi
+}
+
+// fnBlocks reports whether fd's body contains a blocking operation that a
+// caller must care about: goroutine launches and function literals do not
+// block the calling goroutine here, a select with a default or a live
+// ctx.Done() case bounds its own wait, and deferred calls run at exit where
+// the exit-path rules apply instead.
+func (bi *blockInfo) fnBlocks(fd *ast.FuncDecl) bool {
+	blocks := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if blocks {
+			return false
+		}
+		if st, ok := n.(ast.Stmt); ok && bi.comm[st] {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.SendStmt:
+			blocks = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				blocks = true
+			}
+		case *ast.RangeStmt:
+			if bi.isChanType(x.X) {
+				blocks = true
+			}
+		case *ast.SelectStmt:
+			if !selHasDefault(x) && !bi.selHasCtxDone(x) {
+				blocks = true
+			}
+		case *ast.CallExpr:
+			if bi.classifyCall(x) != "" {
+				blocks = true
+			}
+		}
+		return !blocks
+	})
+	return blocks
+}
+
+// classifyCall returns a description when the call can block the current
+// goroutine: time.Sleep, a sync Wait (WaitGroup, Cond), the worker pool's
+// Run, or an in-package function already summarized as blocking.
+func (bi *blockInfo) classifyCall(call *ast.CallExpr) string {
+	p := bi.p
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok && importedPath(p, id) == "time" && sel.Sel.Name == "Sleep" {
+			return "time.Sleep"
+		}
+		if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			pkgPath, name := fn.Pkg().Path(), fn.Name()
+			if pkgPath == "sync" && name == "Wait" {
+				return "sync." + recvTypeName(fn) + ".Wait"
+			}
+			if name == "Run" && matchesSuffix(pkgPath, []string{"internal/pool"}) {
+				return "pool.Run"
+			}
+		}
+	}
+	if fn := calleeFunc(p, call); fn != nil && bi.blockingFns[fn] {
+		return "call to blocking " + fn.Name()
+	}
+	return ""
+}
+
+// nodeOps enumerates the blocking operations in one CFG block node. Select
+// comm statements are skipped (the select marker node is the op); go and
+// defer statements do not block this goroutine at this point.
+func (bi *blockInfo) nodeOps(n ast.Node) []blockOp {
+	if st, ok := n.(ast.Stmt); ok && bi.comm[st] {
+		return nil
+	}
+	var out []blockOp
+	cfg.ShallowInspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.SendStmt:
+			out = append(out, blockOp{pos: x.Arrow, desc: "channel send"})
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				out = append(out, blockOp{pos: x.OpPos, desc: "channel receive"})
+			}
+		case *ast.RangeStmt:
+			if bi.isChanType(x.X) {
+				out = append(out, blockOp{pos: x.For, desc: "range over channel"})
+			}
+		case *ast.SelectStmt:
+			if !selHasDefault(x) {
+				out = append(out, blockOp{pos: x.Select, desc: "select", sel: x})
+			}
+		case *ast.CallExpr:
+			if desc := bi.classifyCall(x); desc != "" {
+				out = append(out, blockOp{pos: x.Pos(), desc: desc, call: x})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isChanType reports whether e has channel type.
+func (bi *blockInfo) isChanType(e ast.Expr) bool {
+	t := bi.p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// selHasDefault reports whether sel contains a default clause, making it
+// nonblocking.
+func selHasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// selHasCtxDone reports whether sel has a <-x.Done() case receiving from a
+// context.Context, so its wait is bounded by cancellation. Liveness of that
+// context is the ctxflow check's business; for blocking summaries the
+// syntactic case is enough.
+func (bi *blockInfo) selHasCtxDone(sel *ast.SelectStmt) bool {
+	aware := false
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok || cc.Comm == nil || aware {
+			continue
+		}
+		ast.Inspect(cc.Comm, func(n ast.Node) bool {
+			if doneRecvCtx(bi.p, n) != nil {
+				aware = true
+			}
+			return !aware
+		})
+	}
+	return aware
+}
+
+// doneRecvCtx matches `<-x.Done()` with x of type context.Context and
+// returns x, or nil.
+func doneRecvCtx(p *Package, n ast.Node) ast.Expr {
+	u, ok := n.(*ast.UnaryExpr)
+	if !ok || u.Op != token.ARROW {
+		return nil
+	}
+	call, ok := u.X.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" || !isContextType(p.Info.TypeOf(sel.X)) {
+		return nil
+	}
+	return sel.X
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return t != nil && types.TypeString(t, nil) == "context.Context"
+}
+
+// calleeFunc resolves the function object a call statically invokes, nil
+// for indirect calls, conversions and builtins.
+func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// recvTypeName names a method's receiver type ("WaitGroup" for
+// (*sync.WaitGroup).Wait), or "?" when fn is not a method.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "?"
+	}
+	if name := namedTypeName(sig.Recv().Type()); name != "" {
+		return name
+	}
+	return "?"
+}
+
+// namedTypeName unwraps pointers and returns the declared name of a named
+// type, or "" for unnamed types.
+func namedTypeName(t types.Type) string {
+	for t != nil {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Named:
+			return x.Obj().Name()
+		default:
+			return ""
+		}
+	}
+	return ""
+}
+
+// fnBody is one analyzable function body: a declaration or a literal.
+type fnBody struct {
+	// name labels the body in diagnostics.
+	name string
+	// exported reports whether the body is an exported declaration.
+	exported bool
+	// ftype carries the signature syntax (parameter identifiers).
+	ftype *ast.FuncType
+	// graph is the body's control-flow graph.
+	graph *cfg.Graph
+	// pos is the body's declaration position.
+	pos token.Pos
+}
+
+// funcBodiesOf enumerates every function body in the package with its
+// graph: the given declarations first, then every function literal (in file
+// order). Literals get graphs of their own because cfg.New never expands
+// them in their enclosing body.
+func funcBodiesOf(p *Package, funcs []dataflow.FuncInfo) []fnBody {
+	var out []fnBody
+	for _, fi := range funcs {
+		out = append(out, fnBody{
+			name:     fi.Decl.Name.Name,
+			exported: fi.Decl.Name.IsExported(),
+			ftype:    fi.Decl.Type,
+			graph:    fi.Graph,
+			pos:      fi.Decl.Pos(),
+		})
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				out = append(out, fnBody{name: "func literal", ftype: lit.Type, graph: cfg.New(lit.Body), pos: lit.Pos()})
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,502 @@
+// Package cfg builds per-function control-flow graphs over go/ast for the
+// fold3dlint dataflow checks. A Graph is a set of basic blocks — maximal
+// straight-line node sequences — connected by the edges the statement
+// structure induces: both arms of an if, the back edge and the exit edge of
+// a loop, one edge per switch/select clause, break/continue/goto/
+// fallthrough jumps, and an edge to the synthetic Exit block from every
+// return and every panic call. Deferred calls are collected on the graph
+// (they run on every exit, including panics) and also remain visible as
+// ordinary nodes at their registration point, so path-sensitive analyses
+// can tell a defer registered on every path from one registered
+// conditionally.
+//
+// Blocks carry ast.Node slices, not just statements: the header of a
+// compound statement contributes its scrutinee to the block that evaluates
+// it (an if condition, a for condition, a switch tag), while the compound
+// statement's nested bodies become blocks of their own. Two compound
+// statements appear wholesale as header markers — *ast.RangeStmt (so a
+// consumer sees the ranged expression and the key/value bindings) and
+// *ast.SelectStmt (a blocking point). Consumers must therefore walk block
+// nodes with ShallowInspect, which prunes nested bodies and function
+// literals, never with a bare ast.Inspect.
+//
+// The package is deliberately syntax-only (no go/types): type questions
+// stay in the checks, which keeps the graph reusable across analyses.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// Block is one basic block: nodes execute in order, then control moves to
+// one of Succs. A block with no successors is either the Exit block or
+// unreachable dead code after a terminating statement.
+type Block struct {
+	// Index is the block's dense position in Graph.Blocks, assigned in
+	// construction order (roughly program order), so index-ordered
+	// iteration is deterministic.
+	Index int
+	// Kind labels the block's structural role ("entry", "if.then",
+	// "range.head", "exit", ...) for diagnostics and tests.
+	Kind string
+	// Nodes holds the block's statements and header expressions in
+	// execution order. Walk them with ShallowInspect.
+	Nodes []ast.Node
+	// Succs are the possible successor blocks.
+	Succs []*Block
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Blocks lists every block, Entry first, indexed by Block.Index.
+	Blocks []*Block
+	// Entry is the block control enters first.
+	Entry *Block
+	// Exit is the synthetic sink: returns, panics and falling off the end
+	// of the body all edge here.
+	Exit *Block
+	// Defers collects every defer statement in the body (not those inside
+	// nested function literals), in source order. Deferred calls run at
+	// every exit, including panic unwinds.
+	Defers []*ast.DeferStmt
+}
+
+// New builds the graph of one function body. Function literals nested in
+// the body are NOT expanded — they appear as ordinary expression nodes and
+// get their own graph when the caller builds one for them.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}, labels: map[string]*labelInfo{}}
+	b.g.Entry = b.newBlock("entry")
+	b.g.Exit = b.newBlock("exit")
+	b.cur = b.g.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, b.g.Exit)
+	return b.g
+}
+
+// Preds computes the predecessor lists of every block, indexed like
+// Graph.Blocks.
+func (g *Graph) Preds() [][]*Block {
+	preds := make([][]*Block, len(g.Blocks))
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			preds[s.Index] = append(preds[s.Index], blk)
+		}
+	}
+	return preds
+}
+
+// Reachable reports which blocks are reachable from Entry, indexed like
+// Graph.Blocks. Dead blocks (after return/panic/branch) are excluded so
+// analyses do not report on code the spec says never runs.
+func (g *Graph) Reachable() []bool {
+	seen := make([]bool, len(g.Blocks))
+	stack := []*Block{g.Entry}
+	seen[g.Entry.Index] = true
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range blk.Succs {
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// String renders the graph for tests and debugging: one line per block
+// with its kind and successor indices.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d(%s):", blk.Index, blk.Kind)
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&sb, " ->b%d", s.Index)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// ShallowInspect walks n calling f on each node, pruning nested bodies:
+// it does not descend into *ast.BlockStmt (compound-statement bodies are
+// separate blocks) or *ast.FuncLit (a literal's body is its own graph).
+// f's return value controls descent exactly like ast.Inspect.
+func ShallowInspect(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return true
+		}
+		switch m.(type) {
+		case *ast.BlockStmt, *ast.FuncLit:
+			return false
+		}
+		return f(m)
+	})
+}
+
+// labelInfo tracks one label: the block its statement starts in (the goto
+// and continue target) and, once the labeled statement is known to be a
+// loop or switch, the frame carrying its break target.
+type labelInfo struct {
+	block *Block
+}
+
+// frame is one enclosing breakable construct (loop, switch, select).
+type frame struct {
+	label string // non-empty when the construct is labeled
+	brk   *Block // break target (the join block)
+	cont  *Block // continue target; nil for switch/select
+}
+
+// builder accumulates the graph while walking the syntax tree.
+type builder struct {
+	g      *Graph
+	cur    *Block
+	frames []frame
+	labels map[string]*labelInfo
+	// pendingLabel carries a label down to the loop/switch statement it
+	// annotates, so "break L"/"continue L" resolve to the right frame.
+	pendingLabel string
+	// fall is the fallthrough target while building a switch clause.
+	fall *Block
+}
+
+// newBlock appends a fresh block to the graph.
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// edge links from -> to, skipping duplicates.
+func (b *builder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// add appends a node to the current block.
+func (b *builder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// takeLabel consumes the pending label for the construct being built.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// stmtList builds each statement in order.
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// stmt dispatches one statement into the graph.
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		b.buildIf(s)
+	case *ast.ForStmt:
+		b.buildFor(s)
+	case *ast.RangeStmt:
+		b.buildRange(s)
+	case *ast.SwitchStmt:
+		b.buildSwitch(s)
+	case *ast.TypeSwitchStmt:
+		b.buildTypeSwitch(s)
+	case *ast.SelectStmt:
+		b.buildSelect(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.g.Exit)
+		b.cur = b.newBlock("dead")
+	case *ast.BranchStmt:
+		b.buildBranch(s)
+	case *ast.LabeledStmt:
+		b.buildLabeled(s)
+	case *ast.DeferStmt:
+		b.add(s)
+		b.g.Defers = append(b.g.Defers, s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && isPanicCall(call) {
+			b.edge(b.cur, b.g.Exit)
+			b.cur = b.newBlock("dead")
+		}
+	default:
+		// Assignments, declarations, sends, inc/dec, go statements, empty
+		// statements: straight-line nodes.
+		b.add(s)
+	}
+}
+
+// isPanicCall reports whether call invokes the panic builtin (by syntax;
+// a local function shadowing panic is indistinguishable here, which only
+// makes the graph conservatively add an exit edge).
+func isPanicCall(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// buildIf wires cond -> then/else -> join.
+func (b *builder) buildIf(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	then := b.newBlock("if.then")
+	join := b.newBlock("if.join")
+	b.edge(cond, then)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, join)
+	if s.Else != nil {
+		els := b.newBlock("if.else")
+		b.edge(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		b.edge(b.cur, join)
+	} else {
+		b.edge(cond, join)
+	}
+	b.cur = join
+}
+
+// buildFor wires init -> head(cond) -> body -> post -> head, with the
+// head's exit edge to join (absent for `for {}`).
+func (b *builder) buildFor(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock("for.head")
+	body := b.newBlock("for.body")
+	join := b.newBlock("for.join")
+	b.edge(b.cur, head)
+	b.cur = head
+	if s.Cond != nil {
+		b.add(s.Cond)
+		b.edge(head, join)
+	}
+	b.edge(head, body)
+
+	cont := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		cont = post
+	}
+	b.frames = append(b.frames, frame{label: label, brk: join, cont: cont})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.frames = b.frames[:len(b.frames)-1]
+	if post != nil {
+		b.edge(b.cur, post)
+		b.cur = post
+		b.add(s.Post)
+	}
+	b.edge(b.cur, head)
+	b.cur = join
+}
+
+// buildRange wires head(range marker) -> body -> head, head -> join. The
+// RangeStmt node itself sits in the head so consumers see the ranged
+// expression and the per-iteration key/value bindings (ShallowInspect
+// prunes the body).
+func (b *builder) buildRange(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	head := b.newBlock("range.head")
+	body := b.newBlock("range.body")
+	join := b.newBlock("range.join")
+	b.edge(b.cur, head)
+	b.cur = head
+	b.add(s)
+	b.edge(head, body)
+	b.edge(head, join)
+
+	b.frames = append(b.frames, frame{label: label, brk: join, cont: head})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.edge(b.cur, head)
+	b.cur = join
+}
+
+// buildSwitch wires header(tag) -> one block per case -> join, plus a
+// direct header -> join edge when there is no default clause. Fallthrough
+// edges to the following clause's block.
+func (b *builder) buildSwitch(s *ast.SwitchStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	b.buildClauses(label, s.Body.List, func(clause *ast.CaseClause, blk *Block) {
+		for _, e := range clause.List {
+			blk.Nodes = append(blk.Nodes, e)
+		}
+	})
+}
+
+// buildTypeSwitch is buildSwitch for type switches; the assign statement
+// (x := y.(type)) joins the header, clause type expressions carry no value
+// flow and are omitted.
+func (b *builder) buildTypeSwitch(s *ast.TypeSwitchStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Assign)
+	b.buildClauses(label, s.Body.List, nil)
+}
+
+// buildSelect wires header(select marker) -> one block per comm clause ->
+// join. The SelectStmt node itself marks the header as a blocking point;
+// each clause block starts with its comm statement. A select with no
+// clauses blocks forever: no join edge.
+func (b *builder) buildSelect(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	b.add(s)
+	header := b.cur
+	join := b.newBlock("select.join")
+	b.frames = append(b.frames, frame{label: label, brk: join})
+	for _, c := range s.Body.List {
+		clause, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock("select.case")
+		b.edge(header, blk)
+		b.cur = blk
+		if clause.Comm != nil {
+			b.stmt(clause.Comm)
+		}
+		b.stmtList(clause.Body)
+		b.edge(b.cur, join)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = join
+}
+
+// buildClauses is the shared case-clause wiring of value and type
+// switches. addExprs, when non-nil, contributes a clause's case
+// expressions to its block.
+func (b *builder) buildClauses(label string, list []ast.Stmt, addExprs func(*ast.CaseClause, *Block)) {
+	header := b.cur
+	join := b.newBlock("switch.join")
+	var clauses []*ast.CaseClause
+	var blocks []*Block
+	hasDefault := false
+	for _, c := range list {
+		clause, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		clauses = append(clauses, clause)
+		blocks = append(blocks, b.newBlock("switch.case"))
+		if clause.List == nil {
+			hasDefault = true
+		}
+	}
+	b.frames = append(b.frames, frame{label: label, brk: join})
+	for i, clause := range clauses {
+		blk := blocks[i]
+		b.edge(header, blk)
+		b.cur = blk
+		if addExprs != nil {
+			addExprs(clause, blk)
+		}
+		if i+1 < len(blocks) {
+			b.fall = blocks[i+1]
+		} else {
+			b.fall = join
+		}
+		b.stmtList(clause.Body)
+		b.edge(b.cur, join)
+	}
+	b.fall = nil
+	b.frames = b.frames[:len(b.frames)-1]
+	if !hasDefault {
+		b.edge(header, join)
+	}
+	b.cur = join
+}
+
+// buildBranch wires break/continue/goto/fallthrough edges.
+func (b *builder) buildBranch(s *ast.BranchStmt) {
+	b.add(s)
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok.String() {
+	case "break":
+		if t := b.findFrame(label, false); t != nil {
+			b.edge(b.cur, t.brk)
+		}
+	case "continue":
+		if t := b.findFrame(label, true); t != nil {
+			b.edge(b.cur, t.cont)
+		}
+	case "goto":
+		b.edge(b.cur, b.labelBlock(label))
+	case "fallthrough":
+		if b.fall != nil {
+			b.edge(b.cur, b.fall)
+		}
+	}
+	b.cur = b.newBlock("dead")
+}
+
+// findFrame locates the innermost matching frame; needCont restricts the
+// search to frames with a continue target (loops).
+func (b *builder) findFrame(label string, needCont bool) *frame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if needCont && f.cont == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+// labelBlock returns (creating on demand, so forward gotos work) the block
+// a label's statement starts in.
+func (b *builder) labelBlock(name string) *Block {
+	li, ok := b.labels[name]
+	if !ok {
+		li = &labelInfo{block: b.newBlock("label." + name)}
+		b.labels[name] = li
+	}
+	return li.block
+}
+
+// buildLabeled enters the label's block and builds the labeled statement,
+// handing the label down so a labeled loop's frame carries it.
+func (b *builder) buildLabeled(s *ast.LabeledStmt) {
+	lb := b.labelBlock(s.Label.Name)
+	b.edge(b.cur, lb)
+	b.cur = lb
+	b.pendingLabel = s.Label.Name
+	b.stmt(s.Stmt)
+	b.pendingLabel = ""
+}

@@ -1,0 +1,288 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// build parses a function body and returns its graph.
+func build(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return New(fd.Body)
+}
+
+// reachableExitPaths asserts the exit block is reachable and preds line up
+// with succs.
+func checkInvariants(t *testing.T, g *Graph) {
+	t.Helper()
+	if g.Entry == nil || g.Exit == nil {
+		t.Fatalf("missing entry/exit:\n%s", g)
+	}
+	reach := g.Reachable()
+	if !reach[g.Exit.Index] {
+		t.Errorf("exit unreachable:\n%s", g)
+	}
+	preds := g.Preds()
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			found := false
+			for _, p := range preds[s.Index] {
+				if p == b {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("pred/succ mismatch b%d->b%d:\n%s", b.Index, s.Index, g)
+			}
+		}
+	}
+}
+
+func TestStraightLine(t *testing.T) {
+	g := build(t, "x := 1\ny := x\n_ = y")
+	checkInvariants(t, g)
+	if len(g.Entry.Nodes) != 3 {
+		t.Errorf("entry should hold all three statements:\n%s", g)
+	}
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Errorf("entry should flow straight to exit:\n%s", g)
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	g := build(t, "x := 1\nif x > 0 {\nx = 2\n} else {\nx = 3\n}\n_ = x")
+	checkInvariants(t, g)
+	// entry(cond) must branch two ways.
+	if len(g.Entry.Succs) != 2 {
+		t.Errorf("if should produce two successors:\n%s", g)
+	}
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	g := build(t, "x := 1\nif x > 0 {\nx = 2\n}\n_ = x")
+	checkInvariants(t, g)
+	if len(g.Entry.Succs) != 2 {
+		t.Errorf("if-without-else should edge to both then and join:\n%s", g)
+	}
+}
+
+func TestForLoopBackEdge(t *testing.T) {
+	g := build(t, "s := 0\nfor i := 0; i < 10; i++ {\ns += i\n}\n_ = s")
+	checkInvariants(t, g)
+	var head *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "for.head" {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatalf("no loop head:\n%s", g)
+	}
+	// The head must be its own transitive successor (back edge via post).
+	preds := g.Preds()
+	backEdge := false
+	for _, p := range preds[head.Index] {
+		if p.Kind == "for.post" {
+			backEdge = true
+		}
+	}
+	if !backEdge {
+		t.Errorf("no back edge through for.post:\n%s", g)
+	}
+}
+
+func TestInfiniteForHasNoExitEdge(t *testing.T) {
+	g := build(t, "for {\nbreak\n}")
+	checkInvariants(t, g)
+	for _, b := range g.Blocks {
+		if b.Kind == "for.head" && len(b.Succs) != 1 {
+			t.Errorf("condition-less for head must only edge to body:\n%s", g)
+		}
+	}
+}
+
+func TestRangeHeadHoldsRangeStmt(t *testing.T) {
+	g := build(t, "m := map[int]int{}\nfor k, v := range m {\n_ = k\n_ = v\n}")
+	checkInvariants(t, g)
+	found := false
+	for _, b := range g.Blocks {
+		if b.Kind != "range.head" {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				found = true
+			}
+		}
+		if len(b.Succs) != 2 {
+			t.Errorf("range head needs body and join successors:\n%s", g)
+		}
+	}
+	if !found {
+		t.Errorf("range head should carry the RangeStmt marker:\n%s", g)
+	}
+}
+
+func TestReturnEdgesToExit(t *testing.T) {
+	g := build(t, "x := 1\nif x > 0 {\nreturn\n}\n_ = x")
+	checkInvariants(t, g)
+	preds := g.Preds()
+	if len(preds[g.Exit.Index]) < 2 {
+		t.Errorf("both the return and the fallthrough path must reach exit:\n%s", g)
+	}
+}
+
+func TestPanicEdgesToExit(t *testing.T) {
+	g := build(t, "x := 1\nif x > 0 {\npanic(\"boom\")\n}\n_ = x")
+	checkInvariants(t, g)
+	exitPreds := g.Preds()[g.Exit.Index]
+	if len(exitPreds) < 2 {
+		t.Errorf("panic must edge to exit:\n%s", g)
+	}
+}
+
+func TestSwitchDefaultRemovesHeaderJoinEdge(t *testing.T) {
+	withDefault := build(t, "x := 1\nswitch x {\ncase 1:\nx = 2\ndefault:\nx = 3\n}\n_ = x")
+	checkInvariants(t, withDefault)
+	without := build(t, "x := 1\nswitch x {\ncase 1:\nx = 2\n}\n_ = x")
+	checkInvariants(t, without)
+	// Without a default the header must edge straight to join as well.
+	if len(without.Entry.Succs) != 2 {
+		t.Errorf("switch without default: header should edge to case and join:\n%s", without)
+	}
+	if len(withDefault.Entry.Succs) != 2 {
+		t.Errorf("switch with default: header should edge to both cases only:\n%s", withDefault)
+	}
+}
+
+func TestFallthrough(t *testing.T) {
+	g := build(t, "x := 1\nswitch x {\ncase 1:\nfallthrough\ncase 2:\nx = 9\n}\n_ = x")
+	checkInvariants(t, g)
+	// The first case block must edge into the second case block.
+	var cases []*Block
+	for _, b := range g.Blocks {
+		if b.Kind == "switch.case" {
+			cases = append(cases, b)
+		}
+	}
+	if len(cases) != 2 {
+		t.Fatalf("want 2 case blocks:\n%s", g)
+	}
+	linked := false
+	for _, s := range cases[0].Succs {
+		if s == cases[1] {
+			linked = true
+		}
+	}
+	if !linked {
+		t.Errorf("fallthrough must edge into the next case:\n%s", g)
+	}
+}
+
+func TestSelectClausesAndMarker(t *testing.T) {
+	g := build(t, "ch := make(chan int)\ndone := make(chan int)\nselect {\ncase v := <-ch:\n_ = v\ncase <-done:\n}")
+	checkInvariants(t, g)
+	marker := false
+	for _, n := range g.Entry.Nodes {
+		if _, ok := n.(*ast.SelectStmt); ok {
+			marker = true
+		}
+	}
+	if !marker {
+		t.Errorf("select marker missing from header block:\n%s", g)
+	}
+	ncase := 0
+	for _, b := range g.Blocks {
+		if b.Kind == "select.case" {
+			ncase++
+		}
+	}
+	if ncase != 2 {
+		t.Errorf("want 2 select case blocks, got %d:\n%s", ncase, g)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	g := build(t, "for i := 0; i < 4; i++ {\nif i == 1 {\ncontinue\n}\nif i == 2 {\nbreak\n}\n}")
+	checkInvariants(t, g)
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := build(t, "outer:\nfor i := 0; i < 4; i++ {\nfor j := 0; j < 4; j++ {\nif j == 2 {\nbreak outer\n}\n}\n}")
+	checkInvariants(t, g)
+	// The labeled break must edge to the OUTER loop's join, which then
+	// reaches exit without re-entering the inner loop.
+	if !strings.Contains(g.String(), "label.outer") {
+		t.Errorf("label block missing:\n%s", g)
+	}
+}
+
+func TestGotoForwardAndBack(t *testing.T) {
+	g := build(t, "i := 0\nloop:\ni++\nif i < 3 {\ngoto loop\n}\ngoto end\nend:\n_ = i")
+	checkInvariants(t, g)
+}
+
+func TestDefersCollected(t *testing.T) {
+	g := build(t, "defer println(1)\nif true {\ndefer println(2)\n}")
+	checkInvariants(t, g)
+	if len(g.Defers) != 2 {
+		t.Errorf("want 2 defers recorded, got %d", len(g.Defers))
+	}
+}
+
+func TestFuncLitNotExpanded(t *testing.T) {
+	g := build(t, "f := func() {\nreturn\n}\nf()")
+	checkInvariants(t, g)
+	// The literal's return must NOT add an exit edge to the outer graph:
+	// entry flows straight to exit.
+	if len(g.Entry.Succs) != 1 {
+		t.Errorf("function literal leaked control flow into outer graph:\n%s", g)
+	}
+}
+
+func TestShallowInspectPrunesBodies(t *testing.T) {
+	g := build(t, "m := map[int]int{}\nfor k := range m {\nprintln(k)\n}")
+	var sawRange, sawPrintln bool
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.RangeStmt); !ok {
+				continue
+			}
+			ShallowInspect(n, func(m ast.Node) bool {
+				if _, ok := m.(*ast.RangeStmt); ok {
+					sawRange = true
+				}
+				if id, ok := m.(*ast.Ident); ok && id.Name == "println" {
+					sawPrintln = true
+				}
+				return true
+			})
+		}
+	}
+	if !sawRange {
+		t.Errorf("ShallowInspect should visit the marker itself")
+	}
+	if sawPrintln {
+		t.Errorf("ShallowInspect must not descend into the range body")
+	}
+}
+
+func TestDeadCodeAfterReturnUnreachable(t *testing.T) {
+	g := build(t, "return\nprintln(1)")
+	reach := g.Reachable()
+	for _, b := range g.Blocks {
+		if b.Kind == "dead" && reach[b.Index] && len(b.Nodes) > 0 {
+			t.Errorf("statements after return should be unreachable:\n%s", g)
+		}
+	}
+}

@@ -1,0 +1,647 @@
+// Package dataflow is the forward dataflow framework of the fold3dlint
+// suite: a worklist fixpoint solver over internal/lint/cfg graphs, plus a
+// taint engine built on it that tracks how nondeterministically-ordered
+// values (map iteration, wall-clock reads, global randomness) flow through
+// assignments and calls toward fingerprint-grade sinks.
+//
+// The solver is generic over the fact type: a check supplies a Lattice —
+// bottom element, join, equality, clone and a per-block transfer function —
+// and receives the IN facts of every reachable block at the fixpoint. Joins
+// may model either "may" analyses (union: taint) or "must" analyses
+// (intersection: a context variable live on every path).
+//
+// Call-summary propagation keeps the taint analysis useful across function
+// boundaries inside one package: Summarize runs every function body to its
+// own fixpoint twice (arguments clean, arguments tainted) and records
+// whether the function introduces taint of its own and whether it forwards
+// argument taint to its results; ExprTaint then consults those summaries at
+// call sites, so a map-ordered slice returned by a helper is still tainted
+// two calls later in its caller.
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fold3d/internal/lint/cfg"
+)
+
+// Lattice describes one forward analysis over a graph.
+type Lattice[S any] struct {
+	// Bottom returns the facts of an unvisited block.
+	Bottom func() S
+	// Clone returns an independent copy Transfer may mutate.
+	Clone func(S) S
+	// Join merges src into dst and returns the result (dst may be reused).
+	Join func(dst, src S) S
+	// Equal reports fact equality, the fixpoint termination test.
+	Equal func(a, b S) bool
+	// Transfer applies one block's nodes to the incoming facts and returns
+	// the outgoing facts. It owns its argument (a clone).
+	Transfer func(b *cfg.Block, in S) S
+}
+
+// Solve runs the forward fixpoint: the entry block starts from boundary,
+// every other reachable block's IN facts are the join over its
+// predecessors' OUT facts. The returned slice is indexed by Block.Index;
+// unreachable blocks keep Bottom. Iteration order is deterministic (dense
+// block indices, ascending), so two runs produce identical fact tables.
+func Solve[S any](g *cfg.Graph, boundary S, lat Lattice[S]) []S {
+	n := len(g.Blocks)
+	in := make([]S, n)
+	out := make([]S, n)
+	visited := make([]bool, n)
+	for i := range in {
+		in[i] = lat.Bottom()
+		out[i] = lat.Bottom()
+	}
+	in[g.Entry.Index] = boundary
+	preds := g.Preds()
+	reach := g.Reachable()
+
+	dirty := make([]bool, n)
+	dirty[g.Entry.Index] = true
+	// The round cap guards termination against a non-monotone transfer
+	// (strong updates may kill facts); real functions converge in a few
+	// rounds, so hitting the cap just freezes the analysis conservatively.
+	for round, changed := 0, true; changed && round < 1000; round++ {
+		changed = false
+		for i := 0; i < n; i++ {
+			if !dirty[i] || !reach[i] {
+				continue
+			}
+			dirty[i] = false
+			b := g.Blocks[i]
+			if i != g.Entry.Index {
+				merged := lat.Bottom()
+				first := true
+				for _, p := range preds[i] {
+					if !reach[p.Index] || !visited[p.Index] {
+						continue
+					}
+					if first {
+						merged = lat.Clone(out[p.Index])
+						first = false
+					} else {
+						merged = lat.Join(merged, out[p.Index])
+					}
+				}
+				in[i] = merged
+			}
+			next := lat.Transfer(b, lat.Clone(in[i]))
+			if !visited[i] || !lat.Equal(next, out[i]) {
+				visited[i] = true
+				out[i] = next
+				changed = true
+				for _, s := range b.Succs {
+					dirty[s.Index] = true
+				}
+			}
+		}
+	}
+	return in
+}
+
+// Taint maps a tainted object to the human-readable reason it is tainted
+// ("ordered by map iteration", "read from the wall clock", ...). The
+// reason threads through propagation so the eventual finding can name the
+// original source.
+type Taint map[types.Object]string
+
+// cloneTaint copies a fact set.
+func cloneTaint(t Taint) Taint {
+	out := make(Taint, len(t))
+	for k, v := range t {
+		out[k] = v
+	}
+	return out
+}
+
+// joinTaint unions (may-analysis): a value tainted on any path is tainted.
+func joinTaint(dst, src Taint) Taint {
+	for k, v := range src {
+		if _, ok := dst[k]; !ok {
+			dst[k] = v
+		}
+	}
+	return dst
+}
+
+// equalTaint compares fact sets by key set (reasons are informational).
+func equalTaint(a, b Taint) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Summary records one function's taint behavior for call-site propagation.
+type Summary struct {
+	// TaintsResult is non-empty when the function returns a tainted value
+	// even with clean arguments (it contains a source); the string is the
+	// reason of the first such source.
+	TaintsResult string
+	// PropagatesArgs reports whether tainted arguments can flow into the
+	// function's results.
+	PropagatesArgs bool
+}
+
+// TaintSpec wires a concrete taint policy into the engine.
+type TaintSpec struct {
+	// Info resolves identifiers and expression types.
+	Info *types.Info
+	// Source returns a non-empty reason when n taints the values it
+	// produces: a call expression (time.Now(), rand.Int()) or a range
+	// statement whose iteration order is nondeterministic (range over a
+	// map). The key/value bindings of a tainted range become tainted.
+	Source func(n ast.Node) string
+	// Sanitizes reports whether a call normalizes its arguments in place
+	// (sort.Strings(x), slices.Sort(x)): the arguments' taint is cleared
+	// and the call's own results are clean.
+	Sanitizes func(call *ast.CallExpr) bool
+	// Summaries carries the package-local function summaries consulted at
+	// call sites; nil means every unknown call conservatively propagates
+	// argument taint to its results.
+	Summaries map[*types.Func]Summary
+	// OrderOnly, when non-nil, reports whether a taint reason denotes pure
+	// ORDER nondeterminism (map iteration) rather than nondeterministic
+	// values. Order taint dies at a keyed map insertion — `m[k] = v` inside
+	// a map range builds the same map in any iteration order — while value
+	// taint (wall clock, rand) survives it.
+	OrderOnly func(reason string) bool
+}
+
+// Lattice returns the solver lattice for this taint policy.
+func (sp *TaintSpec) Lattice() Lattice[Taint] {
+	return Lattice[Taint]{
+		Bottom:   func() Taint { return Taint{} },
+		Clone:    cloneTaint,
+		Join:     joinTaint,
+		Equal:    equalTaint,
+		Transfer: sp.Transfer,
+	}
+}
+
+// Transfer applies one block's nodes to the fact set in order.
+func (sp *TaintSpec) Transfer(b *cfg.Block, in Taint) Taint {
+	for _, n := range b.Nodes {
+		sp.node(n, in)
+	}
+	return in
+}
+
+// Step applies one block node to the facts in place. Reporting passes use
+// it to replay a block's transfer statement by statement while inspecting
+// sink sites with the facts that hold exactly there.
+func (sp *TaintSpec) Step(n ast.Node, facts Taint) { sp.node(n, facts) }
+
+// Clone returns an independent copy of the fact set.
+func (t Taint) Clone() Taint { return cloneTaint(t) }
+
+// node applies one block node to the fact set.
+func (sp *TaintSpec) node(n ast.Node, facts Taint) {
+	switch s := n.(type) {
+	case *ast.RangeStmt:
+		if reason := sp.Source(s); reason != "" {
+			sp.taintDef(s.Key, reason, facts)
+			sp.taintDef(s.Value, reason, facts)
+		} else {
+			// Ranging over a deterministic sequence: the bindings inherit
+			// the taint of the ranged operand (a map-ordered slice stays
+			// tainted element by element), or become clean.
+			if reason := sp.ExprTaint(s.X, facts); reason != "" {
+				sp.taintDef(s.Key, reason, facts)
+				sp.taintDef(s.Value, reason, facts)
+			} else {
+				sp.clearDef(s.Key, facts)
+				sp.clearDef(s.Value, facts)
+			}
+		}
+	case *ast.AssignStmt:
+		sp.assign(s, facts)
+	case *ast.ExprStmt:
+		sp.sideEffects(s.X, facts)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					reason := ""
+					if i < len(vs.Values) {
+						reason = sp.ExprTaint(vs.Values[i], facts)
+					}
+					sp.setDef(name, reason, facts)
+				}
+			}
+		}
+	case *ast.SendStmt:
+		sp.sideEffects(s.Value, facts)
+	case *ast.ReturnStmt:
+		// Sinks are the check's business; nothing to transfer.
+	case ast.Expr:
+		sp.sideEffects(s, facts)
+	case *ast.DeferStmt:
+		sp.sideEffects(s.Call, facts)
+	case *ast.GoStmt:
+		sp.sideEffects(s.Call, facts)
+	}
+}
+
+// assign moves taint across one assignment, handling the tuple forms and
+// the integer-commutative exemption for compound assignments.
+func (sp *TaintSpec) assign(s *ast.AssignStmt, facts Taint) {
+	for _, rhs := range s.Rhs {
+		sp.sideEffects(rhs, facts)
+	}
+	switch {
+	case s.Tok == token.ASSIGN || s.Tok == token.DEFINE:
+		if len(s.Lhs) == len(s.Rhs) {
+			for i, lhs := range s.Lhs {
+				sp.setDef(lhs, sp.ExprTaint(s.Rhs[i], facts), facts)
+			}
+			return
+		}
+		// x, y := f(): every destination inherits the call's taint.
+		reason := ""
+		if len(s.Rhs) == 1 {
+			reason = sp.ExprTaint(s.Rhs[0], facts)
+		}
+		for _, lhs := range s.Lhs {
+			sp.setDef(lhs, reason, facts)
+		}
+	default:
+		// Compound assignment. Integer accumulation (sum += v, n |= bit)
+		// is order-independent and exact, so taint does NOT propagate;
+		// float and string accumulation are order-sensitive (rounding,
+		// concatenation order) and do.
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return
+		}
+		if sp.isInteger(s.Lhs[0]) {
+			return
+		}
+		if reason := sp.ExprTaint(s.Rhs[0], facts); reason != "" {
+			sp.taintDef(s.Lhs[0], reason, facts)
+		}
+	}
+}
+
+// sideEffects applies call-level effects (sanitizer calls clearing their
+// arguments) found anywhere inside e.
+func (sp *TaintSpec) sideEffects(e ast.Expr, facts Taint) {
+	cfg.ShallowInspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sp.Sanitizes != nil && sp.Sanitizes(call) {
+			for _, arg := range call.Args {
+				sp.clearDef(arg, facts)
+			}
+		}
+		return true
+	})
+}
+
+// ExprTaint returns the reason e's value is tainted under facts, or "".
+func (sp *TaintSpec) ExprTaint(e ast.Expr, facts Taint) string {
+	if e == nil {
+		return ""
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := sp.object(x); obj != nil {
+			return facts[obj]
+		}
+		return ""
+	case *ast.ParenExpr:
+		return sp.ExprTaint(x.X, facts)
+	case *ast.CallExpr:
+		return sp.callTaint(x, facts)
+	case *ast.UnaryExpr:
+		return sp.ExprTaint(x.X, facts)
+	case *ast.StarExpr:
+		return sp.ExprTaint(x.X, facts)
+	case *ast.BinaryExpr:
+		if r := sp.ExprTaint(x.X, facts); r != "" {
+			return r
+		}
+		return sp.ExprTaint(x.Y, facts)
+	case *ast.IndexExpr:
+		// Indexing a tainted slice yields a tainted element; a clean
+		// container indexed by a tainted key yields a deterministic value
+		// (the key's VALUE is deterministic; only its arrival order was
+		// not), so the key does not taint the result.
+		return sp.ExprTaint(x.X, facts)
+	case *ast.SliceExpr:
+		return sp.ExprTaint(x.X, facts)
+	case *ast.SelectorExpr:
+		// Field reads propagate the taint of their operand; package-
+		// qualified identifiers resolve to nothing and stay clean.
+		return sp.ExprTaint(x.X, facts)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if r := sp.ExprTaint(el, facts); r != "" {
+				return r
+			}
+		}
+		return ""
+	case *ast.TypeAssertExpr:
+		return sp.ExprTaint(x.X, facts)
+	default:
+		return ""
+	}
+}
+
+// callTaint computes the taint of a call's results: sources taint
+// unconditionally, sanitizers return clean values, and everything else
+// follows the callee's summary (package-local) or the conservative default
+// (argument taint flows through).
+func (sp *TaintSpec) callTaint(call *ast.CallExpr, facts Taint) string {
+	if sp.Source != nil {
+		if reason := sp.Source(call); reason != "" {
+			return reason
+		}
+	}
+	if sp.Sanitizes != nil && sp.Sanitizes(call) {
+		return ""
+	}
+	argTaint := ""
+	for _, arg := range call.Args {
+		if r := sp.ExprTaint(arg, facts); r != "" {
+			argTaint = r
+			break
+		}
+	}
+	if argTaint == "" {
+		// A method call on a tainted receiver produces tainted results
+		// (names[0].String(), tainted.Field()).
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			argTaint = sp.ExprTaint(sel.X, facts)
+		}
+	}
+	if fn := sp.callee(call); fn != nil {
+		if sum, ok := sp.Summaries[fn]; ok {
+			if sum.TaintsResult != "" {
+				return sum.TaintsResult
+			}
+			if sum.PropagatesArgs {
+				return argTaint
+			}
+			return ""
+		}
+	}
+	// Unknown callee: conservatively forward argument taint. Conversions
+	// (T(x)) land here too via the type-expression "callee" and behave the
+	// same way.
+	return argTaint
+}
+
+// callee resolves the called function object, nil for indirect calls,
+// conversions and builtins.
+func (sp *TaintSpec) callee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := sp.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// object resolves an identifier to its object (definition or use).
+func (sp *TaintSpec) object(id *ast.Ident) types.Object {
+	if obj := sp.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return sp.Info.Uses[id]
+}
+
+// rootIdent unwraps an lvalue to its base identifier: x, x.f, x[i], *x all
+// root at x. Returns nil for unrooted expressions.
+func (sp *TaintSpec) rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// setDef assigns taint state to an lvalue: tainted when reason != "",
+// clean otherwise. Writes through selectors or indices only ADD taint to
+// the root object (m[k] = tainted taints m) — a clean write through a
+// selector does not prove the whole aggregate clean, so it clears nothing.
+func (sp *TaintSpec) setDef(lhs ast.Expr, reason string, facts Taint) {
+	if id, ok := lhs.(*ast.Ident); ok {
+		if id.Name == "_" {
+			return
+		}
+		if obj := sp.object(id); obj != nil {
+			if reason != "" {
+				facts[obj] = reason
+			} else {
+				delete(facts, obj)
+			}
+		}
+		return
+	}
+	if reason == "" {
+		return
+	}
+	// Keyed map insertion is an unordered accumulation: pure order taint
+	// does not survive it (the resulting map is identical in any iteration
+	// order). Value taint still poisons the container.
+	if idx, ok := lhs.(*ast.IndexExpr); ok && sp.isMap(idx.X) && sp.OrderOnly != nil && sp.OrderOnly(reason) {
+		return
+	}
+	if root := sp.rootIdent(lhs); root != nil {
+		if obj := sp.object(root); obj != nil {
+			facts[obj] = reason
+		}
+	}
+}
+
+// isMap reports whether e's type is a map.
+func (sp *TaintSpec) isMap(e ast.Expr) bool {
+	t := sp.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// taintDef adds taint to an lvalue without ever clearing.
+func (sp *TaintSpec) taintDef(lhs ast.Expr, reason string, facts Taint) {
+	if lhs == nil || reason == "" {
+		return
+	}
+	sp.setDef(lhs, reason, facts)
+}
+
+// clearDef removes the taint of an lvalue's root object.
+func (sp *TaintSpec) clearDef(e ast.Expr, facts Taint) {
+	if e == nil {
+		return
+	}
+	if root := sp.rootIdent(e); root != nil {
+		if obj := sp.object(root); obj != nil {
+			delete(facts, obj)
+		}
+	}
+}
+
+// isInteger reports whether e's type is an integer kind (the commutative
+// accumulation exemption).
+func (sp *TaintSpec) isInteger(e ast.Expr) bool {
+	t := sp.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// FuncInfo pairs one function body with its graph and object for
+// summarization.
+type FuncInfo struct {
+	// Obj is the function's type object (resolves call sites to it).
+	Obj *types.Func
+	// Decl is the function declaration (parameter objects, return sites).
+	Decl *ast.FuncDecl
+	// Graph is the body's control-flow graph.
+	Graph *cfg.Graph
+}
+
+// Summarize computes the package-local call summaries to fixpoint: each
+// function is solved with clean parameters (does it MAKE taint?) and with
+// tainted parameters (does it FORWARD taint?), consulting the summaries of
+// the functions it calls, until no summary changes. The spec's Summaries
+// field is left pointing at the result, so the same spec can be reused for
+// the final reporting pass.
+func Summarize(spec *TaintSpec, funcs []FuncInfo) map[*types.Func]Summary {
+	sums := map[*types.Func]Summary{}
+	spec.Summaries = sums
+	// Seed every known function with the empty summary so unknown-callee
+	// conservatism applies only to out-of-package calls.
+	for _, fi := range funcs {
+		if fi.Obj != nil {
+			sums[fi.Obj] = Summary{}
+		}
+	}
+	for pass := 0; pass < 10; pass++ {
+		changed := false
+		for _, fi := range funcs {
+			if fi.Obj == nil {
+				continue
+			}
+			next := summarizeOne(spec, fi)
+			if next != sums[fi.Obj] {
+				sums[fi.Obj] = next
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return sums
+}
+
+// summarizeOne computes one function's summary under the current summary
+// table.
+func summarizeOne(spec *TaintSpec, fi FuncInfo) Summary {
+	var sum Summary
+	// Pass 1: clean parameters. Any tainted return value means the
+	// function is a source.
+	sum.TaintsResult = returnTaint(spec, fi, Taint{})
+	// Pass 2: tainted parameters.
+	boundary := Taint{}
+	if fi.Decl.Type.Params != nil {
+		for _, field := range fi.Decl.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := spec.object(name); obj != nil {
+					boundary[obj] = "argument"
+				}
+			}
+		}
+	}
+	if len(boundary) > 0 && returnTaint(spec, fi, boundary) != "" {
+		sum.PropagatesArgs = true
+	}
+	if sum.TaintsResult != "" && sum.TaintsResult == "argument" {
+		// Guard: a source reason must come from a real source, never from
+		// the probe boundary (unreachable, but cheap to keep honest).
+		sum.TaintsResult = ""
+	}
+	return sum
+}
+
+// returnTaint solves fi under the given boundary facts and returns the
+// reason of the first tainted return operand, or "".
+func returnTaint(spec *TaintSpec, fi FuncInfo, boundary Taint) string {
+	ins := Solve(fi.Graph, boundary, spec.Lattice())
+	reach := fi.Graph.Reachable()
+	for _, b := range fi.Graph.Blocks {
+		if !reach[b.Index] {
+			continue
+		}
+		facts := cloneTaint(ins[b.Index])
+		for _, n := range b.Nodes {
+			if ret, ok := n.(*ast.ReturnStmt); ok {
+				for _, res := range ret.Results {
+					if reason := spec.ExprTaint(res, facts); reason != "" {
+						return reason
+					}
+				}
+			}
+			spec.node(n, facts)
+		}
+	}
+	return ""
+}
+
+// Funcs enumerates the function declarations of the files with their
+// graphs, ready for Summarize. Bodies are required (interface methods and
+// assembly stubs are skipped).
+func Funcs(info *types.Info, files []*ast.File) []FuncInfo {
+	var out []FuncInfo
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := info.Defs[fd.Name].(*types.Func)
+			out = append(out, FuncInfo{Obj: obj, Decl: fd, Graph: cfg.New(fd.Body)})
+		}
+	}
+	return out
+}

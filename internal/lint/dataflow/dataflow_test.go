@@ -1,0 +1,336 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"fold3d/internal/lint/cfg"
+)
+
+// load type-checks one source string and returns the info and files.
+func load(t *testing.T, src string) (*types.Info, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return info, file
+}
+
+// testSpec builds a spec whose sources are range-over-map and calls to a
+// function literally named "now", and whose sanitizers are sort-named
+// calls.
+func testSpec(info *types.Info) *TaintSpec {
+	return &TaintSpec{
+		Info: info,
+		Source: func(n ast.Node) string {
+			switch x := n.(type) {
+			case *ast.RangeStmt:
+				if t := info.TypeOf(x.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						return "map order"
+					}
+				}
+			case *ast.CallExpr:
+				if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "now" {
+					return "wall clock"
+				}
+			}
+			return ""
+		},
+		Sanitizes: func(call *ast.CallExpr) bool {
+			switch f := call.Fun.(type) {
+			case *ast.Ident:
+				return strings.HasPrefix(f.Name, "sort")
+			case *ast.SelectorExpr:
+				return strings.HasPrefix(f.Sel.Name, "Sort") || f.Sel.Name == "Strings"
+			}
+			return false
+		},
+	}
+}
+
+// taintAtReturn runs the analysis on the named function and returns the
+// taint reason of its first return operand ("" if clean).
+func taintAtReturn(t *testing.T, src, fn string) string {
+	t.Helper()
+	info, file := load(t, src)
+	spec := testSpec(info)
+	funcs := Funcs(info, []*ast.File{file})
+	Summarize(spec, funcs)
+	for _, fi := range funcs {
+		if fi.Decl.Name.Name != fn {
+			continue
+		}
+		return returnTaint(spec, fi, Taint{})
+	}
+	t.Fatalf("function %s not found", fn)
+	return ""
+}
+
+func TestMapRangeTaintsAppend(t *testing.T) {
+	src := `package p
+func f(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}`
+	if got := taintAtReturn(t, src, "f"); got == "" {
+		t.Errorf("map-ordered append should taint the returned slice")
+	}
+}
+
+func TestSortSanitizes(t *testing.T) {
+	src := `package p
+import "sort"
+func f(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}`
+	if got := taintAtReturn(t, src, "f"); got != "" {
+		t.Errorf("sorted slice should be clean, got taint %q", got)
+	}
+}
+
+func TestSortOnOnePathOnly(t *testing.T) {
+	src := `package p
+import "sort"
+func f(m map[string]int, b bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	if b {
+		sort.Strings(out)
+	}
+	return out
+}`
+	if got := taintAtReturn(t, src, "f"); got == "" {
+		t.Errorf("a sort on only one path must not clean the join")
+	}
+}
+
+func TestIntegerAccumulationIsClean(t *testing.T) {
+	src := `package p
+func f(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}`
+	if got := taintAtReturn(t, src, "f"); got != "" {
+		t.Errorf("integer += over a map is order-independent, got taint %q", got)
+	}
+}
+
+func TestFloatAccumulationIsTainted(t *testing.T) {
+	src := `package p
+func f(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}`
+	if got := taintAtReturn(t, src, "f"); got == "" {
+		t.Errorf("float += over a map accumulates rounding in iteration order")
+	}
+}
+
+func TestCallSourceTaints(t *testing.T) {
+	src := `package p
+func now() int64 { return 0 }
+func f() int64 {
+	t := now()
+	return t
+}`
+	if got := taintAtReturn(t, src, "f"); got != "wall clock" {
+		t.Errorf("now() result should carry the wall-clock reason, got %q", got)
+	}
+}
+
+func TestSummaryPropagatesThroughHelper(t *testing.T) {
+	src := `package p
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+func f(m map[string]int) []string {
+	ks := keys(m)
+	return ks
+}`
+	if got := taintAtReturn(t, src, "f"); got == "" {
+		t.Errorf("helper-returned map-ordered slice should taint the caller")
+	}
+}
+
+func TestSummarySanitizedHelperIsClean(t *testing.T) {
+	src := `package p
+import "sort"
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+func f(m map[string]int) []string {
+	return keys(m)
+}`
+	if got := taintAtReturn(t, src, "f"); got != "" {
+		t.Errorf("helper that sorts before returning should be clean, got %q", got)
+	}
+}
+
+func TestRangeOverTaintedSliceKeepsTaint(t *testing.T) {
+	src := `package p
+func f(m map[string]int) string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	s := ""
+	for _, v := range out {
+		s = s + v
+	}
+	return s
+}`
+	if got := taintAtReturn(t, src, "f"); got == "" {
+		t.Errorf("ranging a map-ordered slice yields order-tainted elements")
+	}
+}
+
+func TestReassignmentClearsTaint(t *testing.T) {
+	src := `package p
+func now() int64 { return 0 }
+func f() int64 {
+	t := now()
+	t = 7
+	return t
+}`
+	if got := taintAtReturn(t, src, "f"); got != "" {
+		t.Errorf("strong update should clear taint, got %q", got)
+	}
+}
+
+func TestSolveLoopConverges(t *testing.T) {
+	src := `package p
+func f(m map[string]int) []string {
+	var out []string
+	for i := 0; i < 3; i++ {
+		for k := range m {
+			out = append(out, k)
+		}
+	}
+	return out
+}`
+	if got := taintAtReturn(t, src, "f"); got == "" {
+		t.Errorf("nested loop taint lost")
+	}
+}
+
+func TestTupleAssignFromCall(t *testing.T) {
+	src := `package p
+func now() (int64, bool) { return 0, false }
+func f() int64 {
+	t, _ := now()
+	return t
+}`
+	if got := taintAtReturn(t, src, "f"); got == "" {
+		t.Errorf("tuple destination should inherit call taint")
+	}
+}
+
+func TestSelectorWriteTaintsRoot(t *testing.T) {
+	src := `package p
+type box struct{ v []string }
+func f(m map[string]int) box {
+	var b box
+	for k := range m {
+		b.v = append(b.v, k)
+	}
+	return b
+}`
+	if got := taintAtReturn(t, src, "f"); got == "" {
+		t.Errorf("writing a tainted value through a field should taint the root")
+	}
+}
+
+// TestSolveDeterministic runs the same analysis many times and requires
+// identical fact tables (guards against map-ordered worklists).
+func TestSolveDeterministic(t *testing.T) {
+	src := `package p
+func f(m map[string]int, b bool) []string {
+	var out []string
+	for k := range m {
+		if b {
+			out = append(out, k)
+		}
+	}
+	return out
+}`
+	info, file := load(t, src)
+	spec := testSpec(info)
+	funcs := Funcs(info, []*ast.File{file})
+	var first string
+	for i := 0; i < 20; i++ {
+		g := funcs[0].Graph
+		ins := Solve(g, Taint{}, spec.Lattice())
+		var sb strings.Builder
+		for bi, facts := range ins {
+			sb.WriteString(string(rune('a' + bi%26)))
+			sb.WriteString(":")
+			for range facts {
+				sb.WriteString("x")
+			}
+		}
+		if i == 0 {
+			first = sb.String()
+		} else if sb.String() != first {
+			t.Fatalf("run %d diverged: %q vs %q", i, sb.String(), first)
+		}
+	}
+}
+
+func TestFuncsBuildsGraphs(t *testing.T) {
+	src := `package p
+func a() {}
+func b() int { return 1 }`
+	info, file := load(t, src)
+	funcs := Funcs(info, []*ast.File{file})
+	if len(funcs) != 2 {
+		t.Fatalf("want 2 funcs, got %d", len(funcs))
+	}
+	for _, fi := range funcs {
+		if fi.Graph == nil || fi.Obj == nil {
+			t.Errorf("func %s missing graph or object", fi.Decl.Name.Name)
+		}
+	}
+	_ = cfg.Graph{}
+}

@@ -18,12 +18,16 @@
 package lint
 
 import (
+	"context"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"regexp"
 	"sort"
 	"strings"
+	"time"
+
+	"fold3d/internal/pool"
 )
 
 // Finding is one diagnostic produced by a check.
@@ -73,6 +77,12 @@ type Config struct {
 	// rebuilds the whole timing graph from scratch, silently discarding the
 	// cone-limited incremental path the optimizer loop depends on.
 	STAEngineOnly []string
+	// CtxPackages lists import-path suffixes of the service-layer packages
+	// in which the ctxflow check requires every blocking operation to be
+	// guarded by a received context.Context on all CFG paths. These are the
+	// packages sitting between a caller's cancellation and the
+	// deterministic core: a dropped ctx there turns shutdown into a hang.
+	CtxPackages []string
 	// PipelineOnly lists import-path suffixes of packages whose stage*
 	// functions are pipeline stage entry points: they may only be
 	// registered into a pipeline.Plan and invoked by the pipeline
@@ -113,6 +123,15 @@ func DefaultConfig() *Config {
 			"internal/jobs",
 			"cmd/fold3dd",
 		},
+		CtxPackages: []string{
+			// The job manager, HTTP daemon, worker pool and public facade
+			// all accept a caller context; each hand-off between them is a
+			// blocking point that must stay cancelable.
+			"internal/jobs",
+			"internal/server",
+			"internal/pool",
+			"pkg/fold3d",
+		},
 		STAEngineOnly: []string{
 			// The optimizer's analyze loop is the hot consumer of timing;
 			// it owns an Engine and must mark-and-update, never full-build.
@@ -135,6 +154,9 @@ func AllChecks() []*Check {
 		FloatCmpCheck(),
 		ErrDropCheck(),
 		APIGuardCheck(),
+		NondetFlowCheck(),
+		CtxFlowCheck(),
+		LockBalanceCheck(),
 	}
 }
 
@@ -148,14 +170,51 @@ func CheckByName(name string) *Check {
 	return nil
 }
 
+// Timing records the cumulative wall-clock time one check spent across all
+// packages of a run.
+type Timing struct {
+	// Check is the check name.
+	Check string
+	// Elapsed is the check's summed run time over every package.
+	Elapsed time.Duration
+}
+
 // Run executes checks over pkgs, filters findings through //lint:ignore
 // directives, and returns the remainder sorted by position.
 func Run(cfg *Config, pkgs []*Package, checks []*Check) []Finding {
+	out, _ := RunTimed(cfg, pkgs, checks)
+	return out
+}
+
+// RunTimed is Run plus per-check cumulative timings (sorted slowest
+// first). Every (package, check) pair runs as an independent pool task
+// writing into its own slot; the merge walks slots in index order, so the
+// output is identical to a sequential run regardless of scheduling.
+func RunTimed(cfg *Config, pkgs []*Package, checks []*Check) ([]Finding, []Timing) {
+	nc := len(checks)
+	type cell struct {
+		fs []Finding
+		d  time.Duration
+	}
+	cells := make([]cell, len(pkgs)*nc)
+	if nc > 0 {
+		// Checks only read their package, so pairs are freely concurrent;
+		// the tasks never fail and the context is never canceled.
+		_ = pool.Run(context.Background(), 0, len(cells), func(_ context.Context, i int) error {
+			p, c := pkgs[i/nc], checks[i%nc]
+			start := time.Now()
+			cells[i] = cell{fs: c.Run(cfg, p), d: time.Since(start)}
+			return nil
+		})
+	}
+	elapsed := make([]time.Duration, nc)
 	var out []Finding
-	for _, p := range pkgs {
+	for pi, p := range pkgs {
 		ig := collectIgnores(p)
-		for _, c := range checks {
-			for _, f := range c.Run(cfg, p) {
+		for ci := range checks {
+			cell := cells[pi*nc+ci]
+			elapsed[ci] += cell.d
+			for _, f := range cell.fs {
 				if ig.covers(f) {
 					continue
 				}
@@ -164,6 +223,16 @@ func Run(cfg *Config, pkgs []*Package, checks []*Check) []Finding {
 		}
 		out = append(out, ig.malformed...)
 	}
+	timings := make([]Timing, nc)
+	for ci, c := range checks {
+		timings[ci] = Timing{Check: c.Name, Elapsed: elapsed[ci]}
+	}
+	sort.Slice(timings, func(i, j int) bool {
+		if timings[i].Elapsed != timings[j].Elapsed {
+			return timings[i].Elapsed > timings[j].Elapsed
+		}
+		return timings[i].Check < timings[j].Check
+	})
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -177,7 +246,7 @@ func Run(cfg *Config, pkgs []*Package, checks []*Check) []Finding {
 		}
 		return a.Check < b.Check
 	})
-	return out
+	return out, timings
 }
 
 // ignoreKey identifies the target of one ignore directive.
@@ -196,12 +265,16 @@ type ignoreSet struct {
 var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s*(.*)$`)
 
 // collectIgnores parses every //lint:ignore directive in p. A directive
-// suppresses findings of the named check on its own line and on the line
-// immediately below it (the idiomatic "directive above the statement" form).
+// suppresses findings of the named check on its own line, on every line of
+// its comment group (the reason may wrap onto continuation lines), and on
+// the statement that follows the group — ALL of its lines, so a finding
+// anchored inside a multi-line call or literal is still covered.
 func collectIgnores(p *Package) *ignoreSet {
 	ig := &ignoreSet{keys: map[ignoreKey]bool{}}
 	for _, file := range p.Files {
+		spans := stmtSpans(p, file)
 		for _, cg := range file.Comments {
+			groupEnd := p.Fset.Position(cg.End()).Line
 			for _, c := range cg.List {
 				m := ignoreRe.FindStringSubmatch(c.Text)
 				if m == nil {
@@ -217,14 +290,60 @@ func collectIgnores(p *Package) *ignoreSet {
 					})
 					continue
 				}
-				end := p.Fset.Position(c.End())
-				for line := pos.Line; line <= end.Line+1; line++ {
+				last := groupEnd + 1
+				// Directive-above form: extend over the whole statement
+				// starting on the line after the group.
+				if end := spans[groupEnd+1]; end > last {
+					last = end
+				}
+				// End-of-line form on the first line of a multi-line
+				// statement: extend over that statement too.
+				if end := spans[pos.Line]; end > last {
+					last = end
+				}
+				for line := pos.Line; line <= last; line++ {
 					ig.keys[ignoreKey{pos.Filename, line, check}] = true
 				}
 			}
 		}
 	}
 	return ig
+}
+
+// stmtSpans maps the starting line of each simple (body-less) statement in
+// file to its ending line. Only statements that cannot contain a block are
+// recorded, so a directive above an if or for never silently suppresses
+// findings throughout the nested body.
+func stmtSpans(p *Package, file *ast.File) map[int]int {
+	spans := map[int]int{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.AssignStmt, *ast.ExprStmt, *ast.ReturnStmt, *ast.DeclStmt,
+			*ast.SendStmt, *ast.GoStmt, *ast.DeferStmt, *ast.IncDecStmt:
+			if containsFuncLit(n) {
+				return true // a literal body is a block in disguise
+			}
+			start := p.Fset.Position(n.Pos()).Line
+			end := p.Fset.Position(n.End()).Line
+			if end > spans[start] {
+				spans[start] = end
+			}
+		}
+		return true
+	})
+	return spans
+}
+
+// containsFuncLit reports whether n nests a function literal.
+func containsFuncLit(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
 }
 
 // covers reports whether f is suppressed by a directive.

@@ -217,6 +217,45 @@ func TestIgnoreDirectives(t *testing.T) {
 	}
 }
 
+// TestIgnoreMultiLineAttribution pins the directive-coverage rules for the
+// two shapes the line+1 heuristic used to miss: a reason wrapped onto
+// continuation comment lines, and a finding anchored on an inner line of a
+// multi-line statement. It also pins that coverage stops at the statement.
+func TestIgnoreMultiLineAttribution(t *testing.T) {
+	p := loadSrc(t, "igspan", `// Package igspan is an ignore-attribution fixture.
+package igspan
+
+func wrapped(a, b float64) bool {
+	//lint:ignore floatcmp the reason for this one wraps onto a
+	// second comment line, which must not detach the directive
+	// from the statement below.
+	return a == b
+}
+
+func inner(a, b float64) []bool {
+	//lint:ignore floatcmp the finding sits on an inner line of this
+	// multi-line composite literal.
+	out := []bool{
+		a == b,
+	}
+	return out
+}
+
+func leak(a, b float64) bool {
+	//lint:ignore floatcmp covers only the next statement
+	_ = a == b
+	return a == b
+}
+`)
+	findings := Run(DefaultConfig(), []*Package{p}, []*Check{FloatCmpCheck()})
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want exactly the uncovered one in leak:\n%s", len(findings), renderAll(findings))
+	}
+	if !strings.Contains(findings[0].Pos.String(), "igspan.go:23") {
+		t.Errorf("surviving finding at %s, want the return in leak (line 23)", findings[0].Pos)
+	}
+}
+
 // renderAll formats findings for failure messages.
 func renderAll(fs []Finding) string {
 	var sb strings.Builder

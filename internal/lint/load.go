@@ -1,16 +1,21 @@
 package lint
 
 import (
+	"context"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+
+	"fold3d/internal/pool"
 )
 
 // Package is one parsed and type-checked package, the unit every check
@@ -41,11 +46,12 @@ type Loader struct {
 	// ModPath is the module path declared in go.mod.
 	ModPath string
 
-	fset     *token.FileSet
-	std      types.Importer
-	pkgs     map[string]*Package // by import path
-	loading  map[string]bool     // cycle guard
-	typeErrs []string
+	fset      *token.FileSet
+	std       types.Importer
+	pkgs      map[string]*Package // by import path
+	loading   map[string]bool     // cycle guard
+	preparsed map[string][]*ast.File
+	loadErrs  []string
 }
 
 // NewLoader returns a loader rooted at the module containing dir. It reads
@@ -61,12 +67,13 @@ func NewLoader(dir string) (*Loader, error) {
 	}
 	fset := token.NewFileSet()
 	return &Loader{
-		ModRoot: root,
-		ModPath: modPath,
-		fset:    fset,
-		std:     importer.ForCompiler(fset, "source", nil),
-		pkgs:    map[string]*Package{},
-		loading: map[string]bool{},
+		ModRoot:   root,
+		ModPath:   modPath,
+		fset:      fset,
+		std:       importer.ForCompiler(fset, "source", nil),
+		pkgs:      map[string]*Package{},
+		loading:   map[string]bool{},
+		preparsed: map[string][]*ast.File{},
 	}, nil
 }
 
@@ -107,8 +114,15 @@ func readModulePath(gomod string) (string, error) {
 // import path matches one of the patterns ("./..." and "..." match all;
 // "internal/place" matches that package; a trailing "/..." matches the
 // subtree). Packages are returned sorted by import path.
+//
+// Parsing runs in parallel (one pool task per directory, each writing its
+// own slot; the file set is synchronized internally); type-checking stays
+// sequential because it recurses through the import graph. A package that
+// fails to parse or type-check is skipped and recorded — retrieve the
+// diagnostics with Errors — rather than aborting the whole load, so one
+// broken package cannot hide findings in the rest of the module.
 func (l *Loader) LoadModule(patterns []string) ([]*Package, error) {
-	var dirs []string
+	var dirs, imps []string
 	err := filepath.WalkDir(l.ModRoot, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -128,7 +142,6 @@ func (l *Loader) LoadModule(patterns []string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []*Package
 	for _, dir := range dirs {
 		rel, err := filepath.Rel(l.ModRoot, dir)
 		if err != nil {
@@ -138,17 +151,51 @@ func (l *Loader) LoadModule(patterns []string) ([]*Package, error) {
 		if rel != "." {
 			imp = l.ModPath + "/" + filepath.ToSlash(rel)
 		}
+		imps = append(imps, imp)
+	}
+
+	// Parallel parse into per-index slots, then publish the results to the
+	// preparsed cache before any (sequential) type-checking reads it.
+	parsed := make([][]*ast.File, len(dirs))
+	parseErrs := make([]error, len(dirs))
+	_ = pool.Run(context.Background(), 0, len(dirs), func(_ context.Context, i int) error {
+		parsed[i], parseErrs[i] = l.parseDir(dirs[i])
+		return nil
+	})
+	for i, dir := range dirs {
+		if parseErrs[i] == nil {
+			l.preparsed[dir] = parsed[i]
+		}
+	}
+
+	var out []*Package
+	for i, dir := range dirs {
+		imp := imps[i]
 		if !matchAny(patterns, strings.TrimPrefix(strings.TrimPrefix(imp, l.ModPath), "/")) {
 			continue
 		}
+		if parseErrs[i] != nil {
+			l.loadErrs = append(l.loadErrs, parseErrs[i].Error())
+			continue
+		}
+		if len(parsed[i]) == 0 {
+			continue // every source excluded by build constraints
+		}
 		p, err := l.load(imp, dir)
 		if err != nil {
-			return nil, err
+			l.loadErrs = append(l.loadErrs, err.Error())
+			continue
 		}
 		out = append(out, p)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out, nil
+}
+
+// Errors returns the diagnostics of packages LoadModule skipped because
+// they failed to parse or type-check.
+func (l *Loader) Errors() []string {
+	return append([]string(nil), l.loadErrs...)
 }
 
 // matchAny reports whether the module-relative path rel matches any pattern.
@@ -220,24 +267,16 @@ func (l *Loader) load(importPath, dir string) (*Package, error) {
 	l.loading[importPath] = true
 	defer delete(l.loading, importPath)
 
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, fmt.Errorf("lint: reading %s: %v", dir, err)
-	}
-	var files []*ast.File
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+	files, ok := l.preparsed[dir]
+	if !ok {
+		var err error
+		files, err = l.parseDir(dir)
 		if err != nil {
-			return nil, fmt.Errorf("lint: parsing %s: %v", name, err)
+			return nil, err
 		}
-		files = append(files, f)
 	}
 	if len(files) == 0 {
-		return nil, fmt.Errorf("lint: no Go sources in %s", dir)
+		return nil, fmt.Errorf("lint: no Go sources in %s (after build-constraint filtering)", dir)
 	}
 
 	info := &types.Info{
@@ -272,4 +311,123 @@ func (l *Loader) load(importPath, dir string) (*Package, error) {
 	}
 	l.pkgs[importPath] = p
 	return p, nil
+}
+
+// parseDir parses the buildable, non-test Go sources of dir in file-name
+// order. Files excluded for the running platform — by a _GOOS/_GOARCH
+// file-name suffix or an unsatisfied //go:build line — are skipped, the
+// same way the go tool would skip them, so the linter never type-checks a
+// file the build would not compile. Safe for concurrent use: the file set
+// synchronizes internally and everything else is local.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading %s: %v", dir, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if excludedByFilename(name) {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("lint: reading %s: %v", name, err)
+		}
+		if excludedByBuildTags(src) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// knownOS and knownArch are the GOOS/GOARCH values recognized in file-name
+// suffixes, mirroring go/build's lists.
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true, "linux": true,
+	"netbsd": true, "openbsd": true, "plan9": true, "solaris": true,
+	"wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true, "loong64": true,
+	"mips": true, "mips64": true, "mips64le": true, "mipsle": true,
+	"ppc64": true, "ppc64le": true, "riscv64": true, "s390x": true, "wasm": true,
+}
+
+// unixOS lists the GOOS values the "unix" build tag covers.
+var unixOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "linux": true,
+	"netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// excludedByFilename applies the *_GOOS.go / *_GOARCH.go / *_GOOS_GOARCH.go
+// file-name build rules against the running platform.
+func excludedByFilename(name string) bool {
+	parts := strings.Split(strings.TrimSuffix(name, ".go"), "_")
+	if len(parts) < 2 {
+		return false
+	}
+	last := parts[len(parts)-1]
+	if knownArch[last] {
+		if last != runtime.GOARCH {
+			return true
+		}
+		if len(parts) >= 3 && knownOS[parts[len(parts)-2]] {
+			return parts[len(parts)-2] != runtime.GOOS
+		}
+		return false
+	}
+	if knownOS[last] {
+		return last != runtime.GOOS
+	}
+	return false
+}
+
+// excludedByBuildTags reports whether src carries a //go:build line (in the
+// header, before the package clause) that the running platform does not
+// satisfy. Tags evaluated true: the current GOOS and GOARCH, "unix" on a
+// unix-like GOOS, and go1.x toolchain versions (the module always builds
+// with the current toolchain, so version gates are treated as met);
+// everything else — including the conventional "ignore" — is false.
+func excludedByBuildTags(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if constraint.IsGoBuild(trimmed) {
+			expr, err := constraint.Parse(trimmed)
+			if err != nil {
+				return false
+			}
+			return !expr.Eval(buildTagSatisfied)
+		}
+		if trimmed == "" || strings.HasPrefix(trimmed, "//") || strings.HasPrefix(trimmed, "/*") {
+			continue
+		}
+		break // reached the package clause: the constraint header is over
+	}
+	return false
+}
+
+// buildTagSatisfied evaluates one build tag against the running toolchain.
+func buildTagSatisfied(tag string) bool {
+	switch {
+	case tag == runtime.GOOS || tag == runtime.GOARCH:
+		return true
+	case tag == "unix":
+		return unixOS[runtime.GOOS]
+	case strings.HasPrefix(tag, "go1"):
+		return true
+	}
+	return false
 }

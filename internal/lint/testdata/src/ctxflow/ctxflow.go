@@ -1,0 +1,76 @@
+// Package ctxflow exercises the context-liveness dataflow check: a
+// received context must guard every blocking operation on all paths.
+package ctxflow
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func recvGuarded(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+func recvBare(ctx context.Context, ch chan int) int {
+	v := <-ch // want `blocking channel receive is not selectable on the received ctx`
+	return v
+}
+
+func sendBare(ctx context.Context, ch chan int) {
+	ch <- 1 // want `blocking channel send is not selectable on the received ctx`
+}
+
+func selectNoDone(ctx context.Context, a, b chan int) {
+	select { // want `select blocks without a live <-ctx.Done\(\) case`
+	case <-a:
+	case <-b:
+	}
+}
+
+func nonblockingSend(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+func shadowed(ctx context.Context, ch chan int) {
+	ctx = context.Background() // want `rebound to a dead context`
+	select {                   // want `select blocks without a live <-ctx.Done\(\) case`
+	case <-ch:
+	case <-ctx.Done():
+	}
+}
+
+func sleepy(ctx context.Context) {
+	time.Sleep(time.Millisecond) // want `blocking time.Sleep does not receive the live ctx`
+}
+
+func waits(ctx context.Context, wg *sync.WaitGroup) {
+	wg.Wait() // want `blocking sync.WaitGroup.Wait does not receive the live ctx`
+}
+
+// blockingHelper blocks without a context of its own; callers holding a
+// context must not call it bare.
+func blockingHelper(ch chan int) int {
+	return <-ch
+}
+
+func callsBlocking(ctx context.Context, ch chan int) int {
+	return blockingHelper(ch) // want `blocking call to blocking blockingHelper does not receive the live ctx`
+}
+
+func derived(ctx context.Context, ch chan int) {
+	sub, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	select {
+	case <-ch:
+	case <-sub.Done():
+	}
+}

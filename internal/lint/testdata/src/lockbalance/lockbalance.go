@@ -1,0 +1,89 @@
+// Package lockbalance exercises the lock-release dataflow check: every
+// Lock released on all paths, no double lock, no lock held across a
+// blocking operation.
+package lockbalance
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func balanced(c *counter) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func deferred(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func earlyReturnLeak(c *counter, b bool) int {
+	c.mu.Lock() // want `c.mu is not released on every path to return`
+	if b {
+		return 0
+	}
+	c.mu.Unlock()
+	return c.n
+}
+
+func doubleLock(c *counter) {
+	c.mu.Lock()
+	c.mu.Lock() // want `c.mu locked again while already held`
+	c.n++
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func heldAcrossRecv(c *counter, ch chan int) int {
+	c.mu.Lock()
+	v := <-ch // want `c.mu is held across blocking channel receive`
+	c.mu.Unlock()
+	return v
+}
+
+func heldAcrossSelect(c *counter, ch chan int) {
+	c.mu.Lock()
+	select { // want `c.mu is held across blocking select`
+	case <-ch:
+	}
+	c.mu.Unlock()
+}
+
+func rlockLeak(c *counter, b bool) int {
+	c.rw.RLock() // want `c.rw \(read side\) is not released on every path to return`
+	if b {
+		return 0
+	}
+	c.rw.RUnlock()
+	return c.n
+}
+
+func mayPanic() {}
+
+// panicSafe is clean: the deferred unlock runs on the panic unwind too.
+func panicSafe(c *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mayPanic()
+}
+
+func panicLeak(c *counter, b bool) {
+	c.mu.Lock() // want `c.mu is not released on every path to return`
+	if b {
+		panic("boom")
+	}
+	c.mu.Unlock()
+}
+
+func conditionalDefer(c *counter, b bool) {
+	c.mu.Lock() // want `c.mu is not released on every path to return`
+	if b {
+		defer c.mu.Unlock()
+	}
+}

@@ -1,0 +1,119 @@
+// Package nondetflow exercises the taint dataflow check: values tainted by
+// map iteration order, the wall clock or math/rand must pass a sort-style
+// normalization before reaching a fingerprint, cache key or result struct.
+package nondetflow
+
+import (
+	"sort"
+	"time"
+)
+
+// Hasher mimics the pipeline hasher: every mix-method argument is a sink.
+type Hasher struct{ data []string }
+
+// Str mixes a string into the hash.
+func (h *Hasher) Str(s string) { h.data = append(h.data, s) }
+
+// Cache mimics the artifact cache: Get/Put keys are sinks.
+type Cache struct{ m map[string]string }
+
+// Get looks up a key.
+func (c *Cache) Get(key string) string { return c.m[key] }
+
+// RunResult mimics a result struct: wall-clock/rand values are sinks here.
+type RunResult struct {
+	Name  string
+	Stamp int64
+}
+
+// keysOf is the intermediate helper: its summary must carry the map-order
+// taint to callers.
+func keysOf(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func hashUnsorted(h *Hasher, m map[string]int) {
+	ks := keysOf(m)
+	for _, k := range ks {
+		h.Str(k) // want `ordered by random map iteration`
+	}
+}
+
+func hashSorted(h *Hasher, m map[string]int) {
+	ks := keysOf(m)
+	sort.Strings(ks)
+	for _, k := range ks {
+		h.Str(k)
+	}
+}
+
+func fingerprint(parts []string) string {
+	out := ""
+	for _, p := range parts {
+		out += p
+	}
+	return out
+}
+
+func useFingerprint(m map[string]bool) string {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	return fingerprint(names) // want `a fingerprint computation`
+}
+
+func cacheStamp(c *Cache) string {
+	key := time.Now().String()
+	return c.Get(key) // want `read from the wall clock`
+}
+
+func stampedResult(name string) RunResult {
+	return RunResult{
+		Name:  name,
+		Stamp: time.Now().UnixNano(), // want `read from the wall clock`
+	}
+}
+
+// orderedResult stores a map-ordered VALUE in a result: each value is
+// deterministic element-wise, so this is tolerated (order taint, not value
+// taint).
+func orderedResult(m map[string]int) RunResult {
+	last := ""
+	for k := range m {
+		last = k
+	}
+	return RunResult{Name: last}
+}
+
+// Keys leaks map order out of an exported algorithm-package function.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out // want `exported Keys returns a value ordered by random map iteration`
+}
+
+// SortedKeys is the fixed form of Keys.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sum is clean: integer accumulation over a map is order-independent.
+func sum(h *Hasher, m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -107,6 +107,10 @@ dispatch:
 		}
 	}
 	close(idx)
+	//lint:ignore ctxflow the dispatch loop above is ctx-guarded, so idx is
+	// already closed by the time we get here; workers exit as soon as they
+	// drain it, making this Wait bounded by one in-flight task per worker.
+	// Honoring ctx inside the task body is the task's own contract.
 	wg.Wait()
 
 	for i := 0; i < n; i++ {

@@ -327,7 +327,7 @@ func (e *Engine) rebuild() error {
 	}
 	at := 0
 	for i := 0; i < nc; i++ {
-		e.fanin[i] = e.faninIx[at:at:at+int(e.indeg[i])]
+		e.fanin[i] = e.faninIx[at : at : at+int(e.indeg[i])]
 		at += int(e.indeg[i])
 	}
 	for ni := range b.Nets {

@@ -1,14 +1,14 @@
 #!/bin/sh
-# bench.sh — record the PR 5 performance numbers (see README "Performance").
+# bench.sh — record the PR 6 performance numbers (see README "Performance").
 #
-# Runs the fold3dd server-throughput benchmarks (one job end to end over
-# HTTP, cold manager per iteration vs one long-lived manager whose artifact
-# cache warms after the first job) plus the experiment-harness cold/shared
-# pair, takes per-benchmark medians over -count runs (this class of machine
-# shows ±8% run-to-run noise), and writes BENCH_PR5.json at the repo root:
-# jobs/sec cold vs shared and their ratio, so the cache benefit through the
-# HTTP surface is auditable from the file alone. BENCH_PR3.json and
-# BENCH_PR4.json are frozen records of earlier PRs and are not rewritten.
+# Runs BenchmarkLintRepo (the full fold3dlint path: parallel parse,
+# sequential type-check, the complete check suite — including the three
+# dataflow checks — through the worker pool over the whole module), takes
+# the per-benchmark median over -count runs (this class of machine shows
+# ±8% run-to-run noise), and writes BENCH_PR6.json at the repo root so the
+# cost of the pre-PR lint gate is auditable from the file alone.
+# BENCH_PR3.json, BENCH_PR4.json and BENCH_PR5.json are frozen records of
+# earlier PRs and are not rewritten.
 #
 # Usage: scripts/bench.sh [count]   (default 5 runs per benchmark)
 set -eu
@@ -16,17 +16,13 @@ set -eu
 cd "$(dirname "$0")/.."
 
 COUNT="${1:-5}"
-OUT="BENCH_PR5.json"
+OUT="BENCH_PR6.json"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
-echo "==> go test -bench ServerJobs (fold3dd HTTP throughput, cold vs shared cache, $COUNT runs each)" >&2
-go test -run '^$' -bench 'BenchmarkServerJobs(Cold|Shared)$' -benchtime 5x \
-	-count "$COUNT" ./internal/server/ | tee -a "$TMP" >&2
-
-echo "==> go test -bench RunAll (experiment harness, cold vs shared cache, $COUNT runs each)" >&2
-go test -run '^$' -bench 'BenchmarkRunAll(Cold|Shared)$' -benchtime 1x \
-	-count "$COUNT" . | tee -a "$TMP" >&2
+echo "==> go test -bench LintRepo (full-module fold3dlint, $COUNT runs)" >&2
+go test -run '^$' -bench 'BenchmarkLintRepo$' -benchtime 1x \
+	-count "$COUNT" ./internal/lint/ | tee -a "$TMP" >&2
 
 # Reduce the raw `go test -bench` lines to one JSON object per benchmark,
 # taking the median ns/op (located by its unit label, so extra custom
@@ -54,31 +50,12 @@ function median(name,    cnt, i, j, tmp, arr) {
 	return (arr[cnt / 2] + arr[cnt / 2 + 1]) / 2
 }
 END {
+	lint = median("BenchmarkLintRepo")
 	printf "{\n"
-	printf "  \"comment\": \"PR 5 fold3dd job-queue daemon: medians over %d runs; ServerJobs runs one table4 job end to end over HTTP (submit + NDJSON event stream), cold = fresh manager per job, shared = one manager whose artifact cache stays warm\",\n", n["BenchmarkServerJobsCold"]
+	printf "  \"comment\": \"PR 6 dataflow-aware fold3dlint: median over %d runs; LintRepo loads the whole module (parallel parse, sequential type-check) and runs the full check suite, syntax checks plus the CFG/taint dataflow checks, through the worker pool\",\n", n["BenchmarkLintRepo"]
 	printf "  \"current\": {\n"
-	first = 1
-	order = "BenchmarkServerJobsCold BenchmarkServerJobsShared BenchmarkRunAllCold BenchmarkRunAllShared"
-	split(order, names, " ")
-	for (i = 1; i in names; i++) {
-		name = names[i]
-		if (!(name in n)) continue
-		if (!first) printf ",\n"
-		first = 0
-		printf "    \"%s\": {\"ns_op\": %d", name, median(name)
-		if (name ~ /^BenchmarkServerJobs/)
-			printf ", \"jobs_per_sec\": %.1f", 1e9 / median(name)
-		printf "}"
-	}
-	printf "\n  },\n"
-	cold = median("BenchmarkServerJobsCold")
-	shared = median("BenchmarkServerJobsShared")
-	if (shared > 0)
-		printf "  \"server_speedup_shared_vs_cold\": %.2f,\n", cold / shared
-	cold = median("BenchmarkRunAllCold")
-	shared = median("BenchmarkRunAllShared")
-	if (shared > 0)
-		printf "  \"runall_speedup_shared_vs_cold\": %.2f\n", cold / shared
+	printf "    \"BenchmarkLintRepo\": {\"ns_op\": %.0f, \"seconds\": %.2f}\n", lint, lint / 1e9
+	printf "  }\n"
 	printf "}\n"
 }
 ' "$TMP" > "$OUT"

@@ -10,6 +10,14 @@ cd "$(dirname "$0")/.."
 echo "==> go vet ./..."
 go vet ./...
 
+echo "==> gofmt -l"
+UNFORMATTED="$(gofmt -l . | grep -v '^testdata/' | grep -v '/testdata/' || true)"
+if [ -n "$UNFORMATTED" ]; then
+	echo "check.sh: gofmt needed on:" >&2
+	echo "$UNFORMATTED" >&2
+	exit 1
+fi
+
 echo "==> go build ./..."
 go build ./...
 
@@ -91,6 +99,12 @@ if ! wait "$SMOKEPID"; then
 fi
 SMOKEPID=""
 
+# The linter itself now runs its checks through the worker pool; re-run
+# its suite under the race detector with extra CPUs so a data race in the
+# parallel load or check fan-out cannot hide behind deterministic output.
+echo "==> go test -race -cpu=4 (lint engine: parallel load + checks)"
+go test -race -cpu=4 ./internal/lint/...
+
 # fold3dlint includes the PipelineOnly rule: flow stages may only run
 # through the pipeline executor, never by direct call.
 echo "==> go run ./cmd/fold3dlint ./..."
@@ -99,8 +113,8 @@ go run ./cmd/fold3dlint ./...
 # Every PR appends one line to CHANGES.md; a PR that ships without its
 # entry leaves the next session blind to what is already done.
 echo "==> CHANGES.md entry"
-grep -q '^PR 5:' CHANGES.md || {
-	echo "check.sh: CHANGES.md has no 'PR 5:' entry" >&2
+grep -q '^PR 6:' CHANGES.md || {
+	echo "check.sh: CHANGES.md has no 'PR 6:' entry" >&2
 	exit 1
 }
 
