@@ -11,9 +11,19 @@
 //	fold3dd -cachedir ./cache          # spill block artifacts to disk
 //	fold3dd -cachestats                # print cache counters on exit
 //
-// API: POST /v1/jobs, GET /v1/jobs, GET /v1/jobs/{id},
-// GET /v1/jobs/{id}/events (NDJSON), GET /metrics, GET /healthz — see the
-// README's Serving section for curl examples.
+// Fleet mode: give every node the same full peer list (including itself)
+// and a unique -node-id; jobs route to their owner by consistent hash of
+// the request fingerprint, and each node's artifact cache can fill from
+// its peers over HTTP:
+//
+//	fold3dd -addr :8080 -node-id a -peers 'a=http://h1:8080,b=http://h2:8080'
+//	fold3dd -addr :8080 -node-id b -peers 'a=http://h1:8080,b=http://h2:8080'
+//
+// API: POST /v1/jobs, POST /v1/batches, GET /v1/jobs, GET /v1/jobs/{id},
+// GET /v1/jobs/{id}/events, GET /v1/batches/{id},
+// GET /v1/batches/{id}/events (NDJSON), GET /v1/artifacts/{key} (peers),
+// GET /metrics, GET /healthz — see the README's Serving section for curl
+// examples.
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: the queue closes,
 // in-flight jobs finish as canceled, event streams terminate, and the
@@ -33,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"fold3d/internal/cluster"
 	"fold3d/internal/jobs"
 	"fold3d/internal/pipeline"
 	"fold3d/internal/server"
@@ -56,16 +67,47 @@ func run(args []string, ready func(addr string)) int {
 		cachedir   = fs.String("cachedir", "", "spill the block-artifact cache to this directory (warm-starts later runs)")
 		cachestats = fs.Bool("cachestats", false, "print artifact-cache hit/miss counters to stderr on exit")
 		drain      = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for canceling jobs and closing streams")
+		nodeID     = fs.String("node-id", "", "this node's ID in the fleet (lowercase [a-z0-9_]+; required with -peers)")
+		peers      = fs.String("peers", "", "full fleet peer list as 'id=url,id=url,...' including this node; same value on every node")
+		peerToken  = fs.String("peer-token", "", "shared secret for node-to-node requests (forwarded jobs, artifact fetches)")
+		quota      = fs.Int("tenant-quota", 0, "max queued jobs per tenant (0 = no per-tenant limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	cache := pipeline.NewCache(pipeline.CacheOptions{Dir: *cachedir})
+	// Fleet wiring: the router forwards jobs to their consistent-hash owner
+	// and serves as a read-through peer tier for the artifact cache.
+	var router *cluster.Router
+	cacheOpts := pipeline.CacheOptions{Dir: *cachedir}
+	if *peers != "" {
+		nodes, err := cluster.ParsePeers(*peers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fold3dd: -peers: %v\n", err)
+			return 2
+		}
+		ring, err := cluster.New(*nodeID, nodes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fold3dd: %v\n", err)
+			return 2
+		}
+		router = cluster.NewRouter(ring, *peerToken)
+		// KeepWire retains encoded entries in memory so this node can serve
+		// /v1/artifacts to peers even without a -cachedir spill.
+		cacheOpts.Tiers = []pipeline.CacheTier{router.Tier()}
+		cacheOpts.KeepWire = true
+	} else if *nodeID != "" {
+		fmt.Fprintln(os.Stderr, "fold3dd: -node-id requires -peers")
+		return 2
+	}
+
+	cache := pipeline.NewCache(cacheOpts)
 	mgr := jobs.NewManager(jobs.Options{
-		Workers:    *jobWorkers,
-		QueueDepth: *queueDepth,
-		Cache:      cache,
+		Workers:     *jobWorkers,
+		QueueDepth:  *queueDepth,
+		Cache:       cache,
+		NodeID:      *nodeID,
+		TenantQuota: *quota,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -81,7 +123,7 @@ func run(args []string, ready func(addr string)) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv := &http.Server{Handler: server.New(mgr)}
+	srv := &http.Server{Handler: server.NewWithOptions(server.Options{Manager: mgr, Router: router})}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }() // sanctioned: the accept loop of the server exemption
 

@@ -1,0 +1,86 @@
+// Fleet client: drive a fold3dd daemon through the typed Go client —
+// submit a batch, follow its multiplexed event stream (with automatic
+// resume across dropped connections), and wait for the per-job results.
+// The example embeds the daemon's serving surface in-process (behind
+// httptest so it runs standalone); point the client at any fold3dd URL
+// instead — single node or fleet, the API is identical, a fleet just
+// forwards each job to its consistent-hash owner.
+//
+//	go run ./examples/fleetclient
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"fold3d/pkg/fold3d"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// Embed the serving surface: the same manager + handler fold3dd wires
+	// up. Against a deployed daemon, skip this and NewClient its URL.
+	mgr := fold3d.NewJobManager(fold3d.JobManagerOptions{Workers: 1, QueueDepth: 16})
+	srv := httptest.NewServer(fold3d.NewJobHandler(mgr))
+	defer srv.Close()
+	defer func() { _ = mgr.Close(context.Background()) }()
+
+	client := fold3d.NewClient(srv.URL)
+
+	// One atomic batch: the same experiment at three seeds. All-or-nothing
+	// admission — the queue either takes every member or none.
+	batch, err := client.SubmitBatch(ctx, []fold3d.JobRequest{
+		{Experiments: []string{"table4"}},
+		{Experiments: []string{"table4"}, Seed: 7},
+		{Experiments: []string{"table4"}, Seed: 11},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batch %s admitted with %d jobs\n", batch.ID, len(batch.Jobs))
+
+	// Follow the multiplexed stream: every member's events, tagged with the
+	// job ID, under one dense batch-wide sequence. The client reconnects
+	// with ?from= on dropped connections, so each event arrives exactly
+	// once even across a daemon restart.
+	transitions := 0
+	err = client.StreamBatchEvents(ctx, batch.ID, 0, func(ev fold3d.BatchEvent) error {
+		if ev.Event.State != "" {
+			transitions++
+			fmt.Printf("  [%s] seq %d: %s\n", ev.Job, ev.Seq, ev.Event.State)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stream done: %d lifecycle transitions\n", transitions)
+
+	// Final snapshots: Wait returns once a job is terminal (here it already
+	// is — the stream only ends when the batch does).
+	for _, member := range batch.Jobs {
+		info, err := client.Wait(ctx, member.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if info.State != fold3d.JobDone {
+			log.Fatalf("job %s ended %s: %s", info.ID, info.State, info.Error)
+		}
+		fmt.Printf("job %s seed %d -> fingerprint %s\n",
+			info.ID, info.Request.Seed, info.Result.Fingerprint[:12])
+	}
+
+	// Error mapping: validation failures cross the HTTP boundary as typed
+	// sentinels plus a machine-readable envelope.
+	_, err = client.Submit(ctx, fold3d.JobRequest{Experiments: []string{"ghost"}})
+	var apiErr *fold3d.APIError
+	if errors.Is(err, fold3d.ErrBadRequest) && errors.As(err, &apiErr) {
+		fmt.Printf("rejected as expected: code=%s status=%d\n", apiErr.Code, apiErr.Status)
+	} else {
+		log.Fatalf("unexpected error for unknown experiment: %v", err)
+	}
+}

@@ -1,0 +1,226 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"fold3d/internal/errs"
+	"fold3d/internal/pipeline"
+)
+
+// ErrUnknownBatch reports a lookup of a batch ID the manager never issued
+// (HTTP 404).
+var ErrUnknownBatch = errors.New("jobs: unknown batch")
+
+// BatchEvent is one line of a batch's multiplexed NDJSON event stream: a
+// member job's event tagged with that job's ID, under a batch-wide dense
+// sequence number so ?from= resume works exactly as it does per job.
+type BatchEvent struct {
+	// Seq is the 0-based position of the event in the batch stream.
+	Seq int `json:"seq"`
+	// Job is the member job the event belongs to.
+	Job string `json:"job"`
+	// Event is the member job's event (its Seq field is the job-local
+	// sequence number, untouched by the multiplexing).
+	Event Event `json:"event"`
+}
+
+// BatchInfo is a point-in-time snapshot of a batch, shaped for the status
+// API.
+type BatchInfo struct {
+	// ID is the manager-issued batch identifier.
+	ID string `json:"id"`
+	// State summarizes the members: queued until any member starts,
+	// running while any member is non-terminal, then failed if any member
+	// failed, else canceled if any member was canceled, else done.
+	State State `json:"state"`
+	// Jobs snapshots every member in submission order.
+	Jobs []Info `json:"jobs"`
+}
+
+// Batch is a group of jobs admitted atomically by SubmitBatch, with one
+// multiplexed event stream over every member. All methods are safe for
+// concurrent use.
+type Batch struct {
+	id   string
+	jobs []*Job
+
+	mu        sync.Mutex
+	events    []BatchEvent
+	notify    chan struct{} // closed and replaced on every append
+	done      chan struct{} // closed once every member is terminal
+	remaining int           // members not yet terminal
+}
+
+// ID returns the manager-issued batch identifier.
+func (b *Batch) ID() string { return b.id }
+
+// Jobs returns the member jobs in submission order.
+func (b *Batch) Jobs() []*Job { return append([]*Job(nil), b.jobs...) }
+
+// Done returns a channel closed when every member job is terminal.
+func (b *Batch) Done() <-chan struct{} { return b.done }
+
+// Info snapshots the batch and every member.
+func (b *Batch) Info() BatchInfo {
+	info := BatchInfo{ID: b.id, Jobs: make([]Info, len(b.jobs))}
+	terminal, anyStarted := true, false
+	var failed, canceled bool
+	for i, j := range b.jobs {
+		ji := j.Info()
+		info.Jobs[i] = ji
+		switch ji.State {
+		case StateQueued:
+			terminal = false
+		case StateRunning:
+			terminal, anyStarted = false, true
+		case StateFailed:
+			failed, anyStarted = true, true
+		case StateCanceled:
+			canceled, anyStarted = true, true
+		case StateDone:
+			anyStarted = true
+		}
+	}
+	switch {
+	case !terminal && !anyStarted:
+		info.State = StateQueued
+	case !terminal:
+		info.State = StateRunning
+	case failed:
+		info.State = StateFailed
+	case canceled:
+		info.State = StateCanceled
+	default:
+		info.State = StateDone
+	}
+	return info
+}
+
+// EventsSince returns a copy of the multiplexed events from batch
+// sequence number from onward, a channel closed when further events
+// arrive, and whether every member has reached a terminal state. The
+// contract mirrors Job.EventsSince.
+func (b *Batch) EventsSince(from int) (events []BatchEvent, more <-chan struct{}, terminal bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from < len(b.events) {
+		events = append(events, b.events[from:]...)
+	}
+	return events, b.notify, b.remaining == 0
+}
+
+// observe is the member jobs' onEvent hook: it multiplexes the event into
+// the batch stream (batch Seq assigned here) and tracks completion. It
+// runs outside the job's mutex; per-job event order is preserved because
+// each job's events are appended by one goroutine at a time.
+func (b *Batch) observe(j *Job, ev Event) {
+	b.mu.Lock()
+	b.events = append(b.events, BatchEvent{Seq: len(b.events), Job: j.id, Event: ev})
+	close(b.notify)
+	b.notify = make(chan struct{})
+	finished := ev.Kind == "state" && ev.State.Terminal()
+	if finished {
+		b.remaining--
+	}
+	last := finished && b.remaining == 0
+	b.mu.Unlock()
+	if last {
+		close(b.done)
+	}
+}
+
+// BatchFingerprint is the routing fingerprint of a whole batch: the
+// pipeline hash chained over every member request's fingerprint, in
+// order. The server routes a batch to one owner node so its members share
+// one warm cache.
+func BatchFingerprint(reqs []Request) string {
+	h := pipeline.NewHasher()
+	h.Int(len(reqs))
+	for _, r := range reqs {
+		h.Str(r.Fingerprint())
+	}
+	return string(h.Sum())
+}
+
+// SubmitBatch validates, registers and enqueues a group of requests
+// atomically: either every member is admitted (one batch ID, members in
+// request order) or none are — quota and queue-depth limits are checked
+// for the whole group up front, so a batch can never be half-admitted.
+// Failures map exactly as Submit's: errs.ErrBadRequest wrapping for any
+// invalid member, ErrQuotaExceeded, ErrQueueFull, ErrShutdown.
+func (m *Manager) SubmitBatch(reqs []Request) (*Batch, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("jobs: empty batch: %w", errs.ErrBadRequest)
+	}
+	norm := make([]Request, len(reqs))
+	perTenant := map[string]int{}
+	for i, r := range reqs {
+		norm[i] = r.normalized()
+		if err := norm[i].Validate(); err != nil {
+			return nil, fmt.Errorf("batch member %d: %w", i, err)
+		}
+		perTenant[norm[i].Tenant]++
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrShutdown
+	}
+	// All-or-nothing admission: every member must fit before any enqueues.
+	for tenant, n := range perTenant {
+		if err := m.admitLocked(tenant, n); err != nil {
+			return nil, err
+		}
+	}
+	if m.nQueued+len(norm) > m.depth {
+		return nil, fmt.Errorf("%w: %d jobs waiting", ErrQueueFull, m.nQueued)
+	}
+
+	m.batchSeq++
+	id := fmt.Sprintf("batch-%06d", m.batchSeq)
+	if m.nodeID != "" {
+		id = fmt.Sprintf("%s-%s", m.nodeID, id)
+	}
+	b := &Batch{
+		id:        id,
+		notify:    make(chan struct{}),
+		done:      make(chan struct{}),
+		remaining: len(norm),
+	}
+	for _, req := range norm {
+		j := &Job{
+			id:      m.jobID(),
+			req:     req,
+			onEvent: b.observe,
+			state:   StateQueued,
+			events:  []Event{{Seq: 0, Kind: "state", State: StateQueued}},
+			notify:  make(chan struct{}),
+			done:    make(chan struct{}),
+		}
+		b.jobs = append(b.jobs, j)
+		// The queued event predates enqueueing, so it lands in the batch
+		// stream before any worker event can: workers dequeue under m.mu,
+		// which SubmitBatch holds until every member is in.
+		b.observe(j, j.events[0])
+		m.enqueueLocked(j)
+	}
+	m.batches[b.id] = b
+	return b, nil
+}
+
+// GetBatch returns the batch by ID, or ErrUnknownBatch.
+func (m *Manager) GetBatch(id string) (*Batch, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.batches[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownBatch, id)
+	}
+	return b, nil
+}

@@ -41,8 +41,13 @@ import (
 // which wraps errs.ErrBadRequest). Test with errors.Is.
 var (
 	// ErrQueueFull reports a Submit rejected because the bounded queue had
-	// no free slot; the client should retry later (HTTP 503).
+	// no free slot; the client should retry later (HTTP 503 + Retry-After).
 	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrQuotaExceeded reports a Submit rejected because the request's
+	// tenant already has its full quota of queued jobs. Unlike ErrQueueFull
+	// this is the tenant's own backlog, not global pressure, so it maps to
+	// HTTP 429 rather than 503 — other tenants are still being admitted.
+	ErrQuotaExceeded = errors.New("jobs: tenant quota exceeded")
 	// ErrShutdown reports a Submit after Close began; the daemon is
 	// draining and accepts no new work (HTTP 503).
 	ErrShutdown = errors.New("jobs: manager shut down")
@@ -82,6 +87,28 @@ type Request struct {
 	// Workers bounds the per-job flow fan-out (0 = one per CPU). It trades
 	// wall-clock only: results and fingerprints are identical at any value.
 	Workers int `json:"workers,omitempty"`
+	// Tenant names the submitting tenant for per-tenant queue quotas;
+	// empty is the anonymous tenant. Like Workers it is scheduling
+	// metadata: it does not participate in the result or routing
+	// fingerprints.
+	Tenant string `json:"tenant,omitempty"`
+}
+
+// Fingerprint is the routing fingerprint of the request: the pipeline
+// hash of its normalized work definition (experiments, scale, seed).
+// Workers and Tenant are excluded — they affect scheduling, never
+// results — so every request meaning the same work routes to the same
+// fleet node and shares its warm artifacts.
+func (r Request) Fingerprint() string {
+	n := r.normalized()
+	h := pipeline.NewHasher()
+	h.Int(len(n.Experiments))
+	for _, name := range n.Experiments {
+		h.Str(name)
+	}
+	h.F64(n.Scale)
+	h.Uint(n.Seed)
+	return string(h.Sum())
 }
 
 // normalized fills the defaulted fields so that two requests meaning the
@@ -200,6 +227,11 @@ type Info struct {
 type Job struct {
 	id  string
 	req Request
+	// onEvent, when set (batch membership), receives every event after it
+	// is recorded, outside j.mu and in per-job order — a job's events are
+	// appended by one goroutine at a time (Submit before workers see the
+	// job, then its one scheduler worker).
+	onEvent func(*Job, Event)
 
 	mu     sync.Mutex
 	state  State
@@ -263,6 +295,9 @@ func (j *Job) append(ev Event) {
 	close(j.notify)
 	j.notify = make(chan struct{})
 	j.mu.Unlock()
+	if j.onEvent != nil {
+		j.onEvent(j, ev)
+	}
 }
 
 // setState transitions the lifecycle state and records the matching event;
@@ -300,6 +335,15 @@ type Options struct {
 	// concurrent and repeat jobs restore each other's block artifacts. Nil
 	// creates a fresh memory-only cache.
 	Cache *pipeline.Cache
+	// NodeID, when non-empty, prefixes every issued job and batch ID
+	// ("<node>-job-000001"), so any fleet node can route a GET for a
+	// foreign ID to the node that minted it. Empty keeps the single-node
+	// legacy format ("job-000001").
+	NodeID string
+	// TenantQuota bounds the queued jobs of any single tenant; a tenant at
+	// its quota gets ErrQuotaExceeded (HTTP 429) while others keep being
+	// admitted. 0 means no per-tenant bound (only QueueDepth applies).
+	TenantQuota int
 }
 
 // Manager owns the job queue: validation, admission, the scheduler
@@ -307,17 +351,28 @@ type Options struct {
 // NewManager and stop it with Close.
 type Manager struct {
 	cache  *pipeline.Cache
-	queue  chan *Job
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+	nodeID string
+	depth  int // bound on queued (admitted, not yet started) jobs
+	quota  int // per-tenant bound on queued jobs; 0 = unlimited
 
-	mu        sync.Mutex
+	mu   sync.Mutex
+	cond *sync.Cond // signals workers: work queued, or shutdown
+	// The admission queue is a set of per-tenant FIFOs drained round-robin,
+	// so one tenant flooding its quota cannot starve another tenant's jobs
+	// behind its backlog (the fairness half of the quota story; the 429
+	// half is in Submit).
+	fifos     map[string][]*Job
+	rotor     []string // round-robin tenant order; rotated on every dequeue
 	jobs      map[string]*Job
+	batches   map[string]*Batch
 	order     []string
 	seq       int
+	batchSeq  int
 	closed    bool
-	nQueued   int // gauge: submitted, not yet started
+	nQueued   int // gauge: submitted, not yet started (Σ len(fifos))
 	nRunning  int // gauge: started, not yet terminal
 	nDone     int
 	nFailed   int
@@ -342,13 +397,18 @@ func NewManager(opts Options) *Manager {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
-		cache:  cache,
-		queue:  make(chan *Job, depth),
-		ctx:    ctx,
-		cancel: cancel,
-		jobs:   map[string]*Job{},
-		hist:   map[string]*histogram{},
+		cache:   cache,
+		ctx:     ctx,
+		cancel:  cancel,
+		nodeID:  opts.NodeID,
+		depth:   depth,
+		quota:   opts.TenantQuota,
+		fifos:   map[string][]*Job{},
+		jobs:    map[string]*Job{},
+		batches: map[string]*Batch{},
+		hist:    map[string]*histogram{},
 	}
+	m.cond = sync.NewCond(&m.mu)
 	for w := 0; w < workers; w++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -356,10 +416,68 @@ func NewManager(opts Options) *Manager {
 	return m
 }
 
+// jobID mints the next job ID. Callers hold m.mu.
+func (m *Manager) jobID() string {
+	m.seq++
+	if m.nodeID != "" {
+		return fmt.Sprintf("%s-job-%06d", m.nodeID, m.seq)
+	}
+	return fmt.Sprintf("job-%06d", m.seq)
+}
+
+// admitLocked checks admission limits for n more jobs from tenant.
+// Callers hold m.mu.
+func (m *Manager) admitLocked(tenant string, n int) error {
+	if m.closed {
+		return ErrShutdown
+	}
+	if m.quota > 0 && len(m.fifos[tenant])+n > m.quota {
+		return fmt.Errorf("%w: tenant %q has %d jobs queued (quota %d)",
+			ErrQuotaExceeded, tenant, len(m.fifos[tenant]), m.quota)
+	}
+	if m.nQueued+n > m.depth {
+		return fmt.Errorf("%w: %d jobs waiting", ErrQueueFull, m.nQueued)
+	}
+	return nil
+}
+
+// enqueueLocked registers and queues an already-validated job under its
+// tenant's FIFO and wakes a worker. Callers hold m.mu and have passed
+// admitLocked.
+func (m *Manager) enqueueLocked(j *Job) {
+	tenant := j.req.Tenant
+	if _, known := m.fifos[tenant]; !known {
+		m.rotor = append(m.rotor, tenant)
+	}
+	m.fifos[tenant] = append(m.fifos[tenant], j)
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.nQueued++
+	m.cond.Signal()
+}
+
+// dequeueLocked pops the next job round-robin across tenant FIFOs, or nil
+// when nothing is queued. Callers hold m.mu.
+func (m *Manager) dequeueLocked() *Job {
+	for i, tenant := range m.rotor {
+		fifo := m.fifos[tenant]
+		if len(fifo) == 0 {
+			continue
+		}
+		j := fifo[0]
+		m.fifos[tenant] = fifo[1:]
+		// Rotate the served tenant to the back so tenants take turns.
+		m.rotor = append(append(m.rotor[:i:i], m.rotor[i+1:]...), tenant)
+		m.nQueued--
+		return j
+	}
+	return nil
+}
+
 // Submit validates, registers and enqueues a request, returning the new
 // job (already in state queued). Validation failures wrap
-// errs.ErrBadRequest; a full queue returns ErrQueueFull; after Close it
-// returns ErrShutdown.
+// errs.ErrBadRequest; a tenant at its quota gets ErrQuotaExceeded; a full
+// queue returns ErrQueueFull; after Close it returns ErrShutdown.
 func (m *Manager) Submit(req Request) (*Job, error) {
 	req = req.normalized()
 	if err := req.Validate(); err != nil {
@@ -367,29 +485,18 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.closed {
-		return nil, ErrShutdown
+	if err := m.admitLocked(req.Tenant, 1); err != nil {
+		return nil, err
 	}
-	m.seq++
 	j := &Job{
-		id:     fmt.Sprintf("job-%06d", m.seq),
+		id:     m.jobID(),
 		req:    req,
 		state:  StateQueued,
 		events: []Event{{Seq: 0, Kind: "state", State: StateQueued}},
 		notify: make(chan struct{}),
 		done:   make(chan struct{}),
 	}
-	// The queued event is recorded before the job is published: a worker
-	// may pick it up the moment it lands on the channel.
-	select {
-	case m.queue <- j:
-	default:
-		m.seq-- // the job never existed
-		return nil, fmt.Errorf("%w: %d jobs waiting", ErrQueueFull, cap(m.queue))
-	}
-	m.jobs[j.id] = j
-	m.order = append(m.order, j.id)
-	m.nQueued++
+	m.enqueueLocked(j)
 	return j, nil
 }
 
@@ -438,10 +545,12 @@ func (m *Manager) Close(ctx context.Context) error {
 	m.mu.Lock()
 	already := m.closed
 	m.closed = true
+	// Every parked worker must wake to observe closed (then drain whatever
+	// is still queued to its canceled terminal state before exiting).
+	m.cond.Broadcast()
 	m.mu.Unlock()
 	if !already {
 		m.cancel()
-		close(m.queue)
 	}
 	done := make(chan struct{})
 	go func() { // sanctioned: the drain waiter of the scheduler exemption
@@ -456,20 +565,41 @@ func (m *Manager) Close(ctx context.Context) error {
 	}
 }
 
-// worker is one scheduler goroutine: it drains the queue until Close. It
-// deliberately keeps consuming after cancellation so that every queued job
-// reaches a terminal state (runJob is fast once m.ctx is done).
+// worker is one scheduler goroutine: it drains the tenant queues until
+// Close. It deliberately keeps consuming after cancellation so that every
+// queued job reaches a terminal state (runJob is fast once m.ctx is done).
 func (m *Manager) worker() {
 	defer m.wg.Done()
-	for j := range m.queue {
+	for {
+		j := m.next()
+		if j == nil {
+			return
+		}
 		m.runJob(j)
+	}
+}
+
+// next blocks until a job is available round-robin across tenants,
+// returning nil once the manager is closed and the queues are drained.
+// Shutdown wakes parked workers via the Broadcast in Close, so the wait
+// needs no context of its own.
+func (m *Manager) next() *Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if j := m.dequeueLocked(); j != nil {
+			return j
+		}
+		if m.closed {
+			return nil
+		}
+		m.cond.Wait()
 	}
 }
 
 // runJob drives one job through the exp harness and into a terminal state.
 func (m *Manager) runJob(j *Job) {
 	m.mu.Lock()
-	m.nQueued--
 	m.nRunning++
 	m.mu.Unlock()
 	j.setState(StateRunning, nil, nil)
@@ -528,3 +658,8 @@ func (m *Manager) runJob(j *Job) {
 
 // CacheStats snapshots the shared artifact cache counters.
 func (m *Manager) CacheStats() pipeline.Stats { return m.cache.Stats() }
+
+// CacheEntry returns the serialized wire entry for an artifact key from
+// the node-local cache (memory wire copy or disk spill, never peers), for
+// the /v1/artifacts peer-serving endpoint.
+func (m *Manager) CacheEntry(key string) ([]byte, bool) { return m.cache.EntryBytes(key) }

@@ -182,6 +182,13 @@ func lockScanFunc(p *Package, bi *blockInfo, fb fnBody) []Finding {
 			// themselves, and a trailing Unlock cannot retroactively excuse
 			// an earlier wait.
 			for _, op := range bi.nodeOps(n) {
+				// sync.Cond.Wait atomically releases its locker while
+				// parked and reacquires before returning — holding a lock
+				// at a cond wait is the canonical condvar loop, not a
+				// parked-goroutine-blocks-lockers bug.
+				if op.desc == "sync.Cond.Wait" {
+					continue
+				}
 				for _, key := range sortedLockKeys(facts) {
 					dk := fmt.Sprintf("%s@%d", key, op.pos)
 					if seenAcross[dk] {

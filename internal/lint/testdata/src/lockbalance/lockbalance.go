@@ -40,6 +40,18 @@ func doubleLock(c *counter) {
 	c.mu.Unlock()
 }
 
+// condWaitLoop is the canonical condvar pattern: Wait atomically releases
+// the locker while parked, so holding the lock here is correct and must
+// not be flagged as held-across-blocking.
+func condWaitLoop(c *counter, cond *sync.Cond) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.n == 0 {
+		cond.Wait()
+	}
+	return c.n
+}
+
 func heldAcrossRecv(c *counter, ch chan int) int {
 	c.mu.Lock()
 	v := <-ch // want `c.mu is held across blocking channel receive`

@@ -82,10 +82,10 @@ type Artifact interface {
 	CloneArtifact() Artifact
 }
 
-// Codec serializes artifacts for the on-disk spill. Kind and Version are
-// written into the entry header and must match on read; bumping Version
-// invalidates (as misses, not errors) every older on-disk entry of that
-// kind.
+// Codec serializes artifacts for the lower cache tiers (disk spill, peer
+// fetch). Kind and Version are written into the entry header and must match
+// on read; bumping Version invalidates (as misses, not errors) every older
+// entry of that kind.
 type Codec struct {
 	Kind    string
 	Version int
@@ -97,27 +97,92 @@ type Codec struct {
 type Stats struct {
 	Hits     int // artifact served from memory
 	DiskHits int // artifact served from the on-disk spill
+	PeerHits int // artifact served from a network tier (peer fetch)
 	Misses   int // lookups that found nothing usable
 	Stores   int // artifacts written into the cache
-	Corrupt  int // on-disk entries rejected by header/checksum validation
+	Corrupt  int // tier entries rejected by header/checksum validation
 	Entries  int // artifacts currently held in memory
 }
 
 // String renders the snapshot in the one-line form used by -cachestats.
 func (s Stats) String() string {
-	return fmt.Sprintf("hits=%d disk_hits=%d misses=%d stores=%d corrupt=%d entries=%d hit_ratio=%.3f",
-		s.Hits, s.DiskHits, s.Misses, s.Stores, s.Corrupt, s.Entries, s.HitRatio())
+	return fmt.Sprintf("hits=%d disk_hits=%d peer_hits=%d misses=%d stores=%d corrupt=%d entries=%d hit_ratio=%.3f",
+		s.Hits, s.DiskHits, s.PeerHits, s.Misses, s.Stores, s.Corrupt, s.Entries, s.HitRatio())
 }
 
-// HitRatio returns the fraction of lookups served from the cache (memory
-// or disk) over all lookups, 0 when nothing has been looked up yet. It is
-// the headline effectiveness number the fold3dd /metrics endpoint exports.
+// HitRatio returns the fraction of lookups served from the cache (memory,
+// disk or a peer) over all lookups, 0 when nothing has been looked up yet.
+// It is the headline effectiveness number the fold3dd /metrics endpoint
+// exports.
 func (s Stats) HitRatio() float64 {
-	total := s.Hits + s.DiskHits + s.Misses
+	total := s.Hits + s.DiskHits + s.PeerHits + s.Misses
 	if total == 0 {
 		return 0
 	}
-	return float64(s.Hits+s.DiskHits) / float64(total)
+	return float64(s.Hits+s.DiskHits+s.PeerHits) / float64(total)
+}
+
+// CacheTier is one storage tier below the in-memory map. Tiers traffic in
+// the serialized wire entry (the versioned, checksummed layout documented
+// at EncodeEntry), never in live artifacts: the cache validates and decodes
+// centrally, so a corrupt or truncated tier entry — local disk or remote
+// peer alike — is always a miss, never an error.
+//
+// Get consults tiers in order (disk before network); a hit is promoted to
+// memory and written back into the earlier tiers. Store is best-effort: the
+// memory entry is already in place, so a tier write failure costs only
+// future warm starts.
+type CacheTier interface {
+	// Label names the tier for stats attribution and diagnostics; the
+	// label "disk" counts hits under Stats.DiskHits, every other label
+	// under Stats.PeerHits.
+	Label() string
+	// Fetch returns the raw wire entry stored under key. Any error means
+	// the tier has nothing usable (absent entries conventionally return an
+	// error wrapping os.ErrNotExist).
+	Fetch(key string) ([]byte, error)
+	// Store writes the wire entry under key, replacing any previous one.
+	Store(key string, entry []byte) error
+}
+
+// DiskTier is the on-disk spill tier: one file per entry under a shard
+// directory, written atomically via rename so the directory is safe to
+// share between processes.
+type DiskTier struct {
+	dir string
+}
+
+// NewDiskTier returns a disk tier rooted at dir (created on first write).
+func NewDiskTier(dir string) *DiskTier { return &DiskTier{dir: dir} }
+
+// Label identifies the tier; the cache attributes its hits to DiskHits.
+func (t *DiskTier) Label() string { return "disk" }
+
+// Fetch reads the entry file for key.
+func (t *DiskTier) Fetch(key string) ([]byte, error) {
+	return os.ReadFile(t.entryPath(key))
+}
+
+// Store writes the entry file for key atomically (temp file + rename).
+func (t *DiskTier) Store(key string, entry []byte) error {
+	path := t.entryPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, entry, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func (t *DiskTier) entryPath(key string) string {
+	// Keys are hex fingerprints, safe as filenames; shard by prefix so a
+	// large cache does not put thousands of files in one directory.
+	if len(key) > 2 {
+		return filepath.Join(t.dir, key[:2], key[2:]+".f3dc")
+	}
+	return filepath.Join(t.dir, key+".f3dc")
 }
 
 // CacheOptions configures a Cache.
@@ -128,26 +193,54 @@ type CacheOptions struct {
 	// first use and is safe to share across processes (entries are written
 	// atomically via rename).
 	Dir string
+	// Tiers appends further (typically network) tiers consulted after
+	// memory and the Dir spill, in order. A tier hit is promoted to memory
+	// and written back into the earlier tiers. Tiers added here are never
+	// consulted by EntryBytes, so a fleet node serving its cache to peers
+	// cannot loop through its own peer tier.
+	Tiers []CacheTier
+	// KeepWire retains the serialized wire entry of every artifact stored
+	// with a codec in memory alongside the decoded artifact, so EntryBytes
+	// can serve peers without a disk spill. Costs roughly one encoded copy
+	// per entry; fold3dd enables it when running with peers.
+	KeepWire bool
 }
 
 // Cache is a content-addressed artifact store, safe for concurrent use.
-// Keys are plan fingerprints; values are deep clones of the artifacts.
+// Keys are plan fingerprints; values are deep clones of the artifacts. The
+// lookup path runs memory → disk spill → network tiers; every tier below
+// memory speaks the same wire entry format, and a corrupt entry anywhere is
+// a counted miss, never an error.
 type Cache struct {
-	dir string
+	disk     *DiskTier // nil without a spill dir
+	tiers    []CacheTier
+	keepWire bool
 
 	mu      sync.Mutex
 	entries map[string]Artifact
+	wire    map[string][]byte // serialized entries, kept when keepWire
 	stats   Stats
 }
 
 // NewCache returns an empty cache.
 func NewCache(opts CacheOptions) *Cache {
-	return &Cache{dir: opts.Dir, entries: map[string]Artifact{}}
+	c := &Cache{
+		keepWire: opts.KeepWire,
+		entries:  map[string]Artifact{},
+		wire:     map[string][]byte{},
+	}
+	if opts.Dir != "" {
+		c.disk = NewDiskTier(opts.Dir)
+		c.tiers = append(c.tiers, c.disk)
+	}
+	c.tiers = append(c.tiers, opts.Tiers...)
+	return c
 }
 
-// Get looks the key up in memory, then (with a codec and a spill dir) on
-// disk. The returned artifact is a fresh clone owned by the caller. A
-// corrupt disk entry counts as a miss.
+// Get looks the key up in memory, then (with a codec) through the lower
+// tiers in order. The returned artifact is a fresh clone owned by the
+// caller. A corrupt tier entry counts as a miss; a hit below memory is
+// promoted to memory and written back into the tiers above it.
 func (c *Cache) Get(key string, codec *Codec) (Artifact, bool) {
 	c.mu.Lock()
 	if art, ok := c.entries[key]; ok {
@@ -157,23 +250,43 @@ func (c *Cache) Get(key string, codec *Codec) (Artifact, bool) {
 	}
 	c.mu.Unlock()
 
-	if c.dir != "" && codec != nil {
-		art, err := readDiskEntry(c.entryPath(key), codec)
-		c.mu.Lock()
-		defer c.mu.Unlock()
-		if err == nil {
-			c.stats.DiskHits++
-			// Promote to memory so the next Get is cheap; keep our own clone
-			// since the caller gets the decoded value.
+	if codec != nil {
+		// Tier fetches run unlocked: the disk read is cheap but a peer
+		// fetch is a network round trip, and two goroutines racing the same
+		// key simply promote identical content.
+		for i, tier := range c.tiers {
+			data, err := tier.Fetch(key)
+			if err != nil {
+				continue // nothing at this tier
+			}
+			art, derr := DecodeEntry(data, codec)
+			if derr != nil {
+				if isCorrupt(derr) {
+					c.mu.Lock()
+					c.stats.Corrupt++
+					c.mu.Unlock()
+				}
+				continue // corrupt or version-skewed: a miss at this tier
+			}
+			// Write back into the faster tiers so the next lookup — and the
+			// next process start — stops earlier.
+			for _, upper := range c.tiers[:i] {
+				_ = upper.Store(key, data)
+			}
+			c.mu.Lock()
 			c.entries[key] = art.CloneArtifact()
+			if c.keepWire {
+				c.wire[key] = data
+			}
+			if tier.Label() == "disk" {
+				c.stats.DiskHits++
+			} else {
+				c.stats.PeerHits++
+			}
 			c.stats.Entries = len(c.entries)
+			c.mu.Unlock()
 			return art, true
 		}
-		if isCorrupt(err) {
-			c.stats.Corrupt++
-		}
-		c.stats.Misses++
-		return nil, false
 	}
 
 	c.mu.Lock()
@@ -182,21 +295,49 @@ func (c *Cache) Get(key string, codec *Codec) (Artifact, bool) {
 	return nil, false
 }
 
-// Put stores a deep clone of the artifact and, with a codec and a spill
-// dir, writes the disk entry. Disk write failures are swallowed: the memory
-// entry is already in place and the spill is an optimization, not a
-// durability promise.
+// Put stores a deep clone of the artifact and, with a codec, encodes the
+// wire entry for the lower tiers (and for EntryBytes when KeepWire is on).
+// Tier write failures are swallowed: the memory entry is already in place
+// and the spill is an optimization, not a durability promise.
 func (c *Cache) Put(key string, art Artifact, codec *Codec) {
 	clone := art.CloneArtifact()
+	var entry []byte
+	if codec != nil && (len(c.tiers) > 0 || c.keepWire) {
+		entry, _ = EncodeEntry(clone, codec)
+	}
 	c.mu.Lock()
 	c.entries[key] = clone
+	if c.keepWire && entry != nil {
+		c.wire[key] = entry
+	}
 	c.stats.Stores++
 	c.stats.Entries = len(c.entries)
 	c.mu.Unlock()
 
-	if c.dir != "" && codec != nil {
-		_ = writeDiskEntry(c.entryPath(key), clone, codec)
+	// Only the local spill receives writes; remote tiers fill by fetching
+	// (a peer's artifact store is its own business).
+	if entry != nil && c.disk != nil {
+		_ = c.disk.Store(key, entry)
 	}
+}
+
+// EntryBytes returns the serialized wire entry for key so a fleet node can
+// serve its cache to peers. Only local state is consulted — the in-memory
+// wire copy (with KeepWire) and the disk spill — never the network tiers,
+// so peer-to-peer lookups cannot loop.
+func (c *Cache) EntryBytes(key string) ([]byte, bool) {
+	c.mu.Lock()
+	entry, ok := c.wire[key]
+	c.mu.Unlock()
+	if ok {
+		return entry, true
+	}
+	if c.disk != nil {
+		if data, err := c.disk.Fetch(key); err == nil {
+			return data, true
+		}
+	}
+	return nil, false
 }
 
 // Stats returns a snapshot of the counters.
@@ -215,16 +356,8 @@ func (c *Cache) Len() int {
 	return len(c.entries)
 }
 
-func (c *Cache) entryPath(key string) string {
-	// Keys are hex fingerprints, safe as filenames; shard by prefix so a
-	// large cache does not put thousands of files in one directory.
-	if len(key) > 2 {
-		return filepath.Join(c.dir, key[:2], key[2:]+".f3dc")
-	}
-	return filepath.Join(c.dir, key+".f3dc")
-}
-
-// Disk entry layout:
+// Wire entry layout (one cache entry as stored on disk or served to a
+// peer):
 //
 //	magic "F3DC" | u32 schema | u32 codec version | u16 kind len | kind |
 //	32-byte SHA-256 of payload | payload
@@ -234,10 +367,15 @@ func (c *Cache) entryPath(key string) string {
 // plain miss — old entries after an upgrade are expected, not corruption).
 var diskMagic = []byte("F3DC")
 
-func writeDiskEntry(path string, art Artifact, codec *Codec) error {
+// EncodeEntry serializes the artifact into the wire entry format shared by
+// every cache tier: the disk spill writes these bytes to a file, and the
+// fold3dd /v1/artifacts endpoint serves them to peers verbatim, so a
+// fetched artifact restores byte-identically no matter which tier provided
+// it.
+func EncodeEntry(art Artifact, codec *Codec) ([]byte, error) {
 	payload, err := codec.Encode(art)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var buf bytes.Buffer
 	buf.Write(diskMagic)
@@ -253,28 +391,21 @@ func writeDiskEntry(path string, art Artifact, codec *Codec) error {
 	sum := sha256.Sum256(payload)
 	buf.Write(sum[:])
 	buf.Write(payload)
-
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return err
-	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return buf.Bytes(), nil
 }
 
 // errVersionSkew distinguishes "entry from another schema/codec version"
 // (an expected miss) from corruption (counted in stats).
 var errVersionSkew = fmt.Errorf("pipeline: cache entry version skew")
 
-func readDiskEntry(path string, codec *Codec) (Artifact, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err // plain miss: no entry on disk
-	}
+// DecodeEntry validates a wire entry (magic, schema and codec version,
+// kind, payload checksum) and decodes the artifact. Header or checksum
+// mismatches return an error wrapping errs.ErrCacheCorrupt; schema or
+// codec version skew returns a plain error (an expected miss). Callers
+// classify with errors.Is.
+func DecodeEntry(data []byte, codec *Codec) (Artifact, error) {
 	corrupt := func(what string) error {
-		return fmt.Errorf("pipeline: %s: %s: %w", path, what, errs.ErrCacheCorrupt)
+		return fmt.Errorf("pipeline: cache entry: %s: %w", what, errs.ErrCacheCorrupt)
 	}
 	if len(data) < len(diskMagic)+4+4+2 {
 		return nil, corrupt("truncated header")
@@ -304,7 +435,7 @@ func readDiskEntry(path string, codec *Codec) (Artifact, error) {
 	}
 	art, err := codec.Decode(payload)
 	if err != nil {
-		return nil, fmt.Errorf("pipeline: %s: decode: %v: %w", path, err, errs.ErrCacheCorrupt)
+		return nil, fmt.Errorf("pipeline: cache entry: decode: %v: %w", err, errs.ErrCacheCorrupt)
 	}
 	return art, nil
 }

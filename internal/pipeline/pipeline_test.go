@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -9,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"fold3d/internal/errs"
@@ -297,8 +299,8 @@ func TestCacheCorruptEntryFallsBack(t *testing.T) {
 		t.Fatalf("stats = %+v, want corrupt=1 misses=1", st)
 	}
 
-	// readDiskEntry reports the sentinel for direct probes.
-	if _, err := readDiskEntry(path, codec); !errors.Is(err, errs.ErrCacheCorrupt) {
+	// DecodeEntry reports the sentinel for direct probes.
+	if _, err := DecodeEntry(data, codec); !errors.Is(err, errs.ErrCacheCorrupt) {
 		t.Fatalf("err = %v, want ErrCacheCorrupt", err)
 	}
 }
@@ -375,5 +377,167 @@ func TestCacheStatsSnapshotUnderLoad(t *testing.T) {
 	st := c.Stats()
 	if st.Stores != n || st.Hits != n || st.Entries != 8 {
 		t.Fatalf("final stats = %+v, want stores=%d hits=%d entries=8", st, n, n)
+	}
+}
+
+// fakeTier is an in-memory CacheTier standing in for a network peer in
+// tests: entries can be preloaded (warm peer), corrupted, or left absent.
+type fakeTier struct {
+	mu      sync.Mutex
+	label   string
+	entries map[string][]byte
+	fetches int
+	stores  int
+}
+
+func newFakeTier(label string) *fakeTier {
+	return &fakeTier{label: label, entries: map[string][]byte{}}
+}
+
+func (f *fakeTier) Label() string { return f.label }
+
+func (f *fakeTier) Fetch(key string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fetches++
+	entry, ok := f.entries[key]
+	if !ok {
+		return nil, fmt.Errorf("fakeTier: %q: %w", key, os.ErrNotExist)
+	}
+	return entry, nil
+}
+
+func (f *fakeTier) Store(key string, entry []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stores++
+	f.entries[key] = append([]byte(nil), entry...)
+	return nil
+}
+
+// TestCachePeerTierHit pins the network-tier path end to end: a miss in
+// memory and disk falls through to the peer tier, the fetched entry
+// restores byte-identically, counts as a PeerHit, promotes to memory, and
+// writes back into the disk tier so the next process start stops there.
+func TestCachePeerTierHit(t *testing.T) {
+	codec := testCodec()
+	peer := newFakeTier("peer")
+	entry, err := EncodeEntry(&testArtifact{Vals: []int{7, 8, 9}}, codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer.entries["feed01"] = entry
+
+	dir := t.TempDir()
+	c := NewCache(CacheOptions{Dir: dir, Tiers: []CacheTier{peer}})
+	got, ok := c.Get("feed01", codec)
+	if !ok {
+		t.Fatal("peer entry not found")
+	}
+	if v := got.(*testArtifact).Vals; len(v) != 3 || v[0] != 7 || v[2] != 9 {
+		t.Fatalf("peer round trip mangled artifact: %v", v)
+	}
+	st := c.Stats()
+	if st.PeerHits != 1 || st.DiskHits != 0 || st.Hits != 0 {
+		t.Fatalf("stats = %+v, want exactly one peer hit", st)
+	}
+	if !strings.Contains(st.String(), "peer_hits=1") {
+		t.Fatalf("String() = %q, want peer_hits=1", st.String())
+	}
+	// Write-back: a fresh cache over the same dir now hits disk, not peer.
+	fresh := NewCache(CacheOptions{Dir: dir, Tiers: []CacheTier{peer}})
+	if _, ok := fresh.Get("feed01", codec); !ok {
+		t.Fatal("written-back entry missing from disk")
+	}
+	if st := fresh.Stats(); st.DiskHits != 1 || st.PeerHits != 0 {
+		t.Fatalf("fresh stats = %+v, want the write-back served from disk", st)
+	}
+	// Promotion: the original cache serves from memory without refetching.
+	before := peer.fetches
+	if _, ok := c.Get("feed01", codec); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if peer.fetches != before {
+		t.Fatal("memory hit refetched from the peer tier")
+	}
+}
+
+// TestCachePeerTierCorruptIsMiss mirrors the disk-spill corruption test
+// for the network tier: a truncated or bit-flipped peer entry is a counted
+// miss, never an error, and does not poison the cache.
+func TestCachePeerTierCorruptIsMiss(t *testing.T) {
+	codec := testCodec()
+	entry, err := EncodeEntry(&testArtifact{Vals: []int{1}}, codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"bitflip":   append(append([]byte(nil), entry[:len(entry)-1]...), entry[len(entry)-1]^0xff),
+		"truncated": entry[:len(entry)/2],
+		"empty":     {},
+		"garbage":   []byte("not a cache entry at all"),
+	}
+	for name, bad := range cases {
+		t.Run(name, func(t *testing.T) {
+			peer := newFakeTier("peer")
+			peer.entries["abc123"] = bad
+			c := NewCache(CacheOptions{Tiers: []CacheTier{peer}})
+			if _, ok := c.Get("abc123", codec); ok {
+				t.Fatal("corrupt peer entry served")
+			}
+			st := c.Stats()
+			if st.Misses != 1 {
+				t.Fatalf("stats = %+v, want misses=1", st)
+			}
+			if name != "empty" && name != "truncated" && st.Corrupt != 1 {
+				// Truncated-to-header and empty bodies also count corrupt;
+				// assert the bit-flip and garbage cases explicitly.
+				t.Fatalf("stats = %+v, want corrupt=1", st)
+			}
+		})
+	}
+}
+
+// TestCacheEntryBytes pins the peer-serving path: EntryBytes returns the
+// exact wire entry from the KeepWire copy or the disk spill, and never
+// consults remote tiers (so peer lookups cannot cascade).
+func TestCacheEntryBytes(t *testing.T) {
+	codec := testCodec()
+	art := &testArtifact{Vals: []int{4, 5}}
+	want, err := EncodeEntry(art, codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// KeepWire: served from memory, no disk needed.
+	mem := NewCache(CacheOptions{KeepWire: true})
+	mem.Put("aa11", art, codec)
+	got, ok := mem.EntryBytes("aa11")
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("KeepWire EntryBytes mismatch (ok=%v)", ok)
+	}
+
+	// Disk spill: served from the file even without KeepWire.
+	disk := NewCache(CacheOptions{Dir: t.TempDir()})
+	disk.Put("bb22", art, codec)
+	got, ok = disk.EntryBytes("bb22")
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("disk EntryBytes mismatch (ok=%v)", ok)
+	}
+
+	// Remote tiers are never consulted.
+	peer := newFakeTier("peer")
+	peer.entries["cc33"] = want
+	remote := NewCache(CacheOptions{Tiers: []CacheTier{peer}})
+	if _, ok := remote.EntryBytes("cc33"); ok {
+		t.Fatal("EntryBytes consulted a remote tier")
+	}
+	if peer.fetches != 0 {
+		t.Fatalf("EntryBytes fetched from the peer tier %d times", peer.fetches)
+	}
+
+	// Unknown key without any local copy.
+	if _, ok := mem.EntryBytes("missing"); ok {
+		t.Fatal("EntryBytes invented an entry")
 	}
 }

@@ -1,0 +1,179 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"fold3d/internal/jobs"
+)
+
+// The fleet benchmark measures end-to-end completion throughput: a fixed
+// workload of benchJobs distinct requests is submitted to the fleet
+// (closed-loop, honoring shed responses with a short backoff) and timed
+// until every job is terminal. jobs/s = workload / wall time.
+//
+// Methodology note for this one-CPU host: execution is CPU-bound, so
+// adding nodes cannot multiply raw compute — what the fleet genuinely
+// changes on one CPU is cache reach. A warm fleet answers the same
+// workload several times faster than the cold single-node baseline
+// because every owner serves its share from cache (local or fetched from
+// peers over the artifact network tier) instead of recomputing. On
+// multi-core hosts the same harness additionally scales with CPUs; the
+// 1/2/4-node rows here isolate the routing + cache effect from compute
+// parallelism.
+const (
+	benchJobs  = 192
+	benchDepth = 64
+)
+
+// benchBody builds one request body; distinct seeds never collide, so
+// cold rounds stay cold.
+func benchBody(b *testing.B, seed uint64) []byte {
+	b.Helper()
+	data, err := json.Marshal(jobs.Request{Experiments: []string{"table4"}, Scale: 2000, Seed: seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return data
+}
+
+// submitStatus posts one job and returns only the HTTP status (the body
+// is drained so the connection is reused).
+func submitStatus(b *testing.B, client *http.Client, url string, body []byte) int {
+	b.Helper()
+	resp, err := client.Post(url+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	return resp.StatusCode
+}
+
+// submitAll pushes one round of the workload into the fleet round-robin,
+// backing off briefly on shed (429/503) responses.
+func submitAll(b *testing.B, client *http.Client, fleet []*fleetNode, seedBase uint64) {
+	b.Helper()
+	for i := 0; i < benchJobs; i++ {
+		body := benchBody(b, seedBase+uint64(i))
+		deadline := time.Now().Add(300 * time.Second)
+		for {
+			code := submitStatus(b, client, fleet[i%len(fleet)].srv.URL, body)
+			if code == http.StatusAccepted {
+				break
+			}
+			if code != http.StatusTooManyRequests && code != http.StatusServiceUnavailable {
+				b.Fatalf("submit = %d", code)
+			}
+			if time.Now().After(deadline) {
+				b.Fatal("workload never fully admitted")
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+// drainFleet blocks until no node has queued or running jobs.
+func drainFleet(b *testing.B, fleet []*fleetNode) {
+	b.Helper()
+	deadline := time.Now().Add(300 * time.Second)
+	for _, fn := range fleet {
+		for {
+			m := fn.mgr.Metrics()
+			if m.Queued == 0 && m.Running == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				b.Fatalf("node %s never drained (%d queued, %d running)", fn.id, m.Queued, m.Running)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+func benchFleetThroughput(b *testing.B, nNodes int, warm bool) {
+	fleet := newFleet(b, nNodes, benchDepth)
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 8}}
+	defer client.CloseIdleConnections()
+	const warmBase = uint64(1)
+	if warm {
+		// Pre-run the workload once through normal routing so every
+		// owner's cache holds its share; timed rounds re-offer the same
+		// requests.
+		submitAll(b, client, fleet, warmBase)
+		drainFleet(b, fleet)
+	}
+	b.ResetTimer()
+	for iter := 0; iter < b.N; iter++ {
+		seedBase := warmBase
+		if !warm {
+			// Never-seen seeds keep every round cold.
+			seedBase = uint64(1<<20 + iter*benchJobs)
+		}
+		submitAll(b, client, fleet, seedBase)
+		drainFleet(b, fleet)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(benchJobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// BenchmarkFleetThroughput covers 1/2/4 nodes, warm and cold.
+func BenchmarkFleetThroughput(b *testing.B) {
+	for _, warm := range []bool{false, true} {
+		for _, n := range []int{1, 2, 4} {
+			label := "cold"
+			if warm {
+				label = "warm"
+			}
+			b.Run(fmt.Sprintf("%s-%dnode", label, n), func(b *testing.B) {
+				benchFleetThroughput(b, n, warm)
+			})
+		}
+	}
+}
+
+// BenchmarkFleetPeerWarm isolates the network cache tier: a two-node
+// fleet where the artifacts for the whole workload live only on the
+// nodes that do NOT own the requests, so every owner must fill its cache
+// over HTTP from its peer. Compare against cold-2node (recompute) and
+// warm-2node (local hits) in BenchmarkFleetThroughput.
+func BenchmarkFleetPeerWarm(b *testing.B) {
+	fleet := newFleet(b, 2, benchDepth)
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 8}}
+	defer client.CloseIdleConnections()
+	// Plant every request's artifacts on the non-owner via direct manager
+	// submits (bypassing routing).
+	for i := 0; i < benchJobs; i++ {
+		req := jobs.Request{Experiments: []string{"table4"}, Scale: 2000, Seed: uint64(i + 1)}
+		owner := fleet[0].ring.Owner(string(req.Fingerprint())).ID
+		holder := fleet[0]
+		if owner == fleet[0].id {
+			holder = fleet[1]
+		}
+		j, err := holder.mgr.Submit(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		<-j.Done()
+	}
+	b.ResetTimer()
+	for iter := 0; iter < b.N; iter++ {
+		submitAll(b, client, fleet, 1)
+		drainFleet(b, fleet)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(benchJobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
+	var peerHits int
+	for _, fn := range fleet {
+		peerHits += fn.cache.Stats().PeerHits
+	}
+	if peerHits == 0 {
+		b.Fatal("peer-warm run never touched the network cache tier")
+	}
+	b.ReportMetric(float64(peerHits)/float64(b.N), "peer-hits/op")
+}

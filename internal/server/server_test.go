@@ -122,8 +122,9 @@ func TestLifecycle(t *testing.T) {
 	}
 }
 
-// TestClientErrors is the 4xx table: malformed bodies and bad requests map
-// to 400, unknown IDs to 404, all with JSON error bodies.
+// TestClientErrors is the table-driven test of the unified error envelope:
+// every /v1 error is {"error":{"code","message"}} with the status and code
+// drawn from the single sentinel-mapping table.
 func TestClientErrors(t *testing.T) {
 	ts, _ := newTestServer(t, jobs.Options{})
 
@@ -133,14 +134,20 @@ func TestClientErrors(t *testing.T) {
 		path   string
 		body   string
 		want   int
+		code   string
 	}{
-		{"malformed json", "POST", "/v1/jobs", `{"experiments":`, http.StatusBadRequest},
-		{"unknown field", "POST", "/v1/jobs", `{"experiment":"table1"}`, http.StatusBadRequest},
-		{"unknown experiment", "POST", "/v1/jobs", `{"experiments":["bogus"]}`, http.StatusBadRequest},
-		{"bad scale", "POST", "/v1/jobs", `{"scale":0.5}`, http.StatusBadRequest},
-		{"negative workers", "POST", "/v1/jobs", `{"workers":-1}`, http.StatusBadRequest},
-		{"unknown job", "GET", "/v1/jobs/job-999999", "", http.StatusNotFound},
-		{"unknown job events", "GET", "/v1/jobs/job-999999/events", "", http.StatusNotFound},
+		{"malformed json", "POST", "/v1/jobs", `{"experiments":`, http.StatusBadRequest, "bad_request"},
+		{"unknown field", "POST", "/v1/jobs", `{"experiment":"table1"}`, http.StatusBadRequest, "bad_request"},
+		{"unknown experiment", "POST", "/v1/jobs", `{"experiments":["bogus"]}`, http.StatusBadRequest, "bad_request"},
+		{"bad scale", "POST", "/v1/jobs", `{"scale":0.5}`, http.StatusBadRequest, "bad_request"},
+		{"negative workers", "POST", "/v1/jobs", `{"workers":-1}`, http.StatusBadRequest, "bad_request"},
+		{"unknown job", "GET", "/v1/jobs/job-999999", "", http.StatusNotFound, "not_found"},
+		{"unknown job events", "GET", "/v1/jobs/job-999999/events", "", http.StatusNotFound, "not_found"},
+		{"empty batch", "POST", "/v1/batches", `{"jobs":[]}`, http.StatusBadRequest, "bad_request"},
+		{"bad batch member", "POST", "/v1/batches", `{"jobs":[{"experiments":["bogus"]}]}`, http.StatusBadRequest, "bad_request"},
+		{"unknown batch", "GET", "/v1/batches/batch-999999", "", http.StatusNotFound, "not_found"},
+		{"unknown batch events", "GET", "/v1/batches/batch-999999/events", "", http.StatusNotFound, "not_found"},
+		{"unknown artifact", "GET", "/v1/artifacts/deadbeef", "", http.StatusNotFound, "not_found"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -156,9 +163,12 @@ func TestClientErrors(t *testing.T) {
 			if resp.StatusCode != c.want {
 				t.Fatalf("status = %d, want %d", resp.StatusCode, c.want)
 			}
-			var e map[string]string
-			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e["error"] == "" {
-				t.Errorf("error body missing: %v %v", e, err)
+			var e ErrorBody
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+				t.Fatalf("error envelope undecodable: %v", err)
+			}
+			if e.Error.Code != c.code || e.Error.Message == "" {
+				t.Errorf("envelope = %+v, want code %q with a message", e, c.code)
 			}
 		})
 	}
@@ -358,6 +368,9 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("submit after shutdown = %d, want 503", resp.StatusCode)
 	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shutdown 503 carries no Retry-After header")
+	}
 	resp, err = http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -409,6 +422,60 @@ func TestQueueFullOverHTTP(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("overflow submit = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("queue-full 503 carries no Retry-After header")
+	}
+	var e ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error.Code != "queue_full" {
+		t.Errorf("queue-full envelope = %+v (%v), want code queue_full", e, err)
+	}
+}
+
+// TestQuotaOverHTTP pins the per-tenant 429: a tenant at its quota gets
+// quota_exceeded with Retry-After while another tenant still gets 202.
+func TestQuotaOverHTTP(t *testing.T) {
+	ts, _ := newTestServer(t, jobs.Options{Workers: 1, QueueDepth: 16, TenantQuota: 1})
+
+	// Flood one tenant; with a quota of 1 and jobs taking seconds, at least
+	// one of three rapid submissions must bounce with 429.
+	var rejected *http.Response
+	for i := 0; i < 3 && rejected == nil; i++ {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+			strings.NewReader(`{"experiments":["table2"],"tenant":"acme"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			rejected = resp
+		} else {
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("submit %d = %d", i, resp.StatusCode)
+			}
+		}
+	}
+	if rejected == nil {
+		t.Fatal("three rapid submissions never hit the quota of 1")
+	}
+	defer rejected.Body.Close()
+	if rejected.Header.Get("Retry-After") == "" {
+		t.Error("quota 429 carries no Retry-After header")
+	}
+	var e ErrorBody
+	if err := json.NewDecoder(rejected.Body).Decode(&e); err != nil || e.Error.Code != "quota_exceeded" {
+		t.Errorf("quota envelope = %+v (%v), want code quota_exceeded", e, err)
+	}
+
+	// Another tenant is still welcome.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"experiments":["table4"],"tenant":"other"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("other tenant = %d, want 202 while acme is at quota", resp.StatusCode)
 	}
 }
 
@@ -535,5 +602,125 @@ func benchOneJob(b *testing.B, ts *httptest.Server, body string) {
 	}
 	if last.Fingerprint == "" {
 		b.Fatal("no fingerprint")
+	}
+}
+
+// TestBatchOverHTTP drives the batch API end to end: atomic submission,
+// the multiplexed NDJSON stream (dense batch Seq, job-tagged events,
+// ?from= resume), and the terminal batch status.
+func TestBatchOverHTTP(t *testing.T) {
+	ts, _ := newTestServer(t, jobs.Options{Workers: 2})
+
+	resp, err := http.Post(ts.URL+"/v1/batches", "application/json",
+		strings.NewReader(`{"jobs":[{"experiments":["table4"]},{"experiments":["table4"],"seed":7}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var binfo jobs.BatchInfo
+	if err := json.NewDecoder(resp.Body).Decode(&binfo); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/batches = %d, want 202", resp.StatusCode)
+	}
+	if len(binfo.Jobs) != 2 || binfo.ID == "" {
+		t.Fatalf("batch info = %+v", binfo)
+	}
+
+	// Stream the multiplexed events until the batch terminalizes.
+	stream, err := http.Get(ts.URL + "/v1/batches/" + binfo.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	if ct := stream.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("batch stream content type = %q", ct)
+	}
+	var events []jobs.BatchEvent
+	perJob := map[string]int{}
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev jobs.BatchEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if ev.Seq != len(events) {
+			t.Fatalf("batch Seq not dense: got %d at position %d", ev.Seq, len(events))
+		}
+		if ev.Event.Seq != perJob[ev.Job] {
+			t.Fatalf("job %s events reordered: got seq %d, want %d", ev.Job, ev.Event.Seq, perJob[ev.Job])
+		}
+		perJob[ev.Job]++
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(perJob) != 2 {
+		t.Fatalf("stream covered %d jobs, want 2", len(perJob))
+	}
+
+	// Terminal status, with two distinct member fingerprints (seeds differ).
+	var final jobs.BatchInfo
+	if code := getJSON(t, ts.URL+"/v1/batches/"+binfo.ID, &final); code != http.StatusOK {
+		t.Fatalf("GET /v1/batches/{id} = %d", code)
+	}
+	if final.State != jobs.StateDone {
+		t.Fatalf("batch state = %s, want done", final.State)
+	}
+	if final.Jobs[0].Result.Fingerprint == final.Jobs[1].Result.Fingerprint {
+		t.Fatal("different seeds produced identical fingerprints")
+	}
+
+	// ?from= resume: ask for the tail only.
+	tail, err := http.Get(ts.URL + "/v1/batches/" + binfo.ID + "/events?from=" + fmt.Sprint(len(events)-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tail.Body.Close()
+	tsc := bufio.NewScanner(tail.Body)
+	n := 0
+	for tsc.Scan() {
+		var ev jobs.BatchEvent
+		if err := json.Unmarshal(tsc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Seq != len(events)-1+n {
+			t.Fatalf("resume returned seq %d, want %d", ev.Seq, len(events)-1+n)
+		}
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("resume from last returned %d events, want 1", n)
+	}
+}
+
+// TestArtifactEndpointServesWireEntries pins the peer-serving path over
+// HTTP: after a job runs, its block artifacts are fetchable as wire
+// entries that decode cleanly, and unknown keys 404.
+func TestArtifactEndpointServesWireEntries(t *testing.T) {
+	ts, mgr := newTestServer(t, jobs.Options{})
+	info := postJob(t, ts, `{"experiments":["table4"]}`)
+	pollDone(t, ts, info.ID)
+
+	// The manager's cache now holds block artifacts; EntryBytes must serve
+	// at least one of them over the endpoint. We don't know the keys from
+	// here, so assert via the manager's stats + a negative probe.
+	if st := mgr.CacheStats(); st.Stores == 0 {
+		t.Fatal("job stored no artifacts to serve")
+	}
+	resp, err := http.Get(ts.URL + "/v1/artifacts/no-such-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown artifact = %d, want 404", resp.StatusCode)
+	}
+	var e ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error.Code != "not_found" {
+		t.Fatalf("artifact 404 envelope = %+v (%v)", e, err)
 	}
 }

@@ -37,6 +37,13 @@ var (
 	ErrShutdown = jobs.ErrShutdown
 	// ErrUnknownJob reports a lookup of a job ID the manager never issued.
 	ErrUnknownJob = jobs.ErrUnknownJob
+	// ErrUnknownBatch reports a lookup of a batch ID the manager never
+	// issued.
+	ErrUnknownBatch = jobs.ErrUnknownBatch
+	// ErrQuotaExceeded reports a submission rejected because its tenant is
+	// at its per-tenant queue quota (the global queue may still have room;
+	// other tenants are unaffected).
+	ErrQuotaExceeded = jobs.ErrQuotaExceeded
 )
 
 // JobRequest is one job submission: experiments to run and their knobs.
@@ -69,6 +76,28 @@ type JobResult = jobs.Result
 // JobEvent is one line of a job's event stream: a lifecycle transition or
 // a flow progress update, densely sequence-numbered for lossless resume.
 type JobEvent = jobs.Event
+
+// Batch is a group of jobs admitted atomically, with one multiplexed
+// event stream over every member.
+type Batch = jobs.Batch
+
+// BatchInfo is a point-in-time snapshot of a batch and its member jobs.
+type BatchInfo = jobs.BatchInfo
+
+// BatchEvent is one line of a batch's multiplexed event stream: a member
+// job's event tagged with that job's ID under a batch-wide dense sequence.
+type BatchEvent = jobs.BatchEvent
+
+// BatchRequest is the body of POST /v1/batches: many job configurations
+// submitted as one atomic request.
+type BatchRequest = server.BatchRequest
+
+// ErrorBody is the unified /v1 error envelope: {"error":{"code","message"}}.
+type ErrorBody = server.ErrorBody
+
+// ErrorDetail is the inner object of ErrorBody: a stable machine-readable
+// code plus human-readable message.
+type ErrorDetail = server.ErrorDetail
 
 // JobManager owns the job queue: admission, the bounded scheduler, job
 // state and service metrics.

@@ -49,9 +49,11 @@ go test -race -cpu=4 \
 # The fold3dd server is the one sanctioned home of long-lived goroutines
 # (scheduler workers, accept loop); re-run its suites under the race
 # detector with extra CPUs so admission, event streams and shutdown drain
-# interleave more aggressively.
-echo "==> go test -race -cpu=4 (fold3dd job queue + HTTP server + daemon)"
-go test -race -cpu=4 -count=2 ./internal/jobs/ ./internal/server/ ./cmd/fold3dd/
+# interleave more aggressively. The fleet suites (consistent-hash routing,
+# forwarded jobs, the peer artifact tier) and the public client live here
+# too.
+echo "==> go test -race -cpu=4 (fold3dd job queue + HTTP server + daemon + fleet + client)"
+go test -race -cpu=4 -count=2 ./internal/jobs/ ./internal/server/ ./cmd/fold3dd/ ./internal/cluster/ ./pkg/fold3d/
 
 # Daemon smoke test: boot the real binary on a random port, run one small
 # job end to end over HTTP, scrape /metrics, and require a graceful
@@ -59,8 +61,12 @@ go test -race -cpu=4 -count=2 ./internal/jobs/ ./internal/server/ ./cmd/fold3dd/
 echo "==> fold3dd smoke (boot, one job, scrape /metrics)"
 SMOKEDIR="$(mktemp -d)"
 SMOKEPID=""
+APID=""
+BPID=""
 cleanup_smoke() {
 	[ -n "$SMOKEPID" ] && kill "$SMOKEPID" 2>/dev/null
+	[ -n "$APID" ] && kill "$APID" 2>/dev/null
+	[ -n "$BPID" ] && kill "$BPID" 2>/dev/null
 	rm -rf "$SMOKEDIR"
 }
 trap cleanup_smoke EXIT
@@ -99,6 +105,88 @@ if ! wait "$SMOKEPID"; then
 fi
 SMOKEPID=""
 
+# Fleet smoke test: boot two daemons as each other's peers, find a seed
+# whose {table4} and {table1,table4} requests hash to different owners
+# (the pair shares its table4 stage artifacts), run both through one entry
+# node, and require that the second job's owner filled its cache from its
+# peer over the artifact network tier (peer_hit > 0 in that node's
+# /metrics). Both nodes must exit cleanly on SIGTERM.
+echo "==> fold3dd fleet smoke (two nodes, forwarding, peer cache fetch)"
+PORTA=42801
+PORTB=42802
+PEERS="a=http://127.0.0.1:$PORTA,b=http://127.0.0.1:$PORTB"
+"$SMOKEDIR/fold3dd" -addr "127.0.0.1:$PORTA" -node-id a -peers "$PEERS" -peer-token smoke 2>"$SMOKEDIR/a.log" &
+APID=$!
+"$SMOKEDIR/fold3dd" -addr "127.0.0.1:$PORTB" -node-id b -peers "$PEERS" -peer-token smoke 2>"$SMOKEDIR/b.log" &
+BPID=$!
+for NODE in a b; do
+	i=0
+	while [ "$i" -lt 100 ]; do
+		grep -q '^fold3dd: serving on ' "$SMOKEDIR/$NODE.log" && break
+		i=$((i + 1))
+		sleep 0.1
+	done
+	grep -q '^fold3dd: serving on ' "$SMOKEDIR/$NODE.log" || {
+		echo "check.sh: fleet node $NODE never bound its port:" >&2
+		cat "$SMOKEDIR/$NODE.log" >&2
+		exit 1
+	}
+done
+A="http://127.0.0.1:$PORTA"
+B="http://127.0.0.1:$PORTB"
+
+# wait_done <base-url> <job-id> — poll until the job is terminal, require done.
+wait_done() {
+	_state=""
+	_i=0
+	while [ "$_i" -lt 300 ]; do
+		_state="$(curl -sf "$1/v1/jobs/$2" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')"
+		case "$_state" in done | failed | canceled) break ;; esac
+		_i=$((_i + 1))
+		sleep 0.1
+	done
+	[ "$_state" = done ] || { echo "check.sh: fleet job $2 ended in state '$_state'" >&2; exit 1; }
+}
+
+CROSS=""
+SEED=1
+while [ "$SEED" -le 32 ]; do
+	ID1="$(curl -sf -X POST "$A/v1/jobs" -d "{\"experiments\":[\"table4\"],\"seed\":$SEED}" |
+		sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+	[ -n "$ID1" ] || { echo "check.sh: fleet submit (seed $SEED) rejected" >&2; exit 1; }
+	wait_done "$A" "$ID1"
+	ID2="$(curl -sf -X POST "$A/v1/jobs" -d "{\"experiments\":[\"table1\",\"table4\"],\"seed\":$SEED}" |
+		sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+	[ -n "$ID2" ] || { echo "check.sh: fleet submit (pair, seed $SEED) rejected" >&2; exit 1; }
+	wait_done "$A" "$ID2"
+	# Job IDs are owner-prefixed (a-job-000001): the prefix says which node
+	# the consistent hash routed each request to.
+	OWNER1="${ID1%%-*}"
+	OWNER2="${ID2%%-*}"
+	if [ "$OWNER1" != "$OWNER2" ]; then
+		CROSS="$OWNER2"
+		break
+	fi
+	SEED=$((SEED + 1))
+done
+[ -n "$CROSS" ] || { echo "check.sh: no seed in [1,32] split ownership across the two nodes" >&2; exit 1; }
+CROSSURL="$A"
+[ "$CROSS" = b ] && CROSSURL="$B"
+PEERHITS="$(curl -sf "$CROSSURL/metrics" | sed -n 's/^fold3dd_cache_lookups_total{outcome="peer_hit"} //p')"
+[ -n "$PEERHITS" ] && [ "$PEERHITS" -gt 0 ] || {
+	echo "check.sh: fleet node $CROSS reported no peer cache hits (got '${PEERHITS:-missing}')" >&2
+	exit 1
+}
+kill "$APID" "$BPID"
+for PID in "$APID" "$BPID"; do
+	if ! wait "$PID"; then
+		echo "check.sh: a fleet node did not exit cleanly on SIGTERM" >&2
+		exit 1
+	fi
+done
+APID=""
+BPID=""
+
 # The linter itself now runs its checks through the worker pool; re-run
 # its suite under the race detector with extra CPUs so a data race in the
 # parallel load or check fan-out cannot hide behind deterministic output.
@@ -113,8 +201,8 @@ go run ./cmd/fold3dlint ./...
 # Every PR appends one line to CHANGES.md; a PR that ships without its
 # entry leaves the next session blind to what is already done.
 echo "==> CHANGES.md entry"
-grep -q '^PR 6:' CHANGES.md || {
-	echo "check.sh: CHANGES.md has no 'PR 6:' entry" >&2
+grep -q '^PR 7:' CHANGES.md || {
+	echo "check.sh: CHANGES.md has no 'PR 7:' entry" >&2
 	exit 1
 }
 
