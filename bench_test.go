@@ -11,6 +11,10 @@ package fold3drepo
 
 import (
 	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
 	"testing"
 
 	"fold3d/internal/exp"
@@ -305,17 +309,52 @@ func BenchmarkAblationRSMT(b *testing.B) {
 	}
 }
 
+// buildChipScales is the scale axis of the BuildChip benchmarks: the
+// denominators fed to t2.Generate, largest (coarsest netlist) first.
+// Smaller scale = more cells; scripts/bench.sh sweeps these into the
+// BENCH_PR8.json scale curve.
+var buildChipScales = []int{1000, 300, 100}
+
+// peakRSSkB reads the process peak resident set (VmHWM) from
+// /proc/self/status. Zero on hosts without procfs (the metric is then
+// simply omitted). The high-water mark is process-wide and monotone, so
+// across sub-benchmarks it reflects the largest scale run so far — which
+// is exactly the peak the memory budget cares about.
+func peakRSSkB() float64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if v, ok := strings.CutPrefix(line, "VmHWM:"); ok {
+			f := strings.Fields(v)
+			if len(f) > 0 {
+				kb, _ := strconv.ParseFloat(f[0], 64)
+				return kb
+			}
+		}
+	}
+	return 0
+}
+
 // benchBuildChip builds the folded-F2B chip end to end at the given
-// worker count. The flow folds blocks in place, so each iteration
-// regenerates the design (like every exp generator does per style).
-func benchBuildChip(b *testing.B, workers int) {
+// worker count and t2 scale. The flow folds blocks in place, so each
+// iteration regenerates the design (like every exp generator does per
+// style). Reports the design's cell count and the process peak RSS so
+// the scale sweep pairs wall-clock with memory.
+func benchBuildChip(b *testing.B, workers, scale int) {
 	b.Helper()
 	fcfg := flow.DefaultConfig()
 	fcfg.Workers = workers
+	cells := 0
 	for i := 0; i < b.N; i++ {
-		d, err := t2.Generate(t2.Config{Scale: 1000, Seed: 42})
+		d, err := t2.Generate(t2.Config{Scale: float64(scale), Seed: 42})
 		if err != nil {
 			b.Fatal(err)
+		}
+		cells = 0
+		for _, blk := range d.Blocks {
+			cells += len(blk.Cells)
 		}
 		r, err := flow.New(d, fcfg).BuildChipContext(context.Background(), t2.StyleFoldF2B)
 		if err != nil {
@@ -324,6 +363,10 @@ func benchBuildChip(b *testing.B, workers int) {
 		if r.Power.TotalMW <= 0 {
 			b.Fatal("no power report")
 		}
+	}
+	b.ReportMetric(float64(cells), "cells")
+	if kb := peakRSSkB(); kb > 0 {
+		b.ReportMetric(kb, "peak_rss_kB")
 	}
 }
 
@@ -378,10 +421,22 @@ func BenchmarkRunAllShared(b *testing.B) {
 	b.ReportMetric(float64(st.Hits)/float64(b.N), "restores/op")
 }
 
-// BenchmarkBuildChipSequential is the Workers=1 baseline of the chip build.
-func BenchmarkBuildChipSequential(b *testing.B) { benchBuildChip(b, 1) }
+// BenchmarkBuildChipSequential is the Workers=1 baseline of the chip
+// build, one sub-benchmark per t2 scale (scale 1000 is the tier-1 size;
+// smaller scales grow the netlist toward the scaling-pass regime).
+func BenchmarkBuildChipSequential(b *testing.B) {
+	for _, s := range buildChipScales {
+		s := s
+		b.Run(fmt.Sprintf("scale=%d", s), func(b *testing.B) { benchBuildChip(b, 1, s) })
+	}
+}
 
 // BenchmarkBuildChipParallel fans the per-block implementation out across
-// one worker per CPU; compare against BenchmarkBuildChipSequential for the
-// speedup (results are byte-identical either way).
-func BenchmarkBuildChipParallel(b *testing.B) { benchBuildChip(b, 0) }
+// one worker per CPU; compare against BenchmarkBuildChipSequential at the
+// same scale for the speedup (results are byte-identical either way).
+func BenchmarkBuildChipParallel(b *testing.B) {
+	for _, s := range buildChipScales {
+		s := s
+		b.Run(fmt.Sprintf("scale=%d", s), func(b *testing.B) { benchBuildChip(b, 0, s) })
+	}
+}

@@ -58,6 +58,7 @@ func run() int {
 		workers    = flag.Int("workers", 0, "parallel workers across experiments and per chip build (0 = one per CPU, 1 = sequential)")
 		progress   = flag.Bool("progress", false, "stream live per-block flow status to stderr")
 		cachedir   = flag.String("cachedir", "", "spill the block-artifact cache to this directory (warm-starts later runs)")
+		cachemb    = flag.Int("cachebudget", 512, "in-memory artifact-cache budget in MiB, 0 = unbounded; evicted entries fall back to -cachedir or recompute")
 		cachestats = flag.Bool("cachestats", false, "print artifact-cache hit/miss counters to stderr on exit")
 		cpuprof    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof    = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -100,7 +101,7 @@ func run() int {
 	cfg := exp.Config{Scale: *scale, Seed: *seed, Workers: *workers}
 	// RunAll would create a memory-only cache itself; build it here so the
 	// disk spill and the -cachestats report see the same instance.
-	cfg.Cache = pipeline.NewCache(pipeline.CacheOptions{Dir: *cachedir})
+	cfg.Cache = pipeline.NewCache(pipeline.CacheOptions{Dir: *cachedir, MaxBytes: int64(*cachemb) << 20})
 	if *cachestats {
 		defer func() {
 			fmt.Fprintf(os.Stderr, "fold3d: cache %s\n", cfg.Cache.Stats())

@@ -10,6 +10,15 @@
 //	fold3dd -jobs 4 -queue 128         # four concurrent jobs, deeper queue
 //	fold3dd -cachedir ./cache          # spill block artifacts to disk
 //	fold3dd -cachestats                # print cache counters on exit
+//	fold3dd -pprof                     # expose /debug/pprof/ profiling
+//
+// -pprof mounts the standard net/http/pprof handlers (heap, goroutine,
+// CPU profile, trace, ...) under /debug/pprof/ on the same listener. It
+// is off by default because the endpoints expose process internals;
+// enable it only on trusted or loopback interfaces, e.g.
+//
+//	fold3dd -addr 127.0.0.1:8080 -pprof
+//	go tool pprof http://127.0.0.1:8080/debug/pprof/heap
 //
 // Fleet mode: give every node the same full peer list (including itself)
 // and a unique -node-id; jobs route to their owner by consistent hash of
@@ -71,6 +80,7 @@ func run(args []string, ready func(addr string)) int {
 		peers      = fs.String("peers", "", "full fleet peer list as 'id=url,id=url,...' including this node; same value on every node")
 		peerToken  = fs.String("peer-token", "", "shared secret for node-to-node requests (forwarded jobs, artifact fetches)")
 		quota      = fs.Int("tenant-quota", 0, "max queued jobs per tenant (0 = no per-tenant limit)")
+		pprofOn    = fs.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/ (trusted interfaces only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -123,7 +133,7 @@ func run(args []string, ready func(addr string)) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv := &http.Server{Handler: server.NewWithOptions(server.Options{Manager: mgr, Router: router})}
+	srv := &http.Server{Handler: server.NewWithOptions(server.Options{Manager: mgr, Router: router, Pprof: *pprofOn})}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }() // sanctioned: the accept loop of the server exemption
 

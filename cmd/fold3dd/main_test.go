@@ -20,7 +20,7 @@ func TestDaemonSmoke(t *testing.T) {
 	exitc := make(chan int, 1)
 	go func() {
 		exitc <- run(
-			[]string{"-addr", "127.0.0.1:0", "-jobs", "2", "-cachestats"},
+			[]string{"-addr", "127.0.0.1:0", "-jobs", "2", "-cachestats", "-pprof"},
 			func(addr string) { addrc <- addr },
 		)
 	}()
@@ -41,6 +41,16 @@ func TestDaemonSmoke(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	// -pprof was passed, so the profiling index must serve.
+	resp, err = http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index = %d, want 200", resp.StatusCode)
 	}
 
 	// One small end-to-end job.

@@ -10,11 +10,13 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 
+	"fold3d/internal/errs"
 	"fold3d/internal/netlist"
 	"fold3d/internal/t2"
 )
@@ -75,6 +77,11 @@ func main() {
 	d, err := t2.Generate(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "t2gen:", err)
+		// Bad configuration (an out-of-range -scale above all) is a usage
+		// error: exit 2 like a flag-parse failure, not a generation failure.
+		if errors.Is(err, errs.ErrBadOptions) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 

@@ -43,6 +43,15 @@ type Config struct {
 	Cache *pipeline.Cache
 }
 
+// DefaultCacheBudget is the in-memory artifact-cache bound (bytes) RunAll
+// applies to the cache it creates when Config.Cache is nil — the
+// memory-budgeted execution mode: old artifacts are evicted past this size
+// so a large-scale build's cache cannot grow with the run length. Evictions
+// only force recomputation (or a disk-tier read); results stay
+// fingerprint-identical. Pass an explicitly configured Cache to choose a
+// different bound or run unbounded.
+const DefaultCacheBudget int64 = 512 << 20
+
 // DefaultConfig returns the scale and seed the committed EXPERIMENTS.md
 // numbers were produced with.
 func DefaultConfig() Config { return Config{Scale: 1000, Seed: 42} }
@@ -52,9 +61,10 @@ func DefaultConfig() Config { return Config{Scale: 1000, Seed: 42} }
 // the historical sentinel for out-of-range values), so transport layers
 // can classify them with errors.Is and map them to client errors.
 func (c Config) Validate() error {
-	if c.Scale != 0 && c.Scale < 1 {
-		return fmt.Errorf("exp: %w: %w: scale must be >= 1 (0 selects the default), got %g",
-			errs.ErrBadRequest, errs.ErrBadOptions, c.Scale)
+	// Negated range form so NaN (every comparison false) is rejected too.
+	if c.Scale != 0 && !(c.Scale >= 1 && c.Scale <= t2.MaxScale) {
+		return fmt.Errorf("exp: %w: %w: scale must be in [1, %g] (0 selects the default), got %g",
+			errs.ErrBadRequest, errs.ErrBadOptions, float64(t2.MaxScale), c.Scale)
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("exp: %w: %w: workers must be >= 0 (0 selects one per CPU), got %d",

@@ -248,7 +248,7 @@ func RunAll(ctx context.Context, cfg Config, names []string, onDone func(*Result
 	// five styles), so sharing turns those rebuilds into cache restores.
 	// Callers wanting cross-RunAll sharing or the disk spill pass their own.
 	if cfg.Cache == nil {
-		cfg.Cache = pipeline.NewCache(pipeline.CacheOptions{})
+		cfg.Cache = pipeline.NewCache(pipeline.CacheOptions{MaxBytes: DefaultCacheBudget})
 	}
 	// Serialize progress callbacks across generators under one mutex (each
 	// flow only serializes its own events; concurrent generators each carry

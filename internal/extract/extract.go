@@ -273,8 +273,19 @@ func (e *Extractor) coupleNet(b *netlist.Block, n *netlist.Net, buf *[]geom.Poin
 // split falls out of its two terms.
 func TotalLoad(b *netlist.Block, n *netlist.Net) (wirefF, pinfF float64) {
 	wirefF = n.WireCapfF
+	// The common pin kinds are switched inline: PinCap cannot be inlined
+	// (its bad-kind panic keeps it over the inliner budget) and this loop
+	// is the hottest consumer of pin caps in the whole flow. Same fields,
+	// same order — identical sums.
 	for _, s := range n.Sinks {
-		pinfF += b.PinCap(s)
+		switch s.Kind {
+		case netlist.KindCell:
+			pinfF += b.Cells[s.Idx].Master.InCapfF
+		case netlist.KindMacro:
+			pinfF += b.Macros[s.Idx].Model.InCapfF
+		default:
+			pinfF += b.PinCap(s)
+		}
 	}
 	return wirefF, pinfF
 }

@@ -53,6 +53,31 @@ func (a *blockArtifact) CloneArtifact() pipeline.Artifact {
 	return c
 }
 
+// ApproxBytes reports the artifact's rough in-memory footprint for the
+// cache's MaxBytes budget (pipeline.Sizer). Dominated by the netlist; the
+// per-element constants are struct sizes rounded up to cover the slice
+// headers, sink slices and name strings hanging off each record.
+func (a *blockArtifact) ApproxBytes() int64 {
+	var n int64
+	if b := a.Block; b != nil {
+		const (
+			cellBytes  = 128 // Instance + name string + sink refs amortized
+			netBytes   = 160 // Net + sinks slice + name
+			macroBytes = 96
+			portBytes  = 64
+		)
+		n += int64(len(b.Cells))*cellBytes +
+			int64(len(b.Nets))*netBytes +
+			int64(len(b.Macros))*macroBytes +
+			int64(len(b.Ports))*portBytes +
+			int64(len(b.TSVPads))*32
+	}
+	if a.Timing != nil {
+		n += int64(len(a.Timing.CellSlack)+len(a.Timing.NetSlack)+len(a.Timing.ArrOut)) * 8
+	}
+	return n + 1024
+}
+
 // result converts the artifact into the BlockResult the flow returns,
 // installing the implemented netlist into live (the caller's block pointer
 // stays valid — content replacement, like the rest of the flow mutates

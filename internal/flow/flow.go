@@ -153,6 +153,15 @@ type Flow struct {
 	// mu serializes Trace writes and Progress callbacks across the chip
 	// build's worker pool.
 	mu *sync.Mutex
+	// placers and opts recycle per-block engine state across the chip
+	// build: a finished block's placer and optimizer (with its timing
+	// engine) go back in the pool and the next block reinitializes them,
+	// reusing the scratch and result arrays instead of re-allocating the
+	// ~20 per-cell slices every build. Reinit restores as-new behavior,
+	// so pooled and fresh objects are interchangeable (fingerprints do
+	// not depend on worker scheduling).
+	placers sync.Pool
+	opts    sync.Pool
 }
 
 // New returns a flow over design d. Unset (zero) config fields take the
@@ -226,7 +235,38 @@ func (f *Flow) ImplementBlockContext(ctx context.Context, b *netlist.Block, aspe
 	if err := ex.Run(ctx, st.blockPlan(), spec); err != nil {
 		return nil, err
 	}
+	// Recycle the engines only after Run returns: the executor's artifact
+	// capture (which clones st.res for the cache) has finished, and
+	// stageFinal copied the timing report out of the optimizer's engine,
+	// so nothing reachable from st.res aliases pooled state. A cache-hit
+	// restore leaves both nil.
+	if st.placer != nil {
+		f.placers.Put(st.placer)
+	}
+	if st.o != nil {
+		f.opts.Put(st.o)
+	}
 	return st.res, nil
+}
+
+// getPlacer returns a pooled placer reinitialized for this flow's options,
+// or a fresh one when the pool is empty.
+func (f *Flow) getPlacer() *place.Placer {
+	if p, ok := f.placers.Get().(*place.Placer); ok {
+		p.Reinit(f.placeOptions())
+		return p
+	}
+	return place.New(f.placeOptions())
+}
+
+// getOptimizer returns a pooled optimizer reinitialized for cfg, or a fresh
+// one when the pool is empty.
+func (f *Flow) getOptimizer(cfg opt.Options) *opt.Optimizer {
+	if o, ok := f.opts.Get().(*opt.Optimizer); ok {
+		o.Reinit(f.D.Lib, f.Ex, cfg)
+		return o
+	}
+	return opt.New(f.D.Lib, f.Ex, cfg)
 }
 
 // placeOptions derives per-run placer options.

@@ -170,7 +170,7 @@ func (st *implState) stagePrepare(ctx context.Context) error {
 // stagePlace runs mixed-size global placement and legalization. The placer
 // is kept for downstream legalization passes (it owns the row model).
 func (st *implState) stagePlace(ctx context.Context) error {
-	st.placer = place.New(st.f.placeOptions())
+	st.placer = st.f.getPlacer()
 	if err := st.placer.Place(st.b); err != nil {
 		if st.b.Is3D {
 			return fmt.Errorf("flow: 3D placing %s: %v", st.b.Name, err)
@@ -221,7 +221,7 @@ func (st *implState) stageBuffer(ctx context.Context) error {
 	} else {
 		optCfg.AreaBudget = f.repeaterBudget(b)
 	}
-	st.o = opt.New(f.D.Lib, f.Ex, optCfg)
+	st.o = f.getOptimizer(optCfg)
 
 	f.trace(b, "placed")
 	reps, err := st.o.BufferLongNets(b)
@@ -318,6 +318,14 @@ func (st *implState) stageFinal(ctx context.Context) error {
 	if err != nil {
 		return fmt.Errorf("flow: final STA on %s: %v", b.Name, err)
 	}
+	// The engine's report aliases its internal arrays; copy it so recycling
+	// the optimizer for the next block cannot mutate this block's sign-off
+	// numbers after the fact.
+	t := *timing
+	t.CellSlack = append([]float64(nil), timing.CellSlack...)
+	t.NetSlack = append([]float64(nil), timing.NetSlack...)
+	t.ArrOut = append([]float64(nil), timing.ArrOut...)
+	timing = &t
 	st.timing = timing
 	st.res = &BlockResult{
 		Block:             b,

@@ -58,6 +58,32 @@ func (g *Grid) BinAt(p Point) (ix, iy int) {
 	return ix, iy
 }
 
+// BinX returns the x bin index containing coordinate x, clamped to the
+// grid — the x half of BinAt, for callers that only need one axis.
+func (g *Grid) BinX(x float64) int {
+	ix := int((x - g.Region.Lo.X) / g.dx)
+	if ix < 0 {
+		ix = 0
+	}
+	if ix >= g.NX {
+		ix = g.NX - 1
+	}
+	return ix
+}
+
+// BinY returns the y bin index containing coordinate y, clamped to the
+// grid — the y half of BinAt.
+func (g *Grid) BinY(y float64) int {
+	iy := int((y - g.Region.Lo.Y) / g.dy)
+	if iy < 0 {
+		iy = 0
+	}
+	if iy >= g.NY {
+		iy = g.NY - 1
+	}
+	return iy
+}
+
 // BinRect returns the rectangle of bin (ix, iy).
 func (g *Grid) BinRect(ix, iy int) Rect {
 	x := g.Region.Lo.X + float64(ix)*g.dx

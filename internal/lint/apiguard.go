@@ -36,6 +36,11 @@ func runAPIGuard(cfg *Config, p *Package) []Finding {
 			out = append(out, checkPipelineOnly(p, file)...)
 		}
 	}
+	if matchesSuffix(p.Path, cfg.IndexedScanOnly) {
+		for _, file := range p.Files {
+			out = append(out, checkIndexedScan(p, file)...)
+		}
+	}
 	if !strings.Contains(p.Path, "internal/") && !strings.Contains(p.Path, "pkg/") {
 		return out
 	}
@@ -123,6 +128,108 @@ func checkPipelineOnly(p *Package, file *ast.File) []Finding {
 		return true
 	})
 	return out
+}
+
+// checkIndexedScan flags linear scans over a netlist.Block's Cells slice
+// that sit inside another loop, in packages restricted to spatial-index
+// queries (Config.IndexedScanOnly). A top-level flat pass — building the
+// row buckets, seeding positions, filling the SoA mirrors — is fine; the
+// same scan nested in a per-row/per-candidate loop is O(cells) per query
+// and turns legalization quadratic. Both `range b.Cells` and counted
+// loops bounded by `len(b.Cells)` are caught. Loops inside a nested func
+// literal restart at depth zero: a stored callback is not itself a
+// per-iteration scan, and the conservative reset avoids false positives
+// on sort comparators.
+func checkIndexedScan(p *Package, file *ast.File) []Finding {
+	var out []Finding
+	flag := func(n ast.Node) {
+		out = append(out, Finding{
+			Check: "apiguard",
+			Pos:   p.Fset.Position(n.Pos()),
+			Message: "linear scan over Block.Cells inside a loop: legalization/blockage queries must go " +
+				"through the spatial index (row CSR buckets, lane SoA, TSV site grid), not rescan every cell",
+		})
+	}
+	var visit func(n ast.Node, depth int)
+	visit = func(n ast.Node, depth int) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == n {
+				return true
+			}
+			switch s := m.(type) {
+			case *ast.RangeStmt:
+				if depth > 0 && isCellsField(p, s.X) {
+					flag(s)
+				}
+				visit(s.Body, depth+1)
+				return false
+			case *ast.ForStmt:
+				if depth > 0 && s.Cond != nil && condScansCells(p, s.Cond) {
+					flag(s)
+				}
+				visit(s.Body, depth+1)
+				return false
+			case *ast.FuncLit:
+				visit(s.Body, 0)
+				return false
+			}
+			return true
+		})
+	}
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+			visit(fd.Body, 0)
+		}
+	}
+	return out
+}
+
+// isCellsField reports whether e selects the Cells field of
+// internal/netlist's Block type (any import path ending there, so
+// fixtures under testdata work too).
+func isCellsField(p *Package, e ast.Expr) bool {
+	if pe, ok := e.(*ast.ParenExpr); ok {
+		return isCellsField(p, pe.X)
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Cells" {
+		return false
+	}
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	t := s.Recv()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Block" && named.Obj().Pkg() != nil &&
+		strings.HasSuffix(named.Obj().Pkg().Path(), "internal/netlist")
+}
+
+// condScansCells reports whether a for-loop condition is bounded by
+// len(<Block>.Cells) — the counted-loop spelling of a full Cells scan.
+func condScansCells(p *Package, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "len" {
+			return true
+		}
+		if _, builtin := p.Info.Uses[id].(*types.Builtin); !builtin {
+			return true
+		}
+		if isCellsField(p, call.Args[0]) {
+			found = true
+		}
+		return true
+	})
+	return found
 }
 
 // isStageName reports whether name follows the stage entry-point naming

@@ -91,6 +91,16 @@ type Config struct {
 	// checks, invalidates the plan's input fingerprinting, and lets stages
 	// grow hidden dependencies the artifact cache cannot see.
 	PipelineOnly []string
+	// IndexedScanOnly lists import-path suffixes of packages whose
+	// legalization and blockage code must answer per-candidate queries
+	// through a spatial index. There, a linear scan over a block's Cells
+	// nested inside another loop is O(cells) per query — quadratic over
+	// the block — and is exactly the pattern the scaling pass replaced
+	// with the row-CSR buckets, the lane SoA mirrors and the TSV site
+	// grid. Single flat passes (index builds, seeding, accumulations)
+	// stay allowed: only a Cells scan inside an enclosing loop is
+	// flagged.
+	IndexedScanOnly []string
 }
 
 // DefaultConfig returns the scoping policy enforced on the fold3d tree.
@@ -142,6 +152,12 @@ func DefaultConfig() *Config {
 			// pipeline executor may invoke them, so the stage DAG and the
 			// artifact-cache fingerprints stay honest.
 			"internal/flow",
+		},
+		IndexedScanOnly: []string{
+			// The placer's legalization, spreading and TSV planning are
+			// the scaling-pass hot paths: per-query work there must go
+			// through the spatial index, never a nested Cells scan.
+			"internal/place",
 		},
 	}
 }

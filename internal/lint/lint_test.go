@@ -183,6 +183,24 @@ func TestPipelineOnlyOffByDefaultElsewhere(t *testing.T) {
 	}
 }
 
+func TestIndexedScanFixture(t *testing.T) {
+	_, p := loadFixture(t, "indexedscan", "fixture/indexedscan")
+	cfg := DefaultConfig()
+	cfg.IndexedScanOnly = append(cfg.IndexedScanOnly, "fixture/indexedscan")
+	checkFixture(t, cfg, p, []*Check{APIGuardCheck()})
+}
+
+func TestIndexedScanOffByDefaultElsewhere(t *testing.T) {
+	// Without the package on the IndexedScanOnly list the same source is
+	// clean (the fixture path is outside internal/, so the doc/panic rules
+	// stay off too).
+	_, p := loadFixture(t, "indexedscan", "fixture/indexedscan-off")
+	fs := Run(DefaultConfig(), []*Package{p}, []*Check{APIGuardCheck()})
+	if len(fs) != 0 {
+		t.Errorf("unrestricted package flagged: %v", fs)
+	}
+}
+
 func TestAPIGuardFixture(t *testing.T) {
 	_, p := loadFixture(t, "apiguard", "fixture/internal/apiguard")
 	checkFixture(t, DefaultConfig(), p, []*Check{APIGuardCheck()})

@@ -1,0 +1,87 @@
+// Package indexedscan is a lint fixture: per-query linear scans over a
+// block's Cells inside legalization-style loops, which the indexed-scan
+// rule flags in packages restricted to spatial-index queries.
+package indexedscan
+
+import "fold3d/internal/netlist"
+
+// BuildIndex does one flat pass over Cells to build an index: allowed.
+func BuildIndex(b *netlist.Block) int {
+	n := 0
+	for i := range b.Cells {
+		_ = i
+		n++
+	}
+	return n
+}
+
+// PerRowScan rescans every cell for every candidate row: flagged.
+func PerRowScan(b *netlist.Block, rows []float64) int {
+	hits := 0
+	for range rows {
+		for i := range b.Cells { // want `linear scan over Block.Cells inside a loop`
+			_ = i
+			hits++
+		}
+	}
+	return hits
+}
+
+// CountedScan spells the same quadratic scan as a counted loop: flagged.
+func CountedScan(b *netlist.Block, cand []int) int {
+	hits := 0
+	for _, c := range cand {
+		for j := 0; j < len(b.Cells); j++ { // want `linear scan over Block.Cells inside a loop`
+			if j == c {
+				hits++
+			}
+		}
+	}
+	return hits
+}
+
+// grid is a local type that happens to have a Cells field.
+type grid struct{ Cells []int }
+
+// OtherCells ranges a different type's Cells inside a loop: not the
+// netlist Block, not flagged.
+func OtherCells(g grid, rows []float64) int {
+	n := 0
+	for range rows {
+		for _, c := range g.Cells {
+			n += c
+		}
+	}
+	return n
+}
+
+// StoredCallback builds a closure that scans Cells once when invoked:
+// depth restarts inside the func literal, not flagged.
+func StoredCallback(b *netlist.Block, rows []float64) func() int {
+	var f func() int
+	for range rows {
+		f = func() int {
+			n := 0
+			for i := range b.Cells {
+				_ = i
+				n++
+			}
+			return n
+		}
+	}
+	return f
+}
+
+// DeepNest flags the scan at any enclosing-loop depth.
+func DeepNest(b *netlist.Block, rows, lanes []float64) int {
+	n := 0
+	for range rows {
+		for range lanes {
+			for i := range b.Cells { // want `linear scan over Block.Cells inside a loop`
+				_ = i
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -463,17 +463,22 @@ func (b *Block) Validate() error {
 		}
 		return nil
 	}
-	cellDrives := make(map[int32]string)
+	// Flat cell -> driven-net table (index, -1 = none): one bulk allocation
+	// instead of a per-call map that rehashes its way up to the net count.
+	cellDrives := make([]int32, len(b.Cells))
+	for i := range cellDrives {
+		cellDrives[i] = -1
+	}
 	for i := range b.Nets {
 		n := &b.Nets[i]
 		if err := check(n.Driver, "driver", n.Name); err != nil {
 			return err
 		}
 		if n.Driver.Kind == KindCell && n.Kind == Signal {
-			if prev, dup := cellDrives[n.Driver.Idx]; dup {
-				return fmt.Errorf("netlist %s: cell %d drives both %s and %s", b.Name, n.Driver.Idx, prev, n.Name)
+			if prev := cellDrives[n.Driver.Idx]; prev >= 0 {
+				return fmt.Errorf("netlist %s: cell %d drives both %s and %s", b.Name, n.Driver.Idx, b.Nets[prev].Name, n.Name)
 			}
-			cellDrives[n.Driver.Idx] = n.Name
+			cellDrives[n.Driver.Idx] = int32(i)
 		}
 		if len(n.Sinks) == 0 {
 			return fmt.Errorf("netlist %s: net %s has no sinks", b.Name, n.Name)

@@ -91,19 +91,33 @@ func (o *Optimizer) hpwl(b *netlist.Block, n *netlist.Net) float64 {
 
 // New returns an optimizer bound to a library and extractor.
 func New(lib *tech.Library, ex *extract.Extractor, opt Options) *Optimizer {
+	o := &Optimizer{}
+	o.Reinit(lib, ex, opt)
+	return o
+}
+
+// Reinit re-arms the optimizer for a fresh block, resetting every piece of
+// per-block state (options, skew, buffer name counter) while keeping the
+// timing engine and scratch arrays for capacity reuse. A reinitialized
+// optimizer behaves exactly like a newly constructed one.
+func (o *Optimizer) Reinit(lib *tech.Library, ex *extract.Extractor, opt Options) {
 	if opt.BufferDrive == 0 {
 		fullRecompute := opt.FullRecompute
 		opt = DefaultOptions()
 		opt.FullRecompute = fullRecompute
 	}
-	return &Optimizer{Lib: lib, Ex: ex, Opt: opt}
+	o.Lib, o.Ex, o.Opt = lib, ex, opt
+	o.Skew = 0
+	o.nameC = 0
 }
 
 // engineFor returns the persistent timing engine bound to b, creating or
 // rebinding it when the optimizer moves to a different block.
 func (o *Optimizer) engineFor(b *netlist.Block) *sta.Engine {
-	if o.eng == nil || o.eng.Block() != b {
+	if o.eng == nil {
 		o.eng = sta.NewEngine(b)
+	} else if o.eng.Block() != b {
+		o.eng.Rebind(b)
 	}
 	return o.eng
 }
@@ -248,12 +262,20 @@ func (o *Optimizer) BufferLongNets(b *netlist.Block) (int, error) {
 	// mandatory for timing) and the length/load chains. touched accumulates
 	// the nets each structural edit rewired or created, so the incremental
 	// path re-extracts only those.
-	// Repeater insertion grows the cell and net lists by up to a few tens
-	// of percent; reserving headroom once avoids repeated growth copies of
-	// the (large) backing arrays mid-pass.
-	b.GrowCells(len(b.Cells)/4 + 16)
-	b.GrowNets(len(b.Nets)/4 + 16)
+	// Repeater insertion grows the cell and net lists; each inserted buffer
+	// adds one cell and one net. Reserve modestly — a sixteenth of the
+	// block, tightened to the area budget's hard ceiling on insertions when
+	// that is smaller — and let append's amortized doubling carry the rare
+	// buffer-heavy block: a large zeroed up-front reservation costs more in
+	// allocation and GC scan than the occasional regrow copy. Capacity is
+	// not observable, so the reservation cannot change results.
 	db := newDieBudget(o.Opt, buf.Area())
+	grow := len(b.Cells)/16 + 16
+	if m := db.maxAdds(); m >= 0 && m+16 < grow {
+		grow = m + 16
+	}
+	b.GrowCells(grow)
+	b.GrowNets(grow)
 	var touched []int32
 	inserted, err := o.buildFanoutTrees(b, buf, db, &touched)
 	if err != nil {
@@ -455,6 +477,16 @@ func newDieBudget(opt Options, cellArea float64) *dieBudget {
 		db.remaining[0] = 1e18
 	}
 	return db
+}
+
+// maxAdds returns the hard ceiling on repeaters the budget can still
+// admit across both dies, or -1 when the budget is unbounded.
+func (db *dieBudget) maxAdds() int {
+	tot := db.remaining[0] + db.remaining[1]
+	if tot >= 1e17 {
+		return -1
+	}
+	return int(tot / db.cellArea)
 }
 
 // take reserves up to k repeater slots on die d, returning how many fit.

@@ -7,6 +7,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"hash"
 	"math"
 	"os"
 	"path/filepath"
@@ -21,20 +22,47 @@ type Fingerprint string
 
 // Hasher accumulates typed key material into a content hash. All writes are
 // length-framed by type tag so that e.g. Str("ab"), Str("c") and Str("a"),
-// Str("bc") hash differently.
+// Str("bc") hash differently. Key material streams straight into a running
+// SHA-256 state — nothing is buffered, so hashing a whole netlist costs no
+// allocation beyond the hasher itself.
 type Hasher struct {
-	buf bytes.Buffer
+	h hash.Hash
+	// buf batches the many small framed fields into fewer digest writes;
+	// the byte stream entering SHA-256 is unchanged, only the call
+	// granularity differs, so fingerprints are unaffected.
+	buf [512]byte
+	n   int
 }
 
 // NewHasher returns an empty hasher.
-func NewHasher() *Hasher { return &Hasher{} }
+func NewHasher() *Hasher { return &Hasher{h: sha256.New()} }
+
+func (h *Hasher) flush() {
+	if h.n > 0 {
+		// hash.Hash.Write is documented to never return an error.
+		_, _ = h.h.Write(h.buf[:h.n])
+		h.n = 0
+	}
+}
 
 func (h *Hasher) write(tag byte, payload []byte) {
-	h.buf.WriteByte(tag)
-	var n [8]byte
-	binary.LittleEndian.PutUint64(n[:], uint64(len(payload)))
-	h.buf.Write(n[:])
-	h.buf.Write(payload)
+	need := 9 + len(payload)
+	if h.n+need > len(h.buf) {
+		h.flush()
+		if need > len(h.buf) {
+			var hdr [9]byte
+			hdr[0] = tag
+			binary.LittleEndian.PutUint64(hdr[1:], uint64(len(payload)))
+			_, _ = h.h.Write(hdr[:])
+			_, _ = h.h.Write(payload)
+			return
+		}
+	}
+	b := h.buf[h.n:]
+	b[0] = tag
+	binary.LittleEndian.PutUint64(b[1:9], uint64(len(payload)))
+	copy(b[9:], payload)
+	h.n += need
 }
 
 // Str mixes a string into the hash.
@@ -43,36 +71,51 @@ func (h *Hasher) Str(s string) { h.write('s', []byte(s)) }
 // Int mixes a signed integer into the hash.
 func (h *Hasher) Int(v int) { h.Uint(uint64(int64(v))) }
 
-// Uint mixes an unsigned integer into the hash.
-func (h *Hasher) Uint(v uint64) {
-	var n [8]byte
-	binary.LittleEndian.PutUint64(n[:], v)
-	h.write('u', n[:])
+// writeScalar frames an 8-byte payload directly into the batch buffer —
+// the same tag + length + payload bytes write would emit, without routing
+// the value through a slice (whose backing array would escape to the heap
+// on every call; these run once per hashed netlist field).
+func (h *Hasher) writeScalar(tag byte, v uint64) {
+	if h.n+17 > len(h.buf) {
+		h.flush()
+	}
+	b := h.buf[h.n : h.n+17]
+	b[0] = tag
+	binary.LittleEndian.PutUint64(b[1:9], 8)
+	binary.LittleEndian.PutUint64(b[9:17], v)
+	h.n += 17
 }
+
+// Uint mixes an unsigned integer into the hash.
+func (h *Hasher) Uint(v uint64) { h.writeScalar('u', v) }
 
 // Bool mixes a boolean into the hash.
 func (h *Hasher) Bool(v bool) {
-	b := byte(0)
-	if v {
-		b = 1
+	if h.n+10 > len(h.buf) {
+		h.flush()
 	}
-	h.write('b', []byte{b})
+	b := h.buf[h.n : h.n+10]
+	b[0] = 'b'
+	binary.LittleEndian.PutUint64(b[1:9], 1)
+	b[9] = 0
+	if v {
+		b[9] = 1
+	}
+	h.n += 10
 }
 
 // F64 mixes a float64 into the hash by exact bit pattern (no decimal
 // formatting, so -0 and 0 or two NaN payloads stay distinguishable and no
 // rounding can alias two different values).
-func (h *Hasher) F64(v float64) {
-	var n [8]byte
-	binary.LittleEndian.PutUint64(n[:], math.Float64bits(v))
-	h.write('f', n[:])
-}
+func (h *Hasher) F64(v float64) { h.writeScalar('f', math.Float64bits(v)) }
 
 // Sum finalizes and returns the fingerprint. The hasher remains usable;
-// further writes extend the same key material.
+// further writes extend the same key material (Sum snapshots the running
+// state without disturbing it).
 func (h *Hasher) Sum() Fingerprint {
-	sum := sha256.Sum256(h.buf.Bytes())
-	return Fingerprint(hex.EncodeToString(sum[:]))
+	h.flush()
+	var d [sha256.Size]byte
+	return Fingerprint(hex.EncodeToString(h.h.Sum(d[:0])))
 }
 
 // Artifact is a cacheable result. CloneArtifact must return a deep copy
@@ -101,13 +144,14 @@ type Stats struct {
 	Misses   int // lookups that found nothing usable
 	Stores   int // artifacts written into the cache
 	Corrupt  int // tier entries rejected by header/checksum validation
+	Evicted  int // memory entries dropped by the MaxBytes budget
 	Entries  int // artifacts currently held in memory
 }
 
 // String renders the snapshot in the one-line form used by -cachestats.
 func (s Stats) String() string {
-	return fmt.Sprintf("hits=%d disk_hits=%d peer_hits=%d misses=%d stores=%d corrupt=%d entries=%d hit_ratio=%.3f",
-		s.Hits, s.DiskHits, s.PeerHits, s.Misses, s.Stores, s.Corrupt, s.Entries, s.HitRatio())
+	return fmt.Sprintf("hits=%d disk_hits=%d peer_hits=%d misses=%d stores=%d corrupt=%d evicted=%d entries=%d hit_ratio=%.3f",
+		s.Hits, s.DiskHits, s.PeerHits, s.Misses, s.Stores, s.Corrupt, s.Evicted, s.Entries, s.HitRatio())
 }
 
 // HitRatio returns the fraction of lookups served from the cache (memory,
@@ -204,6 +248,22 @@ type CacheOptions struct {
 	// can serve peers without a disk spill. Costs roughly one encoded copy
 	// per entry; fold3dd enables it when running with peers.
 	KeepWire bool
+	// MaxBytes, when positive, bounds the approximate decoded-artifact
+	// bytes held in memory (the memory-budgeted execution mode). Put
+	// evicts the oldest entries until the new one fits, and an artifact
+	// larger than the whole budget is not held in memory at all — it still
+	// spills to Dir when configured, so a later Get falls through to the
+	// lower tiers. Eviction only moves where a lookup is served from (or
+	// forces a recompute); results are fingerprint-identical either way.
+	// Sizes come from ApproxBytes when the artifact implements Sizer and
+	// fall back to the encoded wire length (or a fixed guess) otherwise.
+	MaxBytes int64
+}
+
+// Sizer is optionally implemented by artifacts to report their approximate
+// in-memory footprint, used by the MaxBytes cache budget.
+type Sizer interface {
+	ApproxBytes() int64
 }
 
 // Cache is a content-addressed artifact store, safe for concurrent use.
@@ -215,10 +275,14 @@ type Cache struct {
 	disk     *DiskTier // nil without a spill dir
 	tiers    []CacheTier
 	keepWire bool
+	maxBytes int64 // 0 = unbounded
 
 	mu      sync.Mutex
 	entries map[string]Artifact
 	wire    map[string][]byte // serialized entries, kept when keepWire
+	sizes   map[string]int64  // approximate decoded size per memory entry
+	order   []string          // insertion order, oldest first (FIFO eviction)
+	total   int64             // sum of sizes
 	stats   Stats
 }
 
@@ -226,8 +290,10 @@ type Cache struct {
 func NewCache(opts CacheOptions) *Cache {
 	c := &Cache{
 		keepWire: opts.KeepWire,
+		maxBytes: opts.MaxBytes,
 		entries:  map[string]Artifact{},
 		wire:     map[string][]byte{},
+		sizes:    map[string]int64{},
 	}
 	if opts.Dir != "" {
 		c.disk = NewDiskTier(opts.Dir)
@@ -235,6 +301,58 @@ func NewCache(opts CacheOptions) *Cache {
 	}
 	c.tiers = append(c.tiers, opts.Tiers...)
 	return c
+}
+
+// approxSize estimates an artifact's in-memory footprint for the budget.
+func approxSize(art Artifact, wire []byte) int64 {
+	if s, ok := art.(Sizer); ok {
+		return s.ApproxBytes()
+	}
+	if wire != nil {
+		return int64(len(wire))
+	}
+	return 1 << 10 // unknown artifact kind: count something, not nothing
+}
+
+// insertLocked adds art under key, evicting oldest entries as needed to
+// respect the budget. Returns false (storing nothing) when the artifact
+// alone exceeds the budget. Callers hold c.mu.
+func (c *Cache) insertLocked(key string, art Artifact, wire []byte, size int64) bool {
+	if c.maxBytes > 0 && size > c.maxBytes {
+		return false
+	}
+	if _, ok := c.entries[key]; ok {
+		// Overwrite: drop the old accounting; the slot keeps its FIFO age.
+		c.total -= c.sizes[key]
+	} else {
+		c.order = append(c.order, key)
+	}
+	c.entries[key] = art
+	c.sizes[key] = size
+	c.total += size
+	if c.keepWire && wire != nil {
+		c.wire[key] = wire
+	}
+	if c.maxBytes > 0 {
+		for c.total > c.maxBytes && len(c.order) > 0 {
+			oldest := c.order[0]
+			c.order = c.order[1:]
+			if oldest == key {
+				// Never evict the entry just inserted; re-append it.
+				c.order = append(c.order, oldest)
+				continue
+			}
+			if _, ok := c.entries[oldest]; !ok {
+				continue // already overwritten out
+			}
+			c.total -= c.sizes[oldest]
+			delete(c.entries, oldest)
+			delete(c.sizes, oldest)
+			delete(c.wire, oldest)
+			c.stats.Evicted++
+		}
+	}
+	return true
 }
 
 // Get looks the key up in memory, then (with a codec) through the lower
@@ -273,10 +391,10 @@ func (c *Cache) Get(key string, codec *Codec) (Artifact, bool) {
 			for _, upper := range c.tiers[:i] {
 				_ = upper.Store(key, data)
 			}
+			size := approxSize(art, data)
 			c.mu.Lock()
-			c.entries[key] = art.CloneArtifact()
-			if c.keepWire {
-				c.wire[key] = data
+			if c.maxBytes <= 0 || size <= c.maxBytes {
+				c.insertLocked(key, art.CloneArtifact(), data, size)
 			}
 			if tier.Label() == "disk" {
 				c.stats.DiskHits++
@@ -300,15 +418,24 @@ func (c *Cache) Get(key string, codec *Codec) (Artifact, bool) {
 // Tier write failures are swallowed: the memory entry is already in place
 // and the spill is an optimization, not a durability promise.
 func (c *Cache) Put(key string, art Artifact, codec *Codec) {
-	clone := art.CloneArtifact()
 	var entry []byte
 	if codec != nil && (len(c.tiers) > 0 || c.keepWire) {
-		entry, _ = EncodeEntry(clone, codec)
+		// Encode from the caller's artifact directly: Put returns before the
+		// caller can mutate it again, and the bytes are the same as encoding
+		// a clone would produce.
+		entry, _ = EncodeEntry(art, codec)
+	}
+	size := approxSize(art, entry)
+	overBudget := c.maxBytes > 0 && size > c.maxBytes
+	var clone Artifact
+	if !overBudget {
+		// An artifact the budget will refuse anyway is never cloned — at
+		// production scale that skips a deep netlist copy per stage.
+		clone = art.CloneArtifact()
 	}
 	c.mu.Lock()
-	c.entries[key] = clone
-	if c.keepWire && entry != nil {
-		c.wire[key] = entry
+	if !overBudget {
+		c.insertLocked(key, clone, entry, size)
 	}
 	c.stats.Stores++
 	c.stats.Entries = len(c.entries)

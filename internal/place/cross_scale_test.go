@@ -1,0 +1,258 @@
+package place
+
+// Cross-scale fingerprint-equivalence property tests (PR 8): the indexed
+// legalizer and the SoA spreading pass must reproduce the pre-PR reference
+// implementations (reference_test.go) bit for bit on real t2 netlists at
+// two scales — the tier-1 size (scale 1000) and the 10x larger scaling-pass
+// regime (scale 100) — in both 2D and folded-3D (two-die) form. Positions
+// are compared with exact float equality: any divergence, however small,
+// would change downstream fingerprints.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"fold3d/internal/geom"
+	"fold3d/internal/netlist"
+	"fold3d/internal/rng"
+	"fold3d/internal/t2"
+	"fold3d/internal/tech"
+)
+
+// crossScaleBlocks returns the blocks the scale-100 equivalence run covers:
+// the largest block of each structural family (core, crossbar, MAC, cache
+// tag, datapath) so the quadratic reference passes stay affordable under
+// -race. Scale 1000 runs every block.
+var crossScaleBlocks = map[string]bool{
+	"SPC0": true, "CCX": true, "MAC": true, "L2T0": true, "RDP": true,
+}
+
+// prepareOutlines sizes die outlines for a raw t2 block (the flow's
+// floorplan stage normally does this) and packs its macros in rows from
+// the top edge, memory-compiler style, so the legalizer sees realistic
+// blockages. The exact shape is irrelevant to the equivalence property —
+// both implementations see the same block — it just has to fit.
+func prepareOutlines(t *testing.T, b *netlist.Block) {
+	t.Helper()
+	dies := 1
+	if b.Is3D {
+		dies = 2
+	}
+	// Macros all pack on the bottom die, so their area is not divided by
+	// the die count.
+	area := b.CellArea(-1)/0.6/float64(dies) + b.MacroArea(-1)*1.4
+	w := math.Sqrt(area * 1.2)
+	if w < 40 {
+		w = 40
+	}
+	for try := 0; try < 8; try++ {
+		rows := math.Ceil((area * 1.2 / w) / tech.CellHeight)
+		out := geom.NewRect(0, 0, w, rows*tech.CellHeight)
+		for d := 0; d < dies; d++ {
+			b.Outline[d] = out
+		}
+		if packMacrosForTest(b, out) {
+			return
+		}
+		w *= 1.3
+		area *= 1.1
+	}
+	t.Fatalf("block %s: could not fit %d macros", b.Name, len(b.Macros))
+}
+
+// packMacrosForTest places every macro (all on the bottom die) in rows from
+// the top edge down with a 20%% channel; reports whether they fit.
+func packMacrosForTest(b *netlist.Block, out geom.Rect) bool {
+	if len(b.Macros) == 0 {
+		return true
+	}
+	m0 := b.Macros[0].Model
+	chX, chY := m0.Width*0.2, m0.Height*0.2
+	x := out.Lo.X + chX
+	y := out.Hi.Y - m0.Height - chY
+	for i := range b.Macros {
+		m := &b.Macros[i]
+		if x+m.Model.Width > out.Hi.X {
+			x = out.Lo.X + chX
+			y -= m.Model.Height + chY
+		}
+		if y < out.Lo.Y+4*tech.CellHeight {
+			return false
+		}
+		m.Pos = geom.Point{X: x, Y: y}
+		m.Die = netlist.DieBottom
+		m.Fixed = true
+		x += m.Model.Width + chX
+	}
+	return true
+}
+
+// equivalenceCases generates the t2 design at the given scale and yields
+// (name, block) pairs in sorted order: every block at scale 1000, the
+// crossScaleBlocks subset at other scales, each in 2D form plus a
+// synthetic two-die fold of the subset blocks (alternate cells on the top
+// die) so the per-die paths are exercised too.
+func equivalenceCases(t *testing.T, scale float64) []struct {
+	name string
+	blk  *netlist.Block
+} {
+	t.Helper()
+	d, err := t2.Generate(t2.Config{Scale: scale, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(d.Blocks))
+	for n := range d.Blocks {
+		if scale >= 1000 || crossScaleBlocks[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var cases []struct {
+		name string
+		blk  *netlist.Block
+	}
+	for _, n := range names {
+		blk := d.Blocks[n].Clone()
+		prepareOutlines(t, blk)
+		cases = append(cases, struct {
+			name string
+			blk  *netlist.Block
+		}{n, blk})
+		if crossScaleBlocks[n] {
+			f := d.Blocks[n].Clone()
+			f.Is3D = true
+			for i := range f.Cells {
+				if i%2 == 1 && !f.Cells[i].Fixed {
+					f.Cells[i].Die = netlist.DieTop
+				}
+			}
+			prepareOutlines(t, f)
+			cases = append(cases, struct {
+				name string
+				blk  *netlist.Block
+			}{n + "-3d", f})
+		}
+	}
+	return cases
+}
+
+// globalPlace runs the global-placement loop of Place without the final
+// legalization, selecting the production or reference spreading pass. The
+// wirelength pass is shared: both paths see identical pre-spread state
+// each iteration.
+func globalPlace(p *Placer, b *netlist.Block, refSpread bool) error {
+	dies := []netlist.Die{netlist.DieBottom}
+	if b.Is3D {
+		dies = append(dies, netlist.DieTop)
+	}
+	r := rng.New(p.opt.Seed)
+	p.seedPositions(b, r)
+	grids := make(map[netlist.Die]*densityGrid)
+	for _, d := range dies {
+		g, err := p.buildDensityGrid(b, d)
+		if err != nil {
+			return err
+		}
+		grids[d] = g
+	}
+	for it := 0; it < p.opt.Iterations; it++ {
+		lambda := 0.9 - 0.5*float64(it)/float64(p.opt.Iterations)
+		p.wirelengthPass(b, lambda)
+		for _, d := range dies {
+			if refSpread {
+				p.refSpreadPass(b, d, grids[d])
+			} else {
+				p.spreadPass(b, d, grids[d])
+			}
+		}
+	}
+	return nil
+}
+
+// requireSamePositions fails the test on the first cell whose position or
+// die differs between the two blocks. Exact equality: these positions feed
+// the chip fingerprint.
+func requireSamePositions(t *testing.T, got, want *netlist.Block) {
+	t.Helper()
+	if len(got.Cells) != len(want.Cells) {
+		t.Fatalf("cell count %d != %d", len(got.Cells), len(want.Cells))
+	}
+	for i := range got.Cells {
+		g, w := &got.Cells[i], &want.Cells[i]
+		if g.Pos != w.Pos || g.Die != w.Die {
+			t.Fatalf("cell %d (%s): got %+v die %d, reference %+v die %d",
+				i, g.Name, g.Pos, g.Die, w.Pos, w.Die)
+		}
+	}
+}
+
+// scalesUnderTest is the cross-scale axis; -short keeps only the tier-1
+// size so plain `go test` stays quick — check.sh runs the full matrix
+// under -race.
+func scalesUnderTest(t *testing.T) []float64 {
+	if testing.Short() {
+		return []float64{1000}
+	}
+	return []float64{1000, 100}
+}
+
+// TestLegalizeMatchesReference: starting from identical globally-placed
+// state (production spreading on both clones), the indexed legalizer must
+// produce exactly the positions of the pre-PR linear-scan legalizer, and
+// the same displacement stats.
+func TestLegalizeMatchesReference(t *testing.T) {
+	for _, scale := range scalesUnderTest(t) {
+		for _, tc := range equivalenceCases(t, scale) {
+			t.Run(fmt.Sprintf("scale=%g/%s", scale, tc.name), func(t *testing.T) {
+				bNew, bRef := tc.blk.Clone(), tc.blk.Clone()
+				pNew, pRef := New(DefaultOptions()), New(DefaultOptions())
+				dies := []netlist.Die{netlist.DieBottom}
+				if tc.blk.Is3D {
+					dies = append(dies, netlist.DieTop)
+				}
+				if err := globalPlace(pNew, bNew, false); err != nil {
+					t.Fatal(err)
+				}
+				if err := globalPlace(pRef, bRef, false); err != nil {
+					t.Fatal(err)
+				}
+				for _, d := range dies {
+					if err := pNew.legalize(bNew, d); err != nil {
+						t.Fatal(err)
+					}
+					if err := pRef.refLegalize(bRef, d); err != nil {
+						t.Fatal(err)
+					}
+				}
+				requireSamePositions(t, bNew, bRef)
+				if pNew.legalStats != pRef.legalStats {
+					t.Fatalf("legal stats %+v != reference %+v", pNew.legalStats, pRef.legalStats)
+				}
+			})
+		}
+	}
+}
+
+// TestSpreadMatchesReference: the SoA spreading pass (flat position/width
+// mirrors, per-bin CDF start indices) must move every cell exactly where
+// the pre-PR Instance-chasing, binary-searching pass moved it, over the
+// full iteration schedule.
+func TestSpreadMatchesReference(t *testing.T) {
+	for _, scale := range scalesUnderTest(t) {
+		for _, tc := range equivalenceCases(t, scale) {
+			t.Run(fmt.Sprintf("scale=%g/%s", scale, tc.name), func(t *testing.T) {
+				bNew, bRef := tc.blk.Clone(), tc.blk.Clone()
+				if err := globalPlace(New(DefaultOptions()), bNew, false); err != nil {
+					t.Fatal(err)
+				}
+				if err := globalPlace(New(DefaultOptions()), bRef, true); err != nil {
+					t.Fatal(err)
+				}
+				requireSamePositions(t, bNew, bRef)
+			})
+		}
+	}
+}

@@ -257,8 +257,56 @@ func (p *Placer) legalize(b *netlist.Block, d netlist.Die) error {
 				if dy >= bestCost {
 					continue
 				}
-				for sIdx := range rows[rIdx].segs {
-					s := &rows[rIdx].segs[sIdx]
+				// A row's segments are disjoint and sorted by x0 (buildRows
+				// subtracts blockages left to right; the placement splice
+				// below preserves order), so instead of scanning them all,
+				// binary-search the segment nearest desired.X and walk
+				// outward two-pointer style. Within one row cost = dx + dy,
+				// so equal cost means equal dx; taking the left side on tied
+				// bounds keeps the ascending-sIdx winner the full linear
+				// scan would have picked, making the result bit-identical.
+				segs := rows[rIdx].segs
+				ns := len(segs)
+				slo, shi := 0, ns
+				for slo < shi {
+					mid := int(uint(slo+shi) >> 1)
+					if segs[mid].x0 > desired.X {
+						shi = mid
+					} else {
+						slo = mid + 1
+					}
+				}
+				li, ri := slo-1, slo
+				for li >= 0 || ri < ns {
+					// Monotone lower bounds on this side's next dx: walking
+					// left, x1 strictly decreases; walking right, x0
+					// strictly increases. Actual dx never beats the bound,
+					// so once min(bound)+dy reaches bestCost nothing further
+					// out can win and the row is done.
+					dl, dr := math.Inf(1), math.Inf(1)
+					if li >= 0 {
+						if dl = desired.X - segs[li].x1; dl < 0 {
+							dl = 0
+						}
+					}
+					if ri < ns {
+						dr = segs[ri].x0 - desired.X
+					}
+					var sIdx int
+					if dl <= dr {
+						if dl+dy >= bestCost {
+							break
+						}
+						sIdx = li
+						li--
+					} else {
+						if dr+dy >= bestCost {
+							break
+						}
+						sIdx = ri
+						ri++
+					}
+					s := &segs[sIdx]
 					if s.x1-s.x0 < w {
 						continue
 					}

@@ -64,16 +64,37 @@ type Placer struct {
 	// rewritten on every use; sharing one Placer between goroutines is
 	// not supported (the flow builds one Placer per block).
 	wlX, wlY, wlW      []float64 // wirelengthPass centroid accumulators
+	ctrX, ctrY         []float64 // wirelengthPass flat cell-center cache
 	laneOf             []int32   // spreadPass: lane of each cell
 	laneOff, laneCells []int32   // spreadPass: CSR cells-per-lane buckets
 	demand, supply     []float64 // shift1D per-lane densities
 	cumD, cumS         []float64 // shift1D cumulative distributions
-	ids                []int32   // legalize cell-order scratch
-	rowsSc             rowScratch
+	jlo                []int32   // shift1D per-demand-bin supply-CDF start index
+	// SoA mirror of the movable cells of the die being spread, filled by
+	// bucketLanes and read by shift1D so the remap loops stream over flat
+	// float64 slices instead of chasing Instance/Master pointers. soaX/soaY
+	// are the lower-left positions, soaHW/soaW the master half-width and
+	// width, soaArea the master area. Indexed by cell index; entries of
+	// cells not in the sweep are stale.
+	soaX, soaY  []float64
+	soaHW, soaW []float64
+	soaArea     []float64
+	ids         []int32 // legalize cell-order scratch
+	rowsSc      rowScratch
 }
 
 // New returns a Placer with the given options.
 func New(opt Options) *Placer {
+	p := &Placer{}
+	p.Reinit(opt)
+	return p
+}
+
+// Reinit re-arms the placer for a new block: fresh options (zero fields get
+// defaults, as in New) and cleared legalization stats, keeping every scratch
+// buffer for capacity reuse. A reinitialized placer behaves exactly like a
+// newly constructed one.
+func (p *Placer) Reinit(opt Options) {
 	if opt.Iterations <= 0 {
 		opt.Iterations = DefaultOptions().Iterations
 	}
@@ -83,7 +104,8 @@ func New(opt Options) *Placer {
 	if opt.BinCells <= 0 {
 		opt.BinCells = DefaultOptions().BinCells
 	}
-	return &Placer{opt: opt}
+	p.opt = opt
+	p.legalStats = LegalStats{}
 }
 
 // Place globally places and legalizes every movable cell of b inside its die
@@ -178,6 +200,16 @@ func resetF64(s *[]float64, n int) []float64 {
 	return v
 }
 
+// grownF64 is resetF64 without the clear, for scratch whose used entries
+// are fully overwritten before being read.
+func grownF64(s *[]float64, n int) []float64 {
+	if cap(*s) < n {
+		*s = make([]float64, n)
+		return *s
+	}
+	return (*s)[:n]
+}
+
 func clampCell(out geom.Rect, c *netlist.Instance) geom.Point {
 	// Branch form of min(max(v, lo), hi); math.Min/Max don't inline and
 	// this is the hottest little function of the placer.
@@ -208,6 +240,26 @@ func (p *Placer) wirelengthPass(b *netlist.Block, lambda float64) {
 	sumY := resetF64(&p.wlY, n)
 	sumW := resetF64(&p.wlW, n)
 
+	// Snapshot every cell center into flat slices once per pass: the pin
+	// loops below then stream over float64 arrays instead of dispatching
+	// through PinPos and dereferencing Instance/Master per pin (each cell
+	// is touched by ~3 pins on average). Positions don't change until the
+	// update loop, so the cache equals what PinPos would have returned.
+	ctrX := grownF64(&p.ctrX, n)
+	ctrY := grownF64(&p.ctrY, n)
+	for i := range b.Cells {
+		c := &b.Cells[i]
+		ctrX[i] = c.Pos.X + c.Master.Width/2
+		ctrY[i] = c.Pos.Y + tech.CellHeight/2
+	}
+	pinX := func(pr netlist.PinRef) (float64, float64) {
+		if pr.Kind == netlist.KindCell {
+			return ctrX[pr.Idx], ctrY[pr.Idx]
+		}
+		pt := b.PinPos(pr)
+		return pt.X, pt.Y
+	}
+
 	for ni := range b.Nets {
 		net := &b.Nets[ni]
 		if len(net.Sinks) == 0 {
@@ -217,12 +269,11 @@ func (p *Placer) wirelengthPass(b *netlist.Block, lambda float64) {
 		// weight 1/(k-1). Pins visit in driver-then-sinks order, the same
 		// order a combined pin slice would give, so the sums are
 		// bit-identical to the materialized version.
-		pt := b.PinPos(net.Driver)
-		cx, cy := pt.X, pt.Y
+		cx, cy := pinX(net.Driver)
 		for _, pr := range net.Sinks {
-			pt := b.PinPos(pr)
-			cx += pt.X
-			cy += pt.Y
+			x, y := pinX(pr)
+			cx += x
+			cy += y
 		}
 		k := float64(len(net.Sinks) + 1)
 		cx /= k
@@ -231,14 +282,17 @@ func (p *Placer) wirelengthPass(b *netlist.Block, lambda float64) {
 		if net.Kind == netlist.Clock {
 			w *= 0.25 // clock nets are CTS's problem; don't let them clump logic
 		}
+		// Fixed cells accumulate too: their sums are never read (the update
+		// loop below skips Fixed), and dropping the per-pin Fixed lookup
+		// removes a random Instance-array load from the hottest loop.
 		wcx, wcy := w*cx, w*cy
-		if pr := net.Driver; pr.Kind == netlist.KindCell && !b.Cells[pr.Idx].Fixed {
+		if pr := net.Driver; pr.Kind == netlist.KindCell {
 			sumX[pr.Idx] += wcx
 			sumY[pr.Idx] += wcy
 			sumW[pr.Idx] += w
 		}
 		for _, pr := range net.Sinks {
-			if pr.Kind == netlist.KindCell && !b.Cells[pr.Idx].Fixed {
+			if pr.Kind == netlist.KindCell {
 				sumX[pr.Idx] += wcx
 				sumY[pr.Idx] += wcy
 				sumW[pr.Idx] += w
@@ -385,16 +439,32 @@ func (p *Placer) bucketLanes(b *netlist.Block, d netlist.Die, g *geom.Grid, hori
 		p.laneCells = make([]int32, len(b.Cells))
 	}
 	laneOf := p.laneOf[:len(b.Cells)]
+	soaX := grownF64(&p.soaX, len(b.Cells))
+	soaY := grownF64(&p.soaY, len(b.Cells))
+	soaHW := grownF64(&p.soaHW, len(b.Cells))
+	soaW := grownF64(&p.soaW, len(b.Cells))
+	soaArea := grownF64(&p.soaArea, len(b.Cells))
 	for i := range b.Cells {
 		c := &b.Cells[i]
 		if c.Die != d || c.Fixed {
 			laneOf[i] = -1
 			continue
 		}
-		ix, iy := g.BinAt(c.Center())
-		lane := iy
-		if !horiz {
-			lane = ix
+		// One streaming pass over the instances snapshots everything the
+		// shift loops need into the flat SoA mirror; within a sweep each
+		// cell is read once before its single write, so the snapshot stays
+		// equal to the live value at every read the old code performed.
+		w := c.Master.Width
+		soaX[i], soaY[i] = c.Pos.X, c.Pos.Y
+		soaHW[i], soaW[i] = w/2, w
+		soaArea[i] = c.Master.Area()
+		// Only one axis decides the lane; BinX/BinY run the same arithmetic
+		// as the matching half of BinAt, so the lane index is unchanged.
+		var lane int
+		if horiz {
+			lane = g.BinY(c.Pos.Y + tech.CellHeight/2)
+		} else {
+			lane = g.BinX(c.Pos.X + w/2)
 		}
 		laneOf[i] = int32(lane)
 		off[lane+1]++
@@ -430,16 +500,21 @@ func (p *Placer) shift1D(b *netlist.Block, d netlist.Die, g *geom.Grid, dg *dens
 	if !horiz {
 		n = g.NY
 	}
-	demand := resetF64(&p.demand, n)
-	supply := resetF64(&p.supply, n)
+	demand := resetF64(&p.demand, n) // accumulated below, needs the clear
+	supply := grownF64(&p.supply, n) // every entry assigned below
+	soaX, soaY := p.soaX, p.soaY
+	soaHW, soaW, soaArea := p.soaHW, p.soaW, p.soaArea
 
-	for _, ci := range cells {
-		c := &b.Cells[ci]
-		ix, iy := g.BinAt(c.Center())
-		if horiz {
-			demand[ix] += c.Master.Area()
-		} else {
-			demand[iy] += c.Master.Area()
+	// The demand and mapping loops are specialized per axis below: the
+	// branch-free bodies stream over the SoA slices, and only the axis that
+	// matters is binned (BinX/BinY match the corresponding half of BinAt).
+	if horiz {
+		for _, ci := range cells {
+			demand[g.BinX(soaX[ci]+soaHW[ci])] += soaArea[ci]
+		}
+	} else {
+		for _, ci := range cells {
+			demand[g.BinY(soaY[ci]+tech.CellHeight/2)] += soaArea[ci]
 		}
 	}
 	for k := 0; k < n; k++ {
@@ -452,9 +527,10 @@ func (p *Placer) shift1D(b *netlist.Block, d netlist.Die, g *geom.Grid, dg *dens
 		supply[k] = dg.supply[idx] + 1e-9
 	}
 
-	// Cumulative distributions along the lane.
-	cumD := resetF64(&p.cumD, n+1)
-	cumS := resetF64(&p.cumS, n+1)
+	// Cumulative distributions along the lane (fully assigned, no clear).
+	cumD := grownF64(&p.cumD, n+1)
+	cumS := grownF64(&p.cumS, n+1)
+	cumD[0], cumS[0] = 0, 0
 	for k := 0; k < n; k++ {
 		cumD[k+1] = cumD[k] + demand[k]
 		cumS[k+1] = cumS[k] + supply[k]
@@ -462,6 +538,22 @@ func (p *Placer) shift1D(b *netlist.Block, d netlist.Die, g *geom.Grid, dg *dens
 	totD, totS := cumD[n], cumS[n]
 	if totD <= 0 {
 		return
+	}
+
+	// Per-demand-bin start index into the supply CDF: jlo[k] is the first j
+	// with cumS[j+1] >= cumD[k]/totD*totS. A cell binned in k maps to a u at
+	// or past that point (u < cumD[k]-scaled only when the cell clamps below
+	// bin 0, where jlo[0] is 0 anyway), so the inversion below can scan
+	// linearly from jlo[k] instead of binary-searching the whole lane — it
+	// still finds the exact same first-crossing index, only cheaper. Both
+	// sequences are monotone, so one merge sweep fills the table.
+	jlo := grownI32(&p.jlo, n)
+	for k, j := 0, 0; k < n; k++ {
+		u0 := cumD[k] / totD * totS
+		for j < n && cumS[j+1] < u0 {
+			j++
+		}
+		jlo[k] = int32(j)
 	}
 
 	lo := g.Region.Lo.X
@@ -473,16 +565,67 @@ func (p *Placer) shift1D(b *netlist.Block, d netlist.Die, g *geom.Grid, dg *dens
 
 	// Map each cell's coordinate through: u = demand CDF at coord (scaled),
 	// then find coord' where supply CDF reaches u * totS/totD. The mapping
-	// body lives in the loop (it is the hottest path of the placer).
+	// body lives in the loop (it is the hottest path of the placer), once
+	// per axis; both the mapping arithmetic and the inlined clampCell run
+	// identical operations on identical inputs as the generic version, so
+	// every position stays bit-identical.
 	const alpha = 0.55 // damping of the shift
 	out := b.Outline[d]
-	for _, i := range cells {
-		c := &b.Cells[i]
-		ctr := c.Center()
-		coord := ctr.X
-		if !horiz {
-			coord = ctr.Y
+	if horiz {
+		for _, i := range cells {
+			px, py := soaX[i], soaY[i]
+			coord := px + soaHW[i]
+			f := (coord - lo) / binSz
+			k := int(f)
+			if k < 0 {
+				k = 0
+			}
+			if k >= n {
+				k = n - 1
+			}
+			frac := f - float64(k)
+			u := (cumD[k] + frac*demand[k]) / totD * totS
+			// Invert supply CDF: first bin whose cum reaches u, scanning
+			// from the bin's precomputed lower bound (same index the old
+			// binary search produced).
+			j := int(jlo[k])
+			for j < n && cumS[j+1] < u {
+				j++
+			}
+			if j >= n {
+				j = n - 1
+			}
+			var t float64
+			if supply[j] > 0 {
+				t = (u - cumS[j]) / supply[j]
+			}
+			if t < 0 {
+				t = 0
+			}
+			if t > 1 {
+				t = 1
+			}
+			mapped := lo + (float64(j)+t)*binSz
+			px += alpha * (mapped - coord)
+			if px < out.Lo.X {
+				px = out.Lo.X
+			}
+			if hi := out.Hi.X - soaW[i]; px > hi {
+				px = hi
+			}
+			if py < out.Lo.Y {
+				py = out.Lo.Y
+			}
+			if hi := out.Hi.Y - tech.CellHeight; py > hi {
+				py = hi
+			}
+			b.Cells[i].Pos = geom.Point{X: px, Y: py}
 		}
+		return
+	}
+	for _, i := range cells {
+		px, py := soaX[i], soaY[i]
+		coord := py + tech.CellHeight/2
 		f := (coord - lo) / binSz
 		k := int(f)
 		if k < 0 {
@@ -493,16 +636,9 @@ func (p *Placer) shift1D(b *netlist.Block, d netlist.Die, g *geom.Grid, dg *dens
 		}
 		frac := f - float64(k)
 		u := (cumD[k] + frac*demand[k]) / totD * totS
-		// Invert supply CDF: first bin whose cum reaches u (inline binary
-		// search, same probe sequence sort.Search would take).
-		j, jh := 0, n
-		for j < jh {
-			mid := int(uint(j+jh) >> 1)
-			if cumS[mid+1] >= u {
-				jh = mid
-			} else {
-				j = mid + 1
-			}
+		j := int(jlo[k])
+		for j < n && cumS[j+1] < u {
+			j++
 		}
 		if j >= n {
 			j = n - 1
@@ -518,12 +654,20 @@ func (p *Placer) shift1D(b *netlist.Block, d netlist.Die, g *geom.Grid, dg *dens
 			t = 1
 		}
 		mapped := lo + (float64(j)+t)*binSz
-		if horiz {
-			c.Pos.X += alpha * (mapped - ctr.X)
-		} else {
-			c.Pos.Y += alpha * (mapped - ctr.Y)
+		py += alpha * (mapped - coord)
+		if px < out.Lo.X {
+			px = out.Lo.X
 		}
-		c.Pos = clampCell(out, c)
+		if hi := out.Hi.X - soaW[i]; px > hi {
+			px = hi
+		}
+		if py < out.Lo.Y {
+			py = out.Lo.Y
+		}
+		if hi := out.Hi.Y - tech.CellHeight; py > hi {
+			py = hi
+		}
+		b.Cells[i].Pos = geom.Point{X: px, Y: py}
 	}
 }
 

@@ -1,0 +1,305 @@
+package place
+
+// Pre-PR 8 reference implementations, kept verbatim for the cross-scale
+// equivalence property tests: the indexed/SoA hot paths must reproduce these
+// bit for bit (TestLegalizeMatchesReference, TestSpreadMatchesReference).
+// They are test-only code — the flow never calls them.
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"fold3d/internal/geom"
+	"fold3d/internal/netlist"
+	"fold3d/internal/tech"
+)
+
+// refLegalize is the pre-PR 8 legalizer: greedy tetris with a full linear
+// scan over every segment of each candidate row.
+func (p *Placer) refLegalize(b *netlist.Block, d netlist.Die) error {
+	out := b.Outline[d]
+	rows, err := buildRows(b, d, &p.rowsSc)
+	if err != nil {
+		return err
+	}
+	nRows := len(rows)
+
+	ids := p.ids[:0]
+	for i := range b.Cells {
+		c := &b.Cells[i]
+		if c.Die == d && !c.Fixed {
+			ids = append(ids, int32(i))
+		}
+	}
+	slices.SortFunc(ids, func(a, c int32) int {
+		ca, cc := &b.Cells[a], &b.Cells[c]
+		switch {
+		case ca.Pos.X < cc.Pos.X:
+			return -1
+		case ca.Pos.X > cc.Pos.X:
+			return 1
+		case ca.Pos.Y < cc.Pos.Y:
+			return -1
+		case ca.Pos.Y > cc.Pos.Y:
+			return 1
+		}
+		return int(a - c)
+	})
+	p.ids = ids
+
+	for _, i := range ids {
+		c := &b.Cells[i]
+		w := c.Master.Width
+		desired := c.Pos
+		rDes := int((desired.Y - out.Lo.Y) / tech.CellHeight)
+		if rDes < 0 {
+			rDes = 0
+		}
+		if rDes >= nRows {
+			rDes = nRows - 1
+		}
+
+		bestCost := math.Inf(1)
+		bestRow, bestSeg := -1, -1
+		var bestX float64
+		for off := 0; off < nRows; off++ {
+			nCand := 2
+			if off == 0 {
+				nCand = 1
+			}
+			progress := false
+			for ci := 0; ci < nCand; ci++ {
+				rIdx := rDes - off
+				if ci == 1 {
+					rIdx = rDes + off
+				}
+				if rIdx < 0 || rIdx >= nRows {
+					continue
+				}
+				progress = true
+				dy := math.Abs(rows[rIdx].y - desired.Y)
+				if dy >= bestCost {
+					continue
+				}
+				for sIdx := range rows[rIdx].segs {
+					s := &rows[rIdx].segs[sIdx]
+					if s.x1-s.x0 < w {
+						continue
+					}
+					x := desired.X
+					if hi := s.x1 - w; x > hi {
+						x = hi
+					}
+					if x < s.x0 {
+						x = s.x0
+					}
+					cost := math.Abs(x-desired.X) + dy
+					if cost < bestCost {
+						bestCost, bestRow, bestSeg, bestX = cost, rIdx, sIdx, x
+					}
+				}
+			}
+			if !progress || (bestRow >= 0 && float64(off)*tech.CellHeight > bestCost) {
+				break
+			}
+		}
+		if bestRow < 0 {
+			return fmt.Errorf("place: no legal slot for cell %s in %s die %s (outline too small)", c.Name, b.Name, d)
+		}
+		segs := rows[bestRow].segs
+		seg := segs[bestSeg]
+		c.Pos = geom.Point{X: bestX, Y: rows[bestRow].y}
+		var repl [2]segment
+		nRepl := 0
+		if bestX-seg.x0 > 1e-9 {
+			repl[nRepl] = segment{x0: seg.x0, x1: bestX}
+			nRepl++
+		}
+		if seg.x1-(bestX+w) > 1e-9 {
+			repl[nRepl] = segment{x0: bestX + w, x1: seg.x1}
+			nRepl++
+		}
+		switch nRepl {
+		case 1:
+			segs[bestSeg] = repl[0]
+		case 0:
+			rows[bestRow].segs = append(segs[:bestSeg], segs[bestSeg+1:]...)
+		case 2:
+			segs = append(segs, segment{})
+			copy(segs[bestSeg+2:], segs[bestSeg+1:])
+			segs[bestSeg], segs[bestSeg+1] = repl[0], repl[1]
+			rows[bestRow].segs = segs
+		}
+
+		disp := math.Abs(bestX-desired.X) + math.Abs(rows[bestRow].y-desired.Y)
+		p.legalStats.TotalDisp += disp
+		if disp > p.legalStats.MaxDisp {
+			p.legalStats.MaxDisp = disp
+		}
+		if disp > 1e-9 {
+			p.legalStats.Moved++
+		}
+	}
+	return nil
+}
+
+// refSpreadPass is the pre-PR 8 cell-shifting step: shift1D reading cell
+// centers and masters through the Instance structs on every access.
+func (p *Placer) refSpreadPass(b *netlist.Block, d netlist.Die, dg *densityGrid) {
+	g := dg.grid
+	p.refBucketLanes(b, d, g, true)
+	for iy := 0; iy < g.NY; iy++ {
+		p.refShift1D(b, d, g, dg, iy, true)
+	}
+	p.refBucketLanes(b, d, g, false)
+	for ix := 0; ix < g.NX; ix++ {
+		p.refShift1D(b, d, g, dg, ix, false)
+	}
+}
+
+func (p *Placer) refBucketLanes(b *netlist.Block, d netlist.Die, g *geom.Grid, horiz bool) {
+	lanes := g.NY
+	if !horiz {
+		lanes = g.NX
+	}
+	if cap(p.laneOff) < lanes+1 {
+		p.laneOff = make([]int32, lanes+1)
+	}
+	off := p.laneOff[:lanes+1]
+	clear(off)
+	if cap(p.laneOf) < len(b.Cells) {
+		p.laneOf = make([]int32, len(b.Cells))
+		p.laneCells = make([]int32, len(b.Cells))
+	}
+	laneOf := p.laneOf[:len(b.Cells)]
+	for i := range b.Cells {
+		c := &b.Cells[i]
+		if c.Die != d || c.Fixed {
+			laneOf[i] = -1
+			continue
+		}
+		ix, iy := g.BinAt(c.Center())
+		lane := iy
+		if !horiz {
+			lane = ix
+		}
+		laneOf[i] = int32(lane)
+		off[lane+1]++
+	}
+	for k := 0; k < lanes; k++ {
+		off[k+1] += off[k]
+	}
+	cells := p.laneCells[:len(b.Cells)]
+	for i, lane := range laneOf {
+		if lane < 0 {
+			continue
+		}
+		cells[off[lane]] = int32(i)
+		off[lane]++
+	}
+	for k := lanes; k > 0; k-- {
+		off[k] = off[k-1]
+	}
+	off[0] = 0
+}
+
+func (p *Placer) refShift1D(b *netlist.Block, d netlist.Die, g *geom.Grid, dg *densityGrid, lane int, horiz bool) {
+	cells := p.laneCells[p.laneOff[lane]:p.laneOff[lane+1]]
+	if len(cells) == 0 {
+		return
+	}
+	n := g.NX
+	if !horiz {
+		n = g.NY
+	}
+	demand := resetF64(&p.demand, n)
+	supply := resetF64(&p.supply, n)
+
+	for _, ci := range cells {
+		c := &b.Cells[ci]
+		ix, iy := g.BinAt(c.Center())
+		if horiz {
+			demand[ix] += c.Master.Area()
+		} else {
+			demand[iy] += c.Master.Area()
+		}
+	}
+	for k := 0; k < n; k++ {
+		var idx int
+		if horiz {
+			idx = g.Index(k, lane)
+		} else {
+			idx = g.Index(lane, k)
+		}
+		supply[k] = dg.supply[idx] + 1e-9
+	}
+
+	cumD := resetF64(&p.cumD, n+1)
+	cumS := resetF64(&p.cumS, n+1)
+	for k := 0; k < n; k++ {
+		cumD[k+1] = cumD[k] + demand[k]
+		cumS[k+1] = cumS[k] + supply[k]
+	}
+	totD, totS := cumD[n], cumS[n]
+	if totD <= 0 {
+		return
+	}
+
+	lo := g.Region.Lo.X
+	binSz, _ := g.BinSize()
+	if !horiz {
+		lo = g.Region.Lo.Y
+		_, binSz = g.BinSize()
+	}
+
+	const alpha = 0.55
+	out := b.Outline[d]
+	for _, i := range cells {
+		c := &b.Cells[i]
+		ctr := c.Center()
+		coord := ctr.X
+		if !horiz {
+			coord = ctr.Y
+		}
+		f := (coord - lo) / binSz
+		k := int(f)
+		if k < 0 {
+			k = 0
+		}
+		if k >= n {
+			k = n - 1
+		}
+		frac := f - float64(k)
+		u := (cumD[k] + frac*demand[k]) / totD * totS
+		j, jh := 0, n
+		for j < jh {
+			mid := int(uint(j+jh) >> 1)
+			if cumS[mid+1] >= u {
+				jh = mid
+			} else {
+				j = mid + 1
+			}
+		}
+		if j >= n {
+			j = n - 1
+		}
+		var t float64
+		if supply[j] > 0 {
+			t = (u - cumS[j]) / supply[j]
+		}
+		if t < 0 {
+			t = 0
+		}
+		if t > 1 {
+			t = 1
+		}
+		mapped := lo + (float64(j)+t)*binSz
+		if horiz {
+			c.Pos.X += alpha * (mapped - ctr.X)
+		} else {
+			c.Pos.Y += alpha * (mapped - ctr.Y)
+		}
+		c.Pos = clampCell(out, c)
+	}
+}

@@ -71,30 +71,45 @@ func PlanTSVs(b *netlist.Block, opt TSVPlanOptions) error {
 	}
 
 	// Candidate sites: pitch grid cells whose pad rect avoids macros on both
-	// dies.
-	var macroRects []geom.Rect
-	for i := range b.Macros {
-		macroRects = append(macroRects, b.Macros[i].Rect())
-	}
+	// dies. Instead of testing every site against every macro (the old
+	// O(sites x macros) scan), start with every site free and let each macro
+	// clear the sites it can reach: the pad of site (ix,iy) spans at most one
+	// pitch plus the pad size, so only sites in a macro-aligned index window
+	// (padded by one cell for float safety) need the exact Overlaps test.
+	// Every cleared site fails the very same m.Overlaps(pad) the full scan
+	// ran, so siteFree comes out identical.
 	siteFree := make([]bool, nx*ny)
 	sitePos := make([]geom.Point, nx*ny)
 	for iy := 0; iy < ny; iy++ {
 		for ix := 0; ix < nx; ix++ {
-			ctr := geom.Point{
+			idx := iy*nx + ix
+			siteFree[idx] = true
+			sitePos[idx] = geom.Point{
 				X: region.Lo.X + (float64(ix)+0.5)*pitch,
 				Y: region.Lo.Y + (float64(iy)+0.5)*pitch,
 			}
-			pad := geom.RectWH(ctr.X-size/2, ctr.Y-size/2, size, size)
-			free := true
-			for _, m := range macroRects {
+		}
+	}
+	for i := range b.Macros {
+		m := b.Macros[i].Rect()
+		ix0 := int((m.Lo.X-size/2-region.Lo.X)/pitch) - 1
+		ix1 := int((m.Hi.X+size/2-region.Lo.X)/pitch) + 1
+		iy0 := int((m.Lo.Y-size/2-region.Lo.Y)/pitch) - 1
+		iy1 := int((m.Hi.Y+size/2-region.Lo.Y)/pitch) + 1
+		ix0, iy0 = max(ix0, 0), max(iy0, 0)
+		ix1, iy1 = min(ix1, nx-1), min(iy1, ny-1)
+		for iy := iy0; iy <= iy1; iy++ {
+			for ix := ix0; ix <= ix1; ix++ {
+				idx := iy*nx + ix
+				if !siteFree[idx] {
+					continue
+				}
+				ctr := sitePos[idx]
+				pad := geom.RectWH(ctr.X-size/2, ctr.Y-size/2, size, size)
 				if m.Overlaps(pad) {
-					free = false
-					break
+					siteFree[idx] = false
 				}
 			}
-			idx := iy*nx + ix
-			siteFree[idx] = free
-			sitePos[idx] = ctr
 		}
 	}
 
@@ -183,31 +198,42 @@ func nearestFreeSite(want geom.Point, region geom.Rect, pitch float64, nx, ny in
 	if cy >= ny {
 		cy = ny - 1
 	}
+	// Walk each Chebyshev ring's perimeter directly — the top and bottom
+	// rows in full, interior rows at only their two edge cells — visiting
+	// exactly the cells the old full-square scan kept (its max(|dx|,|dy|)==r
+	// filter) in the same (dy, dx) lexicographic order, so the first free
+	// site found is unchanged while the per-ring work drops from O(r^2) to
+	// O(r).
 	maxR := nx + ny
+	probe := func(dx, dy int) (int, bool) {
+		x, y := cx+dx, cy+dy
+		if x < 0 || x >= nx || y < 0 || y >= ny {
+			return 0, false
+		}
+		idx := y*nx + x
+		return idx, free[idx]
+	}
 	for r := 0; r <= maxR; r++ {
-		// Scan the ring at Chebyshev radius r.
-		for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			if idx, ok := probe(dx, -r); ok {
+				return idx, true
+			}
+		}
+		for dy := -r + 1; dy < r; dy++ {
+			if idx, ok := probe(-r, dy); ok {
+				return idx, true
+			}
+			if idx, ok := probe(r, dy); ok {
+				return idx, true
+			}
+		}
+		if r > 0 {
 			for dx := -r; dx <= r; dx++ {
-				if max(abs(dx), abs(dy)) != r {
-					continue
-				}
-				x, y := cx+dx, cy+dy
-				if x < 0 || x >= nx || y < 0 || y >= ny {
-					continue
-				}
-				idx := y*nx + x
-				if free[idx] {
+				if idx, ok := probe(dx, r); ok {
 					return idx, true
 				}
 			}
 		}
 	}
 	return 0, false
-}
-
-func abs(x int) int {
-	if x < 0 {
-		return -x
-	}
-	return x
 }

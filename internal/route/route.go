@@ -9,7 +9,6 @@
 package route
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -46,6 +45,16 @@ type Grid struct {
 	usage [2][]int
 	// viaUse[y*nx+x] counts F2F vias dropped in the gcell.
 	viaUse []int
+
+	// A* scratch reused across Route2Pin calls. dist/prev entries are valid
+	// only where seen carries the current epoch, so starting a new route is
+	// one counter bump instead of an O(nodes) re-initialization — the cost
+	// per route is proportional to the cells the search actually visits.
+	dist     []float64
+	prev     []int32
+	seen     []int32
+	epoch    int32
+	frontier []pqItem
 }
 
 // NewGrid builds the routing grid over region.
@@ -122,18 +131,47 @@ type pqItem struct {
 	f    float64
 }
 
-type pq []pqItem
+// heapPush appends it and sifts it up, replicating container/heap.Push with
+// Less = f-strictly-less: identical swap sequence, so the pop order (ties
+// included) matches the previous interface-based heap exactly, without the
+// per-push interface{} boxing allocation.
+func heapPush(q []pqItem, it pqItem) []pqItem {
+	q = append(q, it)
+	j := len(q) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(q[j].f < q[i].f) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		j = i
+	}
+	return q
+}
 
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].f < q[j].f }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+// heapPop removes and returns the minimum entry, replicating
+// container/heap.Pop (swap root to the end, sift down over the shortened
+// prefix, pop the tail).
+func heapPop(q []pqItem) ([]pqItem, pqItem) {
+	n := len(q) - 1
+	q[0], q[n] = q[n], q[0]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && q[r].f < q[l].f {
+			j = r
+		}
+		if !(q[j].f < q[i].f) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		i = j
+	}
+	return q[:n], q[n]
 }
 
 // RoutedPath is the result of routing one two-pin connection.
@@ -146,6 +184,22 @@ type RoutedPath struct {
 	Vias []geom.Point
 }
 
+// beginRoute sizes the A* scratch to the grid and opens a fresh visit epoch.
+func (g *Grid) beginRoute() {
+	n := 2 * g.nx * g.ny
+	if len(g.seen) < n {
+		g.dist = make([]float64, n)
+		g.prev = make([]int32, n)
+		g.seen = make([]int32, n)
+		g.epoch = 0
+	}
+	if g.epoch == math.MaxInt32 {
+		clear(g.seen)
+		g.epoch = 0
+	}
+	g.epoch++
+}
+
 // Route2Pin routes from src (on plane srcPlane) to dst (on plane dstPlane)
 // with A*, allowing plane changes (F2F vias) at any gcell. It updates usage.
 func (g *Grid) Route2Pin(src geom.Point, srcPlane int, dst geom.Point, dstPlane int) (*RoutedPath, error) {
@@ -154,14 +208,14 @@ func (g *Grid) Route2Pin(src geom.Point, srcPlane int, dst geom.Point, dstPlane 
 	start := g.node(srcPlane, sx, sy)
 	goal := g.node(dstPlane, tx, ty)
 
-	n := 2 * g.nx * g.ny
-	dist := make([]float64, n)
-	prev := make([]int32, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		prev[i] = -1
-	}
+	// Epoch-stamped scratch: a node whose seen stamp is stale counts as
+	// unvisited (dist = +Inf), so the relaxation below is value-identical to
+	// the full-initialization version it replaced.
+	g.beginRoute()
+	dist, prev, seen, epoch := g.dist, g.prev, g.seen, g.epoch
 	dist[start] = 0
+	prev[start] = -1
+	seen[start] = epoch
 	h := func(node int) float64 {
 		p, x, y := g.unnode(node)
 		d := math.Abs(float64(x-tx)) + math.Abs(float64(y-ty))
@@ -170,9 +224,19 @@ func (g *Grid) Route2Pin(src geom.Point, srcPlane int, dst geom.Point, dstPlane 
 		}
 		return d
 	}
-	frontier := &pq{{start, h(start)}}
-	for frontier.Len() > 0 {
-		it := heap.Pop(frontier).(pqItem)
+	relax := func(v, from int, nd float64) bool {
+		if seen[v] == epoch && nd >= dist[v] {
+			return false
+		}
+		seen[v] = epoch
+		dist[v] = nd
+		prev[v] = int32(from)
+		return true
+	}
+	frontier := heapPush(g.frontier[:0], pqItem{start, h(start)})
+	for len(frontier) > 0 {
+		var it pqItem
+		frontier, it = heapPop(frontier)
 		if it.node == goal {
 			break
 		}
@@ -188,22 +252,19 @@ func (g *Grid) Route2Pin(src geom.Point, srcPlane int, dst geom.Point, dstPlane 
 			}
 			v := g.node(plane, nxp, nyp)
 			nd := dist[it.node] + g.stepCost(plane, nxp, nyp)
-			if nd < dist[v] {
-				dist[v] = nd
-				prev[v] = int32(it.node)
-				heap.Push(frontier, pqItem{v, nd + h(v)})
+			if relax(v, it.node, nd) {
+				frontier = heapPush(frontier, pqItem{v, nd + h(v)})
 			}
 		}
 		// Plane change (F2F via) in place.
 		v := g.node(1-plane, x, y)
 		nd := dist[it.node] + g.opt.ViaCost
-		if nd < dist[v] {
-			dist[v] = nd
-			prev[v] = int32(it.node)
-			heap.Push(frontier, pqItem{v, nd + h(v)})
+		if relax(v, it.node, nd) {
+			frontier = heapPush(frontier, pqItem{v, nd + h(v)})
 		}
 	}
-	if math.IsInf(dist[goal], 1) {
+	g.frontier = frontier[:0]
+	if seen[goal] != epoch {
 		return nil, fmt.Errorf("route: no path from %v to %v", src, dst)
 	}
 
@@ -281,12 +342,14 @@ func PlaceF2FVias(b *netlist.Block, opt Options) (*Grid, error) {
 		span float64
 	}
 	var ws []work
+	var pins []geom.Point
 	for i := range b.Nets {
 		n := &b.Nets[i]
 		if n.Kind != netlist.Signal || !b.NetIs3D(n) {
 			continue
 		}
-		ws = append(ws, work{i, geom.HPWL(b.NetPins(n))})
+		pins = b.AppendNetPins(pins[:0], n)
+		ws = append(ws, work{i, geom.HPWL(pins)})
 	}
 	sort.Slice(ws, func(a, c int) bool { return ws[a].span > ws[c].span })
 
@@ -311,24 +374,23 @@ func routeNet3D(b *netlist.Block, g *Grid, n *netlist.Net) ([]geom.Point, error)
 	dp := b.PinPos(n.Driver)
 	dd := int(b.PinDie(n.Driver))
 	var vias []geom.Point
-	// Route to the centroid of far-die sinks once: a net crosses dies at one
-	// (or a few) points, not once per sink; the router shares the crossing.
-	var farPts []geom.Point
+	// The route target is the far-die sink closest to the driver; remaining
+	// far-die sinks connect on their own die from the via. A net crosses dies
+	// at one (or a few) points, not once per sink; the router shares the
+	// crossing.
+	var best geom.Point
+	haveFar := false
 	for _, s := range n.Sinks {
 		if int(b.PinDie(s)) != dd {
-			farPts = append(farPts, b.PinPos(s))
+			p := b.PinPos(s)
+			if !haveFar || p.ManhattanDist(dp) < best.ManhattanDist(dp) {
+				best = p
+				haveFar = true
+			}
 		}
 	}
-	if len(farPts) == 0 {
+	if !haveFar {
 		return nil, nil
-	}
-	// The route target is the far-die sink closest to the driver; remaining
-	// far-die sinks connect on their own die from the via.
-	best := farPts[0]
-	for _, p := range farPts[1:] {
-		if p.ManhattanDist(dp) < best.ManhattanDist(dp) {
-			best = p
-		}
 	}
 	path, err := g.Route2Pin(dp, dd, best, 1-dd)
 	if err != nil {

@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 
@@ -64,6 +65,10 @@ type Options struct {
 	// their consistent-hash owner, foreign-ID GETs proxy to their minting
 	// node, and /v1/artifacts is token-gated. Nil serves single-node.
 	Router *cluster.Router
+	// Pprof mounts the net/http/pprof profiling handlers under
+	// /debug/pprof/. Off by default: the endpoints expose heap and CPU
+	// internals and should only be enabled on trusted interfaces.
+	Pprof bool
 }
 
 // Server routes the fold3dd HTTP API onto a jobs.Manager.
@@ -92,6 +97,17 @@ func NewWithOptions(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/artifacts/{key}", s.handleArtifact)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if opts.Pprof {
+		// Explicit registration: the daemon serves its own mux, never
+		// http.DefaultServeMux, so the pprof import's init registration
+		// alone would expose nothing. Patterns are method-less because
+		// /debug/pprof/symbol accepts both GET and POST.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 

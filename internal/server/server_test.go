@@ -724,3 +724,51 @@ func TestArtifactEndpointServesWireEntries(t *testing.T) {
 		t.Fatalf("artifact 404 envelope = %+v (%v)", e, err)
 	}
 }
+
+// TestPprofGate checks the profiling endpoints are mounted only when
+// Options.Pprof is set: the index and a named profile serve 200 with the
+// flag, and the whole /debug/pprof/ subtree 404s without it.
+func TestPprofGate(t *testing.T) {
+	mgr := jobs.NewManager(jobs.Options{})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := mgr.Close(ctx); err != nil {
+			t.Errorf("manager drain: %v", err)
+		}
+	})
+
+	on := httptest.NewServer(NewWithOptions(Options{Manager: mgr, Pprof: true}))
+	defer on.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/goroutine?debug=1", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(on.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := readAll(resp)
+		if resp.StatusCode != http.StatusOK || body == "" {
+			t.Fatalf("pprof on: GET %s = %d (%d bytes), want 200 with body", path, resp.StatusCode, len(body))
+		}
+	}
+
+	off := httptest.NewServer(NewWithOptions(Options{Manager: mgr}))
+	defer off.Close()
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof off: GET /debug/pprof/ = %d, want 404", resp.StatusCode)
+	}
+
+	// The flag must not disturb the regular surface.
+	resp, err = http.Get(on.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz with pprof on = %d, want 200", resp.StatusCode)
+	}
+}

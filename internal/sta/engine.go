@@ -37,6 +37,8 @@ type Engine struct {
 	faninIx   []int32   // arena backing the fanin lists
 	order     []int32   // topological order over combinational cells
 	pos       []int32   // cell -> index in order (-1 for sequential)
+	isSeq     []bool    // cell -> master family is sequential (flat mirror)
+	pinCap    []float64 // cell -> master input pin cap in fF (flat mirror)
 	cellDelay []float64
 	arr       []float64
 	req       []float64
@@ -99,6 +101,12 @@ func (e *Engine) MarkCellDirty(ci int32) {
 		e.cellDirty[ci] = true
 		e.dirtyCells = append(e.dirtyCells, ci)
 	}
+	// Keep the flat master mirrors in step with the swap (family swaps never
+	// cross the sequential boundary today, but the mirrors must not assume
+	// it, and resizes do change the input cap).
+	m := e.b.Cells[ci].Master
+	e.isSeq[ci] = m.Fam.IsSequential()
+	e.pinCap[ci] = m.InCapfF
 }
 
 // MarkNetDirty records that net ni's parasitics changed (re-extraction
@@ -121,6 +129,17 @@ func (e *Engine) MarkNetDirty(ni int32) {
 // placement moves without re-extraction, port or macro changes, or a full
 // re-extraction of the block.
 func (e *Engine) InvalidateTopology() { e.full = true }
+
+// Rebind points the engine at a different block, keeping every scratch and
+// result array for capacity reuse (the flow recycles one engine across a
+// chip's blocks instead of re-allocating the ~20 per-cell arrays each
+// build). The next Analyze runs a full build; a rebound engine's results
+// are exactly a fresh engine's.
+func (e *Engine) Rebind(b *netlist.Block) {
+	e.b = b
+	e.built = false
+	e.full = true
+}
 
 // DriverNets returns the cached cell-to-driven-signal-net map (-1 when a
 // cell drives none). It is valid after a successful Analyze and until the
@@ -191,6 +210,43 @@ func grown[T int32 | float64 | bool](s []T, n int) []T {
 	return s
 }
 
+// grownDirty is grown without the zeroing, for arrays the caller fully
+// overwrites before reading (rebuild's sentinel fills would make the clear a
+// second redundant memclr pass over each array).
+func grownDirty[T int32 | float64 | bool](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n, n+n/4+8)
+	}
+	return s[:n]
+}
+
+// totalLoad mirrors the package-level helper, reading cell sink caps from
+// the engine's flat pin-cap mirror instead of chasing the master pointer.
+// Same accumulation, term for term and in the same order.
+func (e *Engine) totalLoad(n *netlist.Net) (wirefF, pinfF float64) {
+	wirefF = n.WireCapfF
+	for _, s := range n.Sinks {
+		if s.Kind == netlist.KindCell {
+			pinfF += e.pinCap[s.Idx]
+		} else {
+			pinfF += e.b.PinCap(s)
+		}
+	}
+	return wirefF, pinfF
+}
+
+// wireDelay mirrors the package-level helper via the flat pin-cap mirror;
+// identical arithmetic.
+func (e *Engine) wireDelay(n *netlist.Net, s netlist.PinRef) float64 {
+	var pc float64
+	if s.Kind == netlist.KindCell {
+		pc = e.pinCap[s.Idx]
+	} else {
+		pc = e.b.PinCap(s)
+	}
+	return n.WireResOhm * (n.WireCapfF/2 + pc) * 1e-3
+}
+
 // computeCellDelay is the input-to-output delay of cell i driving its net:
 // intrinsic plus drive resistance times load (Ω*fF = 1e-3 ps), plus
 // clock-to-q for sequentials.
@@ -199,7 +255,7 @@ func (e *Engine) computeCellDelay(i int32) float64 {
 	m := b.Cells[i].Master
 	var load float64
 	if dn := e.driverNet[i]; dn >= 0 {
-		wire, pins := totalLoad(b, &b.Nets[dn])
+		wire, pins := e.totalLoad(&b.Nets[dn])
 		load = wire + pins
 	}
 	d := m.Intr + m.DriveR*load*1e-3
@@ -207,6 +263,35 @@ func (e *Engine) computeCellDelay(i int32) float64 {
 		d += m.ClkQ
 	}
 	return d
+}
+
+// arrAtCellSink is arrAtSink specialized to a cell sink whose pin cap the
+// caller already holds: the forward sweeps visit one cell's whole fanin list
+// at a time, and the sink-side Master.InCapfF chase is loop-invariant there.
+// Same arithmetic as arrAtSink, term for term.
+func (e *Engine) arrAtCellSink(ni int32, pinCap float64) float64 {
+	b := e.b
+	n := &b.Nets[ni]
+	var src float64
+	switch n.Driver.Kind {
+	case netlist.KindCell:
+		src = e.arr[n.Driver.Idx]
+		if isUnset(src) {
+			return unset
+		}
+	case netlist.KindMacro:
+		src = b.Macros[n.Driver.Idx].Model.AccessPS
+	case netlist.KindPort:
+		p := &b.Ports[n.Driver.Idx]
+		src = p.Budget
+		if src == 0 {
+			src = DefaultPortBudgetFraction * e.period
+		}
+		// Port driver delay into the net.
+		wire, pins := e.totalLoad(n)
+		src += b.DriverR(n.Driver) * (wire + pins) * 1e-3
+	}
+	return src + n.WireResOhm*(n.WireCapfF/2+pinCap)*1e-3
 }
 
 // arrAtSink computes the arrival at a sink pin of net ni.
@@ -229,10 +314,10 @@ func (e *Engine) arrAtSink(ni int32, s netlist.PinRef) float64 {
 			src = DefaultPortBudgetFraction * e.period
 		}
 		// Port driver delay into the net.
-		wire, pins := totalLoad(b, n)
+		wire, pins := e.totalLoad(n)
 		src += b.DriverR(n.Driver) * (wire + pins) * 1e-3
 	}
-	return src + wireDelay(b, n, s)
+	return src + e.wireDelay(n, s)
 }
 
 // requiredAtSink returns the required arrival time at a sink pin.
@@ -240,9 +325,8 @@ func (e *Engine) requiredAtSink(s netlist.PinRef) float64 {
 	b := e.b
 	switch s.Kind {
 	case netlist.KindCell:
-		c := &b.Cells[s.Idx]
-		if c.Master.Fam.IsSequential() {
-			return e.period - c.Master.Setup - e.uncertainty
+		if e.isSeq[s.Idx] {
+			return e.period - b.Cells[s.Idx].Master.Setup - e.uncertainty
 		}
 		return e.req[s.Idx] - e.cellDelay[s.Idx]
 	case netlist.KindMacro:
@@ -277,12 +361,14 @@ func (e *Engine) rebuild() error {
 	nc, nn := len(b.Cells), len(b.Nets)
 	e.nc, e.nn = nc, nn
 
-	e.driverNet = grown(e.driverNet, nc)
-	e.pos = grown(e.pos, nc)
-	e.cellDelay = grown(e.cellDelay, nc)
-	e.arr = grown(e.arr, nc)
-	e.req = grown(e.req, nc)
-	e.netReq = grown(e.netReq, nn)
+	e.driverNet = grownDirty(e.driverNet, nc) // filled with -1 below
+	e.pos = grownDirty(e.pos, nc)             // filled with -1 below
+	e.isSeq = grownDirty(e.isSeq, nc)         // filled below
+	e.pinCap = grownDirty(e.pinCap, nc)       // filled below
+	e.cellDelay = grownDirty(e.cellDelay, nc) // every cell written below
+	e.arr = grownDirty(e.arr, nc)             // filled with unset below
+	e.req = grownDirty(e.req, nc)             // filled with noReq below
+	e.netReq = grownDirty(e.netReq, nn)       // filled with noReq below
 	e.cellDirty = grown(e.cellDirty, nc)
 	e.netDirty = grown(e.netDirty, nn)
 	e.queued = grown(e.queued, nc)
@@ -290,7 +376,17 @@ func (e *Engine) rebuild() error {
 	e.boundMark = grown(e.boundMark, nn)
 	e.endMark = grown(e.endMark, nn)
 	e.indeg = grown(e.indeg, nc)
-	e.netEnd = grown(e.netEnd, nn+1)
+	e.netEnd = grownDirty(e.netEnd, nn+1) // every net written in the endpoint pass
+
+	// Flat master mirrors: the hot sweeps test "is this sink a
+	// launch/capture boundary" and read the sink's input pin cap once per
+	// pin visit, and the two-pointer chase through Cells[i].Master costs
+	// more than either use.
+	for i := range b.Cells {
+		m := b.Cells[i].Master
+		e.isSeq[i] = m.Fam.IsSequential()
+		e.pinCap[i] = m.InCapfF
+	}
 
 	// Driver map and fanin lists (arena-backed: one count pass sizes the
 	// per-cell slices, one fill pass appends in net order).
@@ -354,12 +450,12 @@ func (e *Engine) rebuild() error {
 		e.indeg[i] = 0
 	}
 	for i := range b.Cells {
-		if b.Cells[i].Master.Fam.IsSequential() {
+		if e.isSeq[i] {
 			continue // DFFs launch; their inputs are endpoints
 		}
 		for _, ni := range e.fanin[i] {
 			n := &b.Nets[ni]
-			if n.Driver.Kind == netlist.KindCell && !b.Cells[n.Driver.Idx].Master.Fam.IsSequential() {
+			if n.Driver.Kind == netlist.KindCell && !e.isSeq[n.Driver.Idx] {
 				e.indeg[i]++
 			}
 		}
@@ -370,7 +466,7 @@ func (e *Engine) rebuild() error {
 		e.order = e.order[:0]
 	}
 	for i := 0; i < nc; i++ {
-		if !b.Cells[i].Master.Fam.IsSequential() && e.indeg[i] == 0 {
+		if !e.isSeq[i] && e.indeg[i] == 0 {
 			e.order = append(e.order, int32(i))
 		}
 	}
@@ -382,7 +478,7 @@ func (e *Engine) rebuild() error {
 					continue
 				}
 				u := s.Idx
-				if b.Cells[u].Master.Fam.IsSequential() {
+				if e.isSeq[u] {
 					continue
 				}
 				e.indeg[u]--
@@ -394,7 +490,7 @@ func (e *Engine) rebuild() error {
 	}
 	comb := 0
 	for i := range b.Cells {
-		if !b.Cells[i].Master.Fam.IsSequential() {
+		if !e.isSeq[i] {
 			comb++
 		}
 	}
@@ -413,14 +509,15 @@ func (e *Engine) rebuild() error {
 		e.arr[i] = unset
 	}
 	for i := range b.Cells {
-		if b.Cells[i].Master.Fam.IsSequential() {
+		if e.isSeq[i] {
 			e.arr[i] = e.cellDelay[i] // clock arrival 0 + clk->q (+ load delay)
 		}
 	}
 	for _, v := range e.order {
 		latest := 0.0
+		pc := e.pinCap[v]
 		for _, ni := range e.fanin[v] {
-			a := e.arrAtSink(ni, netlist.PinRef{Kind: netlist.KindCell, Idx: v})
+			a := e.arrAtCellSink(ni, pc)
 			if isUnset(a) {
 				continue
 			}
@@ -448,7 +545,7 @@ func (e *Engine) rebuild() error {
 		r := noReq
 		n := &b.Nets[dn]
 		for _, s := range n.Sinks {
-			rs := e.requiredAtSink(s) - wireDelay(b, n, s)
+			rs := e.requiredAtSink(s) - e.wireDelay(n, s)
 			if rs < r {
 				r = rs
 			}
@@ -481,7 +578,7 @@ func (e *Engine) rebuild() error {
 			isEnd := false
 			switch s.Kind {
 			case netlist.KindCell:
-				isEnd = b.Cells[s.Idx].Master.Fam.IsSequential()
+				isEnd = e.isSeq[s.Idx]
 			case netlist.KindMacro, netlist.KindPort:
 				isEnd = true
 			}
@@ -505,7 +602,7 @@ func (e *Engine) isBoundaryNet(ni int32) bool {
 	if n.Kind != netlist.Signal {
 		return false
 	}
-	if n.Driver.Kind == netlist.KindCell && !e.b.Cells[n.Driver.Idx].Master.Fam.IsSequential() {
+	if n.Driver.Kind == netlist.KindCell && !e.isSeq[n.Driver.Idx] {
 		return false
 	}
 	return true
@@ -520,7 +617,7 @@ func (e *Engine) recomputeBoundary(ni int32) {
 	n := &b.Nets[ni]
 	r := 1e18
 	for _, s := range n.Sinks {
-		rs := e.requiredAtSink(s) - wireDelay(b, n, s)
+		rs := e.requiredAtSink(s) - e.wireDelay(n, s)
 		if rs < r {
 			r = rs
 		}
@@ -547,7 +644,7 @@ func (e *Engine) recomputeReq(v int32) float64 {
 	r := noReq
 	n := &b.Nets[dn]
 	for _, s := range n.Sinks {
-		rs := e.requiredAtSink(s) - wireDelay(b, n, s)
+		rs := e.requiredAtSink(s) - e.wireDelay(n, s)
 		if rs < r {
 			r = rs
 		}
@@ -649,7 +746,7 @@ func (e *Engine) update() {
 	}
 	for _, ni := range e.dirtyNets {
 		for _, s := range b.Nets[ni].Sinks {
-			if s.Kind == netlist.KindCell && !b.Cells[s.Idx].Master.Fam.IsSequential() {
+			if s.Kind == netlist.KindCell && !e.isSeq[s.Idx] {
 				queueArr(s.Idx)
 			}
 		}
@@ -660,7 +757,7 @@ func (e *Engine) update() {
 		if dn := e.driverNet[v]; dn >= 0 {
 			addEnd(dn)
 			for _, s := range b.Nets[dn].Sinks {
-				if s.Kind == netlist.KindCell && !b.Cells[s.Idx].Master.Fam.IsSequential() {
+				if s.Kind == netlist.KindCell && !e.isSeq[s.Idx] {
 					queueArr(s.Idx)
 				}
 			}
@@ -683,8 +780,9 @@ func (e *Engine) update() {
 		}
 		e.queued[v] = false
 		latest := 0.0
+		pc := e.pinCap[v]
 		for _, ni := range e.fanin[v] {
-			av := e.arrAtSink(ni, netlist.PinRef{Kind: netlist.KindCell, Idx: v})
+			av := e.arrAtCellSink(ni, pc)
 			if isUnset(av) {
 				continue
 			}
@@ -716,7 +814,7 @@ func (e *Engine) update() {
 	lo, hi = len(e.order), -1
 	seedReq := func(ni int32) {
 		d := b.Nets[ni].Driver
-		if d.Kind == netlist.KindCell && !b.Cells[d.Idx].Master.Fam.IsSequential() {
+		if d.Kind == netlist.KindCell && !e.isSeq[d.Idx] {
 			if !e.queued[d.Idx] {
 				e.queued[d.Idx] = true
 				p := int(e.pos[d.Idx])

@@ -84,12 +84,22 @@ func (d *Design) DrawnPortCount(block string) int {
 	return n
 }
 
+// MaxScale is the largest supported netlist scale factor: beyond one
+// modeled cell per million physical cells every block collapses to its
+// minimum size and the model carries no information.
+const MaxScale = 1e6
+
 // Generate builds the design database at the configured scale. Errors wrap
-// errs.ErrBadOptions (scale below 1) and errs.ErrUnknownBlock (an Only
-// entry naming no T2 block) so callers can classify with errors.Is.
+// errs.ErrBadOptions (scale outside [1, MaxScale], including NaN and Inf)
+// and errs.ErrUnknownBlock (an Only entry naming no T2 block) so callers
+// can classify with errors.Is.
 func Generate(cfg Config) (*Design, error) {
-	if cfg.Scale < 1 {
-		return nil, fmt.Errorf("t2: %w: scale must be >= 1, got %g", errs.ErrBadOptions, cfg.Scale)
+	// The negated >=-&&-<= form rejects NaN too: every comparison against
+	// NaN is false, so a bare `< 1` check would wave NaN straight through
+	// into the geometry math.
+	if !(cfg.Scale >= 1 && cfg.Scale <= MaxScale) {
+		return nil, fmt.Errorf("t2: %w: scale must be in [1, %g], got %g",
+			errs.ErrBadOptions, float64(MaxScale), cfg.Scale)
 	}
 	known := make(map[string]bool)
 	for _, spec := range Blocks() {

@@ -1,9 +1,12 @@
 package t2
 
 import (
+	"errors"
+	"math"
 	"strings"
 	"testing"
 
+	"fold3d/internal/errs"
 	"fold3d/internal/floorplan"
 	"fold3d/internal/netlist"
 	"fold3d/internal/tech"
@@ -177,8 +180,30 @@ func TestCCXGroupIsolation(t *testing.T) {
 }
 
 func TestGenerateBadScale(t *testing.T) {
-	if _, err := Generate(Config{Scale: 0}); err == nil {
-		t.Error("expected error for zero scale")
+	// Every rejected scale must wrap errs.ErrBadOptions and name the
+	// allowed range, so callers (t2gen, the exp validator, the daemon's
+	// 400 mapping) can classify it. NaN and the infinities are the
+	// regression cases: a bare `< 1` comparison waves them through.
+	for _, scale := range []float64{
+		0, 0.5, -3, math.NaN(), math.Inf(1), math.Inf(-1), MaxScale * 10,
+	} {
+		_, err := Generate(Config{Scale: scale})
+		if err == nil {
+			t.Errorf("scale %g: expected error", scale)
+			continue
+		}
+		if !errors.Is(err, errs.ErrBadOptions) {
+			t.Errorf("scale %g: error %v does not wrap errs.ErrBadOptions", scale, err)
+		}
+		if !strings.Contains(err.Error(), "[1, 1e+06]") {
+			t.Errorf("scale %g: error %q does not name the allowed range", scale, err)
+		}
+	}
+	// Both range endpoints are valid.
+	for _, scale := range []float64{1, MaxScale} {
+		if _, err := Generate(Config{Scale: scale, Only: []string{"CCU"}}); err != nil {
+			t.Errorf("scale %g: unexpected error %v", scale, err)
+		}
 	}
 }
 

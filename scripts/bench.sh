@@ -1,84 +1,178 @@
 #!/bin/sh
-# bench.sh — record the PR 7 performance numbers (see README "Running a
-# fleet").
+# bench.sh — record the PR 8 scaling-pass numbers (see README "Performance"
+# and DESIGN.md §15 "Scaling pass").
 #
-# Runs the fold3dd fleet benchmarks. BenchmarkFleetThroughput measures
-# closed-loop completion throughput (jobs/s over a fixed 192-request
-# workload, submitted round-robin and timed until every job is terminal)
-# for 1/2/4-node in-process fleets with cold and warm caches;
-# BenchmarkFleetPeerWarm isolates the network cache tier (every request's
-# artifacts live only on the NON-owner, so owners must fill over HTTP).
-# Writes BENCH_PR7.json at the repo root.
+# Produces BENCH_PR8.json: the scale-sweep curve of the full flow — design
+# cells vs median wall-clock vs peak RSS for `fold3d -exp table5` at t2
+# scales 1000/300/100/30 (and 10 when BENCH_SCALE10=1; that point takes
+# minutes) — plus the per-scale BuildChip micro-benchmarks
+# (BenchmarkBuildChipSequential/scale=N: ns/op with cells and peak RSS
+# custom metrics).
 #
-# Methodology: on a one-CPU host adding nodes cannot multiply raw compute,
-# so the fleet's measurable benefit is cache reach, not parallelism. The
-# headline comparison is warm-2node (owners answer their share from local
-# and peer caches) against the cold single-node baseline (one daemon
-# recomputing everything) — that ratio must clear 1.5x for the PR gate.
-# BENCH_PR3.json .. BENCH_PR6.json are frozen records of earlier PRs and
+# Baselines are frozen medians measured at the pre-PR parent commit
+# (1478f8d) on this one-CPU host, back-to-back with the current binary so
+# host speed drift cannot inflate the ratios. The curve is the point: the
+# wall-clock ratio grows as netlists grow (1.2x at the tier-1 scale 1000,
+# ~1.7x at scale 100, >2x at scale 30) because the scaling pass replaced
+# the per-query linear scans (legalization rows, blockage tests, TSV site
+# clearing/search, shift1D remap) and the allocation-bound paths that only
+# dominate on big blocks.
+#
+# Gates: scale-30 wall-clock must beat the frozen baseline by >= 2x, and
+# scale-30 peak RSS must fit a 2 GB budget (the pre-PR flow needed 3 GB).
+# The smaller-netlist ratios are recorded honestly but not gated.
+# BENCH_PR3.json .. BENCH_PR7.json are frozen records of earlier PRs and
 # are not rewritten.
 #
-# Usage: scripts/bench.sh [benchtime]   (default 3x workload rounds per cell)
+# Usage: scripts/bench.sh                    (sweep + micro-benchmarks)
+#        BENCH_SCALE10=1 scripts/bench.sh    (adds the scale-10 point)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCHTIME="${1:-3x}"
-OUT="BENCH_PR7.json"
-TMP="$(mktemp)"
-trap 'rm -f "$TMP"' EXIT
+OUT="BENCH_PR8.json"
+BIN="$(mktemp -d)"
+trap 'rm -rf "$BIN"' EXIT
 
-echo "==> go test -bench BenchmarkFleet ($BENCHTIME per cell)" >&2
-go test -run '^$' -bench 'BenchmarkFleetThroughput|BenchmarkFleetPeerWarm' \
-	-benchtime "$BENCHTIME" ./internal/server/ | tee "$TMP" >&2
+echo "==> go build ./cmd/fold3d ./cmd/t2gen" >&2
+go build -o "$BIN/fold3d" ./cmd/fold3d
+go build -o "$BIN/t2gen" ./cmd/t2gen
 
-# Reduce the raw `go test -bench` lines to one JSON object. Each cell's
-# jobs/s custom metric is located by its unit label so extra columns
-# cannot shift the parse; names normalize to cold-1node .. warm-4node plus
-# peer-warm for BenchmarkFleetPeerWarm.
-awk -v cpus="$(nproc 2>/dev/null || echo 1)" '
-/^BenchmarkFleet/ {
-	name = $1
-	sub(/-[0-9]+$/, "", name) # GOMAXPROCS suffix, if any
-	sub(/^BenchmarkFleetThroughput\//, "", name)
-	if (name == "BenchmarkFleetPeerWarm") name = "peer-warm"
-	for (i = 3; i <= NF; i++) {
-		if ($i == "jobs/s") v[name] = $(i - 1) + 0
-		if ($i == "peer-hits/op") hits = $(i - 1) + 0
-	}
+# run_rss CMD ARGS... — run once, echo "elapsed_ms peak_rss_kb". Peak RSS
+# is the kernel's VmHWM high-water mark for that process, polled from
+# /proc (minimal hosts have no /usr/bin/time -v).
+run_rss() {
+	_start=$(date +%s%N)
+	"$@" >/dev/null 2>&1 &
+	_pid=$!
+	_max=0
+	while kill -0 "$_pid" 2>/dev/null; do
+		_v=$(sed -n 's/^VmHWM:[[:space:]]*\([0-9]*\) kB/\1/p' "/proc/$_pid/status" 2>/dev/null || true)
+		if [ -n "${_v:-}" ] && [ "$_v" -gt "$_max" ]; then
+			_max=$_v
+		fi
+		sleep 0.05
+	done
+	wait "$_pid"
+	_end=$(date +%s%N)
+	echo "$(((_end - _start) / 1000000)) $_max"
 }
+
+# median3 a b c — the median of three integers.
+median3() {
+	printf '%s\n%s\n%s\n' "$1" "$2" "$3" | sort -n | sed -n 2p
+}
+
+# cells_at SCALE — total design cells, summed from the t2gen summary.
+cells_at() {
+	"$BIN/t2gen" -scale "$1" |
+		awk -F'[:,]' '/"cells"/ { n += $2 } END { print n }'
+}
+
+SCALES="1000 300 100 30"
+if [ "${BENCH_SCALE10:-0}" = 1 ]; then
+	SCALES="$SCALES 10"
+fi
+
+SWEEP=""
+for SCALE in $SCALES; do
+	CELLS="$(cells_at "$SCALE")"
+	if [ "$SCALE" -ge 100 ]; then
+		R1=$(run_rss "$BIN/fold3d" -exp table5 -scale "$SCALE")
+		R2=$(run_rss "$BIN/fold3d" -exp table5 -scale "$SCALE")
+		R3=$(run_rss "$BIN/fold3d" -exp table5 -scale "$SCALE")
+		MS=$(median3 "${R1% *}" "${R2% *}" "${R3% *}")
+		RSS=$(median3 "${R1#* }" "${R2#* }" "${R3#* }")
+	else
+		# Scales <= 30 take tens of seconds to minutes per run: one sample.
+		R1=$(run_rss "$BIN/fold3d" -exp table5 -scale "$SCALE")
+		MS="${R1% *}"
+		RSS="${R1#* }"
+	fi
+	echo "==> table5 scale=$SCALE: cells=$CELLS median_ms=$MS peak_rss_kb=$RSS" >&2
+	SWEEP="$SWEEP$SCALE $CELLS $MS $RSS
+"
+done
+
+echo "==> go test -bench BenchmarkBuildChipSequential (1x per scale)" >&2
+BENCHOUT="$BIN/bench.txt"
+go test -run '^$' -bench 'BenchmarkBuildChipSequential' -benchtime 1x . |
+	tee "$BENCHOUT" >&2
+
+printf '%s' "$SWEEP" | awk -v benchfile="$BENCHOUT" -v cpus="$(nproc 2>/dev/null || echo 1)" '
+# Frozen pre-PR table5 medians (commit 1478f8d, this host): ms and kB.
+BEGIN {
+	base_ms[1000] = 645;   base_rss[1000] = 92592
+	base_ms[300]  = 2223;  base_rss[300]  = 292352
+	base_ms[100]  = 8449;  base_rss[100]  = 963812
+	base_ms[30]   = 58753; base_rss[30]   = 3084700
+}
+{ order[++nrows] = $1; cells[$1] = $2; ms[$1] = $3; rss[$1] = $4 }
 END {
-	ratio = (v["cold-1node"] > 0) ? v["warm-2node"] / v["cold-1node"] : 0
 	printf "{\n"
-	printf "  \"comment\": \"PR 7 fold3dd fleet: closed-loop completion throughput over a fixed 192-request workload (table4, scale 2000, distinct seeds), submitted round-robin over the fleet and timed until every job is terminal. One-CPU host: extra nodes cannot multiply compute, so the fleet benefit on show is cache reach — warm fleets answer from local and peer caches instead of recomputing. Headline: warm-2node vs the cold single-node baseline. peer-warm is a 2-node fleet whose artifacts live only on non-owners, forcing every owner to fill over the HTTP artifact tier (peer_hits_per_round fetches each round).\",\n"
+	printf "  \"comment\": \"PR 8 scaling pass: full-flow table5 (all five styles) wall-clock and peak RSS across t2 scales, current binary vs the pre-PR parent (1478f8d) measured back-to-back on the same host. The speedup grows as scale drops (netlists grow) because the pass replaced the per-query linear scans (legalization rows, TSV site clearing/search, shift1D remap) and the large zeroed reservations that only dominate on big blocks. buildchip rows are BenchmarkBuildChipSequential/scale=N: the folded-F2B chip alone, with the process peak-RSS high-water mark after that sub-benchmark (monotone across sub-benchmarks by construction).\",\n"
 	printf "  \"cpus\": %d,\n", cpus
-	printf "  \"workload_jobs\": 192,\n"
-	printf "  \"current\": {\n"
-	printf "    \"fleet_jobs_per_sec\": {\n"
-	printf "      \"cold\": {\"1node\": %.1f, \"2node\": %.1f, \"4node\": %.1f},\n", v["cold-1node"], v["cold-2node"], v["cold-4node"]
-	printf "      \"warm\": {\"1node\": %.1f, \"2node\": %.1f, \"4node\": %.1f},\n", v["warm-1node"], v["warm-2node"], v["warm-4node"]
-	printf "      \"peer_warm_2node\": %.1f\n", v["peer-warm"]
-	printf "    },\n"
-	printf "    \"peer_hits_per_round\": %.1f,\n", hits
-	printf "    \"warm_2node_vs_cold_single_node\": %.2f\n", ratio
-	printf "  }\n"
+	printf "  \"baseline_commit\": \"1478f8d\",\n"
+	printf "  \"table5_sweep\": [\n"
+	for (i = 1; i <= nrows; i++) {
+		s = order[i]
+		printf "    {\"scale\": %d, \"cells\": %d, \"median_ms\": %d, \"peak_rss_kb\": %d", s, cells[s], ms[s], rss[s]
+		if (s in base_ms) {
+			printf ", \"baseline_ms\": %d, \"baseline_rss_kb\": %d", base_ms[s], base_rss[s]
+			printf ", \"speedup\": %.2f, \"rss_reduction\": %.2f", base_ms[s] / ms[s], base_rss[s] / rss[s]
+		}
+		printf "}%s\n", i < nrows ? "," : ""
+	}
+	printf "  ],\n"
+	printf "  \"buildchip\": [\n"
+	n = 0
+	while ((getline line < benchfile) > 0) {
+		if (line !~ /^BenchmarkBuildChipSequential\//) continue
+		nf = split(line, f, /[ \t]+/)
+		name = f[1]
+		sub(/^BenchmarkBuildChipSequential\/scale=/, "", name)
+		sub(/-[0-9]+$/, "", name)
+		# ns/op can exceed 2^31 at scale 100; keep it a string so awks
+		# with 32-bit %d cannot clamp it.
+		nsop = "0"; bcells = 0; brss = 0
+		for (j = 3; j <= nf; j++) {
+			if (f[j] == "ns/op") nsop = f[j-1]
+			if (f[j] == "cells") bcells = f[j-1] + 0
+			if (f[j] == "peak_rss_kB") brss = f[j-1] + 0
+		}
+		rows[++n] = sprintf("    {\"scale\": %d, \"cells\": %d, \"ns_per_op\": %s, \"peak_rss_kb\": %d}", name, bcells, nsop, brss)
+	}
+	for (j = 1; j <= n; j++) printf "%s%s\n", rows[j], j < n ? "," : ""
+	printf "  ],\n"
+	printf "  \"gate\": {\"scale30_speedup\": %.2f, \"scale30_peak_rss_kb\": %d, \"scale100_speedup\": %.2f}\n", base_ms[30] / ms[30], rss[30], base_ms[100] / ms[100]
 	printf "}\n"
 }
-' "$TMP" > "$OUT"
+' > "$OUT"
 
 echo "==> wrote $OUT" >&2
 cat "$OUT"
 
-# The PR gate: a warm two-node fleet must beat the cold single-node
-# baseline by more than 1.5x, or the networked cache tier is not earning
-# its keep.
+# The PR gates: the scaling pass must at least double scale-30 throughput
+# against the frozen pre-PR baseline, and the scale-30 flow must fit the
+# 2 GB memory budget.
 awk '
-/"warm_2node_vs_cold_single_node"/ {
-	ratio = $2 + 0
-	if (ratio <= 1.5) {
-		printf "bench.sh: warm-2node is only %.2fx the single-node baseline (need > 1.5x)\n", ratio > "/dev/stderr"
-		exit 1
+/"gate"/ {
+	match($0, /"scale30_speedup": [0-9.]+/)
+	sp = substr($0, RSTART, RLENGTH)
+	sub(/^".*": /, "", sp); sp += 0
+	match($0, /"scale30_peak_rss_kb": [0-9]+/)
+	rss = substr($0, RSTART, RLENGTH)
+	sub(/^".*": /, "", rss); rss += 0
+	ok = 1
+	if (sp < 2.0) {
+		printf "bench.sh: scale-30 speedup %.2fx is below the 2x gate\n", sp > "/dev/stderr"
+		ok = 0
 	}
-	printf "bench.sh: warm-2node = %.2fx single-node baseline (> 1.5x)\n", ratio > "/dev/stderr"
+	if (rss > 2097152) {
+		printf "bench.sh: scale-30 peak RSS %d kB exceeds the 2 GB budget\n", rss > "/dev/stderr"
+		ok = 0
+	}
+	if (!ok) exit 1
+	printf "bench.sh: scale-30 = %.2fx baseline at %.0f MB peak (gates: >= 2x, <= 2048 MB)\n", sp, rss / 1024 > "/dev/stderr"
 }
 ' "$OUT"

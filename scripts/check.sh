@@ -37,6 +37,17 @@ go test -race -cpu=4 -run 'TestParallelFingerprintEquivalence|TestBuildChipCance
 echo "==> go test -race (incremental STA equivalence)"
 go test -race -run 'TestIncrementalFullEquivalence' ./internal/opt/
 
+# The PR 8 scaling pass rewrote legalization, spreading and the TSV
+# planner around spatial indexes; the cross-scale property tests replay
+# the pre-PR reference implementations (reference_test.go) against the
+# indexed ones at scale 1000 and, without -short, scale 100, and require
+# exactly equal positions. Run them under the race detector: the SoA
+# mirrors are shared state, and a stale mirror would show up here as a
+# position diff long before it corrupts a fingerprint.
+echo "==> go test -race (cross-scale legalize/spread equivalence)"
+go test -race -run 'TestLegalizeMatchesReference|TestSpreadMatchesReference' \
+	./internal/place/
+
 # Cache hits must be byte-identical to recomputation. The full style x seed
 # matrix already ran under -race above (go test -race ./...); re-run the
 # heaviest style with extra CPUs so the shared cache sees more goroutine
@@ -194,15 +205,25 @@ echo "==> go test -race -cpu=4 (lint engine: parallel load + checks)"
 go test -race -cpu=4 ./internal/lint/...
 
 # fold3dlint includes the PipelineOnly rule: flow stages may only run
-# through the pipeline executor, never by direct call.
+# through the pipeline executor, never by direct call — and, since PR 8,
+# the IndexedScanOnly rule banning nested linear Cells scans in
+# internal/place (legalization and blockage queries must use the spatial
+# indexes).
 echo "==> go run ./cmd/fold3dlint ./..."
 go run ./cmd/fold3dlint ./...
+
+# Large-netlist smoke: the scaling pass is only honest if the flow still
+# completes a big build in CI time. One table5 run at scale 100 (~72k
+# design cells, all five styles) — ~5s after PR 8, ~8.5s before it.
+echo "==> fold3d -exp table5 -scale 100 smoke"
+go build -o "$SMOKEDIR/fold3d" ./cmd/fold3d
+"$SMOKEDIR/fold3d" -exp table5 -scale 100 >/dev/null
 
 # Every PR appends one line to CHANGES.md; a PR that ships without its
 # entry leaves the next session blind to what is already done.
 echo "==> CHANGES.md entry"
-grep -q '^PR 7:' CHANGES.md || {
-	echo "check.sh: CHANGES.md has no 'PR 7:' entry" >&2
+grep -q '^PR 8:' CHANGES.md || {
+	echo "check.sh: CHANGES.md has no 'PR 8:' entry" >&2
 	exit 1
 }
 
