@@ -20,6 +20,7 @@ import (
 	"fold3d/internal/exp"
 	"fold3d/internal/flow"
 	"fold3d/internal/pipeline"
+	"fold3d/internal/place"
 	"fold3d/internal/t2"
 )
 
@@ -344,8 +345,16 @@ func peakRSSkB() float64 {
 // the scale sweep pairs wall-clock with memory.
 func benchBuildChip(b *testing.B, workers, scale int) {
 	b.Helper()
+	benchBuildChipPlacer(b, workers, scale, "")
+}
+
+// benchBuildChipPlacer is benchBuildChip with an explicit placement
+// backend (empty means the default, force).
+func benchBuildChipPlacer(b *testing.B, workers, scale int, placer string) {
+	b.Helper()
 	fcfg := flow.DefaultConfig()
 	fcfg.Workers = workers
+	fcfg.Placer = placer
 	cells := 0
 	for i := 0; i < b.N; i++ {
 		d, err := t2.Generate(t2.Config{Scale: float64(scale), Seed: 42})
@@ -419,6 +428,21 @@ func BenchmarkRunAllShared(b *testing.B) {
 		b.Fatalf("warm iterations recomputed %d blocks", st.Stores-stores)
 	}
 	b.ReportMetric(float64(st.Hits)/float64(b.N), "restores/op")
+}
+
+// BenchmarkBuildChip compares the registered placement backends head to
+// head on the tier-1 chip build (Workers=1, scale 1000): one sub-benchmark
+// per backend, so
+//
+//	go test -bench 'BenchmarkBuildChip/placer'
+//
+// reports the force-vs-analytical cost side by side (scripts/bench.sh
+// records these rows into BENCH_PR9.json).
+func BenchmarkBuildChip(b *testing.B) {
+	for _, name := range place.BackendNames() {
+		name := name
+		b.Run("placer="+name, func(b *testing.B) { benchBuildChipPlacer(b, 1, 1000, name) })
+	}
 }
 
 // BenchmarkBuildChipSequential is the Workers=1 baseline of the chip

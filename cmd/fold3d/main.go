@@ -12,6 +12,8 @@
 //	fold3d -exp all -scale 1000        # everything
 //	fold3d -exp fig8 -svgdir ./out     # dump layout SVGs
 //	fold3d -exp all -workers 1         # force the sequential path
+//	fold3d -placer analytical          # analytical placement backend
+//	fold3d -exp headtohead             # backends head-to-head, all styles
 //	fold3d -exp table5 -progress       # live per-block status on stderr
 //	fold3d -exp all -cachedir ./cache  # spill block artifacts to disk
 //	fold3d -exp all -cachestats        # print cache hit/miss counters
@@ -36,6 +38,7 @@ import (
 	"fold3d/internal/exp"
 	"fold3d/internal/flow"
 	"fold3d/internal/pipeline"
+	"fold3d/internal/place"
 )
 
 // main delegates to run so deferred profile writers fire before the process
@@ -54,6 +57,7 @@ func run() int {
 		list       = flag.Bool("list", false, "print the experiment registry (sorted) and exit")
 		scale      = flag.Float64("scale", 1000, "netlist scale factor (cells per modeled cell)")
 		seed       = flag.Uint64("seed", 42, "random seed")
+		placer     = flag.String("placer", "", "placement backend: "+strings.Join(place.BackendNames(), "|")+" (default "+place.DefaultBackend+")")
 		svgdir     = flag.String("svgdir", "", "directory to write layout SVGs and netlist artifacts")
 		workers    = flag.Int("workers", 0, "parallel workers across experiments and per chip build (0 = one per CPU, 1 = sequential)")
 		progress   = flag.Bool("progress", false, "stream live per-block flow status to stderr")
@@ -98,7 +102,13 @@ func run() int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	cfg := exp.Config{Scale: *scale, Seed: *seed, Workers: *workers}
+	cfg := exp.Config{Scale: *scale, Seed: *seed, Workers: *workers, Placer: *placer}
+	// Fail fast on bad options — in particular an unknown -placer — with
+	// the conventional flag-error exit status, before any work starts.
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "fold3d:", err)
+		return 2
+	}
 	// RunAll would create a memory-only cache itself; build it here so the
 	// disk spill and the -cachestats report see the same instance.
 	cfg.Cache = pipeline.NewCache(pipeline.CacheOptions{Dir: *cachedir, MaxBytes: int64(*cachemb) << 20})
@@ -142,6 +152,11 @@ func run() int {
 			continue
 		}
 		fmt.Println(strings.TrimRight(r.Report, "\n"))
+		if r.Volatile != "" {
+			// Stderr, like -progress: stdout stays byte-identical across
+			// runs and worker counts, wall-clock annotations do not.
+			fmt.Fprintln(os.Stderr, strings.TrimRight(r.Volatile, "\n"))
+		}
 		fmt.Printf("[%s]\n\n", r.Name)
 		if *svgdir != "" && len(r.Files) > 0 {
 			if werr := writeFiles(*svgdir, r.Files); werr != nil {
@@ -161,13 +176,16 @@ func run() int {
 }
 
 // listExperiments prints the registry sorted by name, one "name\tdoc" line
-// each, so scripts can discover the valid -exp values.
+// each, so scripts can discover the valid -exp values, followed by the
+// registered placement backends (the valid -placer values).
 func listExperiments(w io.Writer) {
 	gens := exp.Generators()
 	sort.Slice(gens, func(i, j int) bool { return gens[i].Name < gens[j].Name })
 	for _, g := range gens {
 		fmt.Fprintf(w, "%-10s %s\n", g.Name, g.Doc)
 	}
+	fmt.Fprintf(w, "placement backends (-placer): %s (default %s)\n",
+		strings.Join(place.BackendNames(), ", "), place.DefaultBackend)
 }
 
 // writeMemProfile dumps the post-GC heap profile, so what it shows is live

@@ -7,17 +7,24 @@ import (
 	"testing"
 
 	"fold3d/internal/exp"
+	"fold3d/internal/place"
 )
 
 // TestListExperimentsSorted pins the -list contract: one line per
-// registered experiment, sorted by name, each carrying its doc string.
+// registered experiment, sorted by name, each carrying its doc string,
+// followed by one trailer line naming every placement backend.
 func TestListExperimentsSorted(t *testing.T) {
 	var sb strings.Builder
 	listExperiments(&sb)
 
 	var names []string
+	trailer := ""
 	sc := bufio.NewScanner(strings.NewReader(sb.String()))
 	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "placement backends") {
+			trailer = sc.Text()
+			continue
+		}
 		fields := strings.Fields(sc.Text())
 		if len(fields) < 2 {
 			t.Fatalf("line %q lacks a doc string", sc.Text())
@@ -26,6 +33,17 @@ func TestListExperimentsSorted(t *testing.T) {
 	}
 	if len(names) != len(exp.Generators()) {
 		t.Fatalf("listed %d experiments, registry has %d", len(names), len(exp.Generators()))
+	}
+	if trailer == "" {
+		t.Fatal("-list output lacks the placement-backends trailer")
+	}
+	for _, b := range place.BackendNames() {
+		if !strings.Contains(trailer, b) {
+			t.Errorf("backends trailer %q missing %q", trailer, b)
+		}
+	}
+	if !strings.Contains(trailer, "default "+place.DefaultBackend) {
+		t.Errorf("backends trailer %q does not name the default", trailer)
 	}
 	if !sort.StringsAreSorted(names) {
 		t.Errorf("-list output is not sorted: %v", names)

@@ -28,6 +28,11 @@
 //	fold3dd -addr :8080 -node-id a -peers 'a=http://h1:8080,b=http://h2:8080'
 //	fold3dd -addr :8080 -node-id b -peers 'a=http://h1:8080,b=http://h2:8080'
 //
+// A job request may name a placement backend via its "placer" field
+// ({"experiments":["table2"],"placer":"analytical"}); an unknown name is
+// rejected with the 400 envelope, and requests differing only in placer
+// route independently (distinct ring owners, isolated cache identities).
+//
 // API: POST /v1/jobs, POST /v1/batches, GET /v1/jobs, GET /v1/jobs/{id},
 // GET /v1/jobs/{id}/events, GET /v1/batches/{id},
 // GET /v1/batches/{id}/events (NDJSON), GET /v1/artifacts/{key} (peers),

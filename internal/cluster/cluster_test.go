@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"fold3d/internal/jobs"
 	"fold3d/internal/pipeline"
 )
 
@@ -294,5 +295,53 @@ func TestPeerTierMissingAndUnauthorized(t *testing.T) {
 	wrongCache := pipeline.NewCache(pipeline.CacheOptions{Tiers: []pipeline.CacheTier{wrong}})
 	if _, ok := wrongCache.Get("k", codec); ok {
 		t.Fatal("unauthorized fetch served as a hit")
+	}
+}
+
+// TestRoutingFingerprintIncludesPlacer pins the routing-identity contract
+// of the placement-backend axis: the ring key of a request (its
+// jobs.Request.Fingerprint) must separate requests that differ only in
+// placer, so two backends never collapse onto one ring owner or cache
+// identity — while the empty placer normalizes to the default backend and
+// scheduling-only knobs (Workers, Tenant) stay excluded.
+func TestRoutingFingerprintIncludesPlacer(t *testing.T) {
+	base := jobs.Request{Experiments: []string{"table2"}, Scale: 2000, Seed: 7}
+	force := base
+	force.Placer = "force"
+	analytical := base
+	analytical.Placer = "analytical"
+
+	if base.Fingerprint() != force.Fingerprint() {
+		t.Error("empty placer must normalize to the default backend's fingerprint")
+	}
+	if force.Fingerprint() == analytical.Fingerprint() {
+		t.Error("requests differing only in placer share a routing fingerprint")
+	}
+	sched := analytical
+	sched.Workers = 7
+	sched.Tenant = "acme"
+	if sched.Fingerprint() != analytical.Fingerprint() {
+		t.Error("Workers/Tenant leaked into the routing fingerprint")
+	}
+
+	// The distinct fingerprints are distinct ring keys (the same strings a
+	// fleet node hands to Owner when routing a POST): across enough seeds
+	// the two backends' keys must land on different owners at least once —
+	// if the ring collapsed them, every seed would agree.
+	r, err := New("n0", testNodes(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := false
+	for seed := uint64(1); seed <= 32 && !split; seed++ {
+		f := base
+		f.Seed = seed
+		f.Placer = "force"
+		a := f
+		a.Placer = "analytical"
+		split = r.Owner(f.Fingerprint()).ID != r.Owner(a.Fingerprint()).ID
+	}
+	if !split {
+		t.Error("force and analytical requests always share a ring owner — the ring is not seeing the placer axis")
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"fold3d/internal/floorplan"
 	"fold3d/internal/flow"
 	"fold3d/internal/pipeline"
+	"fold3d/internal/place"
 	"fold3d/internal/t2"
 	"fold3d/internal/tech"
 )
@@ -30,6 +31,14 @@ type Config struct {
 	// runs (0 = one worker per CPU, 1 = strictly sequential). Results are
 	// byte-identical at any setting; see flow.Config.Workers.
 	Workers int
+	// Placer selects the placement backend every flow runs: "force" (the
+	// paper's placer, the default), "analytical" (the Nesterov bistratal
+	// placer), or any future registered backend. Every experiment gains
+	// this axis — the same table under a different Placer is a different,
+	// comparable measurement. Empty selects place.DefaultBackend. Unknown
+	// names fail Validate with an errs.ErrBadOptions-wrapped error naming
+	// the valid backends.
+	Placer string
 	// Progress, when non-nil, receives live flow status events. Callbacks
 	// are serialized but their order is scheduler-dependent; results are
 	// unaffected.
@@ -70,6 +79,11 @@ func (c Config) Validate() error {
 		return fmt.Errorf("exp: %w: %w: workers must be >= 0 (0 selects one per CPU), got %d",
 			errs.ErrBadRequest, errs.ErrBadOptions, c.Workers)
 	}
+	// place.ValidateBackend already wraps errs.ErrBadRequest and
+	// errs.ErrBadOptions and names the valid backends; keep that text.
+	if err := place.ValidateBackend(c.Placer); err != nil {
+		return fmt.Errorf("exp: %w", err)
+	}
 	return nil
 }
 
@@ -91,6 +105,10 @@ func ValidateNames(names []string) error {
 // parallelism and progress settings.
 func (c Config) flowCfg() flow.Config {
 	fc := flow.DefaultConfig()
+	fc.Placer = c.Placer
+	if fc.Placer == "" {
+		fc.Placer = place.DefaultBackend
+	}
 	fc.Workers = c.Workers
 	fc.Progress = c.Progress
 	fc.Cache = c.Cache

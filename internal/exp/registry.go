@@ -18,6 +18,11 @@ type Result struct {
 	Name   string
 	Report string
 	Files  map[string]string
+	// Volatile holds display-only annotations (wall-clock timings and the
+	// like) that are printed alongside the report but excluded from every
+	// result fingerprint: two runs that differ only in Volatile are the
+	// same run.
+	Volatile string
 }
 
 // Generator is one registered experiment: a table, figure, or ablation.
@@ -188,6 +193,13 @@ var generators = []Generator{
 			return nil, err
 		}
 		return &Result{Report: r.String()}, nil
+	}},
+	{"headtohead", "placement backends head-to-head across all five styles", func(ctx context.Context, cfg Config) (*Result, error) {
+		r, err := HeadToHead(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Report: r.String(), Volatile: r.VolatileString()}, nil
 	}},
 }
 

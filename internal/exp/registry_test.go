@@ -16,6 +16,7 @@ var canonicalOrder = []string{
 	"table1", "table2", "table3", "table4", "table5",
 	"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 	"dualvth", "macromode", "criteria", "thermal", "coupling", "rsmt",
+	"headtohead",
 }
 
 func TestGeneratorsCanonicalOrder(t *testing.T) {
@@ -93,6 +94,9 @@ func TestConfigValidate(t *testing.T) {
 		{"scale below 1", Config{Scale: 0.5}, false},
 		{"negative scale", Config{Scale: -3}, false},
 		{"negative workers", Config{Workers: -1}, false},
+		{"force placer", Config{Placer: "force"}, true},
+		{"analytical placer", Config{Placer: "analytical"}, true},
+		{"unknown placer", Config{Placer: "bogus"}, false},
 	}
 	for _, c := range cases {
 		err := c.cfg.Validate()

@@ -1,0 +1,150 @@
+package flow
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fold3d/internal/errs"
+	"fold3d/internal/pipeline"
+	"fold3d/internal/place"
+	"fold3d/internal/t2"
+)
+
+// withPlacer returns a config hook selecting the named placement backend.
+func withPlacer(name string) func(*Config) {
+	return func(c *Config) { c.Placer = name }
+}
+
+// TestAnalyticalFingerprintEquivalence extends the worker-pool determinism
+// contract to the analytical backend: Workers=1 and Workers=4 must produce
+// byte-identical chips for every design style, exactly as
+// TestParallelFingerprintEquivalence pins for force.
+func TestAnalyticalFingerprintEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ten full-chip builds")
+	}
+	styles := []t2.Style{t2.Style2D, t2.StyleCoreCache, t2.StyleCoreCore, t2.StyleFoldF2B, t2.StyleFoldF2F}
+	for _, style := range styles {
+		seq := chipFingerprintCfg(t, style, 42, 1, withPlacer("analytical"))
+		par := chipFingerprintCfg(t, style, 42, 4, withPlacer("analytical"))
+		if seq != par {
+			t.Errorf("%s: analytical Workers=1 vs Workers=4 fingerprints differ:\n%s", style, firstDiff(seq, par))
+		}
+	}
+}
+
+// TestBackendsProduceDistinctPlacements sanity-checks that the analytical
+// backend is not accidentally routed into the force path: the two backends
+// must disagree on at least the placement bytes of a full chip (they share
+// the legalizer, so agreement would mean the registry dispatched wrong).
+func TestBackendsProduceDistinctPlacements(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full-chip builds")
+	}
+	force := chipFingerprintCfg(t, t2.StyleCoreCache, 42, 1, withPlacer(place.DefaultBackend))
+	analytical := chipFingerprintCfg(t, t2.StyleCoreCache, 42, 1, withPlacer("analytical"))
+	if force == analytical {
+		t.Fatal("force and analytical produced byte-identical chips; backend dispatch is broken")
+	}
+}
+
+// TestForceCacheKeyIdentity pins the cache-key discipline's backward half:
+// a config that never mentions a placer (the legacy shape every pre-PR
+// cache entry was stored under) and one that names the default backend
+// explicitly must share every stage key — the explicit run restores
+// entirely from the legacy run's entries, storing nothing new.
+func TestForceCacheKeyIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-chip builds")
+	}
+	cache := pipeline.NewCache(pipeline.CacheOptions{})
+	legacy := chipFingerprintCfg(t, t2.StyleCoreCache, 42, 1, func(c *Config) {
+		c.Cache = cache
+		c.Placer = "" // WithDefaults fills in place.DefaultBackend
+	})
+	stores := cache.Stats().Stores
+
+	explicit := chipFingerprintCfg(t, t2.StyleCoreCache, 42, 1, func(c *Config) {
+		c.Cache = cache
+		c.Placer = place.DefaultBackend
+	})
+	if legacy != explicit {
+		t.Fatalf("explicit force diverged from legacy config:\n%s", firstDiff(legacy, explicit))
+	}
+	st := cache.Stats()
+	if st.Stores != stores {
+		t.Errorf("explicit force stored %d new entries; its keys must equal the legacy keys", st.Stores-stores)
+	}
+	if st.Hits == 0 {
+		t.Error("explicit force never hit the legacy-keyed cache")
+	}
+}
+
+// TestCrossBackendCacheIsolation pins the discipline's forward half: a
+// cache warmed by one backend must contribute nothing to the other — not
+// one memory hit, not one disk hit — because a restored placement from the
+// wrong backend would silently corrupt the determinism contract.
+func TestCrossBackendCacheIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-chip builds")
+	}
+	// Memory tier: a memory-only cache warmed by force contributes nothing
+	// to an analytical run.
+	memCache := pipeline.NewCache(pipeline.CacheOptions{})
+	chipFingerprintCfg(t, t2.StyleCoreCache, 42, 1, func(c *Config) {
+		c.Cache = memCache
+		c.Placer = place.DefaultBackend
+	})
+	if memCache.Stats().Stores == 0 {
+		t.Fatal("force build stored nothing; the isolation check below would be vacuous")
+	}
+	before := memCache.Stats()
+	chipFingerprintCfg(t, t2.StyleCoreCache, 42, 1, func(c *Config) {
+		c.Cache = memCache
+		c.Placer = "analytical"
+	})
+	if hits := memCache.Stats().Hits - before.Hits; hits != 0 {
+		t.Errorf("analytical took %d memory hits from a force-warmed cache", hits)
+	}
+
+	// Disk tier: a spill directory holding only force entries contributes
+	// nothing to a fresh-cache analytical run.
+	dir := t.TempDir()
+	chipFingerprintCfg(t, t2.StyleCoreCache, 42, 1, func(c *Config) {
+		c.Cache = pipeline.NewCache(pipeline.CacheOptions{Dir: dir})
+		c.Placer = place.DefaultBackend
+	})
+	fresh := pipeline.NewCache(pipeline.CacheOptions{Dir: dir})
+	chipFingerprintCfg(t, t2.StyleCoreCache, 42, 1, func(c *Config) {
+		c.Cache = fresh
+		c.Placer = "analytical"
+	})
+	if st := fresh.Stats(); st.DiskHits != 0 {
+		t.Errorf("fresh analytical run restored %d entries from the force disk spill", st.DiskHits)
+	}
+}
+
+// TestUnknownBackendFailsFast pins the validation contract: an unknown
+// placer name fails the build with an error matching both ErrBadRequest
+// and ErrBadOptions and naming the valid backends.
+func TestUnknownBackendFailsFast(t *testing.T) {
+	d, err := t2.Generate(t2.Config{Scale: 1000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Placer = "simulated-annealing"
+	_, err = New(d, cfg).BuildChip(t2.Style2D)
+	if err == nil {
+		t.Fatal("unknown backend built a chip")
+	}
+	if !errors.Is(err, errs.ErrBadOptions) || !errors.Is(err, errs.ErrBadRequest) {
+		t.Errorf("error %v must match ErrBadOptions and ErrBadRequest", err)
+	}
+	for _, name := range place.BackendNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not name valid backend %q", err, name)
+		}
+	}
+}

@@ -19,6 +19,11 @@ import (
 	"fold3d/internal/opt"
 	"fold3d/internal/pipeline"
 	"fold3d/internal/place"
+
+	// Register the analytical bistratal backend into the place registry so
+	// every flow consumer (experiments, jobs, the daemons) can select it by
+	// name. The force backend registers from within internal/place itself.
+	_ "fold3d/internal/place/analytical"
 	"fold3d/internal/power"
 	"fold3d/internal/sta"
 	"fold3d/internal/t2"
@@ -71,6 +76,14 @@ type Config struct {
 	// UseRSMT switches extraction to real rectilinear Steiner trees for
 	// small nets (slower, more accurate).
 	UseRSMT bool
+	// Placer names the registered placement backend driving the place
+	// stage: "force" (the paper's iterative placer, the default) or
+	// "analytical" (the Nesterov bistratal placer). Empty selects
+	// place.DefaultBackend. An unknown name fails the first block's place
+	// stage with an error wrapping errs.ErrBadOptions naming the valid
+	// backends; validate up front with place.ValidateBackend to fail
+	// before any work starts.
+	Placer string
 	// Place, Opt and CTS tune the engines.
 	Place place.Options
 	Opt   opt.Options
@@ -116,6 +129,9 @@ func (c Config) WithDefaults() Config {
 	if c.MacroChannel <= 0 {
 		c.MacroChannel = def.MacroChannel
 	}
+	if c.Placer == "" {
+		c.Placer = def.Placer
+	}
 	if c.Place == (place.Options{}) {
 		c.Place = def.Place
 	}
@@ -135,6 +151,7 @@ func (c Config) WithDefaults() Config {
 func DefaultConfig() Config {
 	return Config{
 		Bond:            extract.F2B,
+		Placer:          place.DefaultBackend,
 		Util:            0.66,
 		BufferAllowance: 1.10,
 		MacroChannel:    0.22,
@@ -249,14 +266,18 @@ func (f *Flow) ImplementBlockContext(ctx context.Context, b *netlist.Block, aspe
 	return st.res, nil
 }
 
-// getPlacer returns a pooled placer reinitialized for this flow's options,
-// or a fresh one when the pool is empty.
-func (f *Flow) getPlacer() *place.Placer {
-	if p, ok := f.placers.Get().(*place.Placer); ok {
+// getPlacer returns a pooled placement backend reinitialized for this
+// flow's options, or a fresh one resolved through the backend registry when
+// the pool is empty. One flow runs one backend (Cfg.Placer is fixed at
+// construction), so every pooled entry is the same concrete type and
+// Reinit restores as-new behavior — the per-backend arena reuse that keeps
+// the ~20 per-cell scratch slices alive across blocks.
+func (f *Flow) getPlacer() (place.Backend, error) {
+	if p, ok := f.placers.Get().(place.Backend); ok {
 		p.Reinit(f.placeOptions())
-		return p
+		return p, nil
 	}
-	return place.New(f.placeOptions())
+	return place.NewBackend(f.Cfg.Placer, f.placeOptions())
 }
 
 // getOptimizer returns a pooled optimizer reinitialized for cfg, or a fresh

@@ -27,8 +27,10 @@ type implState struct {
 	aspect float64
 
 	// Cross-stage engine state, created by the owning stage and consumed
-	// downstream strictly through the plan's dependency edges.
-	placer  *place.Placer
+	// downstream strictly through the plan's dependency edges. placer is
+	// whichever registered backend the flow's Cfg.Placer resolved to; the
+	// downstream stages only ever re-legalize through it.
+	placer  place.Backend
 	o       *opt.Optimizer
 	ctsRes  *cts.Result
 	reps    int
@@ -78,6 +80,15 @@ func (st *implState) blockPlan() *pipeline.Plan {
 			// place.Options is a flat value struct (no maps), so %#v is a
 			// deterministic rendering of every field including Seed.
 			h.Str(fmt.Sprintf("%#v", f.placeOptions()))
+			// Cache-key discipline across backends: the default force
+			// backend keeps the exact pre-registry key bytes, so artifacts
+			// cached before the backend axis existed stay valid; every
+			// other backend appends its registry name, so no two backends
+			// can ever alias each other's place-stage artifacts — in this
+			// process, on disk, or across fleet peers.
+			if f.Cfg.Placer != place.DefaultBackend {
+				h.Str("placer=" + f.Cfg.Placer)
+			}
 		},
 		Run: st.stagePlace,
 	})
@@ -170,7 +181,11 @@ func (st *implState) stagePrepare(ctx context.Context) error {
 // stagePlace runs mixed-size global placement and legalization. The placer
 // is kept for downstream legalization passes (it owns the row model).
 func (st *implState) stagePlace(ctx context.Context) error {
-	st.placer = st.f.getPlacer()
+	placer, err := st.f.getPlacer()
+	if err != nil {
+		return err
+	}
+	st.placer = placer
 	if err := st.placer.Place(st.b); err != nil {
 		if st.b.Is3D {
 			return fmt.Errorf("flow: 3D placing %s: %v", st.b.Name, err)

@@ -35,6 +35,7 @@ import (
 	"fold3d/internal/exp"
 	"fold3d/internal/flow"
 	"fold3d/internal/pipeline"
+	"fold3d/internal/place"
 )
 
 // Sentinel errors of the queue itself (as opposed to request validation,
@@ -84,6 +85,11 @@ type Request struct {
 	Scale float64 `json:"scale,omitempty"`
 	// Seed drives all randomness; 0 selects the default (42).
 	Seed uint64 `json:"seed,omitempty"`
+	// Placer names the placement backend to run (place.BackendNames);
+	// empty selects the default ("force"). Unlike Workers it changes the
+	// work itself, so it participates in the routing and result
+	// fingerprints: requests differing only in Placer are different work.
+	Placer string `json:"placer,omitempty"`
 	// Workers bounds the per-job flow fan-out (0 = one per CPU). It trades
 	// wall-clock only: results and fingerprints are identical at any value.
 	Workers int `json:"workers,omitempty"`
@@ -95,10 +101,12 @@ type Request struct {
 }
 
 // Fingerprint is the routing fingerprint of the request: the pipeline
-// hash of its normalized work definition (experiments, scale, seed).
-// Workers and Tenant are excluded — they affect scheduling, never
-// results — so every request meaning the same work routes to the same
-// fleet node and shares its warm artifacts.
+// hash of its normalized work definition (experiments, scale, seed,
+// placer). Workers and Tenant are excluded — they affect scheduling,
+// never results — so every request meaning the same work routes to the
+// same fleet node and shares its warm artifacts, while requests
+// differing only in placement backend never collapse onto one ring
+// owner or cache identity.
 func (r Request) Fingerprint() string {
 	n := r.normalized()
 	h := pipeline.NewHasher()
@@ -108,6 +116,7 @@ func (r Request) Fingerprint() string {
 	}
 	h.F64(n.Scale)
 	h.Uint(n.Seed)
+	h.Str(n.Placer)
 	return string(h.Sum())
 }
 
@@ -122,20 +131,23 @@ func (r Request) normalized() Request {
 	if r.Seed == 0 {
 		r.Seed = def.Seed
 	}
+	if r.Placer == "" {
+		r.Placer = place.DefaultBackend
+	}
 	return r
 }
 
 // config converts the (normalized) request into the exp harness
 // configuration, attaching the manager-owned shared cache.
 func (r Request) config(cache *pipeline.Cache) exp.Config {
-	return exp.Config{Scale: r.Scale, Seed: r.Seed, Workers: r.Workers, Cache: cache}
+	return exp.Config{Scale: r.Scale, Seed: r.Seed, Workers: r.Workers, Placer: r.Placer, Cache: cache}
 }
 
 // Validate checks the request without running it. Failures wrap
 // errs.ErrBadRequest (plus errs.ErrUnknownExperiment for bad names), so a
 // transport can map them to client errors with errors.Is.
 func (r Request) Validate() error {
-	if err := (exp.Config{Scale: r.Scale, Seed: r.Seed, Workers: r.Workers}).Validate(); err != nil {
+	if err := (exp.Config{Scale: r.Scale, Seed: r.Seed, Workers: r.Workers, Placer: r.Placer}).Validate(); err != nil {
 		return err
 	}
 	return exp.ValidateNames(r.Experiments)
@@ -173,6 +185,10 @@ type ExperimentResult struct {
 	Report string `json:"report"`
 	// Files holds artifact files (SVGs, netlist dumps) by basename.
 	Files map[string]string `json:"files,omitempty"`
+	// Volatile holds display-only annotations (wall-clock timings). It is
+	// excluded from the result fingerprint: two jobs differing only in
+	// Volatile are byte-identical work.
+	Volatile string `json:"volatile,omitempty"`
 }
 
 // Result is a completed job's output. Fingerprint is a content hash over
@@ -636,9 +652,10 @@ func (m *Manager) runJob(j *Job) {
 		result = &Result{Fingerprint: fingerprintResults(results)}
 		for _, r := range results {
 			result.Experiments = append(result.Experiments, ExperimentResult{
-				Name:   r.Name,
-				Report: r.Report,
-				Files:  r.Files,
+				Name:     r.Name,
+				Report:   r.Report,
+				Files:    r.Files,
+				Volatile: r.Volatile,
 			})
 		}
 	}

@@ -41,6 +41,11 @@ func runAPIGuard(cfg *Config, p *Package) []Finding {
 			out = append(out, checkIndexedScan(p, file)...)
 		}
 	}
+	if matchesSuffix(p.Path, cfg.BackendRegistryOnly) {
+		for _, file := range p.Files {
+			out = append(out, checkBackendRegistry(p, file)...)
+		}
+	}
 	if !strings.Contains(p.Path, "internal/") && !strings.Contains(p.Path, "pkg/") {
 		return out
 	}
@@ -85,6 +90,49 @@ func checkSTAEngine(p *Package, file *ast.File) []Finding {
 			Check:   "apiguard",
 			Pos:     p.Fset.Position(call.Pos()),
 			Message: "one-shot sta.Analyze here rebuilds the timing graph from scratch; this package must reuse its persistent sta.Engine (MarkCellDirty/MarkNetDirty + Engine.Analyze)",
+		})
+		return true
+	})
+	return out
+}
+
+// checkBackendRegistry flags direct placement-backend construction — a call
+// to New in internal/place or any package under internal/place/ — inside
+// packages restricted to the registry (Config.BackendRegistryOnly). The one
+// sanctioned door is place.NewBackend, which validates the name and keeps
+// the placer-aware cache keys honest; a hard-wired constructor silently
+// pins one backend and escapes both.
+func checkBackendRegistry(p *Package, file *ast.File) []Finding {
+	var out []Finding
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var id *ast.Ident
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			id = fun.Sel
+		case *ast.Ident:
+			id = fun
+		default:
+			return true
+		}
+		fn, ok := p.Info.Uses[id].(*types.Func)
+		if !ok || fn.Name() != "New" || fn.Pkg() == nil {
+			return true
+		}
+		path := fn.Pkg().Path()
+		if !strings.HasSuffix(path, "internal/place") && !strings.Contains(path, "internal/place/") {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return true // a method named New on some type — not a constructor
+		}
+		out = append(out, Finding{
+			Check:   "apiguard",
+			Pos:     p.Fset.Position(call.Pos()),
+			Message: fmt.Sprintf("direct placement-backend construction %s.New: this package selects backends through the registry (place.NewBackend), which validates the name and keys the cache per backend", path),
 		})
 		return true
 	})

@@ -91,6 +91,14 @@ type Config struct {
 	// checks, invalidates the plan's input fingerprinting, and lets stages
 	// grow hidden dependencies the artifact cache cannot see.
 	PipelineOnly []string
+	// BackendRegistryOnly lists import-path suffixes of packages that must
+	// obtain placement backends through the registry (place.NewBackend)
+	// rather than constructing one directly with place.New or a concrete
+	// backend package's New. A direct construction hard-wires one backend
+	// into the flow, bypasses the unknown-name validation, and silently
+	// escapes the cache-key discipline that keeps backends' artifacts
+	// isolated.
+	BackendRegistryOnly []string
 	// IndexedScanOnly lists import-path suffixes of packages whose
 	// legalization and blockage code must answer per-candidate queries
 	// through a spatial index. There, a linear scan over a block's Cells
@@ -111,6 +119,7 @@ func DefaultConfig() *Config {
 			"internal/floorplan",
 			"internal/partition",
 			"internal/place",
+			"internal/place/analytical",
 			"internal/route",
 			"internal/power",
 			"internal/sta",
@@ -151,6 +160,12 @@ func DefaultConfig() *Config {
 			// The flow's phases are registered pipeline stages; only the
 			// pipeline executor may invoke them, so the stage DAG and the
 			// artifact-cache fingerprints stay honest.
+			"internal/flow",
+		},
+		BackendRegistryOnly: []string{
+			// The flow selects placement backends by Config.Placer; wiring a
+			// concrete placer here would bypass the registry's validation
+			// and the placer-aware cache keys.
 			"internal/flow",
 		},
 		IndexedScanOnly: []string{

@@ -201,6 +201,24 @@ func TestIndexedScanOffByDefaultElsewhere(t *testing.T) {
 	}
 }
 
+func TestBackendRegistryFixture(t *testing.T) {
+	_, p := loadFixture(t, "backendregistry", "fixture/backendregistry")
+	cfg := DefaultConfig()
+	cfg.BackendRegistryOnly = append(cfg.BackendRegistryOnly, "fixture/backendregistry")
+	checkFixture(t, cfg, p, []*Check{APIGuardCheck()})
+}
+
+func TestBackendRegistryOffByDefaultElsewhere(t *testing.T) {
+	// Without the package on the BackendRegistryOnly list the same source
+	// is clean (the fixture path is outside internal/, so the doc/panic
+	// rules stay off too).
+	_, p := loadFixture(t, "backendregistry", "fixture/backendregistry-off")
+	fs := Run(DefaultConfig(), []*Package{p}, []*Check{APIGuardCheck()})
+	if len(fs) != 0 {
+		t.Errorf("unrestricted package flagged: %v", fs)
+	}
+}
+
 func TestAPIGuardFixture(t *testing.T) {
 	_, p := loadFixture(t, "apiguard", "fixture/internal/apiguard")
 	checkFixture(t, DefaultConfig(), p, []*Check{APIGuardCheck()})

@@ -1,0 +1,535 @@
+// Package analytical implements the registry's second placement backend: an
+// electrostatics-style analytical global placer driven by Nesterov-
+// accelerated gradient iterations over flat float64 arrays. Its objective is
+// the bistratal wirelength model of analytical die-to-die placement (Liao et
+// al., arXiv 2310.07424): a net spanning both dies of a folded block is
+// priced as the sum of its per-die smooth HPWLs plus the separation between
+// the two per-die bounding boxes — the dies are optimized jointly, with no
+// shared-plane collapse and no z-penalty term. Density is a per-die
+// bin-overflow penalty over the same macro-holes supply map the
+// force-directed backend spreads against (place.SupplyGrid), and final
+// legalization reuses the shared row legalizer verbatim through the embedded
+// place.Placer.
+//
+// Determinism contract: the placer walks cells, nets and pins strictly in
+// netlist index order, keeps every accumulator in flat slices (no maps), and
+// draws its seeding randomness from the seeded rng stream — placements are
+// byte-identical for identical (block, Options) inputs at any worker count,
+// pool temperature or fleet topology.
+package analytical
+
+import (
+	"fmt"
+	"math"
+
+	"fold3d/internal/geom"
+	"fold3d/internal/netlist"
+	"fold3d/internal/place"
+	"fold3d/internal/rng"
+	"fold3d/internal/tech"
+)
+
+// Name is the backend's registry name.
+const Name = "analytical"
+
+func init() {
+	place.MustRegisterBackend(Name, func(opt place.Options) place.Backend { return New(opt) })
+}
+
+// Placer is the analytical bistratal backend. It embeds the force-directed
+// place.Placer purely for the shared machinery every backend must agree on —
+// the row legalizer behind LegalizeAll and the macro-holes supply map — and
+// replaces global placement wholesale with the Nesterov loop in Place.
+type Placer struct {
+	*place.Placer
+	opt place.Options
+
+	// Flat per-cell state, indexed by cell index (fixed cells carry their
+	// frozen centers so nets read every pin from the same arrays). x/y are
+	// the current major solution, vx/vy the Nesterov lookahead reference,
+	// gx/gy the gradient at the reference.
+	x, y     []float64
+	vx, vy   []float64
+	gx, gy   []float64
+	dgx, dgy []float64 // density-gradient lanes, same indexing
+
+	// Per-net pin scratch, reused across nets (grown to the widest net).
+	pinX, pinY  []float64
+	pinCell     []int32 // cell index of a movable pin, -1 otherwise
+	pinDie      []int8
+	wpx, wnx    []float64 // per-pin exp weights, max/min side, x axis
+	wpy, wny    []float64 // per-pin exp weights, max/min side, y axis
+	demand      [2][]float64
+	overflowPsi [2][]float64
+}
+
+// New returns an analytical backend with the given options (zero fields get
+// the shared place defaults, exactly as place.New does).
+func New(opt place.Options) *Placer {
+	p := &Placer{Placer: place.New(opt)}
+	p.opt = opt.WithDefaults()
+	return p
+}
+
+// Reinit re-arms the backend for a new block, resetting the embedded
+// legalizer and refreshing the options while keeping all scratch capacity.
+func (p *Placer) Reinit(opt place.Options) {
+	p.Placer.Reinit(opt)
+	p.opt = opt.WithDefaults()
+}
+
+// Name returns the backend's registry name.
+func (p *Placer) Name() string { return Name }
+
+// dieGroup is the per-axis, per-die weighted-average accumulator of one net:
+// the smooth max M = Σx·e^{(x-hi)/γ} / Σe^{(x-hi)/γ} and smooth min m
+// (mirrored), with the raw sums kept for the gradient distribution pass.
+type dieGroup struct {
+	n        int
+	hi, lo   float64 // exact extrema (exp normalization anchors)
+	sp, sxp  float64 // Σw, Σx·w on the max side
+	sn, sxn  float64 // Σw, Σx·w on the min side
+	smoothHi float64 // sxp/sp
+	smoothLo float64 // sxn/sn
+}
+
+// Place globally places every movable cell of b with the Nesterov loop and
+// hands the result to the shared legalizer. The bistratal objective prices
+// each cross-die net's two per-die boxes jointly; single-die blocks
+// degenerate to plain smooth-HPWL + density placement.
+func (p *Placer) Place(b *netlist.Block) error {
+	dies := []netlist.Die{netlist.DieBottom}
+	if b.Is3D {
+		dies = append(dies, netlist.DieTop)
+	}
+	for _, d := range dies {
+		if b.Outline[d].Area() <= 0 {
+			return fmt.Errorf("analytical: block %s has empty outline on die %s", b.Name, d)
+		}
+	}
+	p.seedPositions(b, rng.New(p.opt.Seed))
+
+	n := len(b.Cells)
+	p.x = grown(&p.x, n)
+	p.y = grown(&p.y, n)
+	p.vx = grown(&p.vx, n)
+	p.vy = grown(&p.vy, n)
+	p.gx = grown(&p.gx, n)
+	p.gy = grown(&p.gy, n)
+	for i := range b.Cells {
+		c := &b.Cells[i]
+		p.x[i] = c.Pos.X + c.Master.Width/2
+		p.y[i] = c.Pos.Y + tech.CellHeight/2
+		p.vx[i], p.vy[i] = p.x[i], p.y[i]
+	}
+
+	// Per-die supply grids — identical bins, holes and consumed fixed area
+	// as the force backend's spreading, so both backends fight the same
+	// density field.
+	var grids [2]*geom.Grid
+	var supply [2][]float64
+	binRef := math.Inf(1)
+	for _, d := range dies {
+		g, s, err := p.SupplyGrid(b, d)
+		if err != nil {
+			return err
+		}
+		grids[d], supply[d] = g, s
+		dx, dy := g.BinSize()
+		binRef = math.Min(binRef, math.Min(dx, dy))
+	}
+
+	// Nesterov over the joint objective W(x) + λ·Φ(x). λ ramps
+	// geometrically from a scale calibrated against the first wirelength
+	// gradient; γ (the smooth-max temperature) anneals from loose to tight
+	// so early iterations see long-range pulls and late ones true HPWL.
+	iters := 3 * p.opt.Iterations
+	var lambda float64
+	ak := 1.0
+	for it := 0; it < iters; it++ {
+		t := float64(it) / float64(iters-1)
+		gamma := binRef * (4.0 * math.Pow(0.125, t))
+		wlNorm := p.wirelengthGrad(b, gamma)
+		dNorm := p.densityGrad(b, dies, grids, supply)
+		if it == 0 {
+			lambda = 0.1 * safeRatio(wlNorm, dNorm)
+		} else {
+			lambda *= math.Pow(200, 1/float64(iters-1))
+		}
+		gmax := 0.0
+		for i := range b.Cells {
+			if b.Cells[i].Fixed {
+				continue
+			}
+			gx := p.gx[i] + lambda*p.dgx[i]
+			gy := p.gy[i] + lambda*p.dgy[i]
+			p.gx[i], p.gy[i] = gx, gy
+			gmax = math.Max(gmax, math.Max(math.Abs(gx), math.Abs(gy)))
+		}
+		if gmax == 0 {
+			break
+		}
+		// Trust-region step: the steepest cell moves one bin per iteration.
+		step := binRef / gmax
+		ak1 := (1 + math.Sqrt(4*ak*ak+1)) / 2
+		mom := (ak - 1) / ak1
+		for i := range b.Cells {
+			c := &b.Cells[i]
+			if c.Fixed {
+				continue
+			}
+			nx := p.vx[i] - step*p.gx[i]
+			ny := p.vy[i] - step*p.gy[i]
+			p.vx[i] = nx + mom*(nx-p.x[i])
+			p.vy[i] = ny + mom*(ny-p.y[i])
+			p.x[i], p.y[i] = nx, ny
+			out := b.Outline[c.Die]
+			hw := c.Master.Width / 2
+			p.x[i] = clamp(p.x[i], out.Lo.X+hw, out.Hi.X-hw)
+			p.y[i] = clamp(p.y[i], out.Lo.Y+tech.CellHeight/2, out.Hi.Y-tech.CellHeight/2)
+			p.vx[i] = clamp(p.vx[i], out.Lo.X+hw, out.Hi.X-hw)
+			p.vy[i] = clamp(p.vy[i], out.Lo.Y+tech.CellHeight/2, out.Hi.Y-tech.CellHeight/2)
+		}
+		ak = ak1
+	}
+
+	for i := range b.Cells {
+		c := &b.Cells[i]
+		if c.Fixed {
+			continue
+		}
+		c.Pos = geom.Point{X: p.x[i] - c.Master.Width/2, Y: p.y[i] - tech.CellHeight/2}
+	}
+	return p.Placer.LegalizeAll(b)
+}
+
+// wirelengthGrad accumulates ∂W/∂(x,y) of every net into gx/gy (overwriting
+// them) at the lookahead point vx/vy and returns the summed absolute
+// gradient (the λ calibration scale). W is the bistratal objective: per die
+// group the weighted-average smooth HPWL, plus — for nets with pins on both
+// dies — the positive part of the per-axis gap between the two smooth boxes.
+func (p *Placer) wirelengthGrad(b *netlist.Block, gamma float64) float64 {
+	n := len(b.Cells)
+	for i := 0; i < n; i++ {
+		p.gx[i], p.gy[i] = 0, 0
+	}
+	var norm float64
+	for ni := range b.Nets {
+		net := &b.Nets[ni]
+		k := len(net.Sinks) + 1
+		if k < 2 {
+			continue
+		}
+		w := 1.0
+		if net.Kind == netlist.Clock {
+			w = 0.25 // clock topology is CTS's problem, as in the force backend
+		}
+		p.pinX = grown(&p.pinX, k)
+		p.pinY = grown(&p.pinY, k)
+		p.pinCell = grownI32(&p.pinCell, k)
+		p.pinDie = grownI8(&p.pinDie, k)
+		p.wpx = grown(&p.wpx, k)
+		p.wnx = grown(&p.wnx, k)
+		p.wpy = grown(&p.wpy, k)
+		p.wny = grown(&p.wny, k)
+		loadPin := func(j int, pr netlist.PinRef) {
+			if pr.Kind == netlist.KindCell {
+				p.pinX[j], p.pinY[j] = p.vx[pr.Idx], p.vy[pr.Idx]
+				if b.Cells[pr.Idx].Fixed {
+					p.pinCell[j] = -1
+				} else {
+					p.pinCell[j] = pr.Idx
+				}
+			} else {
+				pt := b.PinPos(pr)
+				p.pinX[j], p.pinY[j] = pt.X, pt.Y
+				p.pinCell[j] = -1
+			}
+			p.pinDie[j] = int8(b.PinDie(pr))
+		}
+		loadPin(0, net.Driver)
+		for s, pr := range net.Sinks {
+			loadPin(s+1, pr)
+		}
+
+		var gr [2][2]dieGroup // [die][axis]
+		for j := 0; j < k; j++ {
+			d := p.pinDie[j]
+			for ax := 0; ax < 2; ax++ {
+				v := p.pinX[j]
+				if ax == 1 {
+					v = p.pinY[j]
+				}
+				g := &gr[d][ax]
+				if g.n == 0 {
+					g.hi, g.lo = v, v
+				} else {
+					g.hi = math.Max(g.hi, v)
+					g.lo = math.Min(g.lo, v)
+				}
+				g.n++
+			}
+		}
+		for j := 0; j < k; j++ {
+			d := p.pinDie[j]
+			ex := math.Exp((p.pinX[j] - gr[d][0].hi) / gamma)
+			en := math.Exp((gr[d][0].lo - p.pinX[j]) / gamma)
+			p.wpx[j], p.wnx[j] = ex, en
+			gr[d][0].sp += ex
+			gr[d][0].sxp += p.pinX[j] * ex
+			gr[d][0].sn += en
+			gr[d][0].sxn += p.pinX[j] * en
+			ey := math.Exp((p.pinY[j] - gr[d][1].hi) / gamma)
+			eny := math.Exp((gr[d][1].lo - p.pinY[j]) / gamma)
+			p.wpy[j], p.wny[j] = ey, eny
+			gr[d][1].sp += ey
+			gr[d][1].sxp += p.pinY[j] * ey
+			gr[d][1].sn += eny
+			gr[d][1].sxn += p.pinY[j] * eny
+		}
+		for d := 0; d < 2; d++ {
+			for ax := 0; ax < 2; ax++ {
+				g := &gr[d][ax]
+				if g.n > 0 {
+					g.smoothHi = g.sxp / g.sp
+					g.smoothLo = g.sxn / g.sn
+				}
+			}
+		}
+		// Gap activation per axis: the two boxes are disjoint in at most
+		// one ordering; gapSign says which die's min is being pulled down
+		// toward the other die's max (0 = none).
+		bistratal := gr[0][0].n > 0 && gr[1][0].n > 0
+		var gapSign [2]int // per axis: +1 die0.lo>die1.hi, -1 die1.lo>die0.hi
+		if bistratal {
+			for ax := 0; ax < 2; ax++ {
+				if gr[0][ax].smoothLo > gr[1][ax].smoothHi {
+					gapSign[ax] = +1
+				} else if gr[1][ax].smoothLo > gr[0][ax].smoothHi {
+					gapSign[ax] = -1
+				}
+			}
+		}
+		for j := 0; j < k; j++ {
+			ci := p.pinCell[j]
+			if ci < 0 {
+				continue
+			}
+			d := int(p.pinDie[j])
+			// x axis
+			g := &gr[d][0]
+			dMax := p.wpx[j] / g.sp * (1 + (p.pinX[j]-g.smoothHi)/gamma)
+			dMin := p.wnx[j] / g.sn * (1 - (p.pinX[j]-g.smoothLo)/gamma)
+			gx := dMax - dMin
+			if s := gapSign[0]; s != 0 {
+				if (s > 0) == (d == 0) {
+					gx += dMin // this die's min side is the gap's upper edge
+				} else {
+					gx -= dMax
+				}
+			}
+			// y axis
+			g = &gr[d][1]
+			dMaxY := p.wpy[j] / g.sp * (1 + (p.pinY[j]-g.smoothHi)/gamma)
+			dMinY := p.wny[j] / g.sn * (1 - (p.pinY[j]-g.smoothLo)/gamma)
+			gy := dMaxY - dMinY
+			if s := gapSign[1]; s != 0 {
+				if (s > 0) == (d == 0) {
+					gy += dMinY
+				} else {
+					gy -= dMaxY
+				}
+			}
+			p.gx[ci] += w * gx
+			p.gy[ci] += w * gy
+			norm += math.Abs(w*gx) + math.Abs(w*gy)
+		}
+	}
+	return norm
+}
+
+// densityGrad computes the per-die bin-overflow gradient at the lookahead
+// point into dgx/dgy and returns its summed absolute value. Each movable
+// cell deposits its area bilinearly onto the four bins around its center;
+// overfilled bins (demand above the macro-holes supply) push their cells
+// outward along the overflow slope, so cells drain out of macro holes and
+// congested regions exactly where the supply map says there is no room.
+func (p *Placer) densityGrad(b *netlist.Block, dies []netlist.Die, grids [2]*geom.Grid, supply [2][]float64) float64 {
+	n := len(b.Cells)
+	p.dgx = grown(&p.dgx, n)
+	p.dgy = grown(&p.dgy, n)
+	for _, d := range dies {
+		nb := grids[d].NumBins()
+		dem := grown(&p.demand[d], nb)
+		for i := range dem {
+			dem[i] = 0
+		}
+		p.overflowPsi[d] = grown(&p.overflowPsi[d], nb)
+	}
+	for i := range b.Cells {
+		c := &b.Cells[i]
+		if c.Fixed {
+			p.dgx[i], p.dgy[i] = 0, 0
+			continue
+		}
+		g := grids[c.Die]
+		area := c.Master.Area()
+		ix, iy, ix2, iy2, tx, ty := bilinear(g, p.vx[i], p.vy[i])
+		dem := p.demand[c.Die]
+		dem[g.Index(ix, iy)] += area * (1 - tx) * (1 - ty)
+		dem[g.Index(ix2, iy)] += area * tx * (1 - ty)
+		dem[g.Index(ix, iy2)] += area * (1 - tx) * ty
+		dem[g.Index(ix2, iy2)] += area * tx * ty
+	}
+	for _, d := range dies {
+		g := grids[d]
+		dx, dy := g.BinSize()
+		binArea := dx * dy
+		dem, sup, psi := p.demand[d], supply[d], p.overflowPsi[d]
+		for i := range dem {
+			psi[i] = 0
+			if over := dem[i] - sup[i]; over > 0 {
+				psi[i] = over / binArea // overflow in bin-area units
+			}
+		}
+	}
+	var norm float64
+	for i := range b.Cells {
+		c := &b.Cells[i]
+		if c.Fixed {
+			continue
+		}
+		g := grids[c.Die]
+		dx, dy := g.BinSize()
+		area := c.Master.Area()
+		ix, iy, ix2, iy2, tx, ty := bilinear(g, p.vx[i], p.vy[i])
+		psi := p.overflowPsi[c.Die]
+		p00 := psi[g.Index(ix, iy)]
+		p10 := psi[g.Index(ix2, iy)]
+		p01 := psi[g.Index(ix, iy2)]
+		p11 := psi[g.Index(ix2, iy2)]
+		// ∂Φ/∂x with Φ = Σ_b ψ_b·overlap_b: moving right transfers weight
+		// from the left bin pair to the right pair at rate 1/dx.
+		gx := area / dx * ((p10-p00)*(1-ty) + (p11-p01)*ty)
+		gy := area / dy * ((p01-p00)*(1-tx) + (p11-p10)*tx)
+		p.dgx[i], p.dgy[i] = gx, gy
+		norm += math.Abs(gx) + math.Abs(gy)
+	}
+	return norm
+}
+
+// bilinear maps a point to its lower-left bin-center cell (ix,iy), its
+// upper-right neighbor (ix2,iy2) and the fractional offsets (tx,ty) toward
+// that neighbor, clamped so every deposit target exists. On a degenerate
+// axis (a grid one bin wide or tall) the neighbor collapses onto the cell
+// itself with zero fractional weight, so the axis simply carries no
+// density gradient.
+func bilinear(g *geom.Grid, x, y float64) (ix, iy, ix2, iy2 int, tx, ty float64) {
+	dx, dy := g.BinSize()
+	fx := (x-g.Region.Lo.X)/dx - 0.5
+	fy := (y-g.Region.Lo.Y)/dy - 0.5
+	ix = int(math.Floor(fx))
+	iy = int(math.Floor(fy))
+	tx = fx - float64(ix)
+	ty = fy - float64(iy)
+	if ix < 0 {
+		ix, tx = 0, 0
+	}
+	if ix > g.NX-2 {
+		ix = g.NX - 2
+		tx = 1
+		if ix < 0 { // single-column grid
+			ix, tx = 0, 0
+		}
+	}
+	if iy < 0 {
+		iy, ty = 0, 0
+	}
+	if iy > g.NY-2 {
+		iy = g.NY - 2
+		ty = 1
+		if iy < 0 { // single-row grid
+			iy, ty = 0, 0
+		}
+	}
+	ix2, iy2 = ix, iy
+	if ix+1 <= g.NX-1 {
+		ix2 = ix + 1
+	}
+	if iy+1 <= g.NY-1 {
+		iy2 = iy + 1
+	}
+	return ix, iy, ix2, iy2, tx, ty
+}
+
+// seedPositions mirrors the force backend's seeding: movable cells at the
+// origin draw a uniform position inside their die outline from the seeded
+// stream; cells that already carry a position keep it (clamped).
+func (p *Placer) seedPositions(b *netlist.Block, r *rng.R) {
+	for i := range b.Cells {
+		c := &b.Cells[i]
+		if c.Fixed {
+			continue
+		}
+		out := b.Outline[c.Die]
+		if c.Pos.X == 0 && c.Pos.Y == 0 {
+			c.Pos = geom.Point{
+				X: r.Range(out.Lo.X, out.Hi.X-c.Master.Width),
+				Y: r.Range(out.Lo.Y, out.Hi.Y-tech.CellHeight),
+			}
+		} else {
+			c.Pos = geom.Point{
+				X: clamp(c.Pos.X, out.Lo.X, out.Hi.X-c.Master.Width),
+				Y: clamp(c.Pos.Y, out.Lo.Y, out.Hi.Y-tech.CellHeight),
+			}
+		}
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// safeRatio returns a/b guarded against a zero or vanishing denominator.
+func safeRatio(a, b float64) float64 {
+	if b <= 1e-12 {
+		return 1
+	}
+	return a / b
+}
+
+// grown reslices *s to exactly n elements, reallocating only when the
+// capacity is short, and writes the result back through the pointer so the
+// stored slice never carries a stale length from a bigger block.
+func grown(s *[]float64, n int) []float64 {
+	if cap(*s) < n {
+		*s = make([]float64, n)
+	} else {
+		*s = (*s)[:n]
+	}
+	return *s
+}
+
+func grownI32(s *[]int32, n int) []int32 {
+	if cap(*s) < n {
+		*s = make([]int32, n)
+	} else {
+		*s = (*s)[:n]
+	}
+	return *s
+}
+
+func grownI8(s *[]int8, n int) []int8 {
+	if cap(*s) < n {
+		*s = make([]int8, n)
+	} else {
+		*s = (*s)[:n]
+	}
+	return *s
+}

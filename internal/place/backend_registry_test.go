@@ -1,0 +1,80 @@
+package place
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fold3d/internal/errs"
+)
+
+// TestBackendRegistryDefault pins the registry's committed surface: the
+// force backend is registered under the default name, resolves for both
+// the empty string and its explicit name, and reports its name.
+func TestBackendRegistryDefault(t *testing.T) {
+	names := BackendNames()
+	if len(names) == 0 || names[0] != DefaultBackend {
+		t.Fatalf("BackendNames() = %v, want %q first (registration order)", names, DefaultBackend)
+	}
+	for _, name := range []string{"", DefaultBackend} {
+		b, err := NewBackend(name, DefaultOptions())
+		if err != nil {
+			t.Fatalf("NewBackend(%q): %v", name, err)
+		}
+		if b.Name() != DefaultBackend {
+			t.Errorf("NewBackend(%q).Name() = %q, want %q", name, b.Name(), DefaultBackend)
+		}
+		if _, ok := b.(*Placer); !ok {
+			t.Errorf("NewBackend(%q) = %T, want *Placer", name, b)
+		}
+	}
+}
+
+// TestBackendRegistryUnknown pins the fail-fast contract: an unknown name
+// is rejected with an error matching both ErrBadRequest and ErrBadOptions
+// and naming every valid backend.
+func TestBackendRegistryUnknown(t *testing.T) {
+	_, err := NewBackend("quadratic", DefaultOptions())
+	if err == nil {
+		t.Fatal("NewBackend(quadratic) succeeded")
+	}
+	if !errors.Is(err, errs.ErrBadOptions) || !errors.Is(err, errs.ErrBadRequest) {
+		t.Errorf("error %v must match ErrBadOptions and ErrBadRequest", err)
+	}
+	for _, name := range BackendNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not name valid backend %q", err, name)
+		}
+	}
+	if err := ValidateBackend("quadratic"); err == nil {
+		t.Error("ValidateBackend(quadratic) accepted")
+	}
+	if err := ValidateBackend(""); err != nil {
+		t.Errorf("ValidateBackend(\"\") = %v, want nil (empty means default)", err)
+	}
+}
+
+// TestBackendNamesIsACopy guards the registry against callers mutating the
+// returned slice.
+func TestBackendNamesIsACopy(t *testing.T) {
+	a := BackendNames()
+	a[0] = "clobbered"
+	if b := BackendNames(); b[0] != DefaultBackend {
+		t.Fatalf("mutating BackendNames() leaked into the registry: %v", b)
+	}
+}
+
+// TestMustRegisterBackendPanics pins the registration invariants: empty
+// names and duplicates are programmer errors.
+func TestMustRegisterBackendPanics(t *testing.T) {
+	for _, name := range []string{"", DefaultBackend} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MustRegisterBackend(%q) did not panic", name)
+				}
+			}()
+			MustRegisterBackend(name, func(opt Options) Backend { return New(opt) })
+		}()
+	}
+}

@@ -90,21 +90,29 @@ func New(opt Options) *Placer {
 	return p
 }
 
+// WithDefaults returns o with every unset (zero or out-of-range) tuning
+// field replaced by its DefaultOptions value — the normalization New and
+// Reinit apply before a run. Backends outside this package use it so their
+// view of the options matches what the shared legalizer runs with.
+func (o Options) WithDefaults() Options {
+	if o.Iterations <= 0 {
+		o.Iterations = DefaultOptions().Iterations
+	}
+	if o.TargetUtil <= 0 || o.TargetUtil > 1 {
+		o.TargetUtil = DefaultOptions().TargetUtil
+	}
+	if o.BinCells <= 0 {
+		o.BinCells = DefaultOptions().BinCells
+	}
+	return o
+}
+
 // Reinit re-arms the placer for a new block: fresh options (zero fields get
 // defaults, as in New) and cleared legalization stats, keeping every scratch
 // buffer for capacity reuse. A reinitialized placer behaves exactly like a
 // newly constructed one.
 func (p *Placer) Reinit(opt Options) {
-	if opt.Iterations <= 0 {
-		opt.Iterations = DefaultOptions().Iterations
-	}
-	if opt.TargetUtil <= 0 || opt.TargetUtil > 1 {
-		opt.TargetUtil = DefaultOptions().TargetUtil
-	}
-	if opt.BinCells <= 0 {
-		opt.BinCells = DefaultOptions().BinCells
-	}
-	p.opt = opt
+	p.opt = opt.WithDefaults()
 	p.legalStats = LegalStats{}
 }
 
@@ -395,6 +403,20 @@ func (p *Placer) buildDensityGrid(b *netlist.Block, d netlist.Die) (*densityGrid
 		consume(pad)
 	}
 	return dg, nil
+}
+
+// SupplyGrid builds the density-supply map of die d — bin area at the
+// target utilization with macros as holes (or reduced demand), fixed cells
+// and TSV pads consumed — and returns the grid with the per-bin supply
+// areas. It is the same map the force-directed spreading uses; alternative
+// backends (the analytical bistratal placer) call it so every backend
+// spreads against identical supply, macro holes included.
+func (p *Placer) SupplyGrid(b *netlist.Block, d netlist.Die) (*geom.Grid, []float64, error) {
+	dg, err := p.buildDensityGrid(b, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	return dg.grid, dg.supply, nil
 }
 
 // spreadPass performs one FastPlace-style cell-shifting step on die d: the

@@ -77,8 +77,9 @@ func newFleet(tb testing.TB, n, depth int) []*fleetNode {
 }
 
 // fleetReqs is the request mix every fleet test runs: one experiment at
-// several seeds plus a scale variant, so fingerprints are distinct and
-// the consistent hash splits them across nodes.
+// several seeds plus scale and placement-backend variants, so fingerprints
+// are distinct and the consistent hash splits them across nodes — and the
+// determinism proof covers both placement backends end to end.
 func fleetReqs() []jobs.Request {
 	reqs := []jobs.Request{
 		{Experiments: []string{"table4"}},
@@ -87,6 +88,8 @@ func fleetReqs() []jobs.Request {
 		{Experiments: []string{"table4"}, Seed: 13},
 		{Experiments: []string{"table4"}, Scale: 500},
 		{Experiments: []string{"table4"}, Scale: 500, Seed: 7},
+		{Experiments: []string{"table4"}, Placer: "analytical"},
+		{Experiments: []string{"table4"}, Seed: 7, Placer: "analytical"},
 		{Experiments: []string{"table1"}},
 		{Experiments: []string{"table1"}, Seed: 7},
 	}
@@ -268,5 +271,55 @@ func TestFleetPeerAuth(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusUnauthorized {
 		t.Fatalf("forged forwarded submit = %d, want 401", resp.StatusCode)
+	}
+}
+
+// TestFleetBackendIsolation pins the peer tier against cross-backend
+// leakage: a node whose peer has run the same work under the other
+// placement backend must fill nothing over the network — the placer is in
+// every stage key, so the peer's entries are simply foreign. It also pins
+// that the two backends' jobs report different result fingerprints.
+func TestFleetBackendIsolation(t *testing.T) {
+	fleet := newFleet(t, 2, 64)
+	force := jobs.Request{Experiments: []string{"table4"}}
+	analytical := jobs.Request{Experiments: []string{"table4"}, Placer: "analytical"}
+
+	// Node 1 runs the force job locally (direct manager submit bypasses
+	// routing), fully warming its cache with force-keyed entries.
+	jf, err := fleet[1].mgr.Submit(force)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-jf.Done():
+	case <-time.After(120 * time.Second):
+		t.Fatal("force warm-up job never finished")
+	}
+	if fleet[1].cache.Stats().Stores == 0 {
+		t.Fatal("force job stored nothing; the isolation check would be vacuous")
+	}
+
+	// Node 0 runs the analytical job locally. Its cache is cold, so every
+	// stage consults the peer tier — which holds only force entries and
+	// must contribute nothing.
+	ja, err := fleet[0].mgr.Submit(analytical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ja.Done():
+	case <-time.After(120 * time.Second):
+		t.Fatal("analytical job never finished")
+	}
+	if hits := fleet[0].cache.Stats().PeerHits; hits != 0 {
+		t.Errorf("analytical job took %d peer hits from a force-warmed peer", hits)
+	}
+
+	fi, ai := jf.Info(), ja.Info()
+	if fi.State != jobs.StateDone || ai.State != jobs.StateDone {
+		t.Fatalf("jobs ended %s/%s: %s %s", fi.State, ai.State, fi.Error, ai.Error)
+	}
+	if fi.Result.Fingerprint == ai.Result.Fingerprint {
+		t.Error("force and analytical jobs produced the same result fingerprint")
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"fold3d/internal/jobs"
+	"fold3d/internal/place"
 )
 
 // newTestServer boots a manager + server pair on an httptest listener and
@@ -141,6 +142,8 @@ func TestClientErrors(t *testing.T) {
 		{"unknown experiment", "POST", "/v1/jobs", `{"experiments":["bogus"]}`, http.StatusBadRequest, "bad_request"},
 		{"bad scale", "POST", "/v1/jobs", `{"scale":0.5}`, http.StatusBadRequest, "bad_request"},
 		{"negative workers", "POST", "/v1/jobs", `{"workers":-1}`, http.StatusBadRequest, "bad_request"},
+		{"unknown placer", "POST", "/v1/jobs", `{"experiments":["table1"],"placer":"simulated-annealing"}`, http.StatusBadRequest, "bad_request"},
+		{"bad batch placer", "POST", "/v1/batches", `{"jobs":[{"experiments":["table1"],"placer":"bogus"}]}`, http.StatusBadRequest, "bad_request"},
 		{"unknown job", "GET", "/v1/jobs/job-999999", "", http.StatusNotFound, "not_found"},
 		{"unknown job events", "GET", "/v1/jobs/job-999999/events", "", http.StatusNotFound, "not_found"},
 		{"empty batch", "POST", "/v1/batches", `{"jobs":[]}`, http.StatusBadRequest, "bad_request"},
@@ -182,6 +185,42 @@ func TestClientErrors(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad from = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestPlacerFieldOverHTTP pins the wire-level placer contract: the 400 for
+// an unknown backend names every valid one, and a job carrying a valid
+// non-default backend completes with a fingerprint distinct from the
+// default backend's.
+func TestPlacerFieldOverHTTP(t *testing.T) {
+	ts, _ := newTestServer(t, jobs.Options{})
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"experiments":["table4"],"placer":"quadratic"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown placer status = %d, want 400", resp.StatusCode)
+	}
+	var e ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("error envelope undecodable: %v", err)
+	}
+	for _, name := range place.BackendNames() {
+		if !strings.Contains(e.Error.Message, name) {
+			t.Errorf("400 message %q does not name valid backend %q", e.Error.Message, name)
+		}
+	}
+
+	force := pollDone(t, ts, postJob(t, ts, `{"experiments":["table4"]}`).ID)
+	analytical := pollDone(t, ts, postJob(t, ts, `{"experiments":["table4"],"placer":"analytical"}`).ID)
+	if force.State != jobs.StateDone || analytical.State != jobs.StateDone {
+		t.Fatalf("jobs did not finish: %s / %s", force.State, analytical.State)
+	}
+	if force.Result.Fingerprint == analytical.Result.Fingerprint {
+		t.Errorf("analytical job fingerprint matches force: backend not reaching the flow")
 	}
 }
 

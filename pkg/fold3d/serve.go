@@ -20,6 +20,7 @@ import (
 
 	"fold3d/internal/errs"
 	"fold3d/internal/jobs"
+	"fold3d/internal/place"
 	"fold3d/internal/server"
 )
 
@@ -48,7 +49,16 @@ var (
 
 // JobRequest is one job submission: experiments to run and their knobs.
 // The zero value requests every experiment at the committed defaults.
+// The Placer field selects the placement backend (PlacementBackends
+// lists the valid names); an unknown name is rejected at validation with
+// an error matching both ErrBadRequest and ErrBadOptions.
 type JobRequest = jobs.Request
+
+// PlacementBackends returns the registered placement backend names in
+// registration order — the valid values of JobRequest.Placer and the
+// fold3d -placer flag. The first registered backend, "force", is the
+// default when Placer is empty.
+func PlacementBackends() []string { return place.BackendNames() }
 
 // JobState is a job lifecycle state: queued → running → done | failed |
 // canceled.

@@ -48,6 +48,18 @@ echo "==> go test -race (cross-scale legalize/spread equivalence)"
 go test -race -run 'TestLegalizeMatchesReference|TestSpreadMatchesReference' \
 	./internal/place/
 
+# PR 9 split placement behind a backend registry and added the analytical
+# bistratal backend. Each backend's fingerprints must be byte-identical
+# across worker counts, the default backend must keep its pre-PR cache
+# identity, and cache entries must never cross backends on any tier.
+# Re-run the backend suite and the analytical placer's determinism
+# properties under the race detector with extra CPUs.
+echo "==> go test -race -cpu=4 (placement backend equivalence + cache isolation)"
+go test -race -cpu=4 \
+	-run 'TestAnalyticalFingerprintEquivalence|TestBackendsProduceDistinctPlacements|TestForceCacheKeyIdentity|TestCrossBackendCacheIsolation|TestUnknownBackendFailsFast' \
+	./internal/flow/
+go test -race -cpu=4 -count=2 ./internal/place/analytical/
+
 # Cache hits must be byte-identical to recomputation. The full style x seed
 # matrix already ran under -race above (go test -race ./...); re-run the
 # heaviest style with extra CPUs so the shared cache sees more goroutine
@@ -109,6 +121,24 @@ curl -sf "http://$ADDR/metrics" | grep -q 'fold3dd_jobs_total{state="done"} 1' |
 	echo "check.sh: /metrics did not count the smoke job" >&2
 	exit 1
 }
+
+# PR 9: the same daemon must run a job on the analytical backend and
+# reject an unknown backend name with a 400 before admission.
+AID="$(curl -sf -X POST "http://$ADDR/v1/jobs" -d '{"experiments":["table4"],"placer":"analytical"}' |
+	sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+[ -n "$AID" ] || { echo "check.sh: fold3dd rejected the analytical smoke job" >&2; exit 1; }
+STATE=""
+i=0
+while [ "$i" -lt 300 ]; do
+	STATE="$(curl -sf "http://$ADDR/v1/jobs/$AID" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')"
+	case "$STATE" in done | failed | canceled) break ;; esac
+	i=$((i + 1))
+	sleep 0.1
+done
+[ "$STATE" = done ] || { echo "check.sh: analytical smoke job ended in state '$STATE'" >&2; exit 1; }
+CODE="$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$ADDR/v1/jobs" \
+	-d '{"experiments":["table4"],"placer":"bogus"}')"
+[ "$CODE" = 400 ] || { echo "check.sh: unknown placer returned HTTP $CODE, want 400" >&2; exit 1; }
 kill "$SMOKEPID"
 if ! wait "$SMOKEPID"; then
 	echo "check.sh: fold3dd did not exit cleanly on SIGTERM" >&2
@@ -219,11 +249,21 @@ echo "==> fold3d -exp table5 -scale 100 smoke"
 go build -o "$SMOKEDIR/fold3d" ./cmd/fold3d
 "$SMOKEDIR/fold3d" -exp table5 -scale 100 >/dev/null
 
+# Placement-backend smoke: the CLI must drive the analytical backend end
+# to end, run the head-to-head experiment (every backend x all five
+# styles), and fail fast with exit 2 on an unknown backend name.
+echo "==> fold3d -placer analytical / -exp headtohead / unknown-placer smoke"
+"$SMOKEDIR/fold3d" -exp table4 -placer analytical >/dev/null
+"$SMOKEDIR/fold3d" -exp headtohead >/dev/null
+RC=0
+"$SMOKEDIR/fold3d" -exp table4 -placer simulated-annealing >/dev/null 2>&1 || RC=$?
+[ "$RC" = 2 ] || { echo "check.sh: unknown placer exited $RC, want 2" >&2; exit 1; }
+
 # Every PR appends one line to CHANGES.md; a PR that ships without its
 # entry leaves the next session blind to what is already done.
 echo "==> CHANGES.md entry"
-grep -q '^PR 8:' CHANGES.md || {
-	echo "check.sh: CHANGES.md has no 'PR 8:' entry" >&2
+grep -q '^PR 9:' CHANGES.md || {
+	echo "check.sh: CHANGES.md has no 'PR 9:' entry" >&2
 	exit 1
 }
 
