@@ -15,6 +15,8 @@
 //	fold3d -placer analytical          # analytical placement backend
 //	fold3d -exp headtohead             # backends head-to-head, all styles
 //	fold3d -exp table5 -progress       # live per-block status on stderr
+//	fold3d -exp thermal -thermal       # in-loop thermal planning + vias
+//	fold3d -thermal -tmax 85           # "will it melt" verdict at 85 C
 //	fold3d -exp all -cachedir ./cache  # spill block artifacts to disk
 //	fold3d -exp all -cachestats        # print cache hit/miss counters
 //
@@ -64,6 +66,9 @@ func run() int {
 		cachedir   = flag.String("cachedir", "", "spill the block-artifact cache to this directory (warm-starts later runs)")
 		cachemb    = flag.Int("cachebudget", 512, "in-memory artifact-cache budget in MiB, 0 = unbounded; evicted entries fall back to -cachedir or recompute")
 		cachestats = flag.Bool("cachestats", false, "print artifact-cache hit/miss counters to stderr on exit")
+		thermalOn  = flag.Bool("thermal", false, "enable in-loop thermal planning: solve block temperature fields and insert thermal vias")
+		tmax       = flag.Float64("tmax", 0, "peak-temperature budget in C for -thermal (0 = no budget); the thermal report marks styles over budget as melting")
+		thermvias  = flag.Int("thermalvias", 0, "thermal-via insertion budget for -thermal (0 = defaults)")
 		cpuprof    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof    = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -103,8 +108,15 @@ func run() int {
 	defer stop()
 
 	cfg := exp.Config{Scale: *scale, Seed: *seed, Workers: *workers, Placer: *placer}
-	// Fail fast on bad options — in particular an unknown -placer — with
-	// the conventional flag-error exit status, before any work starts.
+	if *thermalOn {
+		cfg.Thermal = flow.ThermalConfig{Enable: true, TMaxBudgetC: *tmax, ViaBudget: *thermvias}
+	} else if *tmax != 0 || *thermvias != 0 {
+		fmt.Fprintln(os.Stderr, "fold3d: -tmax/-thermalvias require -thermal")
+		return 2
+	}
+	// Fail fast on bad options — in particular an unknown -placer or an
+	// impossible -tmax — with the conventional flag-error exit status,
+	// before any work starts.
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "fold3d:", err)
 		return 2

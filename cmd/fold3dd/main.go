@@ -33,6 +33,16 @@
 // rejected with the 400 envelope, and requests differing only in placer
 // route independently (distinct ring owners, isolated cache identities).
 //
+// A job request may also carry a "thermal" object to turn on in-loop
+// thermal planning — the "will this folding melt" scenario:
+// ({"experiments":["thermal"],"thermal":{"tmax_c":85,"vias":200}}).
+// The flows solve block temperature fields and insert thermal vias, and
+// the thermal report marks styles still over tmax_c as melting. An
+// impossible budget (negative, NaN, above 1000 C) is rejected with the
+// 400 envelope; requests differing only in their thermal spec route
+// independently, and requests without one keep their historical
+// fingerprints.
+//
 // API: POST /v1/jobs, POST /v1/batches, GET /v1/jobs, GET /v1/jobs/{id},
 // GET /v1/jobs/{id}/events, GET /v1/batches/{id},
 // GET /v1/batches/{id}/events (NDJSON), GET /v1/artifacts/{key} (peers),

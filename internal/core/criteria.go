@@ -27,6 +27,10 @@ type BlockProfile struct {
 	NetPowerMW float64
 	// LongWires is the count of wires beyond the 100x-cell-height threshold.
 	LongWires int
+	// PeakTempC is the predicted peak tile temperature of the block (°C)
+	// from the thermal engine; zero when no thermal prediction ran. Only
+	// consulted when the criteria carry a temperature weight.
+	PeakTempC float64
 }
 
 // NetPowerPortion returns net power over total power for the block.
@@ -48,6 +52,16 @@ type Criteria struct {
 	// MinLongWires: the block must have enough long wires for folding to
 	// shorten.
 	MinLongWires int
+	// TempWeightPerC makes selection hotspot-aware: folding concentrates a
+	// block's power into half the footprint, so a block already predicted
+	// hot must promise proportionally more power benefit to justify it. For
+	// every °C of PeakTempC above TRefC, the required total-power portion is
+	// scaled up by this factor. Zero (the default) keeps selection
+	// temperature-blind and Score byte-identical to the historical behavior.
+	TempWeightPerC float64
+	// TRefC is the temperature (°C) above which TempWeightPerC starts
+	// raising the folding bar; typically the ambient/heatsink temperature.
+	TRefC float64
 }
 
 // DefaultCriteria mirrors the paper's working thresholds: >=1% system power,
@@ -66,9 +80,13 @@ func DefaultCriteria() Criteria {
 type Selection struct {
 	Profile           BlockProfile
 	TotalPowerPortion float64
-	PassPower         bool
-	PassNetPortion    bool
-	PassLongWires     bool
+	// MinPortionUsed is the effective total-power-portion threshold this
+	// block was held to: the criteria's MinTotalPowerPortion, scaled up by
+	// the temperature weight when the block is predicted hot.
+	MinPortionUsed float64
+	PassPower      bool
+	PassNetPortion bool
+	PassLongWires  bool
 }
 
 // Selected reports whether all three criteria pass.
@@ -86,10 +104,15 @@ func Score(profiles []BlockProfile, systemPowerMW float64, c Criteria) []Selecti
 		if systemPowerMW > 0 {
 			portion = p.TotalPowerMW / systemPowerMW
 		}
+		minPortion := c.MinTotalPowerPortion
+		if c.TempWeightPerC > 0 && p.PeakTempC > c.TRefC {
+			minPortion *= 1 + c.TempWeightPerC*(p.PeakTempC-c.TRefC)
+		}
 		out = append(out, Selection{
 			Profile:           p,
 			TotalPowerPortion: portion,
-			PassPower:         portion >= c.MinTotalPowerPortion,
+			MinPortionUsed:    minPortion,
+			PassPower:         portion >= minPortion,
 			PassNetPortion:    p.NetPowerPortion() >= c.MinNetPowerPortion,
 			PassLongWires:     p.LongWires >= c.MinLongWires,
 		})

@@ -50,6 +50,13 @@ type Config struct {
 	// RunAll fills this with a fresh in-memory cache when nil; set it
 	// explicitly to share across RunAll calls or to enable the disk spill.
 	Cache *pipeline.Cache
+	// Thermal is the in-loop thermal planning configuration handed to every
+	// flow the experiments run (flow.Config.Thermal), and the knob set the
+	// thermal experiment family reads for its temperature budget, via budget
+	// and hotspot-aware-selection weight. The zero value registers no
+	// thermal stage and keeps every fingerprint byte-identical to a
+	// thermal-unaware run.
+	Thermal flow.ThermalConfig
 }
 
 // DefaultCacheBudget is the in-memory artifact-cache bound (bytes) RunAll
@@ -84,6 +91,11 @@ func (c Config) Validate() error {
 	if err := place.ValidateBackend(c.Placer); err != nil {
 		return fmt.Errorf("exp: %w", err)
 	}
+	// flow.ThermalConfig.Validate already wraps errs.ErrBadRequest and
+	// errs.ErrBadOptions naming the field; keep that text too.
+	if err := c.Thermal.Validate(); err != nil {
+		return fmt.Errorf("exp: %w", err)
+	}
 	return nil
 }
 
@@ -112,6 +124,7 @@ func (c Config) flowCfg() flow.Config {
 	fc.Workers = c.Workers
 	fc.Progress = c.Progress
 	fc.Cache = c.Cache
+	fc.Thermal = c.Thermal
 	return fc
 }
 

@@ -207,9 +207,15 @@ func TestThermalStudyShape(t *testing.T) {
 	for _, row := range r.Rows {
 		byStyle[row.Style.String()] = row
 	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d, want all 5 styles", len(r.Rows))
+	}
 	t2d := byStyle["2D"]
-	for _, name := range []string{"core/cache", "fold-F2B", "fold-F2F"} {
-		row := byStyle[name]
+	for _, name := range []string{"core/cache", "core/core", "fold-F2B", "fold-F2F"} {
+		row, ok := byStyle[name]
+		if !ok {
+			t.Fatalf("style %s missing from study", name)
+		}
 		if row.TMaxC <= t2d.TMaxC {
 			t.Errorf("%s Tmax %.1f not above 2D %.1f (stacking doubles power density)",
 				name, row.TMaxC, t2d.TMaxC)
@@ -217,5 +223,65 @@ func TestThermalStudyShape(t *testing.T) {
 		if row.PowerW >= t2d.PowerW*1.05 {
 			t.Errorf("%s burns more power than 2D", name)
 		}
+	}
+	// Thermal vias must help exactly the F2B-bonded stacks.
+	for _, name := range []string{"core/cache", "core/core", "fold-F2B"} {
+		row := byStyle[name]
+		if row.ViasAdded == 0 {
+			t.Errorf("%s inserted no thermal vias", name)
+		}
+		if row.TMaxViasC >= row.TMaxC {
+			t.Errorf("%s vias did not reduce Tmax (%.2f -> %.2f)", name, row.TMaxC, row.TMaxViasC)
+		}
+	}
+	for _, name := range []string{"2D", "fold-F2F"} {
+		row := byStyle[name]
+		if row.ViasAdded != 0 {
+			t.Errorf("%s got %d thermal vias, want none", name, row.ViasAdded)
+		}
+		if row.TMaxViasC != row.TMaxC {
+			t.Errorf("%s via column diverged without vias", name)
+		}
+	}
+	if len(r.Sel) == 0 {
+		t.Error("hotspot-aware selection demo produced no rows")
+	}
+	for _, s := range r.Sel {
+		if s.MinPortionPct < 1 {
+			t.Errorf("block %s effective threshold %.3f%% below the 1%% base", s.Block, s.MinPortionPct)
+		}
+		if s.Selected && !s.SelectedCold {
+			t.Errorf("block %s selected hot but not cold: temp weight can only raise the bar", s.Block)
+		}
+	}
+}
+
+func TestThermalStudyMeltVerdict(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-chip builds")
+	}
+	cfg := DefaultConfig()
+	cfg.Thermal.TMaxBudgetC = 60 // below the stacks' typical peak: verdict must fire
+	r, err := ThermalStudy(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TMaxBudgetC != 60 {
+		t.Fatalf("budget not echoed: %g", r.TMaxBudgetC)
+	}
+	melts := 0
+	for _, row := range r.Rows {
+		if row.Melts {
+			melts++
+			if row.TMaxViasC <= 60 {
+				t.Errorf("%s marked melting at %.2f C <= budget", row.Style, row.TMaxViasC)
+			}
+		}
+	}
+	if melts == 0 {
+		t.Error("no style exceeds a 60 C budget; verdict never exercised")
+	}
+	if !strings.Contains(r.String(), "MELTS") {
+		t.Error("report does not render the melt verdict")
 	}
 }

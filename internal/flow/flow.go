@@ -28,6 +28,7 @@ import (
 	"fold3d/internal/sta"
 	"fold3d/internal/t2"
 	"fold3d/internal/tech"
+	"fold3d/internal/thermal"
 )
 
 // Progress is one live status event of a chip or block build. Events fire
@@ -84,6 +85,12 @@ type Config struct {
 	// backends; validate up front with place.ValidateBackend to fail
 	// before any work starts.
 	Placer string
+	// Thermal configures the in-loop thermal planning stage: multigrid
+	// temperature prediction plus greedy thermal-via insertion on folded F2B
+	// blocks (DESIGN.md §17). The zero value (Enable false) registers no
+	// stage and keeps every fingerprint byte-identical to a thermal-unaware
+	// flow.
+	Thermal ThermalConfig
 	// Place, Opt and CTS tune the engines.
 	Place place.Options
 	Opt   opt.Options
@@ -144,6 +151,14 @@ func (c Config) WithDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = def.Seed
 	}
+	if c.Thermal.Enable {
+		if c.Thermal.Params == (thermal.Params{}) {
+			c.Thermal.Params = thermal.DefaultParams()
+		}
+		if c.Thermal.ViaBudget == 0 {
+			c.Thermal.ViaBudget = DefaultThermalViaBudget
+		}
+	}
 	return c
 }
 
@@ -179,6 +194,9 @@ type Flow struct {
 	// not depend on worker scheduling).
 	placers sync.Pool
 	opts    sync.Pool
+	// thermals recycles multigrid thermal engines across blocks the same
+	// way; the thermal-via stage grabs one per block and returns it.
+	thermals sync.Pool
 }
 
 // New returns a flow over design d. Unset (zero) config fields take the

@@ -112,9 +112,25 @@ func (st *implState) blockPlan() *pipeline.Plan {
 		},
 		Run: st.stageExtract,
 	})
+	prev = "extract"
+	if f.Cfg.Thermal.Enable && b.Is3D && f.Cfg.Bond == extract.F2B {
+		// Thermal-via planning needs the F2B TSV site grid and an extracted
+		// netlist; it mutates geometry, so it must precede buffering. The
+		// full thermal config is the stage key — any knob change honestly
+		// misses the cache — and with Enable false the stage is simply not
+		// registered, so thermal-off plans fingerprint byte-identically to
+		// pre-thermal builds.
+		p.MustAdd(pipeline.Stage{
+			Name:  "thermal-vias",
+			After: []string{"extract"},
+			Key:   func(h *pipeline.Hasher) { h.Str(fmt.Sprintf("%#v", f.Cfg.Thermal)) },
+			Run:   st.stageThermalVias,
+		})
+		prev = "thermal-vias"
+	}
 	p.MustAdd(pipeline.Stage{
 		Name:  "buffer",
-		After: []string{"extract"},
+		After: []string{prev},
 		Key:   func(h *pipeline.Hasher) { h.Str(fmt.Sprintf("%#v", f.Cfg.Opt)) },
 		Run:   st.stageBuffer,
 	})

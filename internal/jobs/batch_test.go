@@ -64,6 +64,39 @@ func TestRequestFingerprintRouting(t *testing.T) {
 	}
 }
 
+// TestThermalRequest pins the thermal spec's routing and validation story:
+// nil keeps every historical fingerprint, non-nil is a different work
+// definition, and an impossible temperature budget is a client error.
+func TestThermalRequest(t *testing.T) {
+	base := Request{Experiments: []string{"table4"}}
+	fp := base.Fingerprint()
+	on := Request{Experiments: []string{"table4"}, Thermal: &ThermalSpec{}}
+	if err := on.Validate(); err != nil {
+		t.Fatalf("zero thermal spec rejected: %v", err)
+	}
+	if on.Fingerprint() == fp {
+		t.Error("enabling thermal did not move the routing fingerprint")
+	}
+	budget := Request{Experiments: []string{"table4"}, Thermal: &ThermalSpec{TMaxC: 85}}
+	if err := budget.Validate(); err != nil {
+		t.Fatalf("valid thermal budget rejected: %v", err)
+	}
+	if budget.Fingerprint() == on.Fingerprint() {
+		t.Error("TMaxC change did not move the routing fingerprint")
+	}
+	for _, bad := range []ThermalSpec{
+		{TMaxC: -5},   // below ambient
+		{TMaxC: 4000}, // above the plausibility cap
+		{Vias: -1},    // negative budget
+		{TempWeightPerC: -0.5},
+	} {
+		r := Request{Experiments: []string{"table4"}, Thermal: &bad}
+		if err := r.Validate(); !errors.Is(err, errs.ErrBadRequest) {
+			t.Errorf("spec %+v: err = %v, want ErrBadRequest", bad, err)
+		}
+	}
+}
+
 func TestNodePrefixedIDs(t *testing.T) {
 	m := NewManager(Options{Workers: 1, QueueDepth: 8, NodeID: "east_1"})
 	defer closeNow(t, m)

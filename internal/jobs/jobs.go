@@ -98,6 +98,44 @@ type Request struct {
 	// metadata: it does not participate in the result or routing
 	// fingerprints.
 	Tenant string `json:"tenant,omitempty"`
+	// Thermal, when non-nil, turns on in-loop thermal planning ("will this
+	// folding melt"): the flows solve block temperature fields, insert
+	// thermal vias, and the thermal experiment renders the melt verdict
+	// against TMaxC. Like Placer it changes the work itself, so a non-nil
+	// spec participates in the routing and result fingerprints; nil keeps
+	// them byte-identical to requests predating the field.
+	Thermal *ThermalSpec `json:"thermal,omitempty"`
+}
+
+// ThermalSpec is the thermal half of a request (Request.Thermal). The zero
+// value (but non-nil) enables thermal planning at the committed defaults.
+type ThermalSpec struct {
+	// TMaxC is the peak-temperature budget in °C
+	// (flow.ThermalConfig.TMaxBudgetC): via insertion stops once the
+	// predicted peak meets it, and the thermal report marks styles still
+	// above it as melting. 0 sets no budget.
+	TMaxC float64 `json:"tmax_c,omitempty"`
+	// Vias bounds thermal-via insertion per block/chip; 0 selects the
+	// defaults (flow.DefaultThermalViaBudget per block).
+	Vias int `json:"vias,omitempty"`
+	// TempWeightPerC re-weights folding selection per °C of predicted block
+	// temperature over ambient (core.Criteria.TempWeightPerC); 0 selects
+	// the study's demo default.
+	TempWeightPerC float64 `json:"temp_weight_per_c,omitempty"`
+}
+
+// thermalConfig converts the request's thermal spec into the flow
+// configuration; a nil spec means thermal planning stays off.
+func (r Request) thermalConfig() flow.ThermalConfig {
+	if r.Thermal == nil {
+		return flow.ThermalConfig{}
+	}
+	return flow.ThermalConfig{
+		Enable:         true,
+		TMaxBudgetC:    r.Thermal.TMaxC,
+		ViaBudget:      r.Thermal.Vias,
+		TempWeightPerC: r.Thermal.TempWeightPerC,
+	}
 }
 
 // Fingerprint is the routing fingerprint of the request: the pipeline
@@ -117,6 +155,14 @@ func (r Request) Fingerprint() string {
 	h.F64(n.Scale)
 	h.Uint(n.Seed)
 	h.Str(n.Placer)
+	// Appended only for thermal requests, so every pre-thermal request
+	// keeps its historical fingerprint (and warm fleet routing) unchanged.
+	if n.Thermal != nil {
+		h.Str("thermal")
+		h.F64(n.Thermal.TMaxC)
+		h.Int(n.Thermal.Vias)
+		h.F64(n.Thermal.TempWeightPerC)
+	}
 	return string(h.Sum())
 }
 
@@ -140,14 +186,16 @@ func (r Request) normalized() Request {
 // config converts the (normalized) request into the exp harness
 // configuration, attaching the manager-owned shared cache.
 func (r Request) config(cache *pipeline.Cache) exp.Config {
-	return exp.Config{Scale: r.Scale, Seed: r.Seed, Workers: r.Workers, Placer: r.Placer, Cache: cache}
+	return exp.Config{Scale: r.Scale, Seed: r.Seed, Workers: r.Workers, Placer: r.Placer,
+		Cache: cache, Thermal: r.thermalConfig()}
 }
 
 // Validate checks the request without running it. Failures wrap
 // errs.ErrBadRequest (plus errs.ErrUnknownExperiment for bad names), so a
 // transport can map them to client errors with errors.Is.
 func (r Request) Validate() error {
-	if err := (exp.Config{Scale: r.Scale, Seed: r.Seed, Workers: r.Workers, Placer: r.Placer}).Validate(); err != nil {
+	if err := (exp.Config{Scale: r.Scale, Seed: r.Seed, Workers: r.Workers, Placer: r.Placer,
+		Thermal: r.thermalConfig()}).Validate(); err != nil {
 		return err
 	}
 	return exp.ValidateNames(r.Experiments)

@@ -31,6 +31,11 @@ func runAPIGuard(cfg *Config, p *Package) []Finding {
 			out = append(out, checkSTAEngine(p, file)...)
 		}
 	}
+	if matchesSuffix(p.Path, cfg.ThermalEngineOnly) {
+		for _, file := range p.Files {
+			out = append(out, checkThermalEngine(p, file)...)
+		}
+	}
 	if matchesSuffix(p.Path, cfg.PipelineOnly) {
 		for _, file := range p.Files {
 			out = append(out, checkPipelineOnly(p, file)...)
@@ -90,6 +95,47 @@ func checkSTAEngine(p *Package, file *ast.File) []Finding {
 			Check:   "apiguard",
 			Pos:     p.Fset.Position(call.Pos()),
 			Message: "one-shot sta.Analyze here rebuilds the timing graph from scratch; this package must reuse its persistent sta.Engine (MarkCellDirty/MarkNetDirty + Engine.Analyze)",
+		})
+		return true
+	})
+	return out
+}
+
+// checkThermalEngine flags calls to the package-level reference solvers
+// (thermal.SolveReference, thermal.SolveReferenceTol) inside packages
+// restricted to the persistent multigrid engine. Engine methods and
+// same-name local functions are fine — the rule targets the dense
+// Gauss-Seidel oracle, which exists to validate the engine in tests.
+func checkThermalEngine(p *Package, file *ast.File) []Finding {
+	var out []Finding
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var id *ast.Ident
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			id = fun.Sel
+		case *ast.Ident:
+			id = fun
+		default:
+			return true
+		}
+		fn, ok := p.Info.Uses[id].(*types.Func)
+		if !ok || !strings.HasPrefix(fn.Name(), "SolveReference") || fn.Pkg() == nil {
+			return true
+		}
+		if !strings.HasSuffix(fn.Pkg().Path(), "internal/thermal") {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return true // a method — allowed
+		}
+		out = append(out, Finding{
+			Check:   "apiguard",
+			Pos:     p.Fset.Position(call.Pos()),
+			Message: fmt.Sprintf("reference solver thermal.%s here runs the dense Gauss-Seidel oracle; this package must solve through the persistent multigrid thermal.Engine (LoadBlock/LoadChip + Solve/Resolve)", fn.Name()),
 		})
 		return true
 	})

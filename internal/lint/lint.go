@@ -109,6 +109,13 @@ type Config struct {
 	// stay allowed: only a Cells scan inside an enclosing loop is
 	// flagged.
 	IndexedScanOnly []string
+	// ThermalEngineOnly lists import-path suffixes of packages that must
+	// solve temperature through the persistent multigrid thermal.Engine: a
+	// bare thermal.SolveReference* call there runs the dense Gauss-Seidel
+	// reference solver — the tolerance oracle the engine is tested against,
+	// orders of magnitude slower at scale and blind to the incremental
+	// re-solve the thermal-via loop depends on.
+	ThermalEngineOnly []string
 }
 
 // DefaultConfig returns the scoping policy enforced on the fold3d tree.
@@ -173,6 +180,18 @@ func DefaultConfig() *Config {
 			// the scaling-pass hot paths: per-query work there must go
 			// through the spatial index, never a nested Cells scan.
 			"internal/place",
+		},
+		ThermalEngineOnly: []string{
+			// Every in-loop and serving consumer of temperature runs the
+			// multigrid engine; the Gauss-Seidel reference solver is for the
+			// thermal package's own equivalence tests only.
+			"internal/flow",
+			"internal/exp",
+			"internal/jobs",
+			"internal/server",
+			"pkg/fold3d",
+			"cmd/fold3d",
+			"cmd/fold3dd",
 		},
 	}
 }

@@ -165,6 +165,24 @@ func TestSTAEngineOffByDefaultElsewhere(t *testing.T) {
 	}
 }
 
+func TestThermalEngineFixture(t *testing.T) {
+	_, p := loadFixture(t, "thermalengine", "fixture/thermalengine")
+	cfg := DefaultConfig()
+	cfg.ThermalEngineOnly = append(cfg.ThermalEngineOnly, "fixture/thermalengine")
+	checkFixture(t, cfg, p, []*Check{APIGuardCheck()})
+}
+
+func TestThermalEngineOffByDefaultElsewhere(t *testing.T) {
+	// Without the package on the ThermalEngineOnly list the same source is
+	// clean: the reference solver stays legal for unrestricted callers
+	// (the thermal package's own equivalence tests).
+	_, p := loadFixture(t, "thermalengine", "fixture/thermalengine-off")
+	fs := Run(DefaultConfig(), []*Package{p}, []*Check{APIGuardCheck()})
+	if len(fs) != 0 {
+		t.Errorf("unrestricted package flagged: %v", fs)
+	}
+}
+
 func TestPipelineOnlyFixture(t *testing.T) {
 	_, p := loadFixture(t, "pipeline", "fixture/pipeline")
 	cfg := DefaultConfig()

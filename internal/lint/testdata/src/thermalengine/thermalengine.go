@@ -1,0 +1,34 @@
+// Package thermalengine is a lint fixture: a package restricted to the
+// persistent multigrid thermal engine that still calls the dense
+// Gauss-Seidel reference solvers.
+package thermalengine
+
+import (
+	"fold3d/internal/thermal"
+)
+
+// SolveReference is a local function that shares the restricted name;
+// calling it must not trip the rule.
+func SolveReference() {}
+
+// OracleEveryTime calls the package-level reference solver: flagged.
+func OracleEveryTime(pw [2][]float64, vertK []float64) *thermal.Result {
+	return thermal.SolveReference(pw, 16, 16, 2, 1e-6, vertK, thermal.DefaultParams()) // want `reference solver thermal.SolveReference .* multigrid thermal.Engine`
+}
+
+// OracleTuned calls the tolerance-parameterized oracle: flagged too.
+func OracleTuned(pw [2][]float64, vertK []float64) *thermal.Result {
+	return thermal.SolveReferenceTol(pw, 16, 16, 2, 1e-6, vertK, thermal.DefaultParams(), 1e-6, 100) // want `reference solver thermal.SolveReferenceTol .* multigrid thermal.Engine`
+}
+
+// Incremental drives the persistent engine: methods are allowed.
+func Incremental(e *thermal.Engine) (*thermal.Result, error) {
+	e.AddVertKAt(3, 3, 1e-5)
+	return e.Resolve()
+}
+
+// LocalName calls the same-named local helper: not a thermal call, not
+// flagged.
+func LocalName() {
+	SolveReference()
+}

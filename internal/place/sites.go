@@ -1,0 +1,144 @@
+package place
+
+import (
+	"fmt"
+
+	"fold3d/internal/geom"
+	"fold3d/internal/netlist"
+)
+
+// TSVSiteGrid is the legal-TSV-site index of a folded block: the pitch grid
+// over the region both die outlines share, with every site whose pad rect
+// would overlap a macro cleared up front. PlanTSVs allocates signal-net
+// crossings from it, and the thermal-via stage (flow) draws dummy thermal
+// TSVs from whatever sites remain — both through the same nearest-free
+// spiral so site choice stays deterministic.
+type TSVSiteGrid struct {
+	region geom.Rect
+	pitch  float64
+	size   float64
+	nx, ny int
+	free   []bool
+	pos    []geom.Point
+}
+
+// NewTSVSiteGrid builds the site index for folded block b. It fails on 2D
+// blocks, disjoint die outlines, or outlines smaller than one TSV pitch —
+// the same preconditions PlanTSVs has always enforced.
+func NewTSVSiteGrid(b *netlist.Block, opt TSVPlanOptions) (*TSVSiteGrid, error) {
+	if !b.Is3D {
+		return nil, fmt.Errorf("place: TSV site grid on 2D block %s", b.Name)
+	}
+	pitch := opt.DrawnPitch()
+	size := opt.DrawnDiameter()
+	if pitch <= 0 || size <= 0 {
+		return nil, fmt.Errorf("place: non-positive drawn TSV geometry (pitch %.3f size %.3f)", pitch, size)
+	}
+	// The usable region must exist on both dies.
+	region, ok := b.Outline[0].Intersect(b.Outline[1])
+	if !ok {
+		return nil, fmt.Errorf("place: folded block %s has disjoint die outlines", b.Name)
+	}
+	nx := int(region.W() / pitch)
+	ny := int(region.H() / pitch)
+	if nx <= 0 || ny <= 0 {
+		return nil, fmt.Errorf("place: block %s outline smaller than one TSV pitch", b.Name)
+	}
+
+	g := &TSVSiteGrid{
+		region: region,
+		pitch:  pitch,
+		size:   size,
+		nx:     nx,
+		ny:     ny,
+		free:   make([]bool, nx*ny),
+		pos:    make([]geom.Point, nx*ny),
+	}
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			idx := iy*nx + ix
+			g.free[idx] = true
+			g.pos[idx] = geom.Point{
+				X: region.Lo.X + (float64(ix)+0.5)*pitch,
+				Y: region.Lo.Y + (float64(iy)+0.5)*pitch,
+			}
+		}
+	}
+	// Instead of testing every site against every macro (the old
+	// O(sites x macros) scan), start with every site free and let each macro
+	// clear the sites it can reach: the pad of site (ix,iy) spans at most one
+	// pitch plus the pad size, so only sites in a macro-aligned index window
+	// (padded by one cell for float safety) need the exact Overlaps test.
+	// Every cleared site fails the very same m.Overlaps(pad) the full scan
+	// ran, so the free set comes out identical.
+	for i := range b.Macros {
+		m := b.Macros[i].Rect()
+		ix0 := int((m.Lo.X-size/2-region.Lo.X)/pitch) - 1
+		ix1 := int((m.Hi.X+size/2-region.Lo.X)/pitch) + 1
+		iy0 := int((m.Lo.Y-size/2-region.Lo.Y)/pitch) - 1
+		iy1 := int((m.Hi.Y+size/2-region.Lo.Y)/pitch) + 1
+		ix0, iy0 = max(ix0, 0), max(iy0, 0)
+		ix1, iy1 = min(ix1, nx-1), min(iy1, ny-1)
+		for iy := iy0; iy <= iy1; iy++ {
+			for ix := ix0; ix <= ix1; ix++ {
+				idx := iy*nx + ix
+				if !g.free[idx] {
+					continue
+				}
+				ctr := g.pos[idx]
+				pad := geom.RectWH(ctr.X-size/2, ctr.Y-size/2, size, size)
+				if m.Overlaps(pad) {
+					g.free[idx] = false
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// Sites returns the total number of grid sites (free or not).
+func (g *TSVSiteGrid) Sites() int { return g.nx * g.ny }
+
+// PadSize returns the drawn TSV pad edge in µm.
+func (g *TSVSiteGrid) PadSize() float64 { return g.size }
+
+// Pos returns the center of site idx.
+func (g *TSVSiteGrid) Pos(idx int) geom.Point { return g.pos[idx] }
+
+// PadRect returns the pad rectangle of site idx.
+func (g *TSVSiteGrid) PadRect(idx int) geom.Rect {
+	p := g.pos[idx]
+	return geom.RectWH(p.X-g.size/2, p.Y-g.size/2, g.size, g.size)
+}
+
+// Claim marks site idx as occupied.
+func (g *TSVSiteGrid) Claim(idx int) { g.free[idx] = false }
+
+// ClaimOverlapping marks every site whose pad rect overlaps any of the given
+// rectangles as occupied — used to reload an existing TSV population (e.g.
+// b.TSVPads from signal planning) into a fresh grid before allocating
+// thermal vias.
+func (g *TSVSiteGrid) ClaimOverlapping(pads []geom.Rect) {
+	for _, pad := range pads {
+		ix0 := int((pad.Lo.X-g.size/2-g.region.Lo.X)/g.pitch) - 1
+		ix1 := int((pad.Hi.X+g.size/2-g.region.Lo.X)/g.pitch) + 1
+		iy0 := int((pad.Lo.Y-g.size/2-g.region.Lo.Y)/g.pitch) - 1
+		iy1 := int((pad.Hi.Y+g.size/2-g.region.Lo.Y)/g.pitch) + 1
+		ix0, iy0 = max(ix0, 0), max(iy0, 0)
+		ix1, iy1 = min(ix1, g.nx-1), min(iy1, g.ny-1)
+		for iy := iy0; iy <= iy1; iy++ {
+			for ix := ix0; ix <= ix1; ix++ {
+				idx := iy*g.nx + ix
+				if g.free[idx] && g.PadRect(idx).Overlaps(pad) {
+					g.free[idx] = false
+				}
+			}
+		}
+	}
+}
+
+// NearestFree returns the free site closest to want (Chebyshev ring order)
+// without claiming it, or false when the grid is exhausted.
+func (g *TSVSiteGrid) NearestFree(want geom.Point) (int, bool) {
+	return nearestFreeSite(want, g.region, g.pitch, g.nx, g.ny, g.free)
+}

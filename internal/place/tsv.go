@@ -50,68 +50,11 @@ func (o TSVPlanOptions) DrawnPitch() float64 {
 // are filled. Call after 3D global placement, before the final spread and
 // legalization.
 func PlanTSVs(b *netlist.Block, opt TSVPlanOptions) error {
-	if !b.Is3D {
-		return fmt.Errorf("place: PlanTSVs on 2D block %s", b.Name)
+	grid, err := NewTSVSiteGrid(b, opt)
+	if err != nil {
+		return err
 	}
-	pitch := opt.DrawnPitch()
-	size := opt.DrawnDiameter()
-	if pitch <= 0 || size <= 0 {
-		return fmt.Errorf("place: non-positive drawn TSV geometry (pitch %.3f size %.3f)", pitch, size)
-	}
-	// The usable region must exist on both dies.
-	region, ok := b.Outline[0].Intersect(b.Outline[1])
-	if !ok {
-		return fmt.Errorf("place: folded block %s has disjoint die outlines", b.Name)
-	}
-
-	nx := int(region.W() / pitch)
-	ny := int(region.H() / pitch)
-	if nx <= 0 || ny <= 0 {
-		return fmt.Errorf("place: block %s outline smaller than one TSV pitch", b.Name)
-	}
-
-	// Candidate sites: pitch grid cells whose pad rect avoids macros on both
-	// dies. Instead of testing every site against every macro (the old
-	// O(sites x macros) scan), start with every site free and let each macro
-	// clear the sites it can reach: the pad of site (ix,iy) spans at most one
-	// pitch plus the pad size, so only sites in a macro-aligned index window
-	// (padded by one cell for float safety) need the exact Overlaps test.
-	// Every cleared site fails the very same m.Overlaps(pad) the full scan
-	// ran, so siteFree comes out identical.
-	siteFree := make([]bool, nx*ny)
-	sitePos := make([]geom.Point, nx*ny)
-	for iy := 0; iy < ny; iy++ {
-		for ix := 0; ix < nx; ix++ {
-			idx := iy*nx + ix
-			siteFree[idx] = true
-			sitePos[idx] = geom.Point{
-				X: region.Lo.X + (float64(ix)+0.5)*pitch,
-				Y: region.Lo.Y + (float64(iy)+0.5)*pitch,
-			}
-		}
-	}
-	for i := range b.Macros {
-		m := b.Macros[i].Rect()
-		ix0 := int((m.Lo.X-size/2-region.Lo.X)/pitch) - 1
-		ix1 := int((m.Hi.X+size/2-region.Lo.X)/pitch) + 1
-		iy0 := int((m.Lo.Y-size/2-region.Lo.Y)/pitch) - 1
-		iy1 := int((m.Hi.Y+size/2-region.Lo.Y)/pitch) + 1
-		ix0, iy0 = max(ix0, 0), max(iy0, 0)
-		ix1, iy1 = min(ix1, nx-1), min(iy1, ny-1)
-		for iy := iy0; iy <= iy1; iy++ {
-			for ix := ix0; ix <= ix1; ix++ {
-				idx := iy*nx + ix
-				if !siteFree[idx] {
-					continue
-				}
-				ctr := sitePos[idx]
-				pad := geom.RectWH(ctr.X-size/2, ctr.Y-size/2, size, size)
-				if m.Overlaps(pad) {
-					siteFree[idx] = false
-				}
-			}
-		}
-	}
+	size := grid.PadSize()
 
 	// Assign nets to sites, longest-span nets first so the critical ones get
 	// their ideal crossing points.
@@ -136,12 +79,12 @@ func PlanTSVs(b *netlist.Block, opt TSVPlanOptions) error {
 	b.TSVPads = b.TSVPads[:0]
 	b.NumTSV = 0
 	for _, cd := range cands {
-		idx, found := nearestFreeSite(cd.want, region, pitch, nx, ny, siteFree)
+		idx, found := grid.NearestFree(cd.want)
 		if !found {
-			return fmt.Errorf("place: block %s ran out of TSV sites (%d nets, %d sites)", b.Name, len(cands), nx*ny)
+			return fmt.Errorf("place: block %s ran out of TSV sites (%d nets, %d sites)", b.Name, len(cands), grid.Sites())
 		}
-		siteFree[idx] = false
-		p := sitePos[idx]
+		grid.Claim(idx)
+		p := grid.Pos(idx)
 		n := &b.Nets[cd.net]
 		n.Vias = []geom.Point{p}
 		n.Crossings = 1

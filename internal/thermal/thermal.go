@@ -1,12 +1,21 @@
 // Package thermal implements the steady-state thermal analysis the paper
 // defers to future work ("our future work will address thermal issues in
 // various 3D design styles with different bonding styles", §7): a
-// resistive-network model of the two-tier stack solved by Gauss-Seidel
-// relaxation. Each die is discretized into tiles; tiles couple laterally
-// through silicon, vertically through the bonding interface (whose
-// conductance depends on the bonding style and the TSV population — TSVs are
-// copper and conduct heat), and to ambient through the heat-sink path
-// attached to the top die's backside.
+// resistive-network model of the two-tier stack. Each die is discretized
+// into tiles; tiles couple laterally through silicon, vertically through the
+// bonding interface (whose conductance depends on the bonding style and the
+// TSV population — TSVs are copper and conduct heat), and to ambient through
+// the heat-sink path attached to the top die's backside.
+//
+// Two solvers share the model. SolveReference is the original plain
+// Gauss-Seidel relaxation, kept as the slow oracle. Engine is the production
+// solver: a geometric multigrid V-cycle (red-black Gauss-Seidel smoother,
+// aggregation coarsening) over flat per-die arrays, persistent and poolable
+// like sta.Engine, with incremental re-solve after localized power or TSV
+// edits — cheap enough to sit inside the optimization loop and drive thermal
+// via insertion and folding selection (DESIGN.md §17). fold3dlint's
+// ThermalEngineOnly rule keeps the reference solver out of production
+// packages.
 //
 // The model reproduces the first-order 3D-IC thermal story: stacking doubles
 // the power density, the die far from the heat sink runs hotter, and F2F
@@ -18,10 +27,11 @@ import (
 	"fmt"
 	"math"
 
+	"fold3d/internal/errs"
 	"fold3d/internal/extract"
 	"fold3d/internal/geom"
 	"fold3d/internal/netlist"
-	"fold3d/internal/power"
+	"fold3d/internal/pipeline"
 	"fold3d/internal/tech"
 )
 
@@ -62,27 +72,113 @@ func DefaultParams() Params {
 	}
 }
 
+// Validate checks the thermal constants before any solve. A NaN, infinite,
+// or non-positive conductance (or thickness) would make the relaxation
+// diverge or silently stall, so every failure is rejected up front, wrapping
+// errs.ErrBadRequest and errs.ErrBadOptions and naming the field — the CLI
+// maps that to exit 2 and fold3dd to HTTP 400, consistent with t2 scale
+// validation.
+func (p Params) Validate() error {
+	// Negated range form so NaN (every comparison false) is rejected along
+	// with ±Inf, zero and negatives.
+	pos := func(field string, v float64) error {
+		if !(v > 0 && v < math.Inf(1)) {
+			return fmt.Errorf("thermal: %w: %w: %s must be positive and finite, got %g",
+				errs.ErrBadRequest, errs.ErrBadOptions, field, v)
+		}
+		return nil
+	}
+	if !(p.AmbientC >= -273.15 && p.AmbientC <= 500) {
+		return fmt.Errorf("thermal: %w: %w: AmbientC must be in [-273.15, 500], got %g",
+			errs.ErrBadRequest, errs.ErrBadOptions, p.AmbientC)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"KSinkWPerM2K", p.KSinkWPerM2K},
+		{"KLateralWPerMK", p.KLateralWPerMK},
+		{"KBondBaseWPerM2K", p.KBondBaseWPerM2K},
+		{"KTSVWPerK", p.KTSVWPerK},
+		{"KBoardWPerM2K", p.KBoardWPerM2K},
+		{"DieThicknessUm", p.DieThicknessUm},
+	} {
+		if err := pos(f.name, f.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Result is a solved temperature field.
 type Result struct {
 	// TMaxC and TAvgC summarize the whole stack.
 	TMaxC, TAvgC float64
-	// TMaxPerDie reports each tier's hottest tile.
+	// TMaxPerDie reports each tier's hottest tile; entries past Dies-1 are
+	// zero and meaningless.
 	TMaxPerDie [2]float64
 	// NX, NY are the tile grid dimensions; MapC[die][iy*NX+ix] is the tile
-	// temperature.
+	// temperature. Dies is authoritative: for a 2D design (Dies == 1) only
+	// MapC[0] is populated and MapC[1] is nil — consumers must range over
+	// MapC[:Dies], never over the fixed-size array.
 	NX, NY int
 	MapC   [2][]float64
 	// Dies is 1 for a 2D design, 2 for a stack.
 	Dies int
 }
 
-// solve runs Gauss-Seidel on the tile network. pw[die][i] is the tile power
-// in watts (physical); tileArea is the physical tile area in m²; vertK[i] is
-// the die-to-die conductance per tile (W/K); dies is 1 or 2.
-func solve(pw [2][]float64, nx, ny, dies int, tileAreaM2 float64, vertK []float64, p Params) *Result {
+// Fingerprint digests the solved field — grid shape, summary statistics and
+// every tile temperature by exact bit pattern — so byte-identical solves can
+// be asserted across worker counts and fleet nodes.
+func (r *Result) Fingerprint() pipeline.Fingerprint {
+	h := pipeline.NewHasher()
+	h.Int(r.NX)
+	h.Int(r.NY)
+	h.Int(r.Dies)
+	h.F64(r.TMaxC)
+	h.F64(r.TAvgC)
+	for d := 0; d < r.Dies; d++ {
+		h.F64(r.TMaxPerDie[d])
+		for _, v := range r.MapC[d] {
+			h.F64(v)
+		}
+	}
+	return h.Sum()
+}
+
+// summarize wraps solved per-die temperature slices (ownership transfers to
+// the Result) with the max/avg statistics. Slices past dies-1 stay nil.
+func summarize(t [2][]float64, nx, ny, dies int) *Result {
+	res := &Result{NX: nx, NY: ny, MapC: t, Dies: dies, TMaxC: -1e18}
+	var sum float64
+	cnt := 0
+	for d := 0; d < dies; d++ {
+		res.TMaxPerDie[d] = -1e18
+		for _, v := range t[d] {
+			if v > res.TMaxC {
+				res.TMaxC = v
+			}
+			if v > res.TMaxPerDie[d] {
+				res.TMaxPerDie[d] = v
+			}
+			sum += v
+			cnt++
+		}
+	}
+	res.TAvgC = sum / float64(cnt)
+	return res
+}
+
+// gaussSeidel runs plain Gauss-Seidel on the tile network. pw[die][i] is the
+// tile power in watts (physical); tileArea is the physical tile area in m²;
+// vertK[i] is the die-to-die conductance per tile (W/K); dies is 1 or 2.
+// Iteration stops when the largest per-tile update falls below tol or after
+// maxIter sweeps, whichever comes first.
+func gaussSeidel(pw [2][]float64, nx, ny, dies int, tileAreaM2 float64, vertK []float64, p Params, tol float64, maxIter int) *Result {
 	n := nx * ny
-	t := [2][]float64{make([]float64, n), make([]float64, n)}
-	for d := 0; d < 2; d++ {
+	var t [2][]float64
+	for d := 0; d < dies; d++ {
+		t[d] = make([]float64, n)
 		for i := range t[d] {
 			t[d][i] = p.AmbientC
 		}
@@ -94,7 +190,7 @@ func solve(pw [2][]float64, nx, ny, dies int, tileAreaM2 float64, vertK []float6
 	gLat := p.KLateralWPerMK * (p.DieThicknessUm * 1e-6)
 
 	sinkDie := dies - 1 // the top die's backside carries the sink
-	for iter := 0; iter < 4000; iter++ {
+	for iter := 0; iter < maxIter; iter++ {
 		var maxDelta float64
 		for d := 0; d < dies; d++ {
 			for iy := 0; iy < ny; iy++ {
@@ -137,29 +233,29 @@ func solve(pw [2][]float64, nx, ny, dies int, tileAreaM2 float64, vertK []float6
 				}
 			}
 		}
-		if maxDelta < 1e-4 {
+		if maxDelta < tol {
 			break
 		}
 	}
+	return summarize(t, nx, ny, dies)
+}
 
-	res := &Result{NX: nx, NY: ny, MapC: t, Dies: dies, TMaxC: -1e18}
-	var sum float64
-	cnt := 0
-	for d := 0; d < dies; d++ {
-		res.TMaxPerDie[d] = -1e18
-		for _, v := range t[d] {
-			if v > res.TMaxC {
-				res.TMaxC = v
-			}
-			if v > res.TMaxPerDie[d] {
-				res.TMaxPerDie[d] = v
-			}
-			sum += v
-			cnt++
-		}
-	}
-	res.TAvgC = sum / float64(cnt)
-	return res
+// SolveReference solves the tile network with the original plain
+// Gauss-Seidel relaxation (update tolerance 1e-4 °C, 4000-sweep cap) — the
+// oracle the multigrid Engine is validated against in the solver property
+// suite and the speed baseline BENCH_PR10.json records. Production analysis
+// goes through Engine; fold3dlint's ThermalEngineOnly rule bans this
+// function outside internal/thermal and test files.
+func SolveReference(pw [2][]float64, nx, ny, dies int, tileAreaM2 float64, vertK []float64, p Params) *Result {
+	return gaussSeidel(pw, nx, ny, dies, tileAreaM2, vertK, p, 1e-4, 4000)
+}
+
+// SolveReferenceTol is SolveReference with caller-chosen stopping
+// parameters, for equal-tolerance speed comparisons (BENCH_PR10.json) and
+// tightened-oracle property tests. Subject to the same ThermalEngineOnly
+// lint rule as SolveReference.
+func SolveReferenceTol(pw [2][]float64, nx, ny, dies int, tileAreaM2 float64, vertK []float64, p Params, tol float64, maxIter int) *Result {
+	return gaussSeidel(pw, nx, ny, dies, tileAreaM2, vertK, p, tol, maxIter)
 }
 
 // AnalyzeBlock solves the temperature field of one implemented block. The
@@ -168,89 +264,11 @@ func solve(pw [2][]float64, nx, ny, dies int, tileAreaM2 float64, vertK []float6
 // bond selects the vertical-coupling model; the block's TSV pads contribute
 // thermal conductance under F2B.
 func AnalyzeBlock(b *netlist.Block, sm tech.ScaleModel, bond extract.Bonding, p Params) (*Result, error) {
-	dies := 1
-	if b.Is3D {
-		dies = 2
+	e := NewEngine()
+	if _, err := e.LoadBlock(b, sm, bond, p); err != nil {
+		return nil, err
 	}
-	out := b.Outline[0]
-	if b.Is3D {
-		out = out.Union(b.Outline[1])
-	}
-	if out.Area() <= 0 {
-		return nil, fmt.Errorf("thermal: block %s has no outline", b.Name)
-	}
-	const nx, ny = 16, 16
-	grid, err := geom.NewGrid(out, nx, ny)
-	if err != nil {
-		return nil, fmt.Errorf("thermal: %v", err)
-	}
-
-	var pw [2][]float64
-	pw[0] = make([]float64, nx*ny)
-	pw[1] = make([]float64, nx*ny)
-	mult := sm.PowerMultiplier() * 1e-3 // mW -> W at physical magnitude
-	freq := b.Clock.FreqMHz()
-
-	add := func(pt geom.Point, die netlist.Die, mw float64) {
-		ix, iy := grid.BinAt(pt)
-		pw[die][iy*nx+ix] += mw * mult
-	}
-	for i := range b.Cells {
-		c := &b.Cells[i]
-		act := c.Activity
-		if act == 0 {
-			act = power.DefaultActivity
-		}
-		if c.IsClockBuf {
-			act = 2
-		}
-		mw := tech.DynamicPowerMW(c.Master.IntCap, act, freq) + c.Master.LeaknW*1e-6
-		add(c.Center(), c.Die, mw)
-	}
-	for i := range b.Macros {
-		m := &b.Macros[i]
-		act := m.Activity
-		if act == 0 {
-			act = 0.5
-		}
-		mw := m.Model.ReadEnergyFJ*act*freq*1e-6 + m.Model.LeakmW
-		add(m.Center(), m.Die, mw)
-	}
-	for i := range b.Nets {
-		n := &b.Nets[i]
-		act := n.Activity
-		if act == 0 {
-			act = power.DefaultActivity
-		}
-		mw := tech.DynamicPowerMW(n.WireCapfF, act, freq)
-		add(b.PinPos(n.Driver), b.PinDie(n.Driver), mw)
-	}
-
-	// Tile geometry at physical scale.
-	shrink := sm.LinearShrink()
-	dx, dy := grid.BinSize()
-	tileAreaM2 := (dx * shrink * 1e-6) * (dy * shrink * 1e-6)
-
-	// Vertical conductance per tile: bond baseline plus TSV copper (F2B).
-	vertK := make([]float64, nx*ny)
-	base := p.KBondBaseWPerM2K
-	if bond == extract.F2F {
-		// Metal-to-metal face bond conducts better than the F2B adhesive,
-		// but the stack loses the TSV thermal paths.
-		base *= 1.8
-	}
-	for i := range vertK {
-		vertK[i] = base * tileAreaM2
-	}
-	if bond == extract.F2B {
-		// Each physical TSV adds its copper conductance at its pad's tile.
-		perPad := math.Sqrt(sm.Scale) // one drawn pad stands for many vias
-		for _, pad := range b.TSVPads {
-			ix, iy := grid.BinAt(pad.Center())
-			vertK[iy*nx+ix] += p.KTSVWPerK * perPad
-		}
-	}
-	return solve(pw, nx, ny, dies, tileAreaM2, vertK, p), nil
+	return e.Solve()
 }
 
 // ChipPowerTile is one block's contribution to the chip-level thermal map.
@@ -268,45 +286,9 @@ type ChipPowerTile struct {
 // the chip outline (drawn µm); dies is 1 or 2; tsvs is the physical TSV
 // population (vertical thermal paths under F2B).
 func AnalyzeChip(outline geom.Rect, tiles []ChipPowerTile, dies int, bond extract.Bonding, tsvs int, sm tech.ScaleModel, p Params) (*Result, error) {
-	if outline.Area() <= 0 {
-		return nil, fmt.Errorf("thermal: empty chip outline")
+	e := NewEngine()
+	if _, err := e.LoadChip(outline, tiles, dies, bond, tsvs, sm, p); err != nil {
+		return nil, err
 	}
-	const nx, ny = 24, 24
-	grid, err := geom.NewGrid(outline, nx, ny)
-	if err != nil {
-		return nil, fmt.Errorf("thermal: %v", err)
-	}
-	var pw [2][]float64
-	pw[0] = make([]float64, nx*ny)
-	pw[1] = make([]float64, nx*ny)
-	for _, t := range tiles {
-		area := t.Rect.Area()
-		if area <= 0 {
-			continue
-		}
-		watts := t.PowerMW * 1e-3
-		grid.OverlapBins(t.Rect, func(ix, iy int, a float64) {
-			share := watts * a / area
-			if t.Both && dies == 2 {
-				pw[0][iy*nx+ix] += share / 2
-				pw[1][iy*nx+ix] += share / 2
-			} else {
-				pw[t.Die][iy*nx+ix] += share
-			}
-		})
-	}
-	shrink := sm.LinearShrink()
-	dx, dy := grid.BinSize()
-	tileAreaM2 := (dx * shrink * 1e-6) * (dy * shrink * 1e-6)
-
-	vertK := make([]float64, nx*ny)
-	base := p.KBondBaseWPerM2K
-	if bond == extract.F2F {
-		base *= 1.8
-	}
-	perTile := base*tileAreaM2 + p.KTSVWPerK*float64(tsvs)/float64(nx*ny)
-	for i := range vertK {
-		vertK[i] = perTile
-	}
-	return solve(pw, nx, ny, dies, tileAreaM2, vertK, p), nil
+	return e.Solve()
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -55,6 +56,44 @@ func TestClientSubmitAndWait(t *testing.T) {
 	}
 	if len(all) != 1 || all[0].ID != info.ID {
 		t.Fatalf("Jobs() = %+v", all)
+	}
+}
+
+// TestClientThermalJob pins the "will it melt" serving path end-to-end: a
+// thermal job round-trips through the JSON API, its report carries the
+// melt verdict, and an impossible budget is a 400 before any work starts.
+func TestClientThermalJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-chip builds")
+	}
+	c, _ := newClientFixture(t, JobManagerOptions{Workers: 1, QueueDepth: 4}, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+
+	_, err := c.Submit(ctx, JobRequest{Experiments: []string{"thermal"},
+		Thermal: &JobThermalSpec{TMaxC: -40}})
+	if !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("impossible budget: err = %v, want ErrBadRequest", err)
+	}
+
+	info, err := c.Submit(ctx, JobRequest{Experiments: []string{"thermal"},
+		Thermal: &JobThermalSpec{TMaxC: 60}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Request.Thermal == nil || info.Request.Thermal.TMaxC != 60 {
+		t.Fatalf("thermal spec lost in normalization: %+v", info.Request)
+	}
+	final, err := c.Wait(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != JobDone || final.Result == nil {
+		t.Fatalf("final = %+v, want done", final)
+	}
+	report := final.Result.Experiments[0].Report
+	if !strings.Contains(report, "MELTS") {
+		t.Errorf("60 C budget produced no melt verdict in the report:\n%s", report)
 	}
 }
 

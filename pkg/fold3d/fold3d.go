@@ -49,6 +49,7 @@ import (
 	"fold3d/internal/pipeline"
 	"fold3d/internal/t2"
 	"fold3d/internal/tech"
+	"fold3d/internal/thermal"
 )
 
 // Sentinel errors; test with errors.Is. See the package doc for the
@@ -209,6 +210,31 @@ type CacheStats = pipeline.Stats
 // CacheOptions the cache is memory-only.
 func NewArtifactCache(opt CacheOptions) *ArtifactCache {
 	return pipeline.NewCache(opt)
+}
+
+// ThermalConfig turns on in-loop thermal planning: attach one with Enable
+// set to FlowConfig.Thermal (or Experiments.Thermal) and folded F2B blocks
+// get thermal-via insertion driven by the multigrid temperature solver.
+// The zero value keeps every flow and fingerprint byte-identical to a
+// thermal-unaware run.
+type ThermalConfig = flow.ThermalConfig
+
+// ThermalParams are the steady-state solver constants (conductances,
+// ambient, TSV thermal model).
+type ThermalParams = thermal.Params
+
+// ThermalResult is a solved temperature field summary: peak/average in °C,
+// per-die peaks, and the full tile map.
+type ThermalResult = thermal.Result
+
+// DefaultThermalParams returns the committed solver constants.
+func DefaultThermalParams() ThermalParams { return thermal.DefaultParams() }
+
+// AnalyzeThermal solves the steady-state temperature field of an
+// implemented (placed, extracted) block under the given bonding style
+// using the multigrid engine.
+func AnalyzeThermal(b *Block, d *Design, bond Bonding, p ThermalParams) (*ThermalResult, error) {
+	return thermal.AnalyzeBlock(b, d.Scale, bond, p)
 }
 
 // Experiments exposes the table/figure harness of the paper's evaluation.

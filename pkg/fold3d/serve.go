@@ -51,8 +51,17 @@ var (
 // The zero value requests every experiment at the committed defaults.
 // The Placer field selects the placement backend (PlacementBackends
 // lists the valid names); an unknown name is rejected at validation with
-// an error matching both ErrBadRequest and ErrBadOptions.
+// an error matching both ErrBadRequest and ErrBadOptions. The Thermal
+// field (a *JobThermalSpec) turns on in-loop thermal planning and the
+// "will this folding melt" verdict; nil keeps fingerprints and routing
+// byte-identical to requests predating the field.
 type JobRequest = jobs.Request
+
+// JobThermalSpec is the thermal half of a JobRequest: temperature budget,
+// via budget, and the hotspot-aware selection weight. An impossible budget
+// is rejected at validation with an error matching both ErrBadRequest and
+// ErrBadOptions (HTTP 400 from fold3dd).
+type JobThermalSpec = jobs.ThermalSpec
 
 // PlacementBackends returns the registered placement backend names in
 // registration order — the valid values of JobRequest.Placer and the

@@ -1,21 +1,21 @@
 #!/bin/sh
-# bench.sh — record the PR 9 placement-backend head-to-head (see README
-# "Performance" and DESIGN.md §16 "Placement backends").
+# bench.sh — record the PR 10 thermal-solver benchmark (see README
+# "Thermal planning" and DESIGN.md §17).
 #
-# Produces BENCH_PR9.json: one row per registered placement backend from
-# BenchmarkBuildChip/placer={force,analytical} — the folded-F2B chip built
-# end to end at the tier-1 scale 1000 with Workers=1 — with ns/op, design
-# cells and the process peak-RSS high-water mark, plus the
-# analytical-vs-force wall-clock ratio.
+# Produces BENCH_PR10.json with two sections:
 #
-# There is no speed gate: the analytical backend is expected to cost more
-# per build than the force backend (Nesterov gradient iterations over
-# density grids vs one force-directed sweep); the record is the honest
-# price tag next to the head-to-head quality table in README. The only
-# gates are structural: both backends must appear, and each must report a
-# positive ns/op and the same cell count.
+#   thermal_solve — BenchmarkThermalSolve/grid=N/alg={mg,gs}: the multigrid
+#     engine vs the dense Gauss-Seidel reference on the same synthetic
+#     two-die problem at the same 1e-4 tolerance, per grid size. Gated: at
+#     the largest grid the multigrid solve must be >= 10x faster, and both
+#     algorithms must agree on the reported peak temperature to 0.1 C.
 #
-# BENCH_PR3.json .. BENCH_PR8.json are frozen records of earlier PRs and
+#   buildchip — BenchmarkBuildChip/{placer=force,thermal=on}: the tier-1
+#     folded-F2B chip build with and without in-loop thermal planning. The
+#     overhead ratio is recorded, not gated (the thermal stage is real new
+#     work: a solve plus via insertion and re-extraction per folded block).
+#
+# BENCH_PR3.json .. BENCH_PR9.json are frozen records of earlier PRs and
 # are not rewritten.
 #
 # Usage: scripts/bench.sh
@@ -23,57 +23,98 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="BENCH_PR9.json"
+OUT="BENCH_PR10.json"
 BIN="$(mktemp -d)"
 trap 'rm -rf "$BIN"' EXIT
 
-echo "==> go test -bench BenchmarkBuildChip/placer (3x per backend)" >&2
-BENCHOUT="$BIN/bench.txt"
-go test -run '^$' -bench 'BenchmarkBuildChip/placer' -benchtime 3x . |
-	tee "$BENCHOUT" >&2
+echo "==> go test -bench BenchmarkThermalSolve (3x per grid/alg)" >&2
+SOLVEOUT="$BIN/solve.txt"
+go test -run '^$' -bench 'BenchmarkThermalSolve' -benchtime 3x . |
+	tee "$SOLVEOUT" >&2
+
+echo "==> go test -bench BenchmarkBuildChip/(placer=force|thermal=on) (3x)" >&2
+CHIPOUT="$BIN/chip.txt"
+go test -run '^$' -bench 'BenchmarkBuildChip/(placer=force|thermal=on)' -benchtime 3x . |
+	tee "$CHIPOUT" >&2
 
 awk -v cpus="$(nproc 2>/dev/null || echo 1)" '
-/^BenchmarkBuildChip\/placer=/ {
+FNR == 1 { file++ }
+file == 1 && /^BenchmarkThermalSolve\/grid=/ {
 	nf = split($0, f, /[ \t]+/)
 	name = f[1]
-	sub(/^BenchmarkBuildChip\/placer=/, "", name)
+	sub(/^BenchmarkThermalSolve\//, "", name)
 	sub(/-[0-9]+$/, "", name)
-	nsop = "0"; bcells = 0; brss = 0
+	split(name, kv, /\//)
+	grid = kv[1]; sub(/^grid=/, "", grid)
+	alg = kv[2]; sub(/^alg=/, "", alg)
+	nsop = "0"; tmax = 0
+	for (j = 3; j <= nf; j++) {
+		if (f[j] == "ns/op") nsop = f[j-1]
+		if (f[j] == "tmax_C") tmax = f[j-1] + 0
+	}
+	sn++
+	sgrid[sn] = grid + 0; salg[sn] = alg; sns[sn] = nsop; stmax[sn] = tmax
+	nsof[grid "/" alg] = nsop + 0
+	tmaxof[grid "/" alg] = tmax
+	if (grid + 0 > maxgrid) maxgrid = grid + 0
+}
+file == 2 && /^BenchmarkBuildChip\// {
+	nf = split($0, f, /[ \t]+/)
+	name = f[1]
+	sub(/^BenchmarkBuildChip\//, "", name)
+	sub(/-[0-9]+$/, "", name)
+	variant = (name == "thermal=on") ? "thermal" : "baseline"
+	nsop = "0"; bcells = 0
 	for (j = 3; j <= nf; j++) {
 		if (f[j] == "ns/op") nsop = f[j-1]
 		if (f[j] == "cells") bcells = f[j-1] + 0
-		if (f[j] == "peak_rss_kB") brss = f[j-1] + 0
 	}
-	n++
-	names[n] = name; ns[n] = nsop; cells[n] = bcells; rss[n] = brss
-	nsof[name] = nsop + 0
+	cn++
+	cvar[cn] = variant; cns[cn] = nsop; ccells[cn] = bcells
+	cnsof[variant] = nsop + 0
 }
 END {
-	if (n < 2 || !("force" in nsof) || !("analytical" in nsof)) {
-		print "bench.sh: expected force and analytical rows, got " n > "/dev/stderr"
+	mg = nsof[maxgrid "/mg"]; gs = nsof[maxgrid "/gs"]
+	if (sn < 4 || mg <= 0 || gs <= 0) {
+		print "bench.sh: missing mg/gs rows at grid " maxgrid > "/dev/stderr"
+		exit 1
+	}
+	speedup = gs / mg
+	if (speedup < 10) {
+		printf "bench.sh: multigrid only %.1fx faster than Gauss-Seidel at grid %d (gate: 10x)\n", \
+			speedup, maxgrid > "/dev/stderr"
+		exit 1
+	}
+	dt = tmaxof[maxgrid "/mg"] - tmaxof[maxgrid "/gs"]
+	if (dt < 0) dt = -dt
+	if (dt > 0.1) {
+		printf "bench.sh: mg and gs disagree on Tmax by %.3f C at grid %d\n", dt, maxgrid > "/dev/stderr"
+		exit 1
+	}
+	if (cn < 2 || cnsof["baseline"] <= 0 || cnsof["thermal"] <= 0) {
+		print "bench.sh: expected baseline and thermal buildchip rows, got " cn > "/dev/stderr"
 		exit 1
 	}
 	printf "{\n"
-	printf "  \"comment\": \"PR 9 placement-backend head-to-head: BenchmarkBuildChip/placer=N builds the folded-F2B chip end to end (t2 scale 1000, Workers=1) through each registered backend. ns_per_op is the full-flow cost; the analytical backend pays Nesterov gradient iterations over bin-density grids for its quality, so its ratio over force is recorded, not gated. peak_rss_kb is the process high-water mark after that sub-benchmark (monotone across sub-benchmarks by construction).\",\n"
+	printf "  \"comment\": \"PR 10 thermal solver: BenchmarkThermalSolve/grid=N/alg={mg,gs} solves the same synthetic two-die F2B problem to the same 1e-4 tolerance with the multigrid engine (mg) and the dense Gauss-Seidel reference (gs); mg_speedup is gated >= 10x at the largest grid and both must report the same peak temperature to 0.1 C. buildchip records BenchmarkBuildChip/{placer=force,thermal=on}: the tier-1 folded-F2B chip build without and with in-loop thermal planning (solve + thermal-via insertion + re-extraction per folded block); the overhead ratio is recorded, not gated.\",\n"
 	printf "  \"cpus\": %d,\n", cpus
-	printf "  \"buildchip\": [\n"
-	for (j = 1; j <= n; j++) {
-		printf "    {\"placer\": \"%s\", \"cells\": %d, \"ns_per_op\": %s, \"peak_rss_kb\": %d}%s\n", \
-			names[j], cells[j], ns[j], rss[j], j < n ? "," : ""
-		if (ns[j] + 0 <= 0) {
-			print "bench.sh: backend " names[j] " reported no wall-clock" > "/dev/stderr"
-			exit 1
-		}
-		if (cells[j] != cells[1]) {
-			print "bench.sh: backends built different netlists" > "/dev/stderr"
-			exit 1
-		}
+	printf "  \"thermal_solve\": [\n"
+	for (j = 1; j <= sn; j++) {
+		printf "    {\"grid\": %d, \"alg\": \"%s\", \"ns_per_op\": %s, \"tmax_c\": %.2f}%s\n", \
+			sgrid[j], salg[j], sns[j], stmax[j], j < sn ? "," : ""
 	}
 	printf "  ],\n"
-	printf "  \"analytical_over_force\": %.2f\n", nsof["analytical"] / nsof["force"]
+	printf "  \"mg_speedup_at_grid_%d\": %.1f,\n", maxgrid, speedup
+	printf "  \"buildchip\": [\n"
+	for (j = 1; j <= cn; j++) {
+		printf "    {\"variant\": \"%s\", \"cells\": %d, \"ns_per_op\": %s}%s\n", \
+			cvar[j], ccells[j], cns[j], j < cn ? "," : ""
+	}
+	printf "  ],\n"
+	printf "  \"thermal_over_baseline\": %.2f\n", cnsof["thermal"] / cnsof["baseline"]
 	printf "}\n"
 }
-' "$BENCHOUT" > "$OUT"
+' "$SOLVEOUT" "$CHIPOUT" > "$OUT"
 
 echo "==> wrote $OUT" >&2
 cat "$OUT"

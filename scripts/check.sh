@@ -139,6 +139,30 @@ done
 CODE="$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$ADDR/v1/jobs" \
 	-d '{"experiments":["table4"],"placer":"bogus"}')"
 [ "$CODE" = 400 ] || { echo "check.sh: unknown placer returned HTTP $CODE, want 400" >&2; exit 1; }
+
+# PR 10: the daemon must answer "will this folding melt" — run the thermal
+# experiment with a peak-temperature budget end to end, and reject an
+# impossible budget with a 400 before admission.
+TID="$(curl -sf -X POST "http://$ADDR/v1/jobs" \
+	-d '{"experiments":["thermal"],"thermal":{"tmax_c":85,"vias":64}}' |
+	sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+[ -n "$TID" ] || { echo "check.sh: fold3dd rejected the thermal smoke job" >&2; exit 1; }
+STATE=""
+i=0
+while [ "$i" -lt 600 ]; do
+	STATE="$(curl -sf "http://$ADDR/v1/jobs/$TID" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')"
+	case "$STATE" in done | failed | canceled) break ;; esac
+	i=$((i + 1))
+	sleep 0.1
+done
+[ "$STATE" = done ] || { echo "check.sh: thermal smoke job ended in state '$STATE'" >&2; exit 1; }
+curl -sf "http://$ADDR/v1/jobs/$TID" | grep -q 'Tmax' || {
+	echo "check.sh: thermal smoke result carries no Tmax report" >&2
+	exit 1
+}
+CODE="$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$ADDR/v1/jobs" \
+	-d '{"experiments":["thermal"],"thermal":{"tmax_c":-5}}')"
+[ "$CODE" = 400 ] || { echo "check.sh: impossible thermal budget returned HTTP $CODE, want 400" >&2; exit 1; }
 kill "$SMOKEPID"
 if ! wait "$SMOKEPID"; then
 	echo "check.sh: fold3dd did not exit cleanly on SIGTERM" >&2
@@ -228,6 +252,16 @@ done
 APID=""
 BPID=""
 
+# PR 10: the multigrid thermal engine is pooled and re-entered by every
+# flow worker, and thermal-enabled chip builds must stay byte-identical
+# across worker counts. Re-run the solver suite and the flow's thermal
+# contract tests under the race detector with extra CPUs.
+echo "==> go test -race -cpu=4 (thermal solver + in-loop thermal planning)"
+go test -race -cpu=4 -count=2 ./internal/thermal/
+go test -race -cpu=4 \
+	-run 'TestThermalConfigValidate|TestThermalViasInserted|TestThermalOffFingerprintIdentity|TestThermalFingerprintEquivalence|TestThermalStageOnlyOnFoldedF2B' \
+	./internal/flow/
+
 # The linter itself now runs its checks through the worker pool; re-run
 # its suite under the race detector with extra CPUs so a data race in the
 # parallel load or check fan-out cannot hide behind deterministic output.
@@ -259,11 +293,26 @@ RC=0
 "$SMOKEDIR/fold3d" -exp table4 -placer simulated-annealing >/dev/null 2>&1 || RC=$?
 [ "$RC" = 2 ] || { echo "check.sh: unknown placer exited $RC, want 2" >&2; exit 1; }
 
+# Thermal smoke: the CLI must run the thermal study with in-loop planning
+# and a temperature budget, reject thermal knobs without -thermal, and
+# reject an impossible budget — both with exit 2 before any work starts.
+echo "==> fold3d -exp thermal -thermal smoke"
+"$SMOKEDIR/fold3d" -exp thermal -thermal -tmax 85 | grep -q 'Tmax' || {
+	echo "check.sh: thermal study printed no Tmax column" >&2
+	exit 1
+}
+RC=0
+"$SMOKEDIR/fold3d" -exp thermal -tmax 85 >/dev/null 2>&1 || RC=$?
+[ "$RC" = 2 ] || { echo "check.sh: -tmax without -thermal exited $RC, want 2" >&2; exit 1; }
+RC=0
+"$SMOKEDIR/fold3d" -exp thermal -thermal -tmax 20 >/dev/null 2>&1 || RC=$?
+[ "$RC" = 2 ] || { echo "check.sh: impossible -tmax exited $RC, want 2" >&2; exit 1; }
+
 # Every PR appends one line to CHANGES.md; a PR that ships without its
 # entry leaves the next session blind to what is already done.
 echo "==> CHANGES.md entry"
-grep -q '^PR 9:' CHANGES.md || {
-	echo "check.sh: CHANGES.md has no 'PR 9:' entry" >&2
+grep -q '^PR 10:' CHANGES.md || {
+	echo "check.sh: CHANGES.md has no 'PR 10:' entry" >&2
 	exit 1
 }
 
